@@ -1,0 +1,83 @@
+// Ablation: the two reproduction-specific placement choices documented in
+// DESIGN.md — sibling-page candidate scoring, and the fresh-page-nucleus
+// overflow fallback — toggled independently at the paper's headline
+// workload.
+
+#include <cstdio>
+#include <sstream>
+
+#include "bench_common.h"
+
+using namespace oodb;
+
+int main() {
+  bench::PrintHeader(
+      "Ablation", "Placement design choices (sibling scoring, fresh-page "
+      "overflow fallback)",
+      "both mechanisms are needed for run-time clustering to keep whole "
+      "design modules together: without sibling candidates a component's "
+      "only candidate is its composite's (often full) page; without the "
+      "fresh-page fallback overflow scatters into the shared arrival "
+      "stream");
+
+  struct Variant {
+    const char* name;
+    bool siblings;
+    bool fresh_page;
+  } variants[] = {
+      {"full (both on)", true, true},
+      {"no sibling scoring", false, true},
+      {"no fresh-page fallback", true, false},
+      {"neither", false, false},
+  };
+
+  TablePrinter table({"variant", "low3-5", "hi10-100",
+                      "hi10-100 vs No_Clustering"});
+
+  // Baseline: No_Clustering at hi10-100.
+  workload::WorkloadConfig hi;
+  hi.density = workload::StructureDensity::kHigh10;
+  hi.read_write_ratio = 100;
+  workload::WorkloadConfig low;
+  low.density = workload::StructureDensity::kLow3;
+  low.read_write_ratio = 5;
+
+  core::ModelConfig none_cfg = core::WithWorkload(bench::BaseConfig(), hi);
+  none_cfg.clustering.pool = cluster::CandidatePool::kNoClustering;
+  const double none_hi = bench::MeanResponse(none_cfg);
+
+  double full_gain = 0, neither_gain = 0, no_sibling_gain = 0,
+         no_fresh_gain = 0;
+  for (const Variant& v : variants) {
+    auto run = [&](const workload::WorkloadConfig& w) {
+      core::ModelConfig cfg = core::WithWorkload(bench::BaseConfig(), w);
+      cfg.clustering.pool = cluster::CandidatePool::kWithinDb;
+      cfg.clustering.sibling_candidates = v.siblings;
+      cfg.clustering.fresh_page_on_overflow = v.fresh_page;
+      return bench::MeanResponse(cfg);
+    };
+    const double rt_low = run(low);
+    const double rt_hi = run(hi);
+    const double gain = none_hi / rt_hi;
+    table.AddRow({v.name, bench::Sec(rt_low), bench::Sec(rt_hi),
+                  FormatRatio(gain)});
+    if (v.siblings && v.fresh_page) full_gain = gain;
+    if (!v.siblings && v.fresh_page) no_sibling_gain = gain;
+    if (v.siblings && !v.fresh_page) no_fresh_gain = gain;
+    if (!v.siblings && !v.fresh_page) neither_gain = gain;
+  }
+  std::ostringstream os;
+  table.Print(os);
+  std::fputs(os.str().c_str(), stdout);
+
+  std::printf("\nclustering gain over No_Clustering at hi10-100: full %.2fx,"
+              " no-sibling %.2fx, no-fresh-page %.2fx, neither %.2fx\n",
+              full_gain, no_sibling_gain, no_fresh_gain, neither_gain);
+  bench::ShapeCheck("the full mechanism gives the largest gain",
+                    full_gain >= no_sibling_gain &&
+                        full_gain >= no_fresh_gain &&
+                        full_gain >= neither_gain);
+  bench::ShapeCheck("removing both mechanisms loses most of the gain",
+                    neither_gain <= 0.6 * full_gain || neither_gain < 1.3);
+  return 0;
+}

@@ -1,0 +1,77 @@
+#include "bench_common.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace oodb::bench {
+
+bool FastMode() {
+  const char* fast = std::getenv("SEMCLUST_BENCH_FAST");
+  return fast != nullptr && fast[0] != '\0' && fast[0] != '0';
+}
+
+core::ModelConfig BaseConfig() {
+  core::ModelConfig cfg = core::ScaledConfig();
+  cfg.buffer_pages = cfg.BufferMedium();  // the paper's 1000-buffer level
+  cfg.warmup_transactions = FastMode() ? 100 : 300;
+  cfg.measured_transactions = FastMode() ? 500 : 2000;
+  if (const char* seed = std::getenv("SEMCLUST_BENCH_SEED")) {
+    cfg.seed = static_cast<uint64_t>(std::strtoull(seed, nullptr, 10));
+  }
+  return cfg;
+}
+
+void PrintHeader(const std::string& figure, const std::string& title,
+                 const std::string& expectation) {
+  std::printf("\n================================================================\n");
+  std::printf("%s -- %s\n", figure.c_str(), title.c_str());
+  std::printf("Paper expectation: %s\n", expectation.c_str());
+  if (FastMode()) std::printf("(fast mode: shortened runs)\n");
+  std::printf("================================================================\n");
+}
+
+void ShapeCheck(const std::string& claim, bool holds) {
+  std::printf("[%s] %s\n", holds ? "SHAPE-OK " : "DEVIATION", claim.c_str());
+}
+
+double MeanResponse(const core::ModelConfig& config) {
+  return core::RunCell(config).response_time.Mean();
+}
+
+std::string Sec(double s) { return FormatDouble(s * 1000.0, 1) + " ms"; }
+
+ClusteringGrid RunClusteringGrid(
+    const std::vector<workload::WorkloadConfig>& cells,
+    cluster::SplitPolicy split) {
+  ClusteringGrid grid;
+  const auto policies = core::ClusteringPolicyLevels(split);
+  for (const auto& w : cells) grid.workload_labels.push_back(w.Label());
+  for (const auto& policy : policies) {
+    grid.policy_labels.push_back(policy.Label());
+    std::vector<double> row;
+    for (const auto& w : cells) {
+      core::ModelConfig cfg = core::WithWorkload(BaseConfig(), w);
+      cfg.clustering = policy;
+      row.push_back(MeanResponse(cfg));
+    }
+    grid.response.push_back(std::move(row));
+  }
+  return grid;
+}
+
+void PrintGrid(const ClusteringGrid& grid) {
+  std::vector<std::string> headers{"policy \\ workload"};
+  for (const auto& l : grid.workload_labels) headers.push_back(l);
+  TablePrinter table(std::move(headers));
+  for (size_t p = 0; p < grid.policy_labels.size(); ++p) {
+    std::vector<std::string> row{grid.policy_labels[p]};
+    for (double rt : grid.response[p]) row.push_back(Sec(rt));
+    table.AddRow(std::move(row));
+  }
+  std::ostringstream os;
+  table.Print(os);
+  std::fputs(os.str().c_str(), stdout);
+}
+
+}  // namespace oodb::bench

@@ -1,0 +1,68 @@
+#ifndef SEMCLUST_BENCH_BENCH_COMMON_H_
+#define SEMCLUST_BENCH_BENCH_COMMON_H_
+
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+#include "core/model_config.h"
+#include "util/table_printer.h"
+
+/// \file
+/// Shared plumbing for the figure-regeneration harness. Every bench binary
+/// prints: a header naming the paper table/figure it reproduces and the
+/// expected shape, the regenerated series as an aligned table, and a short
+/// shape check (PASS/DEVIATION) against the paper's qualitative claims.
+///
+/// Environment:
+///   SEMCLUST_BENCH_FAST=1   quarter-length runs (smoke mode)
+///   SEMCLUST_BENCH_SEED=n   override the simulation seed
+
+namespace oodb::bench {
+
+/// True when SEMCLUST_BENCH_FAST is set.
+bool FastMode();
+
+/// The base configuration used by all simulation benches: the scaled
+/// database with the paper's 1000-buffer level and default cost model.
+core::ModelConfig BaseConfig();
+
+/// Prints the figure banner.
+void PrintHeader(const std::string& figure, const std::string& title,
+                 const std::string& expectation);
+
+/// Prints a shape-check verdict line.
+void ShapeCheck(const std::string& claim, bool holds);
+
+/// Runs one cell and returns mean response time in seconds.
+double MeanResponse(const core::ModelConfig& config);
+
+/// Label helper: seconds with ms precision.
+std::string Sec(double s);
+
+/// Response-time matrix of clustering policies x workload cells — the
+/// shared shape behind Figures 5.1-5.4 and 5.6-5.8. Buffering is fixed to
+/// the paper's setting for these figures: no prefetch, medium (=1000)
+/// buffers, LRU replacement.
+struct ClusteringGrid {
+  std::vector<std::string> policy_labels;    // rows
+  std::vector<std::string> workload_labels;  // columns
+  /// response[policy][workload], mean seconds.
+  std::vector<std::vector<double>> response;
+
+  double At(size_t policy, size_t workload) const {
+    return response[policy][workload];
+  }
+};
+
+/// Runs the five clustering policies over `cells`.
+ClusteringGrid RunClusteringGrid(
+    const std::vector<workload::WorkloadConfig>& cells,
+    cluster::SplitPolicy split = cluster::SplitPolicy::kNoSplit);
+
+/// Prints the grid with policies as rows.
+void PrintGrid(const ClusteringGrid& grid);
+
+}  // namespace oodb::bench
+
+#endif  // SEMCLUST_BENCH_BENCH_COMMON_H_

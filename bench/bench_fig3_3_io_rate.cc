@@ -1,0 +1,43 @@
+// Regenerates Figure 3.3: object (logical) I/O rate of the ten OCT tools —
+// all logical reads and writes divided by the session time.
+
+#include <algorithm>
+#include <iostream>
+
+#include "bench_common.h"
+#include "oct/oct_tools.h"
+#include "oct/trace_analyzer.h"
+
+using namespace oodb;
+
+int main() {
+  bench::PrintHeader(
+      "Figure 3.3", "OCT tools' object I/O rate (logical ops / second)",
+      "batch tools (the routers and simulators) run at substantially "
+      "higher I/O rates than the interactive editor VEM; a wide spread "
+      "identifies the most I/O-intensive tools");
+
+  oct::OctWorkbench workbench(7);
+  workbench.RunAll(bench::FastMode() ? 3 : 12);
+  const auto summaries = oct::SummarizeByTool(workbench.trace().sessions());
+
+  TablePrinter table({"tool", "ops", "session seconds", "I/O per second"});
+  double vem_rate = 0, max_rate = 0;
+  for (const auto& t : summaries) {
+    const double secs =
+        t.io_rate > 0
+            ? static_cast<double>(t.total_reads + t.total_writes) / t.io_rate
+            : 0;
+    table.AddRow({t.tool, std::to_string(t.total_reads + t.total_writes),
+                  FormatDouble(secs, 1), FormatDouble(t.io_rate, 1)});
+    if (t.tool == "vem") vem_rate = t.io_rate;
+    max_rate = std::max(max_rate, t.io_rate);
+  }
+  table.Print(std::cout);
+
+  bench::ShapeCheck("interactive VEM has the lowest I/O rate",
+                    vem_rate > 0 && vem_rate <= max_rate / 3);
+  bench::ShapeCheck("I/O rates spread by more than 3x across tools",
+                    max_rate > 3 * vem_rate);
+  return 0;
+}

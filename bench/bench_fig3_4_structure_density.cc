@@ -1,0 +1,48 @@
+// Regenerates Figure 3.4: downward structure-density distribution per OCT
+// tool, in the paper's three buckets (low 0-3, medium 4-10, high > 10).
+
+#include <algorithm>
+#include <iostream>
+
+#include "bench_common.h"
+#include "oct/oct_tools.h"
+#include "oct/trace_analyzer.h"
+
+using namespace oodb;
+
+int main() {
+  bench::PrintHeader(
+      "Figure 3.4", "OCT tool structure-density distribution",
+      "most tools are dominated by low density (0-3 objects per "
+      "structural retrieval); VEM has the highest density (it displays "
+      "everything attached to a composite); upward accesses almost "
+      "always return one object");
+
+  oct::OctWorkbench workbench(7);
+  workbench.RunAll(bench::FastMode() ? 3 : 12);
+  const auto summaries = oct::SummarizeByTool(workbench.trace().sessions());
+
+  TablePrinter table({"tool", "low (0-3)", "med (4-10)", "high (>10)",
+                      "upward single-object"});
+  double vem_high = 0;
+  int low_dominated = 0;
+  double others_max_high = 0;
+  for (const auto& t : summaries) {
+    table.AddRow({t.tool, FormatDouble(t.density_low * 100, 1) + "%",
+                  FormatDouble(t.density_med * 100, 1) + "%",
+                  FormatDouble(t.density_high * 100, 1) + "%",
+                  FormatDouble(t.upward_single_fraction * 100, 1) + "%"});
+    if (t.tool == "vem") {
+      vem_high = t.density_high;
+    } else {
+      others_max_high = std::max(others_max_high, t.density_high);
+    }
+    if (t.density_low > 0.5) ++low_dominated;
+  }
+  table.Print(std::cout);
+
+  bench::ShapeCheck("most tools dominated by low density", low_dominated >= 7);
+  bench::ShapeCheck("VEM has the highest high-density share",
+                    vem_high > others_max_high);
+  return 0;
+}

@@ -1,0 +1,9 @@
+// Regenerates Figure 5.12: prefetching effect under the context-sensitive
+// buffer replacement policy.
+
+#include "bench_prefetch_common.h"
+
+int main() {
+  return oodb::bench::RunPrefetchFigure(
+      "Figure 5.12", oodb::buffer::ReplacementPolicy::kContextSensitive);
+}

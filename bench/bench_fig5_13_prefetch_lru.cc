@@ -1,0 +1,9 @@
+// Regenerates Figure 5.13: prefetching effect under LRU buffer
+// replacement.
+
+#include "bench_prefetch_common.h"
+
+int main() {
+  return oodb::bench::RunPrefetchFigure(
+      "Figure 5.13", oodb::buffer::ReplacementPolicy::kLru);
+}

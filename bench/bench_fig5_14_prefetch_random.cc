@@ -1,0 +1,9 @@
+// Regenerates Figure 5.14: prefetching effect under Random buffer
+// replacement.
+
+#include "bench_prefetch_common.h"
+
+int main() {
+  return oodb::bench::RunPrefetchFigure(
+      "Figure 5.14", oodb::buffer::ReplacementPolicy::kRandom);
+}

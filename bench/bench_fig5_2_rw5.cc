@@ -1,0 +1,38 @@
+// Regenerates Figure 5.2: clustering effect under read/write ratio 5,
+// across the three structure densities.
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace oodb;
+
+int main() {
+  bench::PrintHeader(
+      "Figure 5.2", "Clustering effect under R/W ratio 5",
+      "at R/W 5 the 2-I/O-limit policy gives the best (or tied-best) "
+      "response at every density: the writer's unlimited exam I/O cannot "
+      "be amortised by so few reads");
+
+  const auto grid = bench::RunClusteringGrid(core::DensitySweep(5.0));
+  bench::PrintGrid(grid);
+
+  const size_t k2Io = 2, kNoLimit = 4, kNone = 0;
+  bool two_io_competitive = true;
+  for (size_t w = 0; w < grid.workload_labels.size(); ++w) {
+    // 2_IO_limit must be within 10% of the best clustering policy.
+    double best = grid.At(1, w);
+    for (size_t p = 1; p < grid.policy_labels.size(); ++p) {
+      best = std::min(best, grid.At(p, w));
+    }
+    if (grid.At(k2Io, w) > 1.10 * best) two_io_competitive = false;
+  }
+  bench::ShapeCheck("2_IO_limit best-or-tied (within 10%) at every density",
+                    two_io_competitive);
+  bench::ShapeCheck(
+      "2_IO_limit matches No_limit at low density (within 10%)",
+      grid.At(k2Io, 0) <= 1.10 * grid.At(kNoLimit, 0));
+  bench::ShapeCheck("any clustering beats none at high density",
+                    grid.At(kNoLimit, 2) < grid.At(kNone, 2));
+  return 0;
+}

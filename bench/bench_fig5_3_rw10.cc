@@ -1,0 +1,34 @@
+// Regenerates Figure 5.3: clustering effect under read/write ratio 10.
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace oodb;
+
+int main() {
+  bench::PrintHeader(
+      "Figure 5.3", "Clustering effect under R/W ratio 10",
+      "the 10-I/O limit behaves like no I/O limit at medium density "
+      "(the limit exceeds the maximum candidate count); response under "
+      "any clustering rises slowly with density while No_Clustering "
+      "rises sharply");
+
+  const auto grid = bench::RunClusteringGrid(core::DensitySweep(10.0));
+  bench::PrintGrid(grid);
+
+  const size_t kNone = 0, k10Io = 3, kNoLimit = 4;
+  bench::ShapeCheck(
+      "10_IO_limit ~= No_limit at medium density (within 10%)",
+      grid.At(k10Io, 1) <= 1.10 * grid.At(kNoLimit, 1) &&
+          grid.At(kNoLimit, 1) <= 1.10 * grid.At(k10Io, 1));
+
+  const double none_rise = grid.At(kNone, 2) / grid.At(kNone, 0);
+  const double clustered_rise = grid.At(kNoLimit, 2) / grid.At(kNoLimit, 0);
+  std::printf("\nresponse rise low->high density: none %.2fx, clustered %.2fx\n",
+              none_rise, clustered_rise);
+  bench::ShapeCheck(
+      "No_Clustering rises much more steeply with density than clustering",
+      none_rise > 1.25 * clustered_rise);
+  return 0;
+}

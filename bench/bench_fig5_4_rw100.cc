@@ -1,0 +1,35 @@
+// Regenerates Figure 5.4: clustering effect under read/write ratio 100.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace oodb;
+
+int main() {
+  bench::PrintHeader(
+      "Figure 5.4", "Clustering effect under R/W ratio 100",
+      "clustering without I/O limitation performs consistently best when "
+      "reads dominate: the writers' clustering I/O is amortised over many "
+      "reads");
+
+  const auto grid = bench::RunClusteringGrid(core::DensitySweep(100.0));
+  bench::PrintGrid(grid);
+
+  const size_t kNone = 0, kNoLimit = 4;
+  bool no_limit_best = true;
+  for (size_t w = 0; w < grid.workload_labels.size(); ++w) {
+    for (size_t p = 1; p < grid.policy_labels.size(); ++p) {
+      if (grid.At(kNoLimit, w) > 1.05 * grid.At(p, w)) no_limit_best = false;
+    }
+  }
+  bench::ShapeCheck(
+      "No_limit consistently best (within 5%) among clustering policies",
+      no_limit_best);
+
+  const double headline = grid.At(kNone, 2) / grid.At(kNoLimit, 2);
+  std::printf("\nhi10-100 improvement: %.2fx\n", headline);
+  bench::ShapeCheck("~3x (>=2x) improvement at high density", headline >= 2.0);
+  return 0;
+}

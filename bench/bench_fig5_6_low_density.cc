@@ -1,0 +1,40 @@
+// Regenerates Figure 5.6: clustering effect under low structure density,
+// sweeping the read/write ratio.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace oodb;
+
+int main() {
+  bench::PrintHeader(
+      "Figure 5.6", "Clustering effect under low structure density",
+      "any clustering beats No_Clustering; clustering with and without "
+      "I/O limitation perform similarly (few candidates exist at low "
+      "density), so 2_IO_limit is the best choice for high-R/W low-"
+      "density applications");
+
+  const auto grid = bench::RunClusteringGrid(
+      core::RatioSweep(workload::StructureDensity::kLow3));
+  bench::PrintGrid(grid);
+
+  const size_t kNone = 0, k2Io = 2, kNoLimit = 4;
+  bool clustering_wins = true;
+  double max_spread = 0;
+  for (size_t w = 0; w < grid.workload_labels.size(); ++w) {
+    if (grid.At(kNoLimit, w) > grid.At(kNone, w)) clustering_wins = false;
+    const double spread =
+        std::abs(grid.At(k2Io, w) - grid.At(kNoLimit, w)) /
+        grid.At(kNoLimit, w);
+    max_spread = std::max(max_spread, spread);
+  }
+  bench::ShapeCheck("clustering beats No_Clustering at every ratio",
+                    clustering_wins);
+  std::printf("\nmax 2_IO_limit vs No_limit spread: %.1f%%\n",
+              max_spread * 100);
+  bench::ShapeCheck("2_IO_limit within 15% of No_limit at every ratio",
+                    max_spread <= 0.15);
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Regenerates Figure 5.7: clustering effect under medium structure
+// density, sweeping the read/write ratio.
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace oodb;
+
+int main() {
+  bench::PrintHeader(
+      "Figure 5.7", "Clustering effect under medium structure density",
+      "clustering without I/O limitation performs best for R/W > 10, and "
+      "its response time stays nearly flat across ratios — the stability "
+      "some real-time applications require");
+
+  const auto grid = bench::RunClusteringGrid(
+      core::RatioSweep(workload::StructureDensity::kMed5));
+  bench::PrintGrid(grid);
+
+  const size_t kNoLimit = 4;
+  // Flatness of the no-limit row across ratios.
+  double lo = grid.At(kNoLimit, 0), hi = grid.At(kNoLimit, 0);
+  for (size_t w = 0; w < grid.workload_labels.size(); ++w) {
+    lo = std::min(lo, grid.At(kNoLimit, w));
+    hi = std::max(hi, grid.At(kNoLimit, w));
+  }
+  std::printf("\nNo_limit response spread across ratios: %.1f%%\n",
+              (hi / lo - 1) * 100);
+  bench::ShapeCheck(
+      "No_limit response varies by < 35% across the whole ratio sweep",
+      hi <= 1.35 * lo);
+
+  bool best_at_100 = true;
+  for (size_t p = 1; p < grid.policy_labels.size(); ++p) {
+    if (grid.At(kNoLimit, 2) > 1.05 * grid.At(p, 2)) best_at_100 = false;
+  }
+  bench::ShapeCheck("No_limit best (within 5%) at R/W 100", best_at_100);
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Regenerates Figure 5.9: page-splitting effects analysis — No_Splitting,
+// Linear_Split, and NP_Split under clustering without I/O limitation,
+// across the nine workload cells.
+
+#include <cstdio>
+#include <sstream>
+
+#include "bench_common.h"
+
+using namespace oodb;
+
+int main() {
+  bench::PrintHeader(
+      "Figure 5.9", "Page splitting effects analysis",
+      "No_Splitting wins at low R/W (splits cost writer I/O that few "
+      "reads amortise); Linear_Split gives the best response when both "
+      "R/W and density are high; NP_Split ~= Linear_Split at low density "
+      "(small dependency graphs leave little room for optimality)");
+
+  const auto cells = core::StandardWorkloadGrid();
+  const cluster::SplitPolicy policies[] = {cluster::SplitPolicy::kNoSplit,
+                                           cluster::SplitPolicy::kLinearGreedy,
+                                           cluster::SplitPolicy::kExhaustive};
+
+  std::vector<std::string> headers{"split policy \\ workload"};
+  for (const auto& w : cells) headers.push_back(w.Label());
+  TablePrinter table(std::move(headers));
+
+  double rt[3][9];
+  int p = 0;
+  for (auto split : policies) {
+    std::vector<std::string> row{cluster::SplitPolicyName(split)};
+    int w = 0;
+    for (const auto& cell : cells) {
+      core::ModelConfig cfg = core::WithWorkload(bench::BaseConfig(), cell);
+      cfg.clustering.pool = cluster::CandidatePool::kWithinDb;
+      cfg.clustering.split = split;
+      rt[p][w] = bench::MeanResponse(cfg);
+      row.push_back(bench::Sec(rt[p][w]));
+      ++w;
+    }
+    table.AddRow(std::move(row));
+    ++p;
+  }
+  std::ostringstream os;
+  table.Print(os);
+  std::fputs(os.str().c_str(), stdout);
+
+  // Workload index: hi10-100 = 8, low3-5 = 0, low3-100 = 2.
+  bench::ShapeCheck(
+      "Linear_Split best-or-tied (within 5%) at hi10-100",
+      rt[1][8] <= 1.05 * rt[0][8] && rt[1][8] <= 1.05 * rt[2][8]);
+  bench::ShapeCheck(
+      "NP_Split ~= Linear_Split at low density (within 10%)",
+      rt[2][0] <= 1.10 * rt[1][0] && rt[1][0] <= 1.10 * rt[2][0]);
+  std::printf(
+      "\nNOTE: the paper additionally finds No_Splitting *better* at low\n"
+      "R/W. Its §5.1.1 simulation assumed candidate pages never overflow,\n"
+      "so its no-split baseline pays no placement penalty. This\n"
+      "reproduction handles overflow mechanically (fresh-page nuclei);\n"
+      "splitting then also wins at low R/W because the writer's split cost\n"
+      "is small next to the locality it preserves. Documented in\n"
+      "EXPERIMENTS.md.\n");
+  bench::ShapeCheck(
+      "split overhead never dominates: splitting >= no-splitting nowhere "
+      "by more than 10%",
+      [&] {
+        for (int w = 0; w < 9; ++w) {
+          if (rt[1][w] > 1.10 * rt[0][w]) return false;
+        }
+        return true;
+      }());
+  return 0;
+}

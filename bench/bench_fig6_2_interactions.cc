@@ -1,0 +1,65 @@
+// Regenerates Figure 6.2: pairwise interaction analysis of the control
+// parameters via the paper's parallel-lines test on X-Y diagrams.
+
+#include <cstdio>
+#include <sstream>
+
+#include "analysis/factorial.h"
+#include "bench_common.h"
+
+using namespace oodb;
+
+int main() {
+  bench::PrintHeader(
+      "Figure 6.2", "Interaction analysis (parallel-lines test)",
+      "no major interactions between any two factors (the controls are "
+      "nearly independent); minor interactions include density x "
+      "buffering, R/W x clustering, density x clustering, and splitting "
+      "x clustering; buffering x clustering and density x R/W show none");
+
+  core::ModelConfig base = bench::BaseConfig();
+  base.warmup_transactions = 100;
+  base.measured_transactions = bench::FastMode() ? 200 : 600;
+
+  const auto factors = analysis::StandardFactors();
+  analysis::FactorialDesign design(base, factors);
+  design.Run();
+
+  TablePrinter table({"factor pair", "ll (ms)", "lh (ms)", "hl (ms)",
+                      "hh (ms)", "class"});
+  int majors = 0, minors = 0, nones = 0;
+  for (size_t a = 0; a < factors.size(); ++a) {
+    for (size_t b = a + 1; b < factors.size(); ++b) {
+      const auto cell = design.Interaction(a, b);
+      const auto cls = analysis::ClassifyInteraction(cell);
+      table.AddRow({factors[a].name + " x " + factors[b].name,
+                    FormatDouble(cell.low_low * 1000, 1),
+                    FormatDouble(cell.low_high * 1000, 1),
+                    FormatDouble(cell.high_low * 1000, 1),
+                    FormatDouble(cell.high_high * 1000, 1),
+                    analysis::InteractionClassName(cls)});
+      switch (cls) {
+        case analysis::InteractionClass::kMajor:
+          ++majors;
+          break;
+        case analysis::InteractionClass::kMinor:
+          ++minors;
+          break;
+        default:
+          ++nones;
+          break;
+      }
+    }
+  }
+  std::ostringstream os;
+  table.Print(os);
+  std::fputs(os.str().c_str(), stdout);
+
+  std::printf("\nclassified: %d none, %d minor, %d major (28 pairs)\n",
+              nones, minors, majors);
+  bench::ShapeCheck("few-to-no major interactions (<= 3 of 28)",
+                    majors <= 3);
+  bench::ShapeCheck("a mix of none and minor interactions exists",
+                    nones > 0 && minors > 0);
+  return 0;
+}

@@ -1,0 +1,155 @@
+// Component micro-benchmarks on google-benchmark: the cost of the core
+// mechanisms — buffer-pool fixes per replacement policy, page splitting at
+// several graph sizes, the event kernel, candidate scoring, and the
+// workload RNG. These are engineering baselines, not paper figures.
+
+#include <benchmark/benchmark.h>
+
+#include "buffer/buffer_pool.h"
+#include "cluster/affinity.h"
+#include "cluster/cluster_manager.h"
+#include "cluster/page_splitter.h"
+#include "sim/process.h"
+#include "sim/resource.h"
+#include "sim/simulator.h"
+#include "storage/storage_manager.h"
+#include "util/random.h"
+#include "workload/db_builder.h"
+
+namespace oodb {
+namespace {
+
+// ------------------------------------------------------------ buffer
+
+void BM_BufferFix(benchmark::State& state) {
+  const auto policy = static_cast<buffer::ReplacementPolicy>(state.range(0));
+  buffer::BufferPool pool(1024, policy, 7);
+  Rng rng(11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        pool.Fix(static_cast<store::PageId>(rng.Zipf(8192, 0.7))));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_BufferFix)
+    ->Arg(static_cast<int>(buffer::ReplacementPolicy::kLru))
+    ->Arg(static_cast<int>(buffer::ReplacementPolicy::kContextSensitive))
+    ->Arg(static_cast<int>(buffer::ReplacementPolicy::kRandom));
+
+void BM_BufferBoost(benchmark::State& state) {
+  buffer::BufferPool pool(1024, buffer::ReplacementPolicy::kContextSensitive);
+  for (store::PageId p = 0; p < 1024; ++p) pool.Fix(p);
+  Rng rng(13);
+  for (auto _ : state) {
+    pool.Boost(static_cast<store::PageId>(rng.NextBelow(1024)), 2.0);
+  }
+}
+BENCHMARK(BM_BufferBoost);
+
+// ------------------------------------------------------------ splitter
+
+cluster::DependencyGraph MakeGraph(int nodes, Rng& rng) {
+  cluster::DependencyGraph g;
+  for (int i = 0; i < nodes; ++i) {
+    g.nodes.push_back(cluster::DepNode{static_cast<obj::ObjectId>(i),
+                                       80 + static_cast<uint32_t>(
+                                                rng.NextBelow(120))});
+  }
+  for (uint32_t a = 0; a + 1 < static_cast<uint32_t>(nodes); ++a) {
+    g.arcs.push_back(
+        cluster::DepArc{a, a + 1, rng.UniformDouble(0.1, 1.0)});
+    if (rng.Bernoulli(0.3)) {
+      const auto b = static_cast<uint32_t>(rng.NextBelow(a + 1));
+      g.arcs.push_back(cluster::DepArc{b, a + 1, rng.UniformDouble(0.05, 0.4)});
+    }
+  }
+  return g;
+}
+
+void BM_GreedyLinearSplit(benchmark::State& state) {
+  Rng rng(17);
+  auto g = MakeGraph(static_cast<int>(state.range(0)), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cluster::GreedyLinearSplit(g, 4096));
+  }
+}
+BENCHMARK(BM_GreedyLinearSplit)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_ExhaustiveSplit(benchmark::State& state) {
+  Rng rng(19);
+  auto g = MakeGraph(static_cast<int>(state.range(0)), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cluster::ExhaustiveMinCutSplit(g, 4096));
+  }
+}
+BENCHMARK(BM_ExhaustiveSplit)->Arg(8)->Arg(16)->Arg(22)->Arg(40);
+
+// ------------------------------------------------------------ sim kernel
+
+void BM_SimulatorEvents(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    for (int i = 0; i < 1000; ++i) {
+      sim.Schedule(static_cast<double>(i % 17), [] {});
+    }
+    sim.Run();
+    benchmark::DoNotOptimize(sim.events_processed());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SimulatorEvents);
+
+void BM_ResourceRoundTrip(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    sim::Resource cpu(sim, "cpu", 1);
+    for (int i = 0; i < 100; ++i) {
+      sim::Spawn([](sim::Simulator&, sim::Resource& r) -> sim::Task {
+        co_await r.Use(0.001);
+      }(sim, cpu));
+    }
+    sim.Run();
+    benchmark::DoNotOptimize(cpu.completions());
+  }
+  state.SetItemsProcessed(state.iterations() * 100);
+}
+BENCHMARK(BM_ResourceRoundTrip);
+
+// --------------------------------------------------------- cluster score
+
+void BM_ScoreCandidates(benchmark::State& state) {
+  obj::TypeLattice lattice;
+  auto types = workload::RegisterCadTypes(lattice);
+  obj::ObjectGraph graph(&lattice);
+  store::StorageManager storage(4096);
+  cluster::AffinityModel affinity(&lattice);
+  cluster::ClusterManager mgr(&graph, &storage, &affinity, nullptr,
+                              {.pool = cluster::CandidatePool::kWithinDb});
+  workload::DatabaseSpec spec;
+  spec.target_bytes = 512 << 10;
+  workload::DbBuilder builder(&graph, &mgr, nullptr, spec);
+  auto db = builder.Build(types);
+
+  Rng rng(23);
+  const auto& objects = db.modules[0].objects;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        mgr.ScoreCandidates(objects[rng.NextBelow(objects.size())]));
+  }
+}
+BENCHMARK(BM_ScoreCandidates);
+
+// ------------------------------------------------------------ rng
+
+void BM_ZipfSample(benchmark::State& state) {
+  Rng rng(29);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.Zipf(100000, 0.6));
+  }
+}
+BENCHMARK(BM_ZipfSample);
+
+}  // namespace
+}  // namespace oodb
+
+BENCHMARK_MAIN();

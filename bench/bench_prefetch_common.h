@@ -1,0 +1,19 @@
+#ifndef SEMCLUST_BENCH_BENCH_PREFETCH_COMMON_H_
+#define SEMCLUST_BENCH_BENCH_PREFETCH_COMMON_H_
+
+#include "bench_common.h"
+
+/// \file
+/// Shared driver for Figures 5.12-5.14: the three prefetch policies under
+/// one fixed buffer-replacement algorithm, across the nine workloads.
+
+namespace oodb::bench {
+
+/// Runs the figure for `replacement` and prints table + shape checks.
+/// Returns 0 (process exit code).
+int RunPrefetchFigure(const std::string& figure,
+                      buffer::ReplacementPolicy replacement);
+
+}  // namespace oodb::bench
+
+#endif  // SEMCLUST_BENCH_BENCH_PREFETCH_COMMON_H_

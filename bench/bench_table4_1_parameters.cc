@@ -1,0 +1,64 @@
+// Regenerates Table 4.1: the simulation parameters — static parameters
+// A-E and the operating levels of the eight control parameters F-M —
+// together with this reproduction's scaled values.
+
+#include <iostream>
+
+#include "bench_common.h"
+
+using namespace oodb;
+
+int main() {
+  bench::PrintHeader(
+      "Table 4.1", "Simulation parameters",
+      "static parameters A-E fixed for all runs; eight control parameters "
+      "F-M with the listed operating levels");
+
+  core::ModelConfig cfg = bench::BaseConfig();
+
+  TablePrinter statics({"label", "static parameter", "paper value",
+                        "this run (scaled)"});
+  statics.AddRow({"A", "Database Size", "500 MB",
+                  std::to_string(cfg.database_bytes >> 20) + " MB"});
+  statics.AddRow({"B", "Page Size", "4 KB",
+                  std::to_string(cfg.page_size_bytes / 1024) + " KB"});
+  statics.AddRow({"C", "Number of Users", "10",
+                  std::to_string(cfg.num_users)});
+  statics.AddRow({"D", "Number of Disks", "10",
+                  std::to_string(cfg.num_disks)});
+  statics.AddRow({"E", "Think Time", "4 seconds",
+                  FormatDouble(cfg.think_time_s, 1) + " seconds"});
+  statics.Print(std::cout);
+  std::cout << '\n';
+
+  TablePrinter controls({"label", "control parameter", "operating levels",
+                         "this run (scaled)"});
+  controls.AddRow({"F", "Structure Density", "low-3, med-5, high-10",
+                   "same (DB fan-out shaped per level)"});
+  controls.AddRow({"G", "Read-write Ratio", "5, 10, 100", "same"});
+  controls.AddRow({"H", "Clustering Policy",
+                   "No_Cluster, Cluster_within_Buffer, 2_IO_limit, "
+                   "10_IO_limit, No_limit",
+                   "same"});
+  controls.AddRow({"I", "Page Splitting Policy", "No, Greedy, Optimal",
+                   "No_Splitting, Linear_Split, NP_Split"});
+  controls.AddRow({"J", "User Hint Policy", "No_hint, User_hint", "same"});
+  controls.AddRow({"K", "Buffer Replacement Policy",
+                   "LRU, Context-sensitive, Random", "same"});
+  controls.AddRow(
+      {"L", "Buffer Pool Size", "100, 1000, 10000 buffers",
+       std::to_string(cfg.BufferSmall()) + ", " +
+           std::to_string(cfg.BufferMedium()) + ", " +
+           std::to_string(cfg.BufferLarge()) +
+           " (same buffer:DB ratios)"});
+  controls.AddRow({"M", "Prefetch Policy",
+                   "No_prefetch, Prefetch_within_buffer_pool, "
+                   "Prefetch_within_Database",
+                   "same"});
+  controls.Print(std::cout);
+
+  bench::ShapeCheck("buffer levels preserve the paper's buffer:DB ratios",
+                    cfg.BufferSmall() < cfg.BufferMedium() &&
+                        cfg.BufferMedium() < cfg.BufferLarge());
+  return 0;
+}

@@ -1,0 +1,116 @@
+// A design browser walks multiple representations of the same design
+// objects (paper §1: "a design browser may walk through multiple
+// representations... and clustering across correspondence is
+// advantageous"). This example builds a multi-representation design,
+// registers a correspondence user hint, and compares browsing cost under
+// LRU vs context-sensitive buffering.
+//
+// Build & run:  ./build/examples/cad_design_browser
+
+#include <cstdio>
+
+#include "buffer/buffer_pool.h"
+#include "buffer/prefetcher.h"
+#include "cluster/cluster_manager.h"
+#include "objmodel/object_graph.h"
+#include "storage/storage_manager.h"
+#include "workload/db_builder.h"
+
+using namespace oodb;
+
+namespace {
+
+// One browse step: visit the object and hop to all of its correspondents
+// (the browser's "show me this cell in every view" operation). Returns
+// the number of page faults it caused.
+uint64_t BrowseObject(const obj::ObjectGraph& graph,
+                      const store::StorageManager& storage,
+                      obj::ObjectId id, buffer::BufferPool& pool) {
+  uint64_t faults = 0;
+  auto touch = [&](obj::ObjectId o) {
+    const store::PageId p = storage.PageOf(o);
+    if (p == store::kInvalidPage) return;
+    const auto fix = pool.Fix(p);
+    if (!fix.hit) ++faults;
+    // Context-sensitive priority maintenance: protect the pages of the
+    // object's correspondents — the browser will visit them next.
+    graph.ForEachNeighbor(o, obj::RelKind::kCorrespondence,
+                          obj::Direction::kDown, [&](obj::ObjectId c) {
+                            const store::PageId cp = storage.PageOf(c);
+                            if (cp != store::kInvalidPage) {
+                              pool.Boost(cp, 12.0);
+                            }
+                          });
+  };
+  touch(id);
+  for (obj::ObjectId c : graph.Correspondents(id)) {
+    if (graph.IsLive(c)) touch(c);
+  }
+  return faults;
+}
+
+}  // namespace
+
+int main() {
+  obj::TypeLattice lattice;
+  const auto types = workload::RegisterCadTypes(lattice);
+  obj::ObjectGraph graph(&lattice);
+  store::StorageManager storage(4096);
+  cluster::AffinityModel affinity(&lattice);
+
+  // The browser's hint: "my primary access is via correspondence".
+  cluster::ClusterConfig config;
+  config.pool = cluster::CandidatePool::kWithinDb;
+  config.split = cluster::SplitPolicy::kLinearGreedy;
+  config.use_hints = true;
+  config.hint_kind = obj::RelKind::kCorrespondence;
+  cluster::ClusterManager clusterer(&graph, &storage, &affinity, nullptr,
+                                    config);
+
+  workload::DatabaseSpec spec;
+  spec.target_bytes = 2u << 20;
+  spec.alt_representations = 2;  // layout + two more views
+  workload::DbBuilder builder(&graph, &clusterer, nullptr, spec);
+  const auto db = builder.Build(types);
+  std::printf("built %zu modules, %zu objects, %zu pages\n",
+              db.modules.size(), db.TotalObjects(), storage.page_count());
+
+  // Several engineers browse concurrently: interleave the modules
+  // object-by-object against a pool that cannot hold all of them, twice
+  // (cold pass + warm re-browse). Context-sensitive priorities protect
+  // each object's correspondence partners across the interleaving.
+  const size_t kBrowsers = std::min<size_t>(8, db.modules.size());
+  for (auto policy : {buffer::ReplacementPolicy::kLru,
+                      buffer::ReplacementPolicy::kContextSensitive}) {
+    buffer::BufferPool pool(24, policy, 1);
+    uint64_t faults[2] = {0, 0};
+    for (int pass = 0; pass < 2; ++pass) {
+      // Round-robin one object per module per turn.
+      size_t cursor = 0;
+      bool more = true;
+      while (more) {
+        more = false;
+        for (size_t m = 0; m < kBrowsers; ++m) {
+          const auto& objs = db.modules[m].objects;
+          if (cursor >= objs.size()) continue;
+          more = true;
+          const obj::ObjectId id = objs[cursor];
+          if (!graph.IsLive(id)) continue;
+          faults[pass] += BrowseObject(graph, storage, id, pool);
+        }
+        ++cursor;
+      }
+    }
+    std::printf("%-18s: %llu cold faults, %llu warm faults, hit ratio "
+                "%.1f%%\n",
+                buffer::ReplacementPolicyName(policy),
+                static_cast<unsigned long long>(faults[0]),
+                static_cast<unsigned long long>(faults[1]),
+                pool.HitRatio() * 100);
+  }
+
+  std::printf("\ncorrespondence-hinted clustering makes each browse step "
+              "touch co-located views;\ncontext-sensitive replacement "
+              "keeps the sibling views resident between hops.\n");
+  return 0;
+}

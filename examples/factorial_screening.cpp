@@ -1,0 +1,55 @@
+// Screening the eight control parameters with a 16-run fractional
+// factorial before committing to the full 256-run design: the
+// resolution-IV 2^(8-4) fraction estimates every main effect (clear of
+// two-way aliases) at 1/16th the simulation cost — the standard way to
+// find out *which* knobs matter before studying *how*.
+//
+// Build & run:  ./build/examples/factorial_screening
+
+#include <cmath>
+#include <cstdio>
+
+#include "analysis/fractional.h"
+#include "core/experiment.h"
+
+using namespace oodb;
+
+int main() {
+  core::ModelConfig base = core::TestConfig();
+  base.measured_transactions = 400;
+  base.warmup_transactions = 60;
+
+  analysis::FractionalDesign design(base, analysis::StandardFactors(),
+                                    analysis::StandardHalfGenerators8());
+  std::printf("2^(8-%zu) fractional factorial: %zu runs, resolution %s\n\n",
+              analysis::StandardHalfGenerators8().size(),
+              design.num_runs(),
+              design.Resolution() == 4 ? "IV" : "?");
+  design.Run();
+
+  std::printf("%-16s %14s   alias structure (order <= 2)\n", "factor",
+              "effect (ms)");
+  const auto effects = design.MainEffects();
+  for (size_t f = 0; f < effects.size(); ++f) {
+    const auto aliases = design.Aliases(1u << f, 2);
+    std::string alias_text = aliases.empty() ? "(clear)" : "";
+    for (const auto& a : aliases) {
+      if (!alias_text.empty()) alias_text += ", ";
+      alias_text += a;
+    }
+    std::printf("%-16s %14.2f   %s\n", effects[f].name.c_str(),
+                effects[f].effect * 1000, alias_text.c_str());
+  }
+
+  // Rank by magnitude — the screening verdict.
+  std::vector<analysis::EffectResult> ranked = effects;
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    return std::abs(a.effect) > std::abs(b.effect);
+  });
+  std::printf("\nscreening verdict: study {%s, %s, %s} first; {%s} last\n",
+              ranked[0].name.c_str(), ranked[1].name.c_str(),
+              ranked[2].name.c_str(), ranked.back().name.c_str());
+  std::printf("(the full 2^8 design behind Fig 6.1 costs 16x more "
+              "simulation time)\n");
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Replays the ten OCT CAD tools against the OCT-like data manager and
+// prints the Section 3 access-pattern analysis: per-tool read/write
+// ratios, I/O rates, and structure-density distributions — the data that
+// motivates dynamic clustering (reads dominate writes in real CAD).
+//
+// Build & run:  ./build/examples/oct_trace_analysis
+
+#include <cstdio>
+
+#include "oct/oct_tools.h"
+#include "oct/trace_analyzer.h"
+
+using namespace oodb;
+
+int main() {
+  oct::OctWorkbench workbench(/*seed=*/7);
+  std::printf("replaying %zu tools x 8 invocations against the OCT data "
+              "manager...\n\n",
+              oct::StandardTools().size());
+  workbench.RunAll(/*invocations_per_tool=*/8);
+
+  const auto summaries =
+      oct::SummarizeByTool(workbench.trace().sessions());
+
+  std::printf("%-10s %10s %10s %9s | %7s %7s %7s | %8s\n", "tool", "R/W",
+              "ops/sec", "sessions", "low", "med", "high", "up=1 obj");
+  std::printf("%.*s\n", 86,
+              "----------------------------------------------------------"
+              "----------------------------");
+  double total_reads = 0, total_writes = 0;
+  for (const auto& t : summaries) {
+    std::printf("%-10s %10.2f %10.1f %9llu | %6.1f%% %6.1f%% %6.1f%% | "
+                "%7.1f%%\n",
+                t.tool.c_str(), t.rw_ratio, t.io_rate,
+                static_cast<unsigned long long>(t.invocations),
+                t.density_low * 100, t.density_med * 100,
+                t.density_high * 100, t.upward_single_fraction * 100);
+    total_reads += static_cast<double>(t.total_reads);
+    total_writes += static_cast<double>(t.total_writes);
+  }
+  std::printf("\noverall logical R/W ratio across the tool suite: %.1f\n",
+              total_reads / total_writes);
+  std::printf("reads dominate writes -> dynamic clustering and context-"
+              "sensitive buffering pay off\n(the paper's Section 3 "
+              "conclusion).\n");
+  return 0;
+}

@@ -1,0 +1,143 @@
+#include "analysis/fractional.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace oodb::analysis {
+
+FractionalDesign::FractionalDesign(core::ModelConfig base,
+                                   std::vector<Factor> factors,
+                                   std::vector<uint32_t> generators,
+                                   Runner runner)
+    : base_(std::move(base)),
+      factors_(std::move(factors)),
+      generators_(std::move(generators)),
+      runner_(std::move(runner)) {
+  OODB_CHECK(!factors_.empty());
+  OODB_CHECK_LT(generators_.size(), factors_.size());
+  OODB_CHECK_LE(factors_.size(), 20u);
+  const uint32_t base_mask =
+      (1u << (factors_.size() - generators_.size())) - 1u;
+  for (uint32_t g : generators_) {
+    OODB_CHECK_NE(g, 0u);
+    OODB_CHECK_EQ(g & ~base_mask, 0u);  // subsets of the base factors only
+  }
+  if (!runner_) {
+    runner_ = [](const core::ModelConfig& cfg) {
+      return core::RunCell(cfg).response_time.Mean();
+    };
+  }
+}
+
+void FractionalDesign::Run() {
+  const size_t b = num_base_factors();
+  const uint32_t cells = 1u << b;
+  responses_.resize(cells);
+  for (uint32_t mask = 0; mask < cells; ++mask) {
+    core::ModelConfig cfg = base_;
+    for (size_t f = 0; f < b; ++f) {
+      factors_[f].apply(cfg, (mask >> f) & 1u);
+    }
+    for (size_t j = 0; j < generators_.size(); ++j) {
+      const bool high = __builtin_popcount(mask & generators_[j]) & 1;
+      factors_[b + j].apply(cfg, high);
+    }
+    responses_[mask] = runner_(cfg);
+  }
+  ran_ = true;
+}
+
+std::vector<uint32_t> FractionalDesign::DefiningContrasts() const {
+  // Words: I = generator XOR its generated factor; the subgroup is all
+  // XOR combinations of the p words.
+  const size_t b = num_base_factors();
+  std::vector<uint32_t> words;
+  for (size_t j = 0; j < generators_.size(); ++j) {
+    words.push_back(generators_[j] | (1u << (b + j)));
+  }
+  std::vector<uint32_t> subgroup;
+  const uint32_t combos = 1u << words.size();
+  for (uint32_t c = 1; c < combos; ++c) {
+    uint32_t member = 0;
+    for (size_t j = 0; j < words.size(); ++j) {
+      if ((c >> j) & 1u) member ^= words[j];
+    }
+    subgroup.push_back(member);
+  }
+  std::sort(subgroup.begin(), subgroup.end());
+  subgroup.erase(std::unique(subgroup.begin(), subgroup.end()),
+                 subgroup.end());
+  return subgroup;
+}
+
+int FractionalDesign::Resolution() const {
+  const auto contrasts = DefiningContrasts();
+  if (contrasts.empty()) return 0;
+  int min_len = 32;
+  for (uint32_t c : contrasts) {
+    min_len = std::min(min_len, __builtin_popcount(c));
+  }
+  return min_len;
+}
+
+uint32_t FractionalDesign::ReduceToBase(uint32_t subset) const {
+  const size_t b = num_base_factors();
+  uint32_t reduced = subset & ((1u << b) - 1u);
+  for (size_t j = 0; j < generators_.size(); ++j) {
+    if ((subset >> (b + j)) & 1u) reduced ^= generators_[j];
+  }
+  return reduced;
+}
+
+double FractionalDesign::Contrast(uint32_t subset) const {
+  OODB_CHECK(ran_);
+  const uint32_t reduced = ReduceToBase(subset);
+  const int bits = __builtin_popcount(reduced);
+  double sum = 0;
+  for (uint32_t mask = 0; mask < responses_.size(); ++mask) {
+    const int low = bits - __builtin_popcount(mask & reduced);
+    sum += (low & 1) ? -responses_[mask] : responses_[mask];
+  }
+  return 2.0 * sum / static_cast<double>(responses_.size());
+}
+
+std::vector<EffectResult> FractionalDesign::MainEffects() const {
+  std::vector<EffectResult> effects;
+  for (size_t f = 0; f < factors_.size(); ++f) {
+    effects.push_back(EffectResult{factors_[f].name, Contrast(1u << f), 1});
+  }
+  return effects;
+}
+
+std::string FractionalDesign::SubsetName(uint32_t subset) const {
+  std::string name;
+  for (size_t f = 0; f < factors_.size(); ++f) {
+    if ((subset >> f) & 1u) {
+      if (!name.empty()) name += " x ";
+      name += factors_[f].name;
+    }
+  }
+  return name.empty() ? "I" : name;
+}
+
+std::vector<std::string> FractionalDesign::Aliases(uint32_t subset,
+                                                   int max_order) const {
+  std::vector<std::string> aliases;
+  for (uint32_t word : DefiningContrasts()) {
+    const uint32_t partner = subset ^ word;
+    if (partner == 0 || partner == subset) continue;
+    if (__builtin_popcount(partner) > max_order) continue;
+    aliases.push_back(SubsetName(partner));
+  }
+  std::sort(aliases.begin(), aliases.end());
+  return aliases;
+}
+
+std::vector<uint32_t> StandardHalfGenerators8() {
+  // The textbook 16-run 2^(8-4) resolution-IV design: base factors
+  // A,B,C,D (bits 0..3); generated E=BCD, F=ACD, G=ABC, H=ABD.
+  return {0b1110, 0b1101, 0b0111, 0b1011};
+}
+
+}  // namespace oodb::analysis

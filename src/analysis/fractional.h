@@ -1,0 +1,85 @@
+#ifndef SEMCLUST_ANALYSIS_FRACTIONAL_H_
+#define SEMCLUST_ANALYSIS_FRACTIONAL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/factorial.h"
+
+/// \file
+/// 2^(k-p) fractional factorial designs. The full 2^8 design of Fig 6.1
+/// needs 256 simulation runs; a resolution-IV half or quarter fraction
+/// estimates all main effects (clear of two-way aliases at resolution >=
+/// IV) at a fraction of the cost. Generated factors take the level of the
+/// XOR (interaction) of a chosen base-factor subset, the textbook
+/// construction (Box, Hunter & Hunter).
+
+namespace oodb::analysis {
+
+/// A 2^(k-p) design: the first k-p factors are the base; each of the last
+/// p factors is generated from a base-factor subset (bitmask).
+class FractionalDesign {
+ public:
+  using Runner = FactorialDesign::Runner;
+
+  /// `generators[j]` is the bitmask (over the base factors) whose parity
+  /// sets the level of generated factor `k-p+j`. Each generator must be a
+  /// non-empty subset of the base factors.
+  FractionalDesign(core::ModelConfig base, std::vector<Factor> factors,
+                   std::vector<uint32_t> generators, Runner runner = nullptr);
+
+  /// Runs the 2^(k-p) cells.
+  void Run();
+
+  size_t num_factors() const { return factors_.size(); }
+  size_t num_base_factors() const {
+    return factors_.size() - generators_.size();
+  }
+  size_t num_runs() const { return 1u << num_base_factors(); }
+
+  /// The defining-contrast subgroup (bitmasks over all k factors,
+  /// excluding identity). Effects whose subset XORs to a member are
+  /// aliased with each other.
+  std::vector<uint32_t> DefiningContrasts() const;
+
+  /// The design's resolution: the minimum word length of the defining
+  /// contrasts (0 when p = 0).
+  int Resolution() const;
+
+  /// Reduces a subset over all k factors to the equivalent base-factor
+  /// contrast actually estimated by this fraction.
+  uint32_t ReduceToBase(uint32_t subset) const;
+
+  /// The contrast estimate for `subset` (over all k factors). Aliased
+  /// subsets return the same estimate by construction.
+  double Contrast(uint32_t subset) const;
+
+  /// Main-effect estimates, in factor order. At resolution >= III these
+  /// are clear of other main effects; at >= IV also of two-way
+  /// interactions.
+  std::vector<EffectResult> MainEffects() const;
+
+  /// All effects aliased with `subset` (subsets over all k factors,
+  /// excluding `subset` itself), capped at `max_order` words.
+  std::vector<std::string> Aliases(uint32_t subset, int max_order = 2) const;
+
+ private:
+  std::string SubsetName(uint32_t subset) const;
+
+  core::ModelConfig base_;
+  std::vector<Factor> factors_;
+  std::vector<uint32_t> generators_;
+  Runner runner_;
+  std::vector<double> responses_;  // indexed by base-factor mask
+  bool ran_ = false;
+};
+
+/// A standard resolution-IV 2^(8-4) quarter... (16-run) generator set for
+/// the eight control parameters: E=ABC style words over the first four
+/// base factors.
+std::vector<uint32_t> StandardHalfGenerators8();
+
+}  // namespace oodb::analysis
+
+#endif  // SEMCLUST_ANALYSIS_FRACTIONAL_H_

@@ -1,0 +1,45 @@
+#ifndef SEMCLUST_BUFFER_POLICY_H_
+#define SEMCLUST_BUFFER_POLICY_H_
+
+#include <cstdint>
+
+#include "objmodel/object_id.h"
+
+/// \file
+/// Buffering control parameters (Table 4.1, parameters K and M) and the
+/// application access hints the buffer manager accepts (paper §2.2).
+
+namespace oodb::buffer {
+
+/// Buffer replacement policy (Table 4.1, parameter K).
+enum class ReplacementPolicy : uint8_t {
+  kLru = 0,
+  kContextSensitive = 1,
+  kRandom = 2,
+};
+
+const char* ReplacementPolicyName(ReplacementPolicy p);
+
+/// Prefetch policy (Table 4.1, parameter M).
+enum class PrefetchPolicy : uint8_t {
+  kNone = 0,
+  kWithinBuffer = 1,  ///< re-prioritise resident related pages; no I/O
+  kWithinDb = 2,      ///< asynchronously read missing related pages
+};
+
+const char* PrefetchPolicyName(PrefetchPolicy p);
+
+/// An application's declared primary access pattern, e.g. "my primary
+/// access is via configuration relationships". Inactive means the buffer
+/// manager falls back to type-level traversal knowledge.
+struct AccessHint {
+  bool active = false;
+  obj::RelKind kind = obj::RelKind::kConfiguration;
+
+  static AccessHint None() { return {}; }
+  static AccessHint For(obj::RelKind kind) { return {true, kind}; }
+};
+
+}  // namespace oodb::buffer
+
+#endif  // SEMCLUST_BUFFER_POLICY_H_

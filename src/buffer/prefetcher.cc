@@ -1,0 +1,80 @@
+#include "buffer/prefetcher.h"
+
+#include <algorithm>
+
+namespace oodb::buffer {
+
+obj::RelKind DominantKind(const obj::ObjectGraph& graph,
+                          obj::ObjectId object) {
+  const auto profile =
+      graph.lattice().EffectiveTraversal(graph.object(object).type);
+  size_t best = 0;
+  for (size_t k = 1; k < profile.size(); ++k) {
+    if (profile[k] > profile[best]) best = k;
+  }
+  return static_cast<obj::RelKind>(best);
+}
+
+PrefetchGroup ComputePrefetchGroup(const obj::ObjectGraph& graph,
+                                   const store::StorageManager& storage,
+                                   obj::ObjectId object, AccessHint hint,
+                                   int config_depth, size_t max_pages) {
+  PrefetchGroup group;
+  group.kind = hint.active ? hint.kind : DominantKind(graph, object);
+
+  const store::PageId own_page = storage.PageOf(object);
+  auto add_object = [&](obj::ObjectId neighbor) {
+    if (group.pages.size() >= max_pages) return;
+    const store::PageId p = storage.PageOf(neighbor);
+    if (p == store::kInvalidPage || p == own_page) return;
+    if (std::find(group.pages.begin(), group.pages.end(), p) ==
+        group.pages.end()) {
+      group.pages.push_back(p);
+    }
+  };
+
+  switch (group.kind) {
+    case obj::RelKind::kConfiguration: {
+      // The subcomponents a configuration walk is about to touch:
+      // breadth-first down the composition hierarchy, a bounded number of
+      // levels and pages.
+      std::vector<obj::ObjectId> frontier{object};
+      for (int level = 0;
+           level < config_depth && !frontier.empty() &&
+           group.pages.size() < max_pages;
+           ++level) {
+        std::vector<obj::ObjectId> next;
+        for (obj::ObjectId o : frontier) {
+          graph.ForEachNeighbor(o, obj::RelKind::kConfiguration,
+                                obj::Direction::kDown,
+                                [&](obj::ObjectId c) {
+                                  add_object(c);
+                                  next.push_back(c);
+                                });
+        }
+        frontier = std::move(next);
+      }
+      break;
+    }
+    case obj::RelKind::kVersionHistory:
+      // Immediate ancestor and immediate descendants.
+      graph.ForEachNeighbor(object, obj::RelKind::kVersionHistory,
+                            obj::Direction::kUp, add_object);
+      graph.ForEachNeighbor(object, obj::RelKind::kVersionHistory,
+                            obj::Direction::kDown, add_object);
+      break;
+    case obj::RelKind::kCorrespondence:
+      // All objects corresponding to the one being accessed.
+      graph.ForEachNeighbor(object, obj::RelKind::kCorrespondence,
+                            obj::Direction::kDown, add_object);
+      break;
+    case obj::RelKind::kInstanceInheritance:
+      // The sources a by-reference inherited attribute dereferences into.
+      graph.ForEachNeighbor(object, obj::RelKind::kInstanceInheritance,
+                            obj::Direction::kUp, add_object);
+      break;
+  }
+  return group;
+}
+
+}  // namespace oodb::buffer

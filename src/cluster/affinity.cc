@@ -1,0 +1,82 @@
+#include "cluster/affinity.h"
+
+#include <algorithm>
+
+namespace oodb::cluster {
+
+namespace {
+// Observations per type before the learned component reaches full share.
+constexpr uint64_t kWarmupObservations = 64;
+}  // namespace
+
+AffinityModel::AffinityModel(const obj::TypeLattice* lattice,
+                             double learned_share)
+    : lattice_(lattice), learned_share_(learned_share) {
+  OODB_CHECK_GE(learned_share, 0.0);
+  OODB_CHECK_LE(learned_share, 1.0);
+}
+
+const AffinityModel::TypeState& AffinityModel::StateFor(
+    obj::TypeId type) const {
+  if (type >= states_.size()) {
+    states_.resize(lattice_->size());
+    initialised_.resize(lattice_->size(), false);
+  }
+  OODB_CHECK_LT(type, states_.size());
+  if (!initialised_[type]) {
+    TypeState& s = states_[type];
+    const auto profile = lattice_->EffectiveTraversal(type);
+    double sum = 0;
+    for (double w : profile) sum += w;
+    for (int k = 0; k < obj::kNumRelKinds; ++k) {
+      s.prior[static_cast<size_t>(k)] =
+          sum > 0 ? profile[static_cast<size_t>(k)] / sum
+                  : 1.0 / obj::kNumRelKinds;
+    }
+    initialised_[type] = true;
+  }
+  return states_[type];
+}
+
+void AffinityModel::RecordTraversal(obj::TypeId type, obj::RelKind kind) {
+  StateFor(type);  // ensure initialised
+  TypeState& s = states_[type];
+  ++s.counts[static_cast<size_t>(kind)];
+  ++s.total_count;
+}
+
+double AffinityModel::Weight(obj::TypeId type, obj::RelKind kind) const {
+  const TypeState& s = StateFor(type);
+  const double prior = s.prior[static_cast<size_t>(kind)];
+  if (s.total_count == 0) return prior;
+  const double learned =
+      static_cast<double>(s.counts[static_cast<size_t>(kind)]) /
+      static_cast<double>(s.total_count);
+  // Ramp the learned share in with observation volume so a handful of
+  // traversals does not swing placement.
+  const double ramp =
+      std::min(1.0, static_cast<double>(s.total_count) /
+                        static_cast<double>(kWarmupObservations));
+  const double share = learned_share_ * ramp;
+  return (1.0 - share) * prior + share * learned;
+}
+
+double AffinityModel::EdgeWeight(const obj::ObjectGraph& graph,
+                                 obj::ObjectId from,
+                                 const obj::Edge& edge) const {
+  const obj::TypeId type = graph.object(from).type;
+  double w = Weight(type, edge.kind);
+  if (edge.kind == obj::RelKind::kInstanceInheritance) {
+    // A by-reference inherited attribute is dereferenced on reads of the
+    // heir; co-locating heir and source saves that extra logical I/O, so
+    // the link counts somewhat more than its raw traversal share.
+    w *= 1.5;
+  }
+  return w;
+}
+
+uint64_t AffinityModel::observations(obj::TypeId type) const {
+  return StateFor(type).total_count;
+}
+
+}  // namespace oodb::cluster

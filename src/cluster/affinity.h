@@ -1,0 +1,63 @@
+#ifndef SEMCLUST_CLUSTER_AFFINITY_H_
+#define SEMCLUST_CLUSTER_AFFINITY_H_
+
+#include <array>
+#include <vector>
+
+#include "objmodel/object_graph.h"
+#include "objmodel/type_system.h"
+
+/// \file
+/// Inter-object access-frequency model. The static prior comes from the
+/// type lattice (instances inherit their type's traversal-frequency profile
+/// at creation time, paper §2.1); a run-time component learns the actually
+/// observed traversal mix per type so the reclustering algorithm adapts as
+/// an application's phases change (paper §3.3 observes R/W and access mixes
+/// vary across phases of the same tool).
+
+namespace oodb::cluster {
+
+/// Blended static + learned traversal frequencies per (type, kind).
+class AffinityModel {
+ public:
+  /// `learned_share` in [0, 1] is the weight of the learned component once
+  /// enough observations accumulate.
+  explicit AffinityModel(const obj::TypeLattice* lattice,
+                         double learned_share = 0.5);
+
+  /// Records that an application navigated from an instance of `type`
+  /// along `kind`.
+  void RecordTraversal(obj::TypeId type, obj::RelKind kind);
+
+  /// Affinity weight for navigating from an instance of `type` along
+  /// `kind`: the type prior blended with the learned distribution.
+  /// Priors are normalised so weights across kinds sum to ~1 per type.
+  double Weight(obj::TypeId type, obj::RelKind kind) const;
+
+  /// Affinity contribution of one structural edge for clustering purposes:
+  /// the weight of `edge.kind` as seen from `from`'s type. Instance-
+  /// inheritance edges additionally count the dereference traffic of
+  /// by-reference attributes.
+  double EdgeWeight(const obj::ObjectGraph& graph, obj::ObjectId from,
+                    const obj::Edge& edge) const;
+
+  uint64_t observations(obj::TypeId type) const;
+
+ private:
+  struct TypeState {
+    std::array<double, obj::kNumRelKinds> prior{};   // normalised
+    std::array<uint64_t, obj::kNumRelKinds> counts{};
+    uint64_t total_count = 0;
+  };
+
+  const TypeState& StateFor(obj::TypeId type) const;
+
+  const obj::TypeLattice* lattice_;
+  double learned_share_;
+  mutable std::vector<TypeState> states_;  // lazily initialised per type
+  mutable std::vector<bool> initialised_;
+};
+
+}  // namespace oodb::cluster
+
+#endif  // SEMCLUST_CLUSTER_AFFINITY_H_

@@ -1,0 +1,125 @@
+#ifndef SEMCLUST_CLUSTER_CLUSTER_MANAGER_H_
+#define SEMCLUST_CLUSTER_CLUSTER_MANAGER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "buffer/buffer_pool.h"
+#include "cluster/affinity.h"
+#include "cluster/dependency_graph.h"
+#include "cluster/page_splitter.h"
+#include "cluster/policy.h"
+#include "objmodel/object_graph.h"
+#include "storage/storage_manager.h"
+
+/// \file
+/// The run-time (re)clustering algorithm — the paper's primary
+/// contribution (§2.1). For every newly created instance it chooses an
+/// initial placement next to the relatives it is most frequently
+/// co-referenced with (frequencies inherited from the type and refined at
+/// run time); on updates that change object structure it reconsiders the
+/// placement. Candidate-page search is bounded by the configured pool
+/// (within-buffer / k-I/O-limit / whole DB), and overflow is handled by
+/// the configured page-splitting policy.
+///
+/// The manager mutates StorageManager placement synchronously and reports
+/// the physical I/O it *owes* (candidate exams, split flush); the
+/// simulation model charges those to the I/O subsystem.
+
+namespace oodb::cluster {
+
+/// What one placement/reclustering decision did and what it cost.
+struct PlacementReport {
+  /// Where the object ended up.
+  store::PageId page = store::kInvalidPage;
+  /// Non-resident candidate pages that were examined with a disk read and
+  /// NOT chosen (the caller owes one read each; the chosen page's read is
+  /// charged by the caller's own Fix).
+  std::vector<store::PageId> exam_reads;
+  /// True if placement fell back to arrival-order append.
+  bool appended = false;
+  /// True if the decision split a page.
+  bool split = false;
+  store::PageId split_new_page = store::kInvalidPage;
+  /// Objects relocated by the split (excluding the placed object).
+  int objects_moved = 0;
+  double split_broken_cost = 0;
+  /// True if Recluster moved the object to a better page.
+  bool relocated = false;
+  store::PageId old_page = store::kInvalidPage;
+};
+
+/// Aggregate counters over a manager's lifetime.
+struct ClusterStats {
+  uint64_t placements = 0;
+  uint64_t appends = 0;
+  uint64_t relocations = 0;
+  uint64_t splits = 0;
+  uint64_t exam_reads = 0;
+  uint64_t objects_moved_by_splits = 0;
+  double split_broken_cost = 0;
+};
+
+/// Executes the clustering policy against storage.
+class ClusterManager {
+ public:
+  /// `buffer` may be null (no residency information: every candidate exam
+  /// then costs I/O under kIoLimit/kWithinDb, and kWithinBuffer finds no
+  /// candidates).
+  ClusterManager(obj::ObjectGraph* graph, store::StorageManager* storage,
+                 AffinityModel* affinity, const buffer::BufferPool* buffer,
+                 ClusterConfig config);
+
+  ClusterManager(const ClusterManager&) = delete;
+  ClusterManager& operator=(const ClusterManager&) = delete;
+
+  /// Places a newly created, not-yet-placed object.
+  PlacementReport PlaceNew(obj::ObjectId id);
+
+  /// Re-evaluates the placement of a placed object whose structure just
+  /// changed; relocates it when the affinity gain clears the configured
+  /// threshold.
+  PlacementReport Recluster(obj::ObjectId id);
+
+  const ClusterConfig& config() const { return config_; }
+  const ClusterStats& stats() const { return stats_; }
+  const store::StorageManager& storage() const { return *storage_; }
+  void ResetStats() { stats_ = ClusterStats{}; }
+
+  /// A scored candidate page for placing `id`.
+  struct Candidate {
+    store::PageId page = store::kInvalidPage;
+    double score = 0;
+  };
+
+  /// Scores candidate pages by summed structural affinity of `id` to the
+  /// objects already resident on them (hint boosts applied), best first.
+  /// Exposed for tests and benchmarks.
+  std::vector<Candidate> ScoreCandidates(obj::ObjectId id) const;
+
+ private:
+  /// Shared engine behind PlaceNew/Recluster. `current_page` is the page
+  /// the object occupies now (kInvalidPage when unplaced).
+  PlacementReport PlaceImpl(obj::ObjectId id, store::PageId current_page);
+
+  /// Executes a page split of `page` with `incoming` pending; returns true
+  /// and fills `report` on success.
+  bool TrySplit(obj::ObjectId incoming_id, uint32_t incoming_size,
+                store::PageId page, double next_best_score,
+                PlacementReport& report);
+
+  bool IsResident(store::PageId page) const {
+    return buffer_ != nullptr && buffer_->Contains(page);
+  }
+
+  obj::ObjectGraph* graph_;
+  store::StorageManager* storage_;
+  AffinityModel* affinity_;
+  const buffer::BufferPool* buffer_;
+  ClusterConfig config_;
+  ClusterStats stats_;
+};
+
+}  // namespace oodb::cluster
+
+#endif  // SEMCLUST_CLUSTER_CLUSTER_MANAGER_H_

@@ -1,0 +1,354 @@
+#include "cluster/page_splitter.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+
+namespace oodb::cluster {
+
+namespace {
+
+/// Union-find over node indices with component byte sizes.
+class UnionFind {
+ public:
+  explicit UnionFind(const DependencyGraph& g) {
+    parent_.resize(g.nodes.size());
+    std::iota(parent_.begin(), parent_.end(), 0u);
+    size_.resize(g.nodes.size());
+    for (size_t i = 0; i < g.nodes.size(); ++i) {
+      size_[i] = g.nodes[i].size_bytes;
+    }
+  }
+
+  uint32_t Find(uint32_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  /// Merges the components of a and b if their combined byte size is at
+  /// most `cap`. Returns true on merge.
+  bool UnionIfFits(uint32_t a, uint32_t b, uint64_t cap) {
+    a = Find(a);
+    b = Find(b);
+    if (a == b) return false;
+    if (size_[a] + size_[b] > cap) return false;
+    parent_[b] = a;
+    size_[a] += size_[b];
+    return true;
+  }
+
+  uint64_t ComponentSize(uint32_t root) const { return size_[root]; }
+
+ private:
+  std::vector<uint32_t> parent_;
+  std::vector<uint64_t> size_;
+};
+
+/// Packs groups (given as lists of node indices with byte sizes) onto two
+/// sides of at most `capacity` bytes each, largest group first onto the
+/// lighter feasible side. Groups that fit neither side are broken up and
+/// their nodes packed individually (first-fit decreasing). Returns false
+/// if even single nodes cannot be packed.
+bool PackGroups(const DependencyGraph& g,
+                std::vector<std::vector<uint32_t>> groups, uint64_t capacity,
+                std::vector<int>& side_of) {
+  auto group_size = [&](const std::vector<uint32_t>& group) {
+    uint64_t s = 0;
+    for (uint32_t n : group) s += g.nodes[n].size_bytes;
+    return s;
+  };
+  std::sort(groups.begin(), groups.end(),
+            [&](const auto& a, const auto& b) {
+              return group_size(a) > group_size(b);
+            });
+
+  uint64_t load[2] = {0, 0};
+  std::vector<uint32_t> leftovers;
+  for (const auto& group : groups) {
+    const uint64_t s = group_size(group);
+    const int lighter = load[0] <= load[1] ? 0 : 1;
+    int target = -1;
+    if (load[lighter] + s <= capacity) {
+      target = lighter;
+    } else if (load[1 - lighter] + s <= capacity) {
+      target = 1 - lighter;
+    }
+    if (target >= 0) {
+      for (uint32_t n : group) side_of[n] = target;
+      load[target] += s;
+    } else {
+      // The group itself no longer fits as a unit; its arcs will be broken.
+      leftovers.insert(leftovers.end(), group.begin(), group.end());
+    }
+  }
+  std::sort(leftovers.begin(), leftovers.end(),
+            [&](uint32_t a, uint32_t b) {
+              return g.nodes[a].size_bytes > g.nodes[b].size_bytes;
+            });
+  for (uint32_t n : leftovers) {
+    const uint64_t s = g.nodes[n].size_bytes;
+    const int lighter = load[0] <= load[1] ? 0 : 1;
+    if (load[lighter] + s <= capacity) {
+      side_of[n] = lighter;
+      load[lighter] += s;
+    } else if (load[1 - lighter] + s <= capacity) {
+      side_of[n] = 1 - lighter;
+      load[1 - lighter] += s;
+    } else {
+      return false;  // cannot split into two pages at all
+    }
+  }
+  return true;
+}
+
+SplitResult ResultFromSides(const DependencyGraph& g,
+                            const std::vector<int>& side_of,
+                            uint64_t capacity) {
+  SplitResult result;
+  uint64_t load[2] = {0, 0};
+  for (uint32_t i = 0; i < g.nodes.size(); ++i) {
+    (side_of[i] == 0 ? result.left : result.right).push_back(i);
+    load[side_of[i] == 0 ? 0 : 1] += g.nodes[i].size_bytes;
+  }
+  result.broken_cost = CutCost(g, side_of);
+  result.feasible = load[0] <= capacity && load[1] <= capacity &&
+                    !result.left.empty() && !result.right.empty();
+  return result;
+}
+
+}  // namespace
+
+double CutCost(const DependencyGraph& graph, const std::vector<int>& side) {
+  OODB_CHECK_EQ(side.size(), graph.nodes.size());
+  double cost = 0;
+  for (const DepArc& arc : graph.arcs) {
+    if (side[arc.a] != side[arc.b]) cost += arc.weight;
+  }
+  return cost;
+}
+
+SplitResult GreedyLinearSplit(const DependencyGraph& graph,
+                              uint32_t capacity_bytes) {
+  const size_t n = graph.nodes.size();
+  if (n == 0) return SplitResult{};
+  // A merged group must still fit on one page (each side of the split is
+  // one page); the two-sided packing below enforces the rest.
+  const uint64_t group_cap = capacity_bytes;
+
+  UnionFind uf(graph);
+  // The single pass over the arc set (the paper's linearity argument: no
+  // sorting, each arc examined once).
+  for (const DepArc& arc : graph.arcs) {
+    uf.UnionIfFits(arc.a, arc.b, group_cap);
+  }
+
+  // Gather components.
+  std::vector<std::vector<uint32_t>> groups;
+  std::vector<int32_t> group_of(n, -1);
+  for (uint32_t i = 0; i < n; ++i) {
+    const uint32_t root = uf.Find(i);
+    if (group_of[root] < 0) {
+      group_of[root] = static_cast<int32_t>(groups.size());
+      groups.emplace_back();
+    }
+    groups[static_cast<size_t>(group_of[root])].push_back(i);
+  }
+
+  // Everything merged into one group (possible only when the whole graph
+  // fits a page): a valid split needs two non-empty sides, so fall back to
+  // node granularity.
+  if (groups.size() == 1 && n >= 2) {
+    groups.clear();
+    for (uint32_t i = 0; i < n; ++i) groups.push_back({i});
+  }
+
+  std::vector<int> side_of(n, 0);
+  if (!PackGroups(graph, std::move(groups), capacity_bytes, side_of)) {
+    SplitResult r;
+    r.feasible = false;
+    return r;
+  }
+  return ResultFromSides(graph, side_of, capacity_bytes);
+}
+
+namespace {
+
+/// Exact branch-and-bound solver on graphs small enough to enumerate.
+class ExactSolver {
+ public:
+  ExactSolver(const DependencyGraph& g, uint64_t capacity)
+      : g_(g), capacity_(capacity), n_(g.nodes.size()) {
+    // Order nodes by total incident arc weight (heaviest first) so pruning
+    // bites early.
+    order_.resize(n_);
+    std::iota(order_.begin(), order_.end(), 0u);
+    std::vector<double> incident(n_, 0);
+    adj_.resize(n_);
+    for (const DepArc& a : g_.arcs) {
+      incident[a.a] += a.weight;
+      incident[a.b] += a.weight;
+      adj_[a.a].push_back({a.b, a.weight});
+      adj_[a.b].push_back({a.a, a.weight});
+    }
+    std::sort(order_.begin(), order_.end(), [&](uint32_t a, uint32_t b) {
+      return incident[a] > incident[b];
+    });
+  }
+
+  /// Returns the best assignment found, or nullopt if no feasible split
+  /// exists. `initial_bound` seeds the cost pruning (e.g. the greedy
+  /// solution's cost).
+  std::optional<std::vector<int>> Solve(double initial_bound) {
+    best_cost_ = initial_bound;
+    found_ = false;
+    side_.assign(n_, -1);
+    // Symmetry break: the first-ordered node goes to side 0.
+    Recurse(0, 0.0, 0, 0);
+    if (!found_) return std::nullopt;
+    return best_side_;
+  }
+
+  double best_cost() const { return best_cost_; }
+
+ private:
+  void Recurse(uint32_t depth, double cut, uint64_t load0, uint64_t load1) {
+    if (cut > best_cost_ + 1e-12) return;
+    if (depth == n_) {
+      if (load0 == 0 || load1 == 0) return;  // must actually split
+      if (cut < best_cost_ - 1e-12 || !found_) {
+        best_cost_ = cut;
+        best_side_ = side_;
+        found_ = true;
+      }
+      return;
+    }
+    const uint32_t node = order_[depth];
+    const uint32_t node_size = g_.nodes[node].size_bytes;
+    // Symmetry break: the first-ordered node is fixed to side 0.
+    const int last_side = depth == 0 ? 0 : 1;
+    for (int s = 0; s <= last_side; ++s) {
+      const uint64_t new_load0 = load0 + (s == 0 ? node_size : 0);
+      const uint64_t new_load1 = load1 + (s == 1 ? node_size : 0);
+      if (new_load0 > capacity_ || new_load1 > capacity_) continue;
+      double new_cut = cut;
+      for (const auto& [nbr, w] : adj_[node]) {
+        if (side_[nbr] >= 0 && side_[nbr] != s) new_cut += w;
+      }
+      side_[node] = s;
+      Recurse(depth + 1, new_cut, new_load0, new_load1);
+      side_[node] = -1;
+    }
+  }
+
+  const DependencyGraph& g_;
+  uint64_t capacity_;
+  uint32_t n_;
+  std::vector<uint32_t> order_;
+  std::vector<std::vector<std::pair<uint32_t, double>>> adj_;
+  std::vector<int> side_;
+  std::vector<int> best_side_;
+  double best_cost_ = std::numeric_limits<double>::infinity();
+  bool found_ = false;
+};
+
+/// Coarsens `g` by merging the heaviest arcs (capacity-bounded) until at
+/// most `target` components remain; returns the component graph and the
+/// mapping component-index -> original node indices.
+std::pair<DependencyGraph, std::vector<std::vector<uint32_t>>> Coarsen(
+    const DependencyGraph& g, uint32_t capacity, int target) {
+  std::vector<DepArc> arcs = g.arcs;
+  std::sort(arcs.begin(), arcs.end(),
+            [](const DepArc& a, const DepArc& b) {
+              return a.weight > b.weight;
+            });
+  UnionFind uf(g);
+  // Merged clumps must stay well under a page so an exact split of the
+  // component graph remains feasible.
+  const uint64_t clump_cap = capacity / 4 + 1;
+  size_t components = g.nodes.size();
+  for (const DepArc& arc : arcs) {
+    if (static_cast<int>(components) <= target) break;
+    if (uf.UnionIfFits(arc.a, arc.b, clump_cap)) --components;
+  }
+
+  std::vector<std::vector<uint32_t>> members;
+  std::vector<int32_t> comp_of_root(g.nodes.size(), -1);
+  std::vector<uint32_t> comp_of_node(g.nodes.size());
+  DependencyGraph coarse;
+  for (uint32_t i = 0; i < g.nodes.size(); ++i) {
+    const uint32_t root = uf.Find(i);
+    if (comp_of_root[root] < 0) {
+      comp_of_root[root] = static_cast<int32_t>(coarse.nodes.size());
+      coarse.nodes.push_back(DepNode{obj::kInvalidObject, 0});
+      members.emplace_back();
+    }
+    const auto c = static_cast<uint32_t>(comp_of_root[root]);
+    comp_of_node[i] = c;
+    coarse.nodes[c].size_bytes += g.nodes[i].size_bytes;
+    members[c].push_back(i);
+  }
+  std::unordered_map<uint64_t, double> pair_weight;
+  for (const DepArc& arc : g.arcs) {
+    const uint32_t a = comp_of_node[arc.a];
+    const uint32_t b = comp_of_node[arc.b];
+    if (a == b) continue;
+    const uint32_t lo = std::min(a, b);
+    const uint32_t hi = std::max(a, b);
+    pair_weight[(static_cast<uint64_t>(lo) << 32) | hi] += arc.weight;
+  }
+  for (const auto& [key, weight] : pair_weight) {
+    coarse.arcs.push_back(DepArc{static_cast<uint32_t>(key >> 32),
+                                 static_cast<uint32_t>(key & 0xFFFFFFFFu),
+                                 weight});
+  }
+  return {std::move(coarse), std::move(members)};
+}
+
+}  // namespace
+
+SplitResult ExhaustiveMinCutSplit(const DependencyGraph& graph,
+                                  uint32_t capacity_bytes,
+                                  int exact_node_limit) {
+  const size_t n = graph.nodes.size();
+  if (n == 0) return SplitResult{};
+
+  // Seed the bound with the greedy solution so pruning starts tight, and
+  // fall back to it if the exact search proves nothing better.
+  SplitResult greedy = GreedyLinearSplit(graph, capacity_bytes);
+  const double bound = greedy.feasible
+                           ? greedy.broken_cost
+                           : std::numeric_limits<double>::infinity();
+
+  if (static_cast<int>(n) <= exact_node_limit) {
+    ExactSolver solver(graph, capacity_bytes);
+    auto side = solver.Solve(bound + 1e-9);
+    if (!side.has_value()) return greedy;
+    return ResultFromSides(graph, *side, capacity_bytes);
+  }
+
+  // Too many nodes for exact enumeration: coarsen, solve exactly on the
+  // component graph, then expand.
+  auto [coarse, members] = Coarsen(graph, capacity_bytes, exact_node_limit);
+  ExactSolver solver(coarse, capacity_bytes);
+  auto coarse_side = solver.Solve(bound + 1e-9);
+  if (!coarse_side.has_value()) return greedy;
+  std::vector<int> side_of(n, 0);
+  for (uint32_t c = 0; c < coarse.nodes.size(); ++c) {
+    for (uint32_t node : members[c]) side_of[node] = (*coarse_side)[c];
+  }
+  SplitResult result = ResultFromSides(graph, side_of, capacity_bytes);
+  // Keep whichever of {exact-on-coarse, greedy} is better and feasible.
+  if (greedy.feasible &&
+      (!result.feasible || greedy.broken_cost < result.broken_cost)) {
+    return greedy;
+  }
+  return result;
+}
+
+}  // namespace oodb::cluster

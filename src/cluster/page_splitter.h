@@ -1,0 +1,51 @@
+#ifndef SEMCLUST_CLUSTER_PAGE_SPLITTER_H_
+#define SEMCLUST_CLUSTER_PAGE_SPLITTER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/dependency_graph.h"
+
+/// \file
+/// Page-splitting algorithms (paper §2.1(b)). Splitting partitions the
+/// inheritance-dependency graph of an overflowing page into two subsets
+/// that each fit a page, minimising the total weight of broken arcs. The
+/// optimal problem is graph partitioning (NP-complete); the paper proposes
+/// a greedy single-pass linear alternative and compares both ("Linear
+/// Split" vs "NP Split", Figs 5.9-5.10).
+
+namespace oodb::cluster {
+
+/// A two-way partition of a dependency graph.
+struct SplitResult {
+  /// True if both sides fit within the page capacity.
+  bool feasible = false;
+  /// Node indices on each side. `left` retains the original page.
+  std::vector<uint32_t> left;
+  std::vector<uint32_t> right;
+  /// Total weight of arcs crossing the partition.
+  double broken_cost = 0;
+};
+
+/// Total weight of arcs whose endpoints fall on different sides.
+/// `side[i]` is 0 or 1 for node i.
+double CutCost(const DependencyGraph& graph, const std::vector<int>& side);
+
+/// The paper's greedy algorithm: one pass over the arc set (no sorting, so
+/// the running time is linear in nodes + arcs), merging endpoint groups
+/// whose combined size still fits a page, then packing the groups onto the
+/// two sides. Does not attempt optimality.
+SplitResult GreedyLinearSplit(const DependencyGraph& graph,
+                              uint32_t capacity_bytes);
+
+/// Exact minimum-broken-cost partition ("NP split"): branch-and-bound over
+/// side assignments with cost and capacity pruning. Inputs larger than
+/// `exact_node_limit` are first coarsened by merging heavy arcs until the
+/// component count is tractable, then solved exactly on components.
+SplitResult ExhaustiveMinCutSplit(const DependencyGraph& graph,
+                                  uint32_t capacity_bytes,
+                                  int exact_node_limit = 22);
+
+}  // namespace oodb::cluster
+
+#endif  // SEMCLUST_CLUSTER_PAGE_SPLITTER_H_

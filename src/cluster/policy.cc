@@ -1,0 +1,38 @@
+#include "cluster/policy.h"
+
+namespace oodb::cluster {
+
+const char* CandidatePoolName(CandidatePool p) {
+  switch (p) {
+    case CandidatePool::kNoClustering:
+      return "No_Clustering";
+    case CandidatePool::kWithinBuffer:
+      return "Cluster_within_Buffer";
+    case CandidatePool::kIoLimit:
+      return "With_IO_limit";
+    case CandidatePool::kWithinDb:
+      return "No_limit";
+  }
+  return "unknown";
+}
+
+const char* SplitPolicyName(SplitPolicy p) {
+  switch (p) {
+    case SplitPolicy::kNoSplit:
+      return "No_Splitting";
+    case SplitPolicy::kLinearGreedy:
+      return "Linear_Split";
+    case SplitPolicy::kExhaustive:
+      return "NP_Split";
+  }
+  return "unknown";
+}
+
+std::string ClusterConfig::Label() const {
+  if (pool == CandidatePool::kIoLimit) {
+    return std::to_string(io_limit) + "_IO_limit";
+  }
+  return CandidatePoolName(pool);
+}
+
+}  // namespace oodb::cluster

@@ -1,0 +1,110 @@
+#include "cluster/static_clusterer.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace oodb::cluster {
+
+StaticClusterer::StaticClusterer(obj::ObjectGraph* graph,
+                                 store::StorageManager* storage,
+                                 const AffinityModel* affinity,
+                                 double fill_fraction)
+    : graph_(graph),
+      storage_(storage),
+      affinity_(affinity),
+      fill_fraction_(fill_fraction) {
+  OODB_CHECK(graph != nullptr);
+  OODB_CHECK(storage != nullptr);
+  OODB_CHECK(affinity != nullptr);
+  OODB_CHECK_GT(fill_fraction, 0.0);
+  OODB_CHECK_LE(fill_fraction, 1.0);
+}
+
+std::vector<obj::ObjectId> StaticClusterer::ComputeOrder() const {
+  // Affinity-greedy traversal: start a cluster at each unvisited placed
+  // object (in id order for determinism) and expand via a max-heap of
+  // frontier edges, so the heaviest-affinity relatives are packed adjacent
+  // to their seed.
+  const size_t n = graph_->size();
+  std::vector<bool> visited(n, false);
+  std::vector<obj::ObjectId> order;
+  order.reserve(graph_->live_count());
+
+  struct FrontierEdge {
+    double weight;
+    obj::ObjectId target;
+    bool operator<(const FrontierEdge& o) const {
+      if (weight != o.weight) return weight < o.weight;
+      return target > o.target;  // deterministic: lower id first on ties
+    }
+  };
+
+  for (obj::ObjectId seed = 0; seed < n; ++seed) {
+    if (visited[seed] || !graph_->IsLive(seed) ||
+        !storage_->IsPlaced(seed)) {
+      continue;
+    }
+    std::priority_queue<FrontierEdge> frontier;
+    frontier.push(FrontierEdge{0.0, seed});
+    while (!frontier.empty()) {
+      const obj::ObjectId o = frontier.top().target;
+      frontier.pop();
+      if (visited[o]) continue;
+      visited[o] = true;
+      order.push_back(o);
+      for (const obj::Edge& e : graph_->object(o).edges) {
+        if (e.target >= n || visited[e.target]) continue;
+        if (!graph_->IsLive(e.target) || !storage_->IsPlaced(e.target)) {
+          continue;
+        }
+        frontier.push(
+            FrontierEdge{affinity_->EdgeWeight(*graph_, o, e), e.target});
+      }
+    }
+  }
+  return order;
+}
+
+ReorganizationReport StaticClusterer::Reorganize() {
+  ReorganizationReport report;
+  report.pages_before = storage_->page_count();
+
+  const std::vector<obj::ObjectId> order = ComputeOrder();
+  report.objects_total = order.size();
+
+  const auto fill_limit = static_cast<uint32_t>(
+      fill_fraction_ * static_cast<double>(storage_->page_size_bytes()));
+
+  store::PageId current = store::kInvalidPage;
+  uint32_t current_used = 0;
+  std::vector<char> source_touched(report.pages_before, 0);
+  for (obj::ObjectId o : order) {
+    const uint32_t size = storage_->SizeOf(o);
+    if (current == store::kInvalidPage || current_used + size > fill_limit ||
+        !storage_->page(current).Fits(size)) {
+      current = storage_->AllocatePage();
+      current_used = 0;
+      ++report.page_writes;  // destination page flush
+    }
+    const store::PageId from = storage_->PageOf(o);
+    if (from != current) {
+      OODB_CHECK(storage_->Relocate(o, current).ok());
+      ++report.objects_moved;
+      if (from < source_touched.size() && !source_touched[from]) {
+        source_touched[from] = 1;
+        ++report.page_writes;  // each vacated source rewritten once
+      }
+    }
+    current_used += size;
+  }
+
+  // Pages in use after: count non-empty.
+  size_t in_use = 0;
+  for (store::PageId p = 0; p < storage_->page_count(); ++p) {
+    if (storage_->page(p).object_count() > 0) ++in_use;
+  }
+  report.pages_after = in_use;
+  return report;
+}
+
+}  // namespace oodb::cluster

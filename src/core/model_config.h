@@ -1,0 +1,120 @@
+#ifndef SEMCLUST_CORE_MODEL_CONFIG_H_
+#define SEMCLUST_CORE_MODEL_CONFIG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "buffer/policy.h"
+#include "cluster/policy.h"
+#include "io/io_subsystem.h"
+#include "workload/db_builder.h"
+#include "workload/workload_config.h"
+
+/// \file
+/// The full simulation configuration: Table 4.1's static parameters (A-E)
+/// and control parameters (F-M), plus the CPU/disk cost model and run
+/// control. Defaults are the *scaled* configuration: the database and
+/// buffer pool shrink together (same buffer:DB ratio as the paper's
+/// 1000 x 4 KB buffers against 500 MB), which preserves every response-time
+/// ratio the evaluation reports while keeping runs laptop-fast. Pass
+/// `PaperScaleConfig()` for the full-size database.
+
+namespace oodb::core {
+
+/// Everything one simulation run needs.
+struct ModelConfig {
+  // ---- Static parameters (Table 4.1, A-E), scaled by default. ----
+  /// A: database size, expressed as total object bytes to create.
+  uint64_t database_bytes = 48ull << 20;  // 48 MB scaled (paper: 500 MB)
+  /// B: page size.
+  uint32_t page_size_bytes = 4096;
+  /// Fill-factor reserve for arrival-order appends: an append opens a new
+  /// page beyond this fraction, leaving headroom that directed
+  /// (clustering) placements may use later. Applies to every policy.
+  double append_fill_fraction = 0.8;
+  /// C: number of interactive users.
+  int num_users = 10;
+  /// D: number of disks.
+  int num_disks = 10;
+  /// E: mean think time between transactions (exponential).
+  double think_time_s = 4.0;
+
+  // ---- Control parameters (Table 4.1, F-M). ----
+  /// F (structure density) and G (read/write ratio) live here.
+  workload::WorkloadConfig workload;
+  /// H (clustering policy), I (page splitting), J (user hints).
+  cluster::ClusterConfig clustering;
+  /// K: buffer replacement policy.
+  buffer::ReplacementPolicy replacement = buffer::ReplacementPolicy::kLru;
+  /// L: buffer pool size in pages. Paper levels 100/1000/10000 against
+  /// 128 K pages correspond to kBufferSmall/Medium/Large below at the
+  /// scaled database size.
+  size_t buffer_pages = 128;
+  /// M: prefetch policy.
+  buffer::PrefetchPolicy prefetch = buffer::PrefetchPolicy::kNone;
+
+  // ---- Database generation knobs (beyond A and F). ----
+  workload::DatabaseSpec database;
+
+  // ---- Cost model. ----
+  io::DiskParams disk;
+  /// Server CPU speed (a late-80s server; only ratios matter).
+  double cpu_mips = 4.0;
+  /// Instruction path lengths (paper §4.1 models per-call path lengths).
+  double logical_op_instructions = 2500;
+  double physical_io_instructions = 1500;
+  double cluster_decision_instructions = 2500;
+  double split_linear_instructions = 5000;
+  double split_exhaustive_instructions = 60000;
+  uint32_t log_buffer_bytes = 64u << 10;
+  bool force_log_at_commit = false;
+
+  // ---- Run control. ----
+  /// Transactions executed before counters reset.
+  int warmup_transactions = 400;
+  /// Transactions measured after warmup.
+  int measured_transactions = 2500;
+  /// Split the measured phase into this many equal epochs; RunResult then
+  /// reports response time per epoch (layout-decay studies).
+  int measurement_epochs = 1;
+  /// When non-empty, the target read/write ratio is switched at each
+  /// measurement-epoch boundary to the scheduled value (entry i applies
+  /// to epoch i; the last entry applies from then on). Models one
+  /// application's phases (paper §3.3: MOSAICO spans R/W 0.52..170 in a
+  /// single run).
+  std::vector<double> rw_ratio_schedule;
+  /// Run the offline StaticClusterer once after the database is built
+  /// (the paper's quiesce-and-reorganise alternative to run-time
+  /// clustering).
+  bool static_reorganize_after_build = false;
+  uint64_t seed = 1;
+
+  /// Buffer-pool operating levels at the scaled database size, preserving
+  /// the paper's buffer:database ratios (100/1000/10000 : 128 K pages).
+  size_t BufferSmall() const { return ScaledBuffers(100); }
+  size_t BufferMedium() const { return ScaledBuffers(1000); }
+  size_t BufferLarge() const { return ScaledBuffers(10000); }
+
+  size_t ScaledBuffers(size_t paper_buffers) const {
+    // paper: 500 MB / 4 KB = 131072 pages.
+    const double ratio = static_cast<double>(paper_buffers) / 131072.0;
+    const double db_pages = static_cast<double>(database_bytes) /
+                            static_cast<double>(page_size_bytes);
+    const auto scaled = static_cast<size_t>(ratio * db_pages + 0.5);
+    return scaled < 8 ? 8 : scaled;
+  }
+};
+
+/// The paper's full-scale configuration (500 MB database, 1000 buffers).
+/// Slow: intended for spot validation, not the bench suite.
+ModelConfig PaperScaleConfig();
+
+/// The default scaled configuration used by the benchmarks.
+ModelConfig ScaledConfig();
+
+/// A fast configuration for unit/integration tests.
+ModelConfig TestConfig();
+
+}  // namespace oodb::core
+
+#endif  // SEMCLUST_CORE_MODEL_CONFIG_H_

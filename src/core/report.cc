@@ -1,0 +1,114 @@
+#include "core/report.h"
+
+#include <iomanip>
+
+#include "util/table_printer.h"
+#include "workload/query.h"
+
+namespace oodb::core {
+
+namespace {
+
+std::string Ms(double seconds) { return FormatDouble(seconds * 1e3, 2); }
+
+}  // namespace
+
+void PrintRunReport(std::ostream& os, const ModelConfig& config,
+                    const RunResult& result) {
+  os << "== semclust run report ==\n";
+  os << "workload " << config.workload.Label() << ", clustering "
+     << config.clustering.Label() << ", replacement "
+     << buffer::ReplacementPolicyName(config.replacement) << ", prefetch "
+     << buffer::PrefetchPolicyName(config.prefetch) << ", "
+     << config.buffer_pages << " buffers\n";
+  os << "database: " << result.db_objects << " objects on "
+     << result.db_pages << " pages; " << result.transactions
+     << " measured transactions over "
+     << FormatDouble(result.sim_duration_s, 1) << " simulated seconds\n\n";
+
+  TablePrinter rt({"response time", "count", "mean (ms)", "max (ms)"});
+  rt.AddRow({"all transactions", std::to_string(result.response_time.count()),
+             Ms(result.response_time.Mean()), Ms(result.response_time.max())});
+  rt.AddRow({"reads", std::to_string(result.read_response.count()),
+             Ms(result.read_response.Mean()), Ms(result.read_response.max())});
+  rt.AddRow({"writes", std::to_string(result.write_response.count()),
+             Ms(result.write_response.Mean()),
+             Ms(result.write_response.max())});
+  for (int q = 0; q < workload::kNumQueryTypes; ++q) {
+    const auto& s = result.response_by_query[static_cast<size_t>(q)];
+    if (s.count() == 0) continue;
+    rt.AddRow({std::string("  ") +
+                   workload::QueryTypeName(static_cast<workload::QueryType>(q)),
+               std::to_string(s.count()), Ms(s.Mean()), Ms(s.max())});
+  }
+  if (result.response_epochs.size() > 1) {
+    for (size_t e = 0; e < result.response_epochs.size(); ++e) {
+      const auto& s = result.response_epochs[e];
+      rt.AddRow({"  epoch " + std::to_string(e + 1),
+                 std::to_string(s.count()), Ms(s.Mean()), Ms(s.max())});
+    }
+  }
+  rt.Print(os);
+
+  os << '\n';
+  TablePrinter io({"I/O", "count"});
+  io.AddRow({"logical reads", std::to_string(result.logical_reads)});
+  io.AddRow({"logical writes", std::to_string(result.logical_writes)});
+  io.AddRow({"physical data reads", std::to_string(result.data_reads)});
+  io.AddRow({"dirty-page flushes", std::to_string(result.dirty_flushes)});
+  io.AddRow({"log flushes", std::to_string(result.log_flush_ios)});
+  io.AddRow({"cluster exam reads",
+             std::to_string(result.cluster_exam_reads)});
+  io.AddRow({"prefetch reads", std::to_string(result.prefetch_reads)});
+  io.AddRow({"split page writes", std::to_string(result.split_writes)});
+  io.Print(os);
+
+  os << '\n'
+     << "buffer hit ratio " << FormatDouble(result.buffer_hit_ratio * 100, 1)
+     << "%, achieved R/W " << FormatDouble(result.achieved_rw_ratio, 1)
+     << ", disk utilisation "
+     << FormatDouble(result.mean_disk_utilization * 100, 1)
+     << "%, CPU utilisation "
+     << FormatDouble(result.cpu_utilization * 100, 1) << "%\n";
+  os << "clustering: " << result.cluster_stats.placements << " placements ("
+     << result.cluster_stats.appends << " arrival-order), "
+     << result.cluster_stats.relocations << " relocations, "
+     << result.cluster_stats.splits << " splits, "
+     << result.log_before_images << " log before-images\n";
+}
+
+std::string CsvHeader() {
+  return "label,txns,mean_response_s,read_response_s,write_response_s,"
+         "hit_ratio,achieved_rw,logical_reads,logical_writes,data_reads,"
+         "dirty_flushes,log_flushes,exam_reads,prefetch_reads,split_writes,"
+         "relocations,splits,db_pages,db_objects";
+}
+
+std::string ToCsvRow(const std::string& label, const RunResult& r) {
+  std::string row = label;
+  auto add = [&row](const std::string& v) {
+    row += ',';
+    row += v;
+  };
+  add(std::to_string(r.transactions));
+  add(FormatDouble(r.response_time.Mean(), 6));
+  add(FormatDouble(r.read_response.Mean(), 6));
+  add(FormatDouble(r.write_response.Mean(), 6));
+  add(FormatDouble(r.buffer_hit_ratio, 4));
+  add(FormatDouble(r.achieved_rw_ratio, 2));
+  add(std::to_string(r.logical_reads));
+  add(std::to_string(r.logical_writes));
+  add(std::to_string(r.data_reads));
+  add(std::to_string(r.dirty_flushes));
+  add(std::to_string(r.log_flush_ios));
+  add(std::to_string(r.cluster_exam_reads));
+  add(std::to_string(r.prefetch_reads));
+  add(std::to_string(r.split_writes));
+  add(std::to_string(r.cluster_stats.relocations));
+  add(std::to_string(r.cluster_stats.splits));
+  add(std::to_string(r.db_pages));
+  add(std::to_string(r.db_objects));
+  return row;
+}
+
+}  // namespace oodb::core

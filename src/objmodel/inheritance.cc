@@ -1,0 +1,69 @@
+#include "objmodel/inheritance.h"
+
+namespace oodb::obj {
+
+double CopyCost(const AttributeDef& attr, const InheritanceCostModel& model) {
+  return static_cast<double>(attr.size_bytes) * model.storage_cost_per_byte +
+         attr.update_frequency * model.update_propagation_cost;
+}
+
+double ReferenceCost(const AttributeDef& attr,
+                     const InheritanceCostModel& model) {
+  return attr.read_frequency * model.traverse_cost +
+         static_cast<double>(model.reference_size_bytes) *
+             model.storage_cost_per_byte;
+}
+
+ImplChoice ChooseImplementation(const AttributeDef& attr,
+                                const InheritanceCostModel& model) {
+  return CopyCost(attr, model) <= ReferenceCost(attr, model)
+             ? ImplChoice::kByCopy
+             : ImplChoice::kByReference;
+}
+
+DerivationResult DeriveVersion(ObjectGraph& graph, ObjectId parent,
+                               const InheritanceCostModel& model) {
+  OODB_CHECK(graph.IsLive(parent));
+  // Copy the fields we need: Create() below may reallocate object storage.
+  const FamilyId family = graph.object(parent).family;
+  const uint16_t parent_version = graph.object(parent).version;
+  const TypeId type = graph.object(parent).type;
+  const TypeLattice& lattice = graph.lattice();
+
+  DerivationResult result;
+
+  // Size the heir according to the per-attribute implementation choices.
+  uint32_t size = lattice.info(type).base_size_bytes;
+  bool any_by_reference = false;
+  for (const AttributeDef& attr : lattice.ResolveAttributes(type)) {
+    if (attr.instance_inheritable &&
+        ChooseImplementation(attr, model) == ImplChoice::kByReference) {
+      size += model.reference_size_bytes;
+      ++result.attributes_by_reference;
+      any_by_reference = true;
+    } else {
+      size += attr.size_bytes;
+      ++result.attributes_by_copy;
+    }
+  }
+  if (size == 0) size = lattice.InstanceSize(type);
+
+  const ObjectId heir = graph.Create(
+      family, static_cast<uint16_t>(parent_version + 1), type, size);
+  graph.Relate(parent, heir, RelKind::kVersionHistory);
+  if (any_by_reference) {
+    graph.Relate(parent, heir, RelKind::kInstanceInheritance);
+  }
+
+  // Default inheritance of correspondence relationships: the heir
+  // corresponds to everything its parent corresponded to.
+  for (ObjectId other : graph.Correspondents(parent)) {
+    graph.Relate(heir, other, RelKind::kCorrespondence);
+    ++result.correspondences_inherited;
+  }
+
+  result.heir = heir;
+  return result;
+}
+
+}  // namespace oodb::obj

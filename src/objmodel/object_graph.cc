@@ -1,0 +1,125 @@
+#include "objmodel/object_graph.h"
+
+#include <algorithm>
+
+namespace oodb::obj {
+
+FamilyId ObjectGraph::NewFamily(std::string name) {
+  family_names_.push_back(std::move(name));
+  family_members_.emplace_back();
+  return static_cast<FamilyId>(family_names_.size() - 1);
+}
+
+ObjectId ObjectGraph::Create(FamilyId family, uint16_t version, TypeId type,
+                             uint32_t size_bytes) {
+  OODB_CHECK_LT(family, family_names_.size());
+  OODB_CHECK_LT(type, lattice_->size());
+  OODB_CHECK_GT(size_bytes, 0u);
+  DesignObject o;
+  o.family = family;
+  o.version = version;
+  o.type = type;
+  o.size_bytes = size_bytes;
+  objects_.push_back(std::move(o));
+  const auto id = static_cast<ObjectId>(objects_.size() - 1);
+  family_members_[family].push_back(id);
+  ++live_count_;
+  return id;
+}
+
+void ObjectGraph::AddEdge(ObjectId obj, ObjectId target, RelKind kind,
+                          Direction dir) {
+  objects_[obj].edges.push_back(Edge{target, kind, dir});
+}
+
+void ObjectGraph::RemoveEdge(ObjectId obj, ObjectId target, RelKind kind,
+                             Direction dir) {
+  auto& edges = objects_[obj].edges;
+  auto it = std::find(edges.begin(), edges.end(), Edge{target, kind, dir});
+  if (it != edges.end()) {
+    *it = edges.back();
+    edges.pop_back();
+  }
+}
+
+void ObjectGraph::Relate(ObjectId from, ObjectId to, RelKind kind) {
+  OODB_CHECK(IsLive(from));
+  OODB_CHECK(IsLive(to));
+  OODB_CHECK_NE(from, to);
+  if (kind == RelKind::kCorrespondence) {
+    AddEdge(from, to, kind, Direction::kDown);
+    AddEdge(to, from, kind, Direction::kDown);
+  } else {
+    AddEdge(from, to, kind, Direction::kDown);
+    AddEdge(to, from, kind, Direction::kUp);
+  }
+}
+
+void ObjectGraph::Unrelate(ObjectId from, ObjectId to, RelKind kind) {
+  if (kind == RelKind::kCorrespondence) {
+    RemoveEdge(from, to, kind, Direction::kDown);
+    RemoveEdge(to, from, kind, Direction::kDown);
+  } else {
+    RemoveEdge(from, to, kind, Direction::kDown);
+    RemoveEdge(to, from, kind, Direction::kUp);
+  }
+}
+
+void ObjectGraph::Remove(ObjectId id) {
+  OODB_CHECK(IsLive(id));
+  DesignObject& o = objects_[id];
+  // Detach the mirror edge held by each neighbour.
+  for (const Edge& e : o.edges) {
+    const Direction mirror_dir =
+        e.kind == RelKind::kCorrespondence
+            ? Direction::kDown
+            : (e.dir == Direction::kDown ? Direction::kUp : Direction::kDown);
+    RemoveEdge(e.target, id, e.kind, mirror_dir);
+  }
+  o.edges.clear();
+  o.deleted = true;
+  auto& members = family_members_[o.family];
+  members.erase(std::remove(members.begin(), members.end(), id),
+                members.end());
+  --live_count_;
+}
+
+VersionedName ObjectGraph::NameOf(ObjectId id) const {
+  const DesignObject& o = object(id);
+  return VersionedName{family_names_[o.family], o.version,
+                       lattice_->info(o.type).name};
+}
+
+void ObjectGraph::Resize(ObjectId id, uint32_t size_bytes) {
+  OODB_CHECK(IsLive(id));
+  OODB_CHECK_GT(size_bytes, 0u);
+  objects_[id].size_bytes = size_bytes;
+}
+
+std::vector<ObjectId> ObjectGraph::Neighbors(ObjectId id, RelKind kind,
+                                             Direction dir) const {
+  std::vector<ObjectId> out;
+  ForEachNeighbor(id, kind, dir, [&](ObjectId t) { out.push_back(t); });
+  return out;
+}
+
+const std::vector<ObjectId>& ObjectGraph::FamilyMembers(
+    FamilyId family) const {
+  OODB_CHECK_LT(family, family_members_.size());
+  return family_members_[family];
+}
+
+ObjectId ObjectGraph::LatestVersion(FamilyId family, TypeId type) const {
+  ObjectId best = kInvalidObject;
+  int best_version = -1;
+  for (ObjectId id : FamilyMembers(family)) {
+    const DesignObject& o = objects_[id];
+    if (o.type == type && !o.deleted && o.version > best_version) {
+      best = id;
+      best_version = o.version;
+    }
+  }
+  return best;
+}
+
+}  // namespace oodb::obj

@@ -1,0 +1,161 @@
+#ifndef SEMCLUST_OBJMODEL_OBJECT_GRAPH_H_
+#define SEMCLUST_OBJMODEL_OBJECT_GRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "objmodel/object_id.h"
+#include "objmodel/type_system.h"
+#include "util/status.h"
+
+/// \file
+/// The design-object graph: typed, versioned objects interrelated by the
+/// structural relationships of the Version Data Model. Relationships are
+/// first-class: the storage and buffering layers navigate them directly,
+/// which is exactly the semantics the paper exploits.
+
+namespace oodb::obj {
+
+/// One directed structural link incident to an object.
+struct Edge {
+  ObjectId target = kInvalidObject;
+  RelKind kind = RelKind::kConfiguration;
+  Direction dir = Direction::kDown;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+/// A design object instance.
+struct DesignObject {
+  FamilyId family = kInvalidFamily;
+  uint16_t version = 0;
+  TypeId type = kInvalidType;
+  /// Storage footprint in bytes (base + attribute storage as chosen by the
+  /// inheritance engine).
+  uint32_t size_bytes = 0;
+  bool deleted = false;
+  std::vector<Edge> edges;
+};
+
+/// Owns all design objects and their structural links.
+///
+/// Correspondence is symmetric: Relate(a, b, kCorrespondence) makes each
+/// object a kDown-neighbour of the other. The other kinds are directed:
+/// configuration points composite->component, version history points
+/// ancestor->descendant, instance inheritance points source->heir.
+class ObjectGraph {
+ public:
+  explicit ObjectGraph(const TypeLattice* lattice) : lattice_(lattice) {}
+
+  ObjectGraph(const ObjectGraph&) = delete;
+  ObjectGraph& operator=(const ObjectGraph&) = delete;
+
+  /// Registers an object-name family and returns its id.
+  FamilyId NewFamily(std::string name);
+
+  /// Creates an object `family[version].type` of the given size.
+  ObjectId Create(FamilyId family, uint16_t version, TypeId type,
+                  uint32_t size_bytes);
+
+  /// Adds a structural relationship. Both endpoints must be live.
+  void Relate(ObjectId from, ObjectId to, RelKind kind);
+
+  /// Removes a relationship added by Relate (both directions).
+  void Unrelate(ObjectId from, ObjectId to, RelKind kind);
+
+  /// Marks the object deleted and detaches all of its links.
+  void Remove(ObjectId id);
+
+  /// Number of objects ever created (including deleted ones).
+  size_t size() const { return objects_.size(); }
+  /// Number of live objects.
+  size_t live_count() const { return live_count_; }
+
+  const DesignObject& object(ObjectId id) const {
+    OODB_CHECK_LT(id, objects_.size());
+    return objects_[id];
+  }
+  bool IsLive(ObjectId id) const {
+    return id < objects_.size() && !objects_[id].deleted;
+  }
+
+  /// External name triple, e.g. "ALU[2].layout".
+  VersionedName NameOf(ObjectId id) const;
+
+  /// Grows/shrinks the recorded size of an object (attribute updates).
+  void Resize(ObjectId id, uint32_t size_bytes);
+
+  /// Calls `fn(ObjectId)` for each `kind`/`dir` neighbour.
+  template <typename Fn>
+  void ForEachNeighbor(ObjectId id, RelKind kind, Direction dir,
+                       Fn&& fn) const {
+    for (const Edge& e : object(id).edges) {
+      if (e.kind == kind && e.dir == dir) fn(e.target);
+    }
+  }
+
+  /// Collected neighbour list (allocates; prefer ForEachNeighbor in hot
+  /// paths).
+  std::vector<ObjectId> Neighbors(ObjectId id, RelKind kind,
+                                  Direction dir) const;
+
+  /// Calls `fn(ObjectId)` for every structurally related object regardless
+  /// of kind or direction.
+  template <typename Fn>
+  void ForEachRelated(ObjectId id, Fn&& fn) const {
+    for (const Edge& e : object(id).edges) fn(e.target);
+  }
+
+  // Navigation shorthands mirroring the paper's vocabulary.
+  std::vector<ObjectId> Components(ObjectId id) const {
+    return Neighbors(id, RelKind::kConfiguration, Direction::kDown);
+  }
+  std::vector<ObjectId> Composites(ObjectId id) const {
+    return Neighbors(id, RelKind::kConfiguration, Direction::kUp);
+  }
+  std::vector<ObjectId> Descendants(ObjectId id) const {
+    return Neighbors(id, RelKind::kVersionHistory, Direction::kDown);
+  }
+  std::vector<ObjectId> Ancestors(ObjectId id) const {
+    return Neighbors(id, RelKind::kVersionHistory, Direction::kUp);
+  }
+  std::vector<ObjectId> Correspondents(ObjectId id) const {
+    return Neighbors(id, RelKind::kCorrespondence, Direction::kDown);
+  }
+  std::vector<ObjectId> InheritanceHeirs(ObjectId id) const {
+    return Neighbors(id, RelKind::kInstanceInheritance, Direction::kDown);
+  }
+  std::vector<ObjectId> InheritanceSources(ObjectId id) const {
+    return Neighbors(id, RelKind::kInstanceInheritance, Direction::kUp);
+  }
+
+  /// Live objects of a family, in creation order.
+  const std::vector<ObjectId>& FamilyMembers(FamilyId family) const;
+
+  /// Latest (highest-version) live object of `family` with type `type`,
+  /// or kInvalidObject.
+  ObjectId LatestVersion(FamilyId family, TypeId type) const;
+
+  const TypeLattice& lattice() const { return *lattice_; }
+  const std::string& family_name(FamilyId id) const {
+    OODB_CHECK_LT(id, family_names_.size());
+    return family_names_[id];
+  }
+  size_t family_count() const { return family_names_.size(); }
+
+ private:
+  void AddEdge(ObjectId obj, ObjectId target, RelKind kind, Direction dir);
+  void RemoveEdge(ObjectId obj, ObjectId target, RelKind kind,
+                  Direction dir);
+
+  const TypeLattice* lattice_;
+  std::vector<DesignObject> objects_;
+  std::vector<std::string> family_names_;
+  std::vector<std::vector<ObjectId>> family_members_;
+  size_t live_count_ = 0;
+};
+
+}  // namespace oodb::obj
+
+#endif  // SEMCLUST_OBJMODEL_OBJECT_GRAPH_H_

@@ -1,0 +1,23 @@
+#include "objmodel/object_id.h"
+
+namespace oodb::obj {
+
+const char* RelKindName(RelKind kind) {
+  switch (kind) {
+    case RelKind::kConfiguration:
+      return "configuration";
+    case RelKind::kVersionHistory:
+      return "version-history";
+    case RelKind::kCorrespondence:
+      return "correspondence";
+    case RelKind::kInstanceInheritance:
+      return "instance-inheritance";
+  }
+  return "unknown";
+}
+
+std::string VersionedName::ToString() const {
+  return family + "[" + std::to_string(version) + "]." + type;
+}
+
+}  // namespace oodb::obj

@@ -1,0 +1,60 @@
+#ifndef SEMCLUST_OBJMODEL_OBJECT_ID_H_
+#define SEMCLUST_OBJMODEL_OBJECT_ID_H_
+
+#include <cstdint>
+#include <string>
+
+/// \file
+/// Identifiers and relationship kinds of the Version Data Model
+/// (Katz et al.; paper §1). Objects are named by the triple `name[i].type`
+/// and interrelated by configuration, version-history, and correspondence
+/// relationships, plus instance-to-instance inheritance links.
+
+namespace oodb::obj {
+
+/// Dense object identifier (index into the ObjectGraph's storage).
+using ObjectId = uint32_t;
+inline constexpr ObjectId kInvalidObject = UINT32_MAX;
+
+/// Identifier of a design-object family: the `name` part of `name[i].type`.
+using FamilyId = uint32_t;
+inline constexpr FamilyId kInvalidFamily = UINT32_MAX;
+
+/// Identifier of a representation type in the type lattice.
+using TypeId = uint16_t;
+inline constexpr TypeId kInvalidType = UINT16_MAX;
+
+/// The structural relationship kinds modelled as first-class links.
+enum class RelKind : uint8_t {
+  kConfiguration = 0,       ///< composite object -> component object
+  kVersionHistory = 1,      ///< ancestor version -> descendant version
+  kCorrespondence = 2,      ///< equivalence across representation types
+  kInstanceInheritance = 3  ///< inheritance source -> inheriting instance
+};
+inline constexpr int kNumRelKinds = 4;
+
+/// Short display name ("configuration", ...).
+const char* RelKindName(RelKind kind);
+
+/// Traversal direction along a relationship.
+enum class Direction : uint8_t {
+  kDown = 0,  ///< configuration: components; version: descendants
+  kUp = 1     ///< configuration: composites; version: ancestors
+};
+
+/// The external object name triple `name[i].type`, e.g. "ALU[2].layout".
+struct VersionedName {
+  std::string family;
+  int version = 0;
+  std::string type;
+
+  /// Renders "family[version].type".
+  std::string ToString() const;
+
+  friend bool operator==(const VersionedName&, const VersionedName&) =
+      default;
+};
+
+}  // namespace oodb::obj
+
+#endif  // SEMCLUST_OBJMODEL_OBJECT_ID_H_

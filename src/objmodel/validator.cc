@@ -1,0 +1,168 @@
+#include "objmodel/validator.h"
+
+#include <algorithm>
+
+namespace oodb::obj {
+
+const char* ViolationKindName(ViolationKind kind) {
+  switch (kind) {
+    case ViolationKind::kDanglingEdge:
+      return "dangling-edge";
+    case ViolationKind::kAsymmetricEdge:
+      return "asymmetric-edge";
+    case ViolationKind::kSelfLoop:
+      return "self-loop";
+    case ViolationKind::kConfigurationCycle:
+      return "configuration-cycle";
+    case ViolationKind::kVersionOrder:
+      return "version-order";
+    case ViolationKind::kVersionFamilyMismatch:
+      return "version-family-mismatch";
+  }
+  return "unknown";
+}
+
+std::string Violation::Describe(const ObjectGraph& graph) const {
+  std::string out = ViolationKindName(kind);
+  out += ": ";
+  auto name = [&](ObjectId id) {
+    return graph.IsLive(id) ? graph.NameOf(id).ToString()
+                            : "#" + std::to_string(id);
+  };
+  out += name(a);
+  if (b != kInvalidObject) {
+    out += " -[";
+    out += RelKindName(rel);
+    out += "]-> ";
+    out += name(b);
+  }
+  return out;
+}
+
+StructureValidator::StructureValidator(const ObjectGraph* graph)
+    : graph_(graph) {
+  OODB_CHECK(graph != nullptr);
+}
+
+void StructureValidator::CheckEdges(std::vector<Violation>& out,
+                                    size_t max) const {
+  const auto n = static_cast<ObjectId>(graph_->size());
+  for (ObjectId id = 0; id < n && out.size() < max; ++id) {
+    if (!graph_->IsLive(id)) continue;
+    for (const Edge& e : graph_->object(id).edges) {
+      if (out.size() >= max) break;
+      if (e.target == id) {
+        out.push_back(Violation{ViolationKind::kSelfLoop, id, id, e.kind});
+        continue;
+      }
+      if (!graph_->IsLive(e.target)) {
+        out.push_back(
+            Violation{ViolationKind::kDanglingEdge, id, e.target, e.kind});
+        continue;
+      }
+      // Mirror: correspondence mirrors as kDown on the target; the others
+      // mirror with the opposite direction.
+      const Direction mirror_dir =
+          e.kind == RelKind::kCorrespondence
+              ? Direction::kDown
+              : (e.dir == Direction::kDown ? Direction::kUp
+                                           : Direction::kDown);
+      bool mirrored = false;
+      for (const Edge& m : graph_->object(e.target).edges) {
+        if (m.target == id && m.kind == e.kind && m.dir == mirror_dir) {
+          mirrored = true;
+          break;
+        }
+      }
+      if (!mirrored) {
+        out.push_back(
+            Violation{ViolationKind::kAsymmetricEdge, id, e.target, e.kind});
+      }
+    }
+  }
+}
+
+void StructureValidator::CheckConfigurationAcyclic(
+    std::vector<Violation>& out, size_t max) const {
+  // Iterative three-colour DFS over configuration down-edges.
+  const auto n = static_cast<ObjectId>(graph_->size());
+  enum : uint8_t { kWhite = 0, kGray = 1, kBlack = 2 };
+  std::vector<uint8_t> colour(n, kWhite);
+
+  struct Frame {
+    ObjectId node;
+    size_t edge_index;
+  };
+  for (ObjectId root = 0; root < n && out.size() < max; ++root) {
+    if (!graph_->IsLive(root) || colour[root] != kWhite) continue;
+    std::vector<Frame> stack{{root, 0}};
+    colour[root] = kGray;
+    while (!stack.empty() && out.size() < max) {
+      Frame& frame = stack.back();
+      const auto& edges = graph_->object(frame.node).edges;
+      bool descended = false;
+      while (frame.edge_index < edges.size()) {
+        const Edge& e = edges[frame.edge_index++];
+        if (e.kind != RelKind::kConfiguration || e.dir != Direction::kDown) {
+          continue;
+        }
+        if (!graph_->IsLive(e.target)) continue;
+        if (colour[e.target] == kGray) {
+          out.push_back(Violation{ViolationKind::kConfigurationCycle,
+                                  frame.node, e.target,
+                                  RelKind::kConfiguration});
+          continue;
+        }
+        if (colour[e.target] == kWhite) {
+          colour[e.target] = kGray;
+          stack.push_back(Frame{e.target, 0});
+          descended = true;
+          break;
+        }
+      }
+      if (!descended && frame.edge_index >= edges.size()) {
+        colour[frame.node] = kBlack;
+        stack.pop_back();
+      }
+    }
+  }
+}
+
+void StructureValidator::CheckVersionChains(std::vector<Violation>& out,
+                                            size_t max) const {
+  const auto n = static_cast<ObjectId>(graph_->size());
+  for (ObjectId id = 0; id < n && out.size() < max; ++id) {
+    if (!graph_->IsLive(id)) continue;
+    const DesignObject& o = graph_->object(id);
+    for (const Edge& e : graph_->object(id).edges) {
+      if (out.size() >= max) break;
+      if (e.kind != RelKind::kVersionHistory || e.dir != Direction::kDown) {
+        continue;
+      }
+      if (!graph_->IsLive(e.target)) continue;
+      const DesignObject& heir = graph_->object(e.target);
+      if (heir.family != o.family) {
+        out.push_back(Violation{ViolationKind::kVersionFamilyMismatch, id,
+                                e.target, RelKind::kVersionHistory});
+      } else if (heir.version <= o.version) {
+        out.push_back(Violation{ViolationKind::kVersionOrder, id, e.target,
+                                RelKind::kVersionHistory});
+      }
+    }
+  }
+}
+
+std::vector<Violation> StructureValidator::Validate(
+    size_t max_violations) const {
+  std::vector<Violation> out;
+  CheckEdges(out, max_violations);
+  if (out.size() < max_violations) {
+    CheckConfigurationAcyclic(out, max_violations);
+  }
+  if (out.size() < max_violations) {
+    CheckVersionChains(out, max_violations);
+  }
+  return out;
+}
+
+}  // namespace oodb::obj

@@ -1,0 +1,69 @@
+#ifndef SEMCLUST_OBJMODEL_VALIDATOR_H_
+#define SEMCLUST_OBJMODEL_VALIDATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "objmodel/object_graph.h"
+
+/// \file
+/// Structure validation / referential integrity. OCT famously provides
+/// none — "it is users' responsibility to maintain the legal attachment
+/// among objects" — and the paper observes (§3.5) that tools like SPARCS
+/// therefore burn enormous I/O scanning whole designs to re-verify
+/// invariants the system could maintain. This validator is that system
+/// support: it checks the structural invariants of the Version Data Model
+/// over an ObjectGraph, so applications can trust them instead of
+/// re-deriving them. `bench_ablation_integrity` quantifies the I/O a
+/// SPARCS-style scan spends without it.
+
+namespace oodb::obj {
+
+/// What went wrong.
+enum class ViolationKind : uint8_t {
+  kDanglingEdge = 0,      ///< edge points at a deleted/nonexistent object
+  kAsymmetricEdge,        ///< down edge without its mirror (or vice versa)
+  kSelfLoop,              ///< object related to itself
+  kConfigurationCycle,    ///< composition hierarchy contains a cycle
+  kVersionOrder,          ///< descendant's version number <= ancestor's
+  kVersionFamilyMismatch, ///< version edge across different families
+};
+
+const char* ViolationKindName(ViolationKind kind);
+
+/// One detected violation.
+struct Violation {
+  ViolationKind kind = ViolationKind::kDanglingEdge;
+  ObjectId a = kInvalidObject;
+  ObjectId b = kInvalidObject;
+  RelKind rel = RelKind::kConfiguration;
+
+  /// Human-readable one-liner.
+  std::string Describe(const ObjectGraph& graph) const;
+};
+
+/// Validates an object graph's structural invariants.
+class StructureValidator {
+ public:
+  explicit StructureValidator(const ObjectGraph* graph);
+
+  /// Runs every check; stops after `max_violations` findings.
+  std::vector<Violation> Validate(size_t max_violations = 64) const;
+
+  /// True if Validate() finds nothing.
+  bool IsValid() const { return Validate(1).empty(); }
+
+  // Individual checks (each appends to `out`, bounded by `max`).
+  void CheckEdges(std::vector<Violation>& out, size_t max) const;
+  void CheckConfigurationAcyclic(std::vector<Violation>& out,
+                                 size_t max) const;
+  void CheckVersionChains(std::vector<Violation>& out, size_t max) const;
+
+ private:
+  const ObjectGraph* graph_;
+};
+
+}  // namespace oodb::obj
+
+#endif  // SEMCLUST_OBJMODEL_VALIDATOR_H_

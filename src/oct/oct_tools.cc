@@ -1,0 +1,249 @@
+#include "oct/oct_tools.h"
+
+#include <algorithm>
+
+namespace oodb::oct {
+
+std::vector<ToolProfile> StandardTools() {
+  // Calibration anchors from the paper: VEM 6000 (highest, a display-
+  // everything editor); wolfe is the density outlier among batch tools;
+  // SPARCS scans the whole design for terminal-pair checks; MisII and
+  // bdsim are logic tools; the five MOSAICO phases span 0.52 .. 170.
+  return {
+      {"vem", 6000, 30000, 0.050, 0.75, {0.20, 0.20, 0.60},
+       {0.30, 0.20, 0.50}},
+      {"wolfe", 90, 20000, 0.012, 0.70, {0.45, 0.35, 0.20},
+       {0.25, 0.25, 0.50}},
+      {"SPARCS", 45, 25000, 0.010, 0.80, {0.70, 0.25, 0.05},
+       {0.20, 0.20, 0.60}},
+      {"misII", 20, 15000, 0.008, 0.60, {0.75, 0.20, 0.05},
+       {0.35, 0.15, 0.50}},
+      {"bdsim", 170, 18000, 0.007, 0.80, {0.70, 0.25, 0.05},
+       {0.20, 0.20, 0.60}},
+      {"atlas", 0.52, 8000, 0.010, 0.50, {0.80, 0.15, 0.05},
+       {0.55, 0.25, 0.20}},
+      {"cds", 2, 6000, 0.012, 0.55, {0.75, 0.20, 0.05},
+       {0.45, 0.25, 0.30}},
+      {"cpre", 8, 7000, 0.011, 0.60, {0.75, 0.20, 0.05},
+       {0.35, 0.25, 0.40}},
+      {"PGcurrent", 30, 9000, 0.009, 0.65, {0.70, 0.25, 0.05},
+       {0.25, 0.25, 0.50}},
+      {"mosaico", 170, 20000, 0.006, 0.75, {0.65, 0.30, 0.05},
+       {0.20, 0.25, 0.55}},
+  };
+}
+
+OctWorkbench::OctWorkbench(uint64_t seed) : rng_(seed) { BuildDesign(); }
+
+void OctWorkbench::BuildDesign() {
+  // Figure 3.1 schema: nets attach to a facet; terms attach to nets;
+  // paths attach to terms. Instances carry boxes (geometry). Fan-outs are
+  // sized so the three density classes have natural navigation targets:
+  // term/instance contents 0-3, net contents 4-9, facet contents >= 10.
+  constexpr int kFacets = 40;
+  for (int f = 0; f < kFacets; ++f) {
+    const OctId facet = dm_.Create(OctType::kFacet, 256);
+    facets_.push_back(facet);
+    const int instances = static_cast<int>(rng_.UniformInt(6, 14));
+    for (int i = 0; i < instances; ++i) {
+      const OctId inst = dm_.Create(OctType::kInstance, 96);
+      dm_.Attach(facet, inst);
+      instances_.push_back(inst);
+      const int boxes = static_cast<int>(rng_.UniformInt(0, 3));
+      for (int b = 0; b < boxes; ++b) {
+        dm_.Attach(inst, dm_.Create(OctType::kBox, 40));
+      }
+    }
+    const int nets = static_cast<int>(rng_.UniformInt(8, 20));
+    for (int n = 0; n < nets; ++n) {
+      const OctId net = dm_.Create(OctType::kNet, 64);
+      dm_.Attach(facet, net);
+      nets_.push_back(net);
+      const int terms = static_cast<int>(rng_.UniformInt(4, 9));
+      for (int t = 0; t < terms; ++t) {
+        const OctId term = dm_.Create(OctType::kTerm, 32);
+        dm_.Attach(net, term);
+        terms_.push_back(term);
+        const int npaths = static_cast<int>(rng_.UniformInt(0, 3));
+        for (int p = 0; p < npaths; ++p) {
+          const OctId path = dm_.Create(OctType::kPath, 48);
+          dm_.Attach(term, path);
+          paths_.push_back(path);
+        }
+      }
+    }
+  }
+}
+
+OctId OctWorkbench::PickLowDensityTarget() {
+  // Terms (0-3 paths) and instances (0-3 boxes).
+  if (rng_.Bernoulli(0.6) && !terms_.empty()) {
+    return terms_[rng_.NextBelow(terms_.size())];
+  }
+  return instances_[rng_.NextBelow(instances_.size())];
+}
+
+OctId OctWorkbench::PickMedDensityTarget() {
+  // Nets carry 4-9 terms.
+  return nets_[rng_.NextBelow(nets_.size())];
+}
+
+OctId OctWorkbench::PickHighDensityTarget() {
+  // Facets carry all their instances and nets (>= 14 objects).
+  return facets_[rng_.NextBelow(facets_.size())];
+}
+
+void OctWorkbench::RunSession(const ToolProfile& tool) {
+  trace_.BeginSession(tool.name);
+  const auto ops = static_cast<int>(
+      std::max(100.0, rng_.Exponential(tool.ops_per_session)));
+  DiscreteDistribution density({tool.density_mix[0], tool.density_mix[1],
+                                tool.density_mix[2]});
+  DiscreteDistribution writes({tool.write_mix[0], tool.write_mix[1],
+                               tool.write_mix[2]});
+
+  // Feedback controller: issue a write whenever the session's logical R/W
+  // ratio is above the tool's target, so the measured ratio converges to
+  // the calibration anchor regardless of ops-per-event variation.
+  int issued = 0;
+  int64_t reads_done = 0;
+  int64_t writes_done = 0;
+  while (issued < ops) {
+    const bool write_now =
+        static_cast<double>(reads_done) >
+        tool.target_rw_ratio * (static_cast<double>(writes_done) + 1.0);
+    if (write_now) {
+      switch (writes.Sample(rng_)) {
+        case 0: {  // replace a term's path with a fresh one
+          const OctId term = terms_[rng_.NextBelow(terms_.size())];
+          // Keep term fan-out in the low bucket: detaching the oldest
+          // path models geometry being rewritten rather than accreted.
+          const auto& existing = dm_.Peek(term).contents;
+          if (existing.size() >= 3) {
+            dm_.Detach(term, existing.front());
+            issued += 1;
+            writes_done += 1;
+          }
+          const OctId path = dm_.Create(OctType::kPath, 48);
+          dm_.Attach(term, path);
+          paths_.push_back(path);
+          issued += 2;  // simple write + structure write
+          writes_done += 2;
+          break;
+        }
+        case 1: {  // move a path between terms
+          const OctId from = terms_[rng_.NextBelow(terms_.size())];
+          const OctId to = terms_[rng_.NextBelow(terms_.size())];
+          const auto& contents = dm_.Peek(from).contents;
+          if (!contents.empty() && from != to &&
+              dm_.Peek(to).contents.size() < 3) {
+            const OctId path = contents.front();
+            dm_.Detach(from, path);
+            dm_.Attach(to, path);
+            issued += 2;
+            writes_done += 2;
+          } else {
+            dm_.Modify(from);
+            issued += 1;
+            writes_done += 1;
+          }
+          break;
+        }
+        default: {  // modify an existing object
+          dm_.Modify(instances_[rng_.NextBelow(instances_.size())]);
+          issued += 1;
+          writes_done += 1;
+          break;
+        }
+      }
+    } else if (rng_.Bernoulli(tool.p_structure_read)) {
+      // Structural navigation at the tool's density profile. Downward
+      // navigation dominates; occasionally navigate upward (the paper
+      // observed upward accesses nearly always return one object).
+      OctId target;
+      switch (density.Sample(rng_)) {
+        case 0:
+          target = PickLowDensityTarget();
+          break;
+        case 1:
+          target = PickMedDensityTarget();
+          break;
+        default:
+          target = PickHighDensityTarget();
+          break;
+      }
+      if (rng_.Bernoulli(0.9)) {
+        const auto contents = dm_.Contents(target);
+        // Tools touch a subset of what navigation returned (paper §3.2:
+        // not all component objects are read).
+        const size_t touch =
+            std::min<size_t>(contents.size(),
+                             static_cast<size_t>(rng_.UniformInt(0, 3)));
+        for (size_t i = 0; i < touch; ++i) dm_.Get(contents[i]);
+        issued += static_cast<int>(1 + touch);
+        reads_done += static_cast<int64_t>(1 + touch);
+      } else {
+        // Upward navigation starts at a leaf (e.g. "which net owns this
+        // terminal?"), which is why the paper sees almost all upward
+        // accesses return a single object.
+        const OctId leaf =
+            paths_.empty() ? terms_[rng_.NextBelow(terms_.size())]
+                           : paths_[rng_.NextBelow(paths_.size())];
+        dm_.Containers(leaf);
+        issued += 1;
+        reads_done += 1;
+      }
+    } else {
+      // Simple read by id.
+      dm_.Get(instances_[rng_.NextBelow(instances_.size())]);
+      issued += 1;
+      reads_done += 1;
+    }
+  }
+
+  const double jitter = rng_.UniformDouble(0.9, 1.1);
+  trace_.EndSession(static_cast<double>(issued) * tool.seconds_per_op *
+                    jitter);
+}
+
+uint64_t OctWorkbench::IntegrityScan() {
+  // Verify the attachment invariants by walking the whole design: every
+  // facet's nets, every net's terms, every term's paths. A system with
+  // referential integrity would maintain this incrementally on writes.
+  uint64_t reads = 0;
+  for (OctId facet : facets_) {
+    const auto nets = dm_.Contents(facet, OctType::kNet);
+    ++reads;
+    for (OctId net : nets) {
+      const auto terms = dm_.Contents(net, OctType::kTerm);
+      ++reads;
+      for (OctId term : terms) {
+        dm_.Contents(term, OctType::kPath);
+        ++reads;
+      }
+    }
+  }
+  return reads;
+}
+
+void OctWorkbench::RunTool(const ToolProfile& tool, int invocations,
+                           bool integrity_prescan) {
+  for (int i = 0; i < invocations; ++i) {
+    if (integrity_prescan) {
+      trace_.BeginSession(tool.name);
+      const uint64_t reads = IntegrityScan();
+      // The scan is part of the session; fold its time in before the
+      // normal op loop runs as its own recorded session.
+      trace_.EndSession(static_cast<double>(reads) * tool.seconds_per_op);
+    }
+    RunSession(tool);
+  }
+}
+
+void OctWorkbench::RunAll(int invocations_per_tool) {
+  for (const ToolProfile& tool : StandardTools()) {
+    RunTool(tool, invocations_per_tool);
+  }
+}
+
+}  // namespace oodb::oct

@@ -1,0 +1,96 @@
+#ifndef SEMCLUST_OCT_OCT_TOOLS_H_
+#define SEMCLUST_OCT_OCT_TOOLS_H_
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "oct/oct_model.h"
+#include "oct/trace.h"
+#include "util/random.h"
+
+/// \file
+/// Synthetic drivers for the ten measured OCT tools (paper §3). The
+/// originals ran for ~400 hours across ~5000 invocations; these drivers
+/// reproduce each tool's *access-pattern signature* — read/write ratio
+/// (Fig 3.2), logical-I/O rate (Fig 3.3), and downward structure-density
+/// distribution (Fig 3.4) — against an OCT design built with the Figure
+/// 3.1 schema (facet - net - term - path attachments).
+///
+/// Calibration targets come straight from the paper's text: VEM (the
+/// graphical editor) has R/W ~6000 and the highest structure density; the
+/// remaining tools span 0.52 .. 170, with the MOSAICO phases (atlas, cds,
+/// cpre, PGcurrent, mosaico) covering that whole range within one run.
+
+namespace oodb::oct {
+
+/// Behavioural signature of one tool.
+struct ToolProfile {
+  std::string name;
+  /// Target logical read/write ratio (Fig 3.2).
+  double target_rw_ratio = 10;
+  /// Mean logical operations per invocation.
+  double ops_per_session = 10000;
+  /// Synthetic computation seconds per logical op (sets Fig 3.3's rate).
+  double seconds_per_op = 0.01;
+  /// Among reads: probability of a structural navigation (vs simple get).
+  double p_structure_read = 0.6;
+  /// Downward-navigation mix over {low(0-3), med(4-9), high(>=10)} density
+  /// targets.
+  std::array<double, 3> density_mix = {0.7, 0.2, 0.1};
+  /// Among writes: probabilities of {create+attach, attach-only, modify}.
+  std::array<double, 3> write_mix = {0.3, 0.2, 0.5};
+};
+
+/// The ten tools of Figures 3.2-3.4.
+std::vector<ToolProfile> StandardTools();
+
+/// Owns an OCT design and replays tool invocations against it.
+class OctWorkbench {
+ public:
+  explicit OctWorkbench(uint64_t seed = 7);
+
+  /// Runs `invocations` sessions of the given tool. With
+  /// `integrity_prescan`, each session first scans the whole design the
+  /// way SPARCS does (paper §3.5: re-verifying an invariant the system
+  /// could maintain), which shows up as extra structure reads in the
+  /// trace.
+  void RunTool(const ToolProfile& tool, int invocations,
+               bool integrity_prescan = false);
+
+  /// The SPARCS-style full-design verification scan: navigates every
+  /// facet, net, and term once. Returns the number of logical reads it
+  /// issued.
+  uint64_t IntegrityScan();
+
+  /// Runs every standard tool `invocations_per_tool` times.
+  void RunAll(int invocations_per_tool);
+
+  const TraceCollector& trace() const { return trace_; }
+  const OctDataManager& data_manager() const { return dm_; }
+
+ private:
+  /// Builds the shared design (facets, instances, nets, terms, paths)
+  /// once, outside any session.
+  void BuildDesign();
+
+  void RunSession(const ToolProfile& tool);
+
+  // Navigation target pools by density class.
+  OctId PickLowDensityTarget();
+  OctId PickMedDensityTarget();
+  OctId PickHighDensityTarget();
+
+  TraceCollector trace_;
+  OctDataManager dm_{&trace_};
+  Rng rng_;
+  std::vector<OctId> facets_;
+  std::vector<OctId> instances_;
+  std::vector<OctId> nets_;
+  std::vector<OctId> terms_;
+  std::vector<OctId> paths_;
+};
+
+}  // namespace oodb::oct
+
+#endif  // SEMCLUST_OCT_OCT_TOOLS_H_

@@ -1,0 +1,74 @@
+#include "oct/trace_analyzer.h"
+
+#include <algorithm>
+
+namespace oodb::oct {
+
+std::vector<ToolSummary> SummarizeByTool(
+    const std::vector<SessionTrace>& sessions) {
+  std::vector<ToolSummary> summaries;
+  std::vector<double> seconds;           // parallel to summaries
+  std::vector<uint64_t> down_low, down_med, down_high, up_total, up_single;
+
+  auto index_of = [&](const std::string& tool) -> size_t {
+    for (size_t i = 0; i < summaries.size(); ++i) {
+      if (summaries[i].tool == tool) return i;
+    }
+    summaries.push_back(ToolSummary{tool});
+    seconds.push_back(0);
+    down_low.push_back(0);
+    down_med.push_back(0);
+    down_high.push_back(0);
+    up_total.push_back(0);
+    up_single.push_back(0);
+    return summaries.size() - 1;
+  };
+
+  for (const SessionTrace& s : sessions) {
+    const size_t i = index_of(s.tool);
+    ToolSummary& t = summaries[i];
+    ++t.invocations;
+    t.total_reads += s.TotalReads();
+    t.total_writes += s.TotalWrites();
+    seconds[i] += s.session_seconds;
+    for (uint32_t f : s.downward_fanouts) {
+      if (f <= 3) {
+        ++down_low[i];
+      } else if (f <= 10) {
+        ++down_med[i];
+      } else {
+        ++down_high[i];
+      }
+    }
+    for (uint32_t f : s.upward_fanouts) {
+      ++up_total[i];
+      if (f == 1) ++up_single[i];
+    }
+  }
+
+  for (size_t i = 0; i < summaries.size(); ++i) {
+    ToolSummary& t = summaries[i];
+    t.rw_ratio = t.total_writes == 0
+                     ? static_cast<double>(t.total_reads)
+                     : static_cast<double>(t.total_reads) /
+                           static_cast<double>(t.total_writes);
+    const uint64_t ops = t.total_reads + t.total_writes;
+    t.io_rate = seconds[i] <= 0
+                    ? 0
+                    : static_cast<double>(ops) / seconds[i];
+    const uint64_t down =
+        down_low[i] + down_med[i] + down_high[i];
+    if (down > 0) {
+      t.density_low = static_cast<double>(down_low[i]) / down;
+      t.density_med = static_cast<double>(down_med[i]) / down;
+      t.density_high = static_cast<double>(down_high[i]) / down;
+    }
+    t.upward_single_fraction =
+        up_total[i] == 0 ? 0
+                         : static_cast<double>(up_single[i]) /
+                               static_cast<double>(up_total[i]);
+  }
+  return summaries;
+}
+
+}  // namespace oodb::oct

@@ -1,0 +1,42 @@
+#ifndef SEMCLUST_OCT_TRACE_ANALYZER_H_
+#define SEMCLUST_OCT_TRACE_ANALYZER_H_
+
+#include <string>
+#include <vector>
+
+#include "oct/trace.h"
+
+/// \file
+/// Derives the Section 3 figures from collected traces: per-tool R/W ratio
+/// (Fig 3.2), logical-I/O rate per session second (Fig 3.3), and the
+/// downward structure-density distribution in the paper's three buckets
+/// (Fig 3.4: low 0-3, medium 4-10, high > 10).
+
+namespace oodb::oct {
+
+/// Aggregated statistics of one tool across its invocations.
+struct ToolSummary {
+  std::string tool;
+  uint64_t invocations = 0;
+  uint64_t total_reads = 0;
+  uint64_t total_writes = 0;
+  /// Aggregate reads / writes.
+  double rw_ratio = 0;
+  /// Aggregate ops per aggregate session seconds.
+  double io_rate = 0;
+  /// Shares of downward structural accesses by fan-out bucket.
+  double density_low = 0;   ///< fan-out 0..3
+  double density_med = 0;   ///< fan-out 4..10
+  double density_high = 0;  ///< fan-out > 10
+  /// Mean fraction of upward accesses returning exactly one object.
+  double upward_single_fraction = 0;
+};
+
+/// Groups sessions by tool (insertion order of first appearance) and
+/// aggregates.
+std::vector<ToolSummary> SummarizeByTool(
+    const std::vector<SessionTrace>& sessions);
+
+}  // namespace oodb::oct
+
+#endif  // SEMCLUST_OCT_TRACE_ANALYZER_H_

@@ -1,0 +1,63 @@
+#include "sim/resource.h"
+
+#include <utility>
+
+namespace oodb::sim {
+
+Resource::Resource(Simulator& sim, std::string name, int servers)
+    : sim_(sim), name_(std::move(name)), servers_(servers) {
+  OODB_CHECK_GE(servers_, 1);
+}
+
+void Resource::UseAwaiter::await_suspend(std::coroutine_handle<> h) {
+  res_.Enqueue(Waiter{service_time_, res_.sim_.now(), h, nullptr});
+}
+
+void Resource::UseDetached(SimTime service_time,
+                           Simulator::Callback on_complete) {
+  OODB_CHECK_GE(service_time, 0.0);
+  Enqueue(Waiter{service_time, sim_.now(), nullptr, std::move(on_complete)});
+}
+
+void Resource::Enqueue(Waiter w) {
+  TouchStats();
+  waiters_.push_back(std::move(w));
+  StartIfPossible();
+}
+
+void Resource::TouchStats() {
+  // Record the interval that just ended at the previous values.
+  busy_stats_.Update(sim_.now(),
+                     static_cast<double>(busy_) / servers_);
+  queue_stats_.Update(sim_.now(), static_cast<double>(waiters_.size()));
+}
+
+void Resource::StartIfPossible() {
+  while (busy_ < servers_ && !waiters_.empty()) {
+    Waiter w = std::move(waiters_.front());
+    waiters_.pop_front();
+    TouchStats();
+    ++busy_;
+    sim_.Schedule(w.service_time, [this, w = std::move(w)]() mutable {
+      TouchStats();
+      --busy_;
+      ++completions_;
+      residence_.Add(sim_.now() - w.enqueue_time);
+      // Free the server before resuming: the resumed process may request
+      // this resource again.
+      StartIfPossible();
+      if (w.handle) {
+        w.handle.resume();
+      }
+      if (w.on_complete) {
+        w.on_complete();
+      }
+    });
+  }
+}
+
+double Resource::Utilization() const { return busy_stats_.Mean(); }
+
+double Resource::MeanQueueLength() const { return queue_stats_.Mean(); }
+
+}  // namespace oodb::sim

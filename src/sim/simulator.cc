@@ -1,0 +1,57 @@
+#include "sim/simulator.h"
+
+#include <utility>
+
+namespace oodb::sim {
+
+void Simulator::Schedule(SimTime delay, Callback cb) {
+  OODB_CHECK_GE(delay, 0.0);
+  ScheduleAt(now_ + delay, std::move(cb));
+}
+
+void Simulator::ScheduleAt(SimTime t, Callback cb) {
+  OODB_CHECK_GE(t, now_);
+  queue_.push(Event{t, next_seq_++, std::move(cb)});
+}
+
+void Simulator::Dispatch(Event& e) {
+  now_ = e.time;
+  ++events_processed_;
+  // Move the callback out before running it: the callback may schedule new
+  // events, which can reallocate the queue's underlying storage.
+  Callback cb = std::move(e.cb);
+  cb();
+}
+
+void Simulator::Run() {
+  while (!queue_.empty()) {
+    Event e = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    Dispatch(e);
+  }
+}
+
+uint64_t Simulator::RunUntil(SimTime t) {
+  uint64_t n = 0;
+  while (!queue_.empty() && queue_.top().time <= t) {
+    Event e = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    Dispatch(e);
+    ++n;
+  }
+  now_ = std::max(now_, t);
+  return n;
+}
+
+uint64_t Simulator::Step(uint64_t max_events) {
+  uint64_t n = 0;
+  while (n < max_events && !queue_.empty()) {
+    Event e = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    Dispatch(e);
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace oodb::sim

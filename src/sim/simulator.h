@@ -1,0 +1,79 @@
+#ifndef SEMCLUST_SIM_SIMULATOR_H_
+#define SEMCLUST_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/check.h"
+
+/// \file
+/// Discrete-event simulation kernel: a virtual clock and an event calendar.
+/// This is the foundation of the PAWS-replacement used by the engineering
+/// database model (DESIGN.md §2). Events at equal times fire in scheduling
+/// order, so runs are fully deterministic.
+
+namespace oodb::sim {
+
+/// Simulation time, in seconds of modelled wall-clock time.
+using SimTime = double;
+
+/// The event calendar and clock. Single-threaded; not thread-safe.
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulation time.
+  SimTime now() const { return now_; }
+
+  /// Schedules `cb` to run at `now() + delay`. Requires delay >= 0.
+  void Schedule(SimTime delay, Callback cb);
+
+  /// Schedules `cb` at absolute time `t`. Requires t >= now().
+  void ScheduleAt(SimTime t, Callback cb);
+
+  /// Runs until the event calendar is empty.
+  void Run();
+
+  /// Runs events with time <= `t`, then sets the clock to `t`.
+  /// Returns the number of events processed.
+  uint64_t RunUntil(SimTime t);
+
+  /// Processes at most `max_events` events; returns how many ran.
+  uint64_t Step(uint64_t max_events);
+
+  /// Total events processed since construction.
+  uint64_t events_processed() const { return events_processed_; }
+
+  /// True when no events are pending.
+  bool Empty() const { return queue_.empty(); }
+
+ private:
+  struct Event {
+    SimTime time;
+    uint64_t seq;  // tie-breaker: FIFO among equal times
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  void Dispatch(Event& e);
+
+  SimTime now_ = 0;
+  uint64_t next_seq_ = 0;
+  uint64_t events_processed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace oodb::sim
+
+#endif  // SEMCLUST_SIM_SIMULATOR_H_

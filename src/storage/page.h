@@ -1,0 +1,67 @@
+#ifndef SEMCLUST_STORAGE_PAGE_H_
+#define SEMCLUST_STORAGE_PAGE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "objmodel/object_id.h"
+#include "util/check.h"
+
+/// \file
+/// A disk page holding design-object records. The simulation models object
+/// *placement* (which object lives on which page and how full pages are),
+/// not payload bytes, so a page is a slot directory with byte accounting.
+
+namespace oodb::store {
+
+/// Dense page identifier.
+using PageId = uint32_t;
+inline constexpr PageId kInvalidPage = UINT32_MAX;
+
+/// One object record resident on a page.
+struct Slot {
+  obj::ObjectId object = obj::kInvalidObject;
+  uint32_t size_bytes = 0;
+};
+
+/// A fixed-capacity slotted page.
+class Page {
+ public:
+  /// Creates an empty page with `capacity_bytes` of usable space.
+  explicit Page(uint32_t capacity_bytes) : capacity_(capacity_bytes) {
+    OODB_CHECK_GT(capacity_bytes, 0u);
+  }
+
+  /// True if an object of `size_bytes` fits.
+  bool Fits(uint32_t size_bytes) const {
+    return used_ + size_bytes <= capacity_;
+  }
+
+  /// Adds a record. Returns false (without modification) if it doesn't fit.
+  bool Insert(obj::ObjectId id, uint32_t size_bytes);
+
+  /// Removes the record for `id`. Returns false if not present.
+  bool Remove(obj::ObjectId id);
+
+  /// True if `id` is resident here.
+  bool Contains(obj::ObjectId id) const;
+
+  /// Changes the recorded size of a resident object. Returns false if the
+  /// object is absent or the new size does not fit.
+  bool ResizeObject(obj::ObjectId id, uint32_t new_size_bytes);
+
+  uint32_t capacity_bytes() const { return capacity_; }
+  uint32_t used_bytes() const { return used_; }
+  uint32_t free_bytes() const { return capacity_ - used_; }
+  size_t object_count() const { return slots_.size(); }
+  const std::vector<Slot>& slots() const { return slots_; }
+
+ private:
+  uint32_t capacity_;
+  uint32_t used_ = 0;
+  std::vector<Slot> slots_;
+};
+
+}  // namespace oodb::store
+
+#endif  // SEMCLUST_STORAGE_PAGE_H_

@@ -1,0 +1,135 @@
+#include "storage/storage_manager.h"
+
+#include <algorithm>
+
+namespace oodb::store {
+
+StorageManager::StorageManager(uint32_t page_size_bytes,
+                               double append_fill_fraction)
+    : page_size_(page_size_bytes) {
+  OODB_CHECK_GT(page_size_bytes, 0u);
+  OODB_CHECK_GT(append_fill_fraction, 0.0);
+  OODB_CHECK_LE(append_fill_fraction, 1.0);
+  append_fill_limit_ = static_cast<uint32_t>(
+      append_fill_fraction * static_cast<double>(page_size_bytes));
+}
+
+PageId StorageManager::AllocatePage() {
+  pages_.emplace_back(page_size_);
+  return static_cast<PageId>(pages_.size() - 1);
+}
+
+void StorageManager::EnsureDirectory(obj::ObjectId id) {
+  if (id >= object_page_.size()) {
+    object_page_.resize(static_cast<size_t>(id) + 1, kInvalidPage);
+  }
+}
+
+Status StorageManager::Place(obj::ObjectId id, uint32_t size_bytes,
+                             PageId page) {
+  OODB_CHECK_LT(page, pages_.size());
+  if (size_bytes > page_size_) {
+    return Status::InvalidArgument("object larger than a page");
+  }
+  EnsureDirectory(id);
+  if (object_page_[id] != kInvalidPage) {
+    return Status::AlreadyExists("object already placed");
+  }
+  if (!pages_[page].Insert(id, size_bytes)) {
+    return Status::ResourceExhausted("page full");
+  }
+  object_page_[id] = page;
+  used_bytes_ += size_bytes;
+  return Status::Ok();
+}
+
+StatusOr<PageId> StorageManager::PlaceAppend(obj::ObjectId id,
+                                             uint32_t size_bytes) {
+  if (size_bytes > page_size_) {
+    return Status::InvalidArgument("object larger than a page");
+  }
+  const bool over_fill_limit =
+      append_page_ != kInvalidPage &&
+      pages_[append_page_].used_bytes() + size_bytes > append_fill_limit_ &&
+      size_bytes <= append_fill_limit_;  // oversized objects bypass reserve
+  if (append_page_ == kInvalidPage || over_fill_limit ||
+      !pages_[append_page_].Fits(size_bytes)) {
+    append_page_ = AllocatePage();
+  }
+  OODB_RETURN_IF_ERROR(Place(id, size_bytes, append_page_));
+  return append_page_;
+}
+
+Status StorageManager::Relocate(obj::ObjectId id, PageId to) {
+  OODB_CHECK_LT(to, pages_.size());
+  const PageId from = PageOf(id);
+  if (from == kInvalidPage) {
+    return Status::NotFound("object not placed");
+  }
+  if (from == to) return Status::Ok();
+  // Find the size from the source page.
+  const uint32_t size = SizeOf(id);
+  if (!pages_[to].Insert(id, size)) {
+    return Status::ResourceExhausted("destination page full");
+  }
+  OODB_CHECK(pages_[from].Remove(id));
+  object_page_[id] = to;
+  return Status::Ok();
+}
+
+Status StorageManager::Erase(obj::ObjectId id) {
+  const PageId from = PageOf(id);
+  if (from == kInvalidPage) {
+    return Status::NotFound("object not placed");
+  }
+  const uint32_t size = SizeOf(id);
+  OODB_CHECK(pages_[from].Remove(id));
+  object_page_[id] = kInvalidPage;
+  used_bytes_ -= size;
+  return Status::Ok();
+}
+
+Status StorageManager::ResizeInPlace(obj::ObjectId id,
+                                     uint32_t new_size_bytes) {
+  const PageId p = PageOf(id);
+  if (p == kInvalidPage) {
+    return Status::NotFound("object not placed");
+  }
+  const uint32_t old_size = SizeOf(id);
+  if (!pages_[p].ResizeObject(id, new_size_bytes)) {
+    return Status::ResourceExhausted("page cannot absorb growth");
+  }
+  used_bytes_ += new_size_bytes;
+  used_bytes_ -= old_size;
+  return Status::Ok();
+}
+
+PageId StorageManager::PageOf(obj::ObjectId id) const {
+  if (id >= object_page_.size()) return kInvalidPage;
+  return object_page_[id];
+}
+
+uint32_t StorageManager::SizeOf(obj::ObjectId id) const {
+  const PageId p = PageOf(id);
+  OODB_CHECK_NE(p, kInvalidPage);
+  for (const Slot& s : pages_[p].slots()) {
+    if (s.object == id) return s.size_bytes;
+  }
+  OODB_CHECK(false);  // directory says placed but page disagrees
+  return 0;
+}
+
+double StorageManager::MeanOccupancy() const {
+  uint64_t used = 0;
+  uint64_t capacity = 0;
+  for (const Page& p : pages_) {
+    if (p.object_count() == 0) continue;
+    used += p.used_bytes();
+    capacity += p.capacity_bytes();
+  }
+  return capacity == 0
+             ? 0.0
+             : static_cast<double>(used) / static_cast<double>(capacity);
+}
+
+}  // namespace oodb::store

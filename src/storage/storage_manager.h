@@ -1,0 +1,96 @@
+#ifndef SEMCLUST_STORAGE_STORAGE_MANAGER_H_
+#define SEMCLUST_STORAGE_STORAGE_MANAGER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "objmodel/object_id.h"
+#include "storage/page.h"
+#include "util/status.h"
+
+/// \file
+/// The storage component: maps design objects onto pages, supports
+/// clustering-driven placement and relocation, and maintains the
+/// object -> page directory. Placement policy lives in the cluster manager;
+/// this class only executes placements.
+
+namespace oodb::store {
+
+/// Placement, relocation, and page bookkeeping for the whole database.
+class StorageManager {
+ public:
+  /// `page_size_bytes` is the usable capacity per page (Table 4.1: 4 KB).
+  /// `append_fill_fraction` in (0, 1] caps how full arrival-order appends
+  /// make a page before a fresh one is opened; the reserve is usable by
+  /// directed placements (clustering), the standard fill-factor headroom
+  /// that lets later relatives join a page.
+  explicit StorageManager(uint32_t page_size_bytes,
+                          double append_fill_fraction = 1.0);
+
+  StorageManager(const StorageManager&) = delete;
+  StorageManager& operator=(const StorageManager&) = delete;
+
+  /// Allocates a fresh empty page.
+  PageId AllocatePage();
+
+  /// Places an unplaced object on `page`. Fails with kResourceExhausted if
+  /// the object doesn't fit, kAlreadyExists if the object is already
+  /// placed, kInvalidArgument if the object can never fit on any page.
+  Status Place(obj::ObjectId id, uint32_t size_bytes, PageId page);
+
+  /// Places an unplaced object on the current append page, allocating a new
+  /// page when full. This is the non-clustered "arrival order" placement.
+  /// Returns the page used.
+  StatusOr<PageId> PlaceAppend(obj::ObjectId id, uint32_t size_bytes);
+
+  /// Moves a placed object to `to`. Fails with kResourceExhausted if it
+  /// doesn't fit.
+  Status Relocate(obj::ObjectId id, PageId to);
+
+  /// Removes a placed object from its page.
+  Status Erase(obj::ObjectId id);
+
+  /// Adjusts the stored size of a placed object in place. Fails with
+  /// kResourceExhausted if the page cannot absorb the growth (the caller
+  /// then relocates or splits).
+  Status ResizeInPlace(obj::ObjectId id, uint32_t new_size_bytes);
+
+  /// Page holding `id`, or kInvalidPage if unplaced.
+  PageId PageOf(obj::ObjectId id) const;
+
+  /// True if the object currently resides on some page.
+  bool IsPlaced(obj::ObjectId id) const {
+    return PageOf(id) != kInvalidPage;
+  }
+
+  const Page& page(PageId id) const {
+    OODB_CHECK_LT(id, pages_.size());
+    return pages_[id];
+  }
+
+  size_t page_count() const { return pages_.size(); }
+  uint32_t page_size_bytes() const { return page_size_; }
+  PageId append_page() const { return append_page_; }
+
+  /// Total bytes stored across all pages.
+  uint64_t used_bytes() const { return used_bytes_; }
+  /// Mean page fill fraction over non-empty pages.
+  double MeanOccupancy() const;
+
+  /// Recorded size of a placed object (as known to storage).
+  uint32_t SizeOf(obj::ObjectId id) const;
+
+ private:
+  void EnsureDirectory(obj::ObjectId id);
+
+  uint32_t page_size_;
+  uint32_t append_fill_limit_;
+  std::vector<Page> pages_;
+  std::vector<PageId> object_page_;  // indexed by ObjectId
+  PageId append_page_ = kInvalidPage;
+  uint64_t used_bytes_ = 0;
+};
+
+}  // namespace oodb::store
+
+#endif  // SEMCLUST_STORAGE_STORAGE_MANAGER_H_

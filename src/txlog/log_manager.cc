@@ -1,0 +1,100 @@
+#include "txlog/log_manager.h"
+
+namespace oodb::txlog {
+
+LogManager::LogManager(uint32_t buffer_bytes, uint32_t page_size_bytes,
+                       uint32_t record_header_bytes)
+    : capacity_(buffer_bytes),
+      page_size_(page_size_bytes),
+      header_(record_header_bytes) {
+  OODB_CHECK_GT(buffer_bytes, 0u);
+  OODB_CHECK_GT(page_size_bytes, 0u);
+  // A before-image record must fit in the buffer.
+  OODB_CHECK_GE(buffer_bytes, page_size_bytes + record_header_bytes);
+}
+
+void LogManager::Begin(TxnId txn) {
+  const bool inserted = touched_.emplace(txn, std::unordered_set<store::PageId>{}).second;
+  OODB_CHECK(inserted);
+}
+
+int LogManager::Append(uint32_t payload) {
+  const uint32_t record = header_ + payload;
+  int flushes = 0;
+  if (buffered_ + record > capacity_) {
+    // Circular buffer full: flush it (one physical write of the log tail).
+    ++flushes_;
+    ++flushes;
+    buffered_ = 0;
+    if (records_ > 0) {
+      // Everything appended so far is on disk.
+      durable_lsn_ = records_ - 1;
+      any_flush_ = true;
+    }
+  }
+  buffered_ += record;
+  ++records_;
+  bytes_appended_ += record;
+  return flushes;
+}
+
+void LogManager::Journal(LogRecordType type, TxnId txn, store::PageId page,
+                         uint32_t payload) {
+  if (!journal_enabled_) return;
+  LogRecord r;
+  r.lsn = journal_.size();
+  r.type = type;
+  r.txn = txn;
+  r.page = page;
+  r.payload_bytes = payload;
+  journal_.push_back(r);
+}
+
+int LogManager::LogWrite(TxnId txn, store::PageId page,
+                         uint32_t object_size) {
+  auto it = touched_.find(txn);
+  OODB_CHECK(it != touched_.end());
+  int flushes = 0;
+  if (it->second.insert(page).second) {
+    // First touch of this page by this transaction: page before-image.
+    ++before_images_;
+    Journal(LogRecordType::kBeforeImage, txn, page,
+            page_size_);
+    flushes += Append(page_size_);
+  }
+  Journal(LogRecordType::kRedo, txn, page,
+          object_size);
+  flushes += Append(object_size);
+  return flushes;
+}
+
+int LogManager::Commit(TxnId txn, bool force) {
+  auto it = touched_.find(txn);
+  OODB_CHECK(it != touched_.end());
+  touched_.erase(it);
+  Journal(LogRecordType::kCommit, txn, store::kInvalidPage, 16);
+  int flushes = Append(/*payload=*/16);  // commit record
+  if (force && buffered_ > 0) {
+    ++flushes_;
+    ++flushes;
+    buffered_ = 0;
+    durable_lsn_ = records_ - 1;
+    any_flush_ = true;
+  }
+  return flushes;
+}
+
+void LogManager::Abort(TxnId txn) {
+  auto it = touched_.find(txn);
+  OODB_CHECK(it != touched_.end());
+  touched_.erase(it);
+}
+
+void LogManager::ResetCounters() {
+  records_ = before_images_ = bytes_appended_ = flushes_ = 0;
+  journal_.clear();
+  durable_lsn_ = 0;
+  any_flush_ = false;
+}
+
+}  // namespace oodb::txlog

@@ -1,0 +1,62 @@
+#ifndef SEMCLUST_TXLOG_RECOVERY_H_
+#define SEMCLUST_TXLOG_RECOVERY_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "storage/page.h"
+#include "txlog/log_manager.h"
+#include "util/status.h"
+
+/// \file
+/// Log-record journal and crash-recovery analysis. The paper's model logs
+/// before-images and redo records ("a log record is constructed based on
+/// the size of the newly created or modified object"); this module makes
+/// those records first-class so the write-ahead invariants can be checked
+/// and a crash point analysed: which transactions were committed (redo)
+/// vs in-flight (undo via before-images), and which pages each set
+/// touches.
+
+namespace oodb::txlog {
+
+/// The outcome of analysing a journal prefix (a crash point).
+struct RecoveryPlan {
+  /// Transactions whose commit record is durable: replay their redo
+  /// records.
+  std::vector<TxnId> winners;
+  /// Transactions without a durable commit: restore their before-images.
+  std::vector<TxnId> losers;
+  /// Pages to redo (from winners), deduplicated.
+  std::vector<store::PageId> redo_pages;
+  /// Pages to restore from before-images (from losers), deduplicated.
+  std::vector<store::PageId> undo_pages;
+  /// Records that were in the volatile tail (not durable) at the crash.
+  uint64_t lost_records = 0;
+};
+
+/// Analyses a journal as written by LogManager (see
+/// LogManager::EnableJournal).
+class RecoveryAnalyzer {
+ public:
+  explicit RecoveryAnalyzer(const std::vector<LogRecord>* journal);
+
+  /// Verifies the write-ahead invariants over the whole journal:
+  ///  * the first record a transaction writes for a page is its
+  ///    before-image (physiological WAL);
+  ///  * no transaction logs after its commit record;
+  ///  * LSNs are dense and increasing.
+  Status CheckWalInvariants() const;
+
+  /// Computes the recovery plan for a crash after `durable_lsn` (every
+  /// record with lsn <= durable_lsn is on disk; later ones are lost).
+  RecoveryPlan AnalyzeCrash(Lsn durable_lsn) const;
+
+ private:
+  const std::vector<LogRecord>* journal_;
+};
+
+}  // namespace oodb::txlog
+
+#endif  // SEMCLUST_TXLOG_RECOVERY_H_

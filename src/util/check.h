@@ -1,0 +1,40 @@
+#ifndef SEMCLUST_UTIL_CHECK_H_
+#define SEMCLUST_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// \file
+/// Internal invariant checking. The library does not use exceptions; broken
+/// invariants (programming errors, as opposed to expected runtime failures
+/// reported via Status) abort the process with a source location.
+
+namespace oodb::internal {
+
+[[noreturn]] inline void CheckFailed(const char* expr, const char* file,
+                                     int line) {
+  std::fprintf(stderr, "CHECK failed: %s at %s:%d\n", expr, file, line);
+  std::abort();
+}
+
+}  // namespace oodb::internal
+
+/// Aborts the process if `expr` is false. Enabled in all build types:
+/// simulation correctness depends on these invariants and the cost is
+/// negligible next to event processing.
+#define OODB_CHECK(expr)                                          \
+  do {                                                            \
+    if (!(expr)) {                                                \
+      ::oodb::internal::CheckFailed(#expr, __FILE__, __LINE__);   \
+    }                                                             \
+  } while (0)
+
+/// Convenience comparison checks.
+#define OODB_CHECK_EQ(a, b) OODB_CHECK((a) == (b))
+#define OODB_CHECK_NE(a, b) OODB_CHECK((a) != (b))
+#define OODB_CHECK_LT(a, b) OODB_CHECK((a) < (b))
+#define OODB_CHECK_LE(a, b) OODB_CHECK((a) <= (b))
+#define OODB_CHECK_GT(a, b) OODB_CHECK((a) > (b))
+#define OODB_CHECK_GE(a, b) OODB_CHECK((a) >= (b))
+
+#endif  // SEMCLUST_UTIL_CHECK_H_

@@ -1,0 +1,83 @@
+#ifndef SEMCLUST_UTIL_RANDOM_H_
+#define SEMCLUST_UTIL_RANDOM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/check.h"
+
+/// \file
+/// Deterministic pseudo-random number generation and the distributions used
+/// by the workload generator and the simulation model. A seeded xoshiro256**
+/// generator keeps every simulation run reproducible bit-for-bit.
+
+namespace oodb {
+
+/// xoshiro256** PRNG (Blackman & Vigna). Fast, high quality, and — unlike
+/// std::mt19937 + std::*_distribution — produces identical streams on every
+/// platform and standard library, which matters for reproducible experiments.
+class Rng {
+ public:
+  /// Seeds the generator. Two Rng instances with the same seed produce the
+  /// same stream.
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Uniform 64-bit value.
+  uint64_t NextU64();
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  uint64_t NextBelow(uint64_t n);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi);
+
+  /// True with probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Exponentially distributed value with the given mean (> 0).
+  double Exponential(double mean);
+
+  /// Zipf-distributed integer in [0, n) with skew theta in [0, 1).
+  /// theta = 0 is uniform; larger theta is more skewed. Uses the standard
+  /// rejection-free inverse-CDF approximation of Gray et al.
+  uint64_t Zipf(uint64_t n, double theta);
+
+  /// Splits off an independent generator (for per-user streams).
+  Rng Fork();
+
+ private:
+  uint64_t s_[4];
+};
+
+/// Samples indices 0..n-1 with the given non-negative weights, in O(1) per
+/// sample after O(n) setup (Walker's alias method). Used for choosing query
+/// types, tool mixes, and relationship kinds by frequency.
+class DiscreteDistribution {
+ public:
+  /// Builds the alias table. `weights` must be non-empty with a positive sum.
+  explicit DiscreteDistribution(const std::vector<double>& weights);
+
+  /// Returns an index in [0, size()) with probability proportional to its
+  /// weight.
+  size_t Sample(Rng& rng) const;
+
+  size_t size() const { return prob_.size(); }
+
+  /// Probability of index i (normalised weight).
+  double probability(size_t i) const { return norm_[i]; }
+
+ private:
+  std::vector<double> prob_;   // alias-table acceptance probabilities
+  std::vector<size_t> alias_;  // alias targets
+  std::vector<double> norm_;   // normalised weights, for inspection
+};
+
+}  // namespace oodb
+
+#endif  // SEMCLUST_UTIL_RANDOM_H_

@@ -1,0 +1,126 @@
+#ifndef SEMCLUST_UTIL_STATUS_H_
+#define SEMCLUST_UTIL_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "util/check.h"
+
+/// \file
+/// Error handling for semclust. The library is exception-free: fallible
+/// operations return `Status` or `StatusOr<T>` (the RocksDB / Arrow idiom).
+
+namespace oodb {
+
+/// Coarse error category carried by a Status.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kResourceExhausted,  ///< e.g. page full, buffer pool exhausted of frames
+  kFailedPrecondition,
+  kInternal,
+};
+
+/// Returns a short human-readable name for `code` ("OK", "NotFound", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// Result of a fallible operation: a code plus an optional message.
+/// Cheap to copy in the OK case (empty message).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A Status or a value of type T. `value()` requires `ok()`.
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit from value and from Status, mirroring absl::StatusOr, so that
+  /// `return value;` and `return Status::NotFound(...);` both work.
+  StatusOr(T value) : value_(std::move(value)) {}        // NOLINT
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    OODB_CHECK(!status_.ok());  // OK StatusOr must carry a value.
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    OODB_CHECK(ok());
+    return *value_;
+  }
+  T& value() & {
+    OODB_CHECK(ok());
+    return *value_;
+  }
+  T&& value() && {
+    OODB_CHECK(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace oodb
+
+/// Propagates a non-OK status to the caller.
+#define OODB_RETURN_IF_ERROR(expr)          \
+  do {                                      \
+    ::oodb::Status _st = (expr);            \
+    if (!_st.ok()) return _st;              \
+  } while (0)
+
+#endif  // SEMCLUST_UTIL_STATUS_H_

@@ -1,0 +1,42 @@
+#ifndef SEMCLUST_UTIL_TABLE_PRINTER_H_
+#define SEMCLUST_UTIL_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+/// \file
+/// ASCII table output for the benchmark harness. Every bench binary prints
+/// the rows/series of the paper table or figure it regenerates through this
+/// printer so the output is uniform and diffable.
+
+namespace oodb {
+
+/// Collects rows of string cells and prints them column-aligned.
+class TablePrinter {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends a row; must have exactly as many cells as there are headers.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders the table (header, separator, rows) to `os`.
+  void Print(std::ostream& os) const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` fractional digits.
+std::string FormatDouble(double v, int digits = 2);
+
+/// Formats a ratio like "3.1x".
+std::string FormatRatio(double v, int digits = 2);
+
+}  // namespace oodb
+
+#endif  // SEMCLUST_UTIL_TABLE_PRINTER_H_

@@ -1,0 +1,252 @@
+#include "workload/db_builder.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace oodb::workload {
+
+size_t DesignDatabase::TotalObjects() const {
+  size_t total = 0;
+  for (const Module& m : modules) total += m.objects.size();
+  return total;
+}
+
+CadTypes RegisterCadTypes(obj::TypeLattice& lattice) {
+  CadTypes types;
+  // Profiles: CAD navigation is configuration-dominant; version history is
+  // the main inheritance path; alternate representations are reached via
+  // correspondence (paper §2.1 / §3.5).
+  types.composite = lattice.DefineType(
+      "cell", obj::kInvalidType, 48, {6.0, 1.5, 1.0, 0.5},
+      {{"bbox", 16, true, 2.0, 0.1},
+       {"geometry", 1400, true, 0.05, 0.02},
+       {"label", 24, false, 0.3, 0.0}});
+  types.leaf = lattice.DefineType(
+      "primitive", types.composite, 32, {5.0, 1.0, 0.8, 0.5},
+      {{"params", 32, true, 1.0, 0.05}});
+  types.alt = lattice.DefineType(
+      "netcell", obj::kInvalidType, 40, {3.0, 1.0, 4.0, 0.5},
+      {{"netlist", 600, true, 0.1, 0.05}});
+  return types;
+}
+
+namespace internal {
+
+/// One step of a module-construction plan.
+struct PlanStep {
+  enum class Kind : uint8_t { kCreate, kDerive } kind = Kind::kCreate;
+  obj::TypeId type = obj::kInvalidType;
+  uint32_t size_bytes = 0;
+  bool is_composite = false;
+  /// Local index (within the plan) of the configuration parent, or -1.
+  int parent = -1;
+  /// Local index of the correspondence counterpart, or -1.
+  int corresponds = -1;
+  /// kDerive: local index of the object to derive a version of.
+  int derive_of = -1;
+};
+
+}  // namespace internal
+
+using internal::PlanStep;
+
+/// A stream's in-progress module: its plan and execution cursor.
+struct DbBuilder::StreamState {
+  std::vector<PlanStep> plan;
+  size_t cursor = 0;
+  std::vector<obj::ObjectId> local_ids;  // plan index -> ObjectId
+  DesignDatabase::Module module;
+  obj::FamilyId family = obj::kInvalidFamily;
+  bool Done() const { return cursor >= plan.size(); }
+};
+
+DbBuilder::DbBuilder(obj::ObjectGraph* graph,
+                     cluster::ClusterManager* cluster_mgr,
+                     buffer::BufferPool* buffer, DatabaseSpec spec)
+    : graph_(graph), cluster_(cluster_mgr), buffer_(buffer), spec_(spec),
+      rng_(spec.seed) {
+  OODB_CHECK(graph != nullptr);
+  OODB_CHECK(cluster_mgr != nullptr);
+  OODB_CHECK_GE(spec_.concurrent_streams, 1);
+}
+
+DbBuilder::~DbBuilder() = default;
+
+uint32_t DbBuilder::SampleObjectSize(bool composite) {
+  // Exponential with a floor: many small objects, occasional large ones.
+  const double mean = static_cast<double>(spec_.mean_object_bytes);
+  double size = 0.4 * mean + rng_.Exponential(0.6 * mean);
+  if (composite) size += spec_.composite_extra_bytes;
+  return static_cast<uint32_t>(std::clamp(size, 24.0, 1024.0));
+}
+
+void DbBuilder::Place(obj::ObjectId id) {
+  const auto report = cluster_->PlaceNew(id);
+  bytes_created_ += graph_->object(id).size_bytes;
+  if (buffer_ != nullptr) {
+    // Mirror the run-time write path's residency effects: examined
+    // candidate pages and the written page end up in the buffer pool.
+    for (store::PageId p : report.exam_reads) buffer_->Fix(p);
+    buffer_->Fix(report.page);
+    buffer_->MarkDirty(report.page);
+    if (report.split && report.split_new_page != store::kInvalidPage) {
+      buffer_->Fix(report.split_new_page);
+      buffer_->MarkDirty(report.split_new_page);
+    }
+  }
+}
+
+std::vector<PlanStep> DbBuilder::PlanModule() {
+  std::vector<PlanStep> plan;
+  const FanoutRange fanout = FanoutFor(spec_.density);
+
+  // --- Primary representation: depth-first configuration tree. ---
+  plan.push_back(PlanStep{PlanStep::Kind::kCreate, types_.composite,
+                          SampleObjectSize(true), true, -1, -1, -1});
+  std::vector<int> root_components;
+  // Depth-first expansion over planned composites: (plan index, depth).
+  std::vector<std::pair<int, int>> stack{{0, 0}};
+  while (!stack.empty()) {
+    const auto [parent, depth] = stack.back();
+    stack.pop_back();
+    const int children = static_cast<int>(
+        rng_.UniformInt(fanout.min_fanout, fanout.max_fanout));
+    for (int c = 0; c < children; ++c) {
+      const bool composite = depth + 1 < spec_.hierarchy_depth &&
+                             rng_.Bernoulli(spec_.composite_fraction);
+      const obj::TypeId type = composite ? types_.composite : types_.leaf;
+      plan.push_back(PlanStep{PlanStep::Kind::kCreate, type,
+                              SampleObjectSize(composite), composite,
+                              parent, -1, -1});
+      const int idx = static_cast<int>(plan.size() - 1);
+      if (parent == 0) root_components.push_back(idx);
+      if (composite) stack.push_back({idx, depth + 1});
+    }
+  }
+
+  // --- Alternate representations with correspondences. ---
+  for (int rep = 0; rep < spec_.alt_representations; ++rep) {
+    plan.push_back(PlanStep{PlanStep::Kind::kCreate, types_.alt,
+                            SampleObjectSize(true), true, -1, /*root=*/0,
+                            -1});
+    const int alt_root = static_cast<int>(plan.size() - 1);
+    for (int counterpart : root_components) {
+      plan.push_back(PlanStep{PlanStep::Kind::kCreate, types_.alt,
+                              SampleObjectSize(false), false, alt_root,
+                              counterpart, -1});
+    }
+  }
+
+  // --- Version chains (instance-to-instance inheritance). ---
+  const int base_count = static_cast<int>(plan.size());
+  for (int i = 0; i < base_count; ++i) {
+    if (!rng_.Bernoulli(spec_.version_fraction)) continue;
+    int head = i;
+    const double p_stop = 1.0 / (1.0 + spec_.version_chain_mean);
+    do {
+      plan.push_back(PlanStep{PlanStep::Kind::kDerive, obj::kInvalidType, 0,
+                              false, -1, -1, head});
+      head = static_cast<int>(plan.size() - 1);
+    } while (!rng_.Bernoulli(p_stop));
+  }
+  return plan;
+}
+
+void DbBuilder::ExecuteStep(StreamState& stream) {
+  const PlanStep& step = stream.plan[stream.cursor];
+  DesignDatabase::Module& module = stream.module;
+  obj::ObjectId id = obj::kInvalidObject;
+
+  if (step.kind == PlanStep::Kind::kCreate) {
+    id = graph_->Create(stream.family, 1, step.type, step.size_bytes);
+    if (step.parent >= 0) {
+      graph_->Relate(stream.local_ids[static_cast<size_t>(step.parent)], id,
+                     obj::RelKind::kConfiguration);
+    }
+    if (step.corresponds >= 0) {
+      const obj::ObjectId other =
+          stream.local_ids[static_cast<size_t>(step.corresponds)];
+      graph_->Relate(id, other, obj::RelKind::kCorrespondence);
+      module.corresponding.push_back(id);
+      module.corresponding.push_back(other);
+    }
+    Place(id);
+    if (step.is_composite) module.composites.push_back(id);
+    if (module.root == obj::kInvalidObject) module.root = id;
+  } else {
+    const obj::ObjectId of =
+        stream.local_ids[static_cast<size_t>(step.derive_of)];
+    const auto derived = obj::DeriveVersion(*graph_, of, inherit_model_);
+    id = derived.heir;
+    Place(id);
+    module.versioned.push_back(of);
+    module.versioned.push_back(id);
+  }
+
+  stream.local_ids.push_back(id);
+  module.objects.push_back(id);
+  ++stream.cursor;
+
+  // Concurrent read traffic from other tools sharing the repository.
+  if (buffer_ != nullptr && cluster_->config().pool !=
+                                cluster::CandidatePool::kNoClustering) {
+    // (Pointless under No_Clustering: placement ignores the buffer.)
+    if (rng_.Bernoulli(spec_.interleaved_read_probability)) {
+      const size_t pages = cluster_->storage().page_count();
+      if (pages > 0) {
+        buffer_->Fix(static_cast<store::PageId>(rng_.NextBelow(pages)));
+      }
+    }
+  }
+}
+
+DesignDatabase DbBuilder::Build(CadTypes types) {
+  types_ = types;
+  DesignDatabase db;
+  db.composite_type = types.composite;
+  db.leaf_type = types.leaf;
+  db.alt_type = types.alt;
+
+  // Concurrent checkin streams, advanced round-robin one object per turn:
+  // this is the multi-user arrival order a shared CAD repository sees.
+  std::vector<StreamState> streams(
+      static_cast<size_t>(spec_.concurrent_streams));
+  int module_index = 0;
+  auto start_module = [&](StreamState& s) {
+    s = StreamState{};
+    s.plan = PlanModule();
+    s.family = graph_->NewFamily("M" + std::to_string(module_index++));
+  };
+  for (auto& s : streams) start_module(s);
+
+  bool work_left = true;
+  while (work_left) {
+    work_left = false;
+    for (auto& s : streams) {
+      if (s.Done()) {
+        // Module complete: commit it to the catalogue; start another if the
+        // database is still below target.
+        if (!s.module.objects.empty()) {
+          db.modules.push_back(std::move(s.module));
+          s.module = DesignDatabase::Module{};
+        }
+        if (bytes_created_ < spec_.target_bytes) {
+          start_module(s);
+        } else {
+          continue;
+        }
+      }
+      ExecuteStep(s);
+      work_left = true;
+    }
+  }
+  // Flush any modules completed on the final lap.
+  for (auto& s : streams) {
+    if (s.Done() && !s.module.objects.empty()) {
+      db.modules.push_back(std::move(s.module));
+    }
+  }
+  return db;
+}
+
+}  // namespace oodb::workload

@@ -1,0 +1,41 @@
+#include "workload/query.h"
+
+namespace oodb::workload {
+
+const char* QueryTypeName(QueryType q) {
+  switch (q) {
+    case QueryType::kSimpleLookup:
+      return "simple-lookup";
+    case QueryType::kComponentRetrieval:
+      return "component-retrieval";
+    case QueryType::kCompositeRetrieval:
+      return "composite-retrieval";
+    case QueryType::kDescendantVersions:
+      return "descendant-versions";
+    case QueryType::kAncestorVersions:
+      return "ancestor-versions";
+    case QueryType::kCorresponding:
+      return "corresponding-objects";
+    case QueryType::kObjectWrite:
+      return "object-write";
+  }
+  return "unknown";
+}
+
+const char* WriteKindName(WriteKind k) {
+  switch (k) {
+    case WriteKind::kSimpleUpdate:
+      return "simple-update";
+    case WriteKind::kStructureWrite:
+      return "structure-write";
+    case WriteKind::kInsertObject:
+      return "insert-object";
+    case WriteKind::kDeriveVersion:
+      return "derive-version";
+    case WriteKind::kDeleteObject:
+      return "delete-object";
+  }
+  return "unknown";
+}
+
+}  // namespace oodb::workload

@@ -1,0 +1,57 @@
+#ifndef SEMCLUST_WORKLOAD_QUERY_H_
+#define SEMCLUST_WORKLOAD_QUERY_H_
+
+#include <cstdint>
+
+#include "objmodel/object_id.h"
+
+/// \file
+/// The seven engineering-design query types (paper §4.1). Every object read
+/// or write operation is a transaction; checkin/checkout are composites of
+/// these primitives.
+
+namespace oodb::workload {
+
+/// Query types assigned to transactions in the workload-definition phase.
+enum class QueryType : uint8_t {
+  kSimpleLookup = 0,        ///< (1) simple object lookup by name
+  kComponentRetrieval = 1,  ///< (2) retrieve the components of an object
+  kCompositeRetrieval = 2,  ///< (3) retrieve a composite object (deep)
+  kDescendantVersions = 3,  ///< (4) descendant-version retrieval
+  kAncestorVersions = 4,    ///< (5) ancestor-version retrieval
+  kCorresponding = 5,       ///< (6) corresponding-objects retrieval
+  kObjectWrite = 6,         ///< (7) object insertion / deletion / update
+};
+inline constexpr int kNumQueryTypes = 7;
+
+const char* QueryTypeName(QueryType q);
+
+/// True for the six read query types.
+inline bool IsReadQuery(QueryType q) { return q != QueryType::kObjectWrite; }
+
+/// The flavours of a write transaction.
+enum class WriteKind : uint8_t {
+  kSimpleUpdate = 0,   ///< update attributes of an existing object
+  kStructureWrite = 1, ///< create an attachment (structural link)
+  kInsertObject = 2,   ///< create a new object (component or version)
+  kDeriveVersion = 3,  ///< checkin-style version derivation
+  kDeleteObject = 4,   ///< remove an object
+};
+inline constexpr int kNumWriteKinds = 5;
+
+const char* WriteKindName(WriteKind k);
+
+/// One transaction as handed to the execution model.
+struct TransactionSpec {
+  QueryType type = QueryType::kSimpleLookup;
+  WriteKind write_kind = WriteKind::kSimpleUpdate;  // when type is a write
+  obj::ObjectId target = obj::kInvalidObject;
+  /// Secondary object for structure writes (the other attachment end).
+  obj::ObjectId other = obj::kInvalidObject;
+  /// Index of the design module the session operates on.
+  size_t module = 0;
+};
+
+}  // namespace oodb::workload
+
+#endif  // SEMCLUST_WORKLOAD_QUERY_H_

@@ -1,0 +1,43 @@
+#include "workload/workload_config.h"
+
+#include <cstdio>
+
+namespace oodb::workload {
+
+const char* StructureDensityName(StructureDensity d) {
+  switch (d) {
+    case StructureDensity::kLow3:
+      return "low3";
+    case StructureDensity::kMed5:
+      return "med5";
+    case StructureDensity::kHigh10:
+      return "hi10";
+  }
+  return "unknown";
+}
+
+FanoutRange FanoutFor(StructureDensity d) {
+  switch (d) {
+    case StructureDensity::kLow3:
+      return {1, 3};  // every structural retrieval returns <= 3 objects
+    case StructureDensity::kMed5:
+      return {4, 9};  // more than 3 but fewer than 10
+    case StructureDensity::kHigh10:
+      return {10, 14};  // 10 or more
+  }
+  return {1, 3};
+}
+
+std::string WorkloadConfig::Label() const {
+  char buf[32];
+  if (read_write_ratio == static_cast<int>(read_write_ratio)) {
+    std::snprintf(buf, sizeof(buf), "%s-%d", StructureDensityName(density),
+                  static_cast<int>(read_write_ratio));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%s-%.1f", StructureDensityName(density),
+                  read_write_ratio);
+  }
+  return buf;
+}
+
+}  // namespace oodb::workload

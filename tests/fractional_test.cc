@@ -1,0 +1,132 @@
+#include <array>
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "analysis/fractional.h"
+
+namespace oodb::analysis {
+namespace {
+
+// Synthetic 4-factor surface with one generated factor D = ABC.
+// response = 10 + 3A + 2B + 1C + 0.5D (levels in {-1,+1}); no
+// interactions, so every estimate should be exact despite aliasing.
+FractionalDesign MakeDesign(FractionalDesign::Runner runner) {
+  std::vector<Factor> factors;
+  // Encode levels through distinct config fields so the runner can read
+  // them back.
+  factors.push_back({"A", [](core::ModelConfig& c, bool h) {
+                       c.cpu_mips = h ? 2 : 1;
+                     }});
+  factors.push_back({"B", [](core::ModelConfig& c, bool h) {
+                       c.num_users = h ? 2 : 1;
+                     }});
+  factors.push_back({"C", [](core::ModelConfig& c, bool h) {
+                       c.num_disks = h ? 2 : 1;
+                     }});
+  factors.push_back({"D", [](core::ModelConfig& c, bool h) {
+                       c.seed = h ? 2 : 1;
+                     }});
+  return FractionalDesign(core::ModelConfig{}, std::move(factors),
+                          /*generators=*/{0b111}, std::move(runner));
+}
+
+double Surface(const core::ModelConfig& c) {
+  const double a = c.cpu_mips > 1.5 ? 1 : -1;
+  const double b = c.num_users > 1.5 ? 1 : -1;
+  const double d = c.num_disks > 1.5 ? 1 : -1;  // factor C
+  const double e = c.seed > 1.5 ? 1 : -1;       // factor D
+  return 10 + 3 * a + 2 * b + 1 * d + 0.5 * e;
+}
+
+TEST(FractionalTest, HalfFractionRunsHalfTheCells) {
+  auto design = MakeDesign(Surface);
+  EXPECT_EQ(design.num_runs(), 8u);  // 2^(4-1)
+  EXPECT_EQ(design.num_base_factors(), 3u);
+  design.Run();
+}
+
+TEST(FractionalTest, MainEffectsExactOnAdditiveSurface) {
+  auto design = MakeDesign(Surface);
+  design.Run();
+  const auto effects = design.MainEffects();
+  ASSERT_EQ(effects.size(), 4u);
+  EXPECT_NEAR(effects[0].effect, 6.0, 1e-12);  // A: 2*3
+  EXPECT_NEAR(effects[1].effect, 4.0, 1e-12);  // B
+  EXPECT_NEAR(effects[2].effect, 2.0, 1e-12);  // C
+  EXPECT_NEAR(effects[3].effect, 1.0, 1e-12);  // D
+}
+
+TEST(FractionalTest, DefiningContrastAndResolution) {
+  auto design = MakeDesign(Surface);
+  const auto contrasts = design.DefiningContrasts();
+  ASSERT_EQ(contrasts.size(), 1u);
+  EXPECT_EQ(contrasts[0], 0b1111u);  // I = ABCD
+  EXPECT_EQ(design.Resolution(), 4);
+}
+
+TEST(FractionalTest, AliasedSubsetsShareEstimates) {
+  auto design = MakeDesign(Surface);
+  design.Run();
+  // With I = ABCD, main effect A aliases with BCD; AB aliases with CD.
+  EXPECT_DOUBLE_EQ(design.Contrast(0b0001), design.Contrast(0b1110));
+  EXPECT_DOUBLE_EQ(design.Contrast(0b0011), design.Contrast(0b1100));
+}
+
+TEST(FractionalTest, AliasListingMatchesTheory) {
+  auto design = MakeDesign(Surface);
+  // Aliases of AB (within order 2): CD.
+  const auto aliases = design.Aliases(0b0011, /*max_order=*/2);
+  ASSERT_EQ(aliases.size(), 1u);
+  EXPECT_EQ(aliases[0], "C x D");
+  // Main effect A has no alias of order <= 2 at resolution IV.
+  EXPECT_TRUE(design.Aliases(0b0001, 2).empty());
+}
+
+TEST(FractionalTest, ReduceToBaseFoldsGeneratedFactors) {
+  auto design = MakeDesign(Surface);
+  // Factor D (bit 3) reduces to ABC (0b111).
+  EXPECT_EQ(design.ReduceToBase(0b1000), 0b111u);
+  // AD reduces to BC (A cancels).
+  EXPECT_EQ(design.ReduceToBase(0b1001), 0b110u);
+}
+
+TEST(FractionalTest, EightFactorSixteenRunDesignIsResolutionIV) {
+  std::vector<Factor> factors;
+  for (char c = 'A'; c <= 'H'; ++c) {
+    factors.push_back({std::string(1, c),
+                       [](core::ModelConfig&, bool) {}});
+  }
+  FractionalDesign design(core::ModelConfig{}, std::move(factors),
+                          StandardHalfGenerators8(),
+                          [](const core::ModelConfig&) { return 0.0; });
+  EXPECT_EQ(design.num_runs(), 16u);
+  EXPECT_EQ(design.Resolution(), 4);
+  EXPECT_EQ(design.DefiningContrasts().size(), 15u);
+}
+
+TEST(FractionalTest, EightFactorDesignEstimatesAdditiveMains) {
+  // Additive surface over 8 factors read back through a side channel.
+  static thread_local std::array<bool, 8> levels;
+  std::vector<Factor> factors;
+  for (int i = 0; i < 8; ++i) {
+    factors.push_back({std::string(1, static_cast<char>('A' + i)),
+                       [i](core::ModelConfig&, bool h) { levels[i] = h; }});
+  }
+  auto runner = [](const core::ModelConfig&) {
+    double r = 5;
+    for (int i = 0; i < 8; ++i) {
+      r += (i + 1) * 0.5 * (levels[i] ? 1 : -1);
+    }
+    return r;
+  };
+  FractionalDesign design(core::ModelConfig{}, std::move(factors),
+                          StandardHalfGenerators8(), runner);
+  design.Run();
+  const auto effects = design.MainEffects();
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_NEAR(effects[i].effect, (i + 1) * 1.0, 1e-9) << "factor " << i;
+  }
+}
+
+}  // namespace
+}  // namespace oodb::analysis

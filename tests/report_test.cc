@@ -1,0 +1,52 @@
+#include <sstream>
+
+#include "gtest/gtest.h"
+#include "core/experiment.h"
+#include "core/report.h"
+
+namespace oodb::core {
+namespace {
+
+RunResult SampleRun() {
+  ModelConfig cfg = TestConfig();
+  cfg.measured_transactions = 150;
+  cfg.warmup_transactions = 20;
+  cfg.measurement_epochs = 2;
+  return RunCell(cfg);
+}
+
+TEST(ReportTest, PrintsAllSections) {
+  ModelConfig cfg = TestConfig();
+  const RunResult r = SampleRun();
+  std::ostringstream os;
+  PrintRunReport(os, cfg, r);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("run report"), std::string::npos);
+  EXPECT_NE(out.find("all transactions"), std::string::npos);
+  EXPECT_NE(out.find("logical reads"), std::string::npos);
+  EXPECT_NE(out.find("buffer hit ratio"), std::string::npos);
+  EXPECT_NE(out.find("clustering:"), std::string::npos);
+  EXPECT_NE(out.find("epoch 2"), std::string::npos);
+}
+
+TEST(ReportTest, CsvRowMatchesHeaderArity) {
+  const RunResult r = SampleRun();
+  const std::string header = CsvHeader();
+  const std::string row = ToCsvRow("cell-1", r);
+  const auto count = [](const std::string& s) {
+    size_t commas = 0;
+    for (char c : s) commas += (c == ',');
+    return commas;
+  };
+  EXPECT_EQ(count(header), count(row));
+  EXPECT_EQ(row.rfind("cell-1,", 0), 0u);
+}
+
+TEST(ReportTest, CsvRowContainsTransactionCount) {
+  const RunResult r = SampleRun();
+  const std::string row = ToCsvRow("x", r);
+  EXPECT_NE(row.find(",150,"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace oodb::core

@@ -1,0 +1,251 @@
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "sim/process.h"
+#include "sim/resource.h"
+#include "sim/simulator.h"
+
+namespace oodb::sim {
+namespace {
+
+// ---------------------------------------------------------------- kernel
+
+TEST(SimulatorTest, EventsFireInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.Schedule(3.0, [&] { order.push_back(3); });
+  sim.Schedule(1.0, [&] { order.push_back(1); });
+  sim.Schedule(2.0, [&] { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+}
+
+TEST(SimulatorTest, EqualTimesFireFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.Schedule(1.0, [&order, i] { order.push_back(i); });
+  }
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(SimulatorTest, HandlersMayScheduleMoreEvents) {
+  Simulator sim;
+  int fired = 0;
+  sim.Schedule(1.0, [&] {
+    ++fired;
+    sim.Schedule(1.0, [&] { ++fired; });
+  });
+  sim.Run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(sim.now(), 2.0);
+}
+
+TEST(SimulatorTest, RunUntilStopsAtBoundaryAndAdvancesClock) {
+  Simulator sim;
+  int fired = 0;
+  sim.Schedule(1.0, [&] { ++fired; });
+  sim.Schedule(5.0, [&] { ++fired; });
+  EXPECT_EQ(sim.RunUntil(2.5), 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(sim.now(), 2.5);
+  sim.Run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulatorTest, StepLimitsProcessing) {
+  Simulator sim;
+  int fired = 0;
+  for (int i = 0; i < 10; ++i) sim.Schedule(i, [&] { ++fired; });
+  EXPECT_EQ(sim.Step(4), 4u);
+  EXPECT_EQ(fired, 4);
+  EXPECT_FALSE(sim.Empty());
+}
+
+TEST(SimulatorTest, CountsProcessedEvents) {
+  Simulator sim;
+  for (int i = 0; i < 7; ++i) sim.Schedule(1.0, [] {});
+  sim.Run();
+  EXPECT_EQ(sim.events_processed(), 7u);
+}
+
+// ---------------------------------------------------------------- process
+
+Task RecordAfterDelay(Simulator& sim, double delay, std::vector<double>& log) {
+  co_await Delay(sim, delay);
+  log.push_back(sim.now());
+}
+
+TEST(ProcessTest, DelayResumesAtRightTime) {
+  Simulator sim;
+  std::vector<double> log;
+  Spawn(RecordAfterDelay(sim, 2.5, log));
+  sim.Run();
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_DOUBLE_EQ(log[0], 2.5);
+}
+
+Task TwoPhase(Simulator& sim, std::vector<double>& log) {
+  co_await Delay(sim, 1.0);
+  log.push_back(sim.now());
+  co_await Delay(sim, 2.0);
+  log.push_back(sim.now());
+}
+
+TEST(ProcessTest, SequentialAwaitsAccumulate) {
+  Simulator sim;
+  std::vector<double> log;
+  Spawn(TwoPhase(sim, log));
+  sim.Run();
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_DOUBLE_EQ(log[0], 1.0);
+  EXPECT_DOUBLE_EQ(log[1], 3.0);
+}
+
+Task Inner(Simulator& sim, std::vector<int>& log) {
+  log.push_back(1);
+  co_await Delay(sim, 1.0);
+  log.push_back(2);
+}
+
+Task Outer(Simulator& sim, std::vector<int>& log) {
+  log.push_back(0);
+  co_await Inner(sim, log);
+  log.push_back(3);
+}
+
+TEST(ProcessTest, NestedTasksResumeParent) {
+  Simulator sim;
+  std::vector<int> log;
+  Spawn(Outer(sim, log));
+  sim.Run();
+  EXPECT_EQ(log, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(ProcessTest, ZeroDelayDoesNotSuspend) {
+  Simulator sim;
+  std::vector<double> log;
+  Spawn(RecordAfterDelay(sim, 0.0, log));
+  // Spawn runs eagerly to the first real suspension; zero delay is ready.
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_DOUBLE_EQ(log[0], 0.0);
+}
+
+// ---------------------------------------------------------------- resource
+
+Task UseResource(Resource& res, double service, std::vector<double>& done,
+                 Simulator& sim) {
+  co_await res.Use(service);
+  done.push_back(sim.now());
+}
+
+TEST(ResourceTest, SingleServerSerialisesRequests) {
+  Simulator sim;
+  Resource res(sim, "cpu", 1);
+  std::vector<double> done;
+  Spawn(UseResource(res, 2.0, done, sim));
+  Spawn(UseResource(res, 3.0, done, sim));
+  sim.Run();
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_DOUBLE_EQ(done[0], 2.0);
+  EXPECT_DOUBLE_EQ(done[1], 5.0);  // waited for the first
+  EXPECT_EQ(res.completions(), 2u);
+}
+
+TEST(ResourceTest, TwoServersRunInParallel) {
+  Simulator sim;
+  Resource res(sim, "disks", 2);
+  std::vector<double> done;
+  Spawn(UseResource(res, 2.0, done, sim));
+  Spawn(UseResource(res, 3.0, done, sim));
+  sim.Run();
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_DOUBLE_EQ(done[0], 2.0);
+  EXPECT_DOUBLE_EQ(done[1], 3.0);  // no queueing
+}
+
+TEST(ResourceTest, FcfsOrderAmongWaiters) {
+  Simulator sim;
+  Resource res(sim, "cpu", 1);
+  std::vector<double> done;
+  for (int i = 0; i < 4; ++i) Spawn(UseResource(res, 1.0, done, sim));
+  sim.Run();
+  EXPECT_EQ(done, (std::vector<double>{1.0, 2.0, 3.0, 4.0}));
+}
+
+TEST(ResourceTest, ResidenceTimeIncludesQueueing) {
+  Simulator sim;
+  Resource res(sim, "cpu", 1);
+  std::vector<double> done;
+  Spawn(UseResource(res, 2.0, done, sim));
+  Spawn(UseResource(res, 2.0, done, sim));
+  sim.Run();
+  // First: 2s service. Second: 2s wait + 2s service.
+  EXPECT_DOUBLE_EQ(res.residence_time().Mean(), 3.0);
+  EXPECT_DOUBLE_EQ(res.residence_time().max(), 4.0);
+}
+
+TEST(ResourceTest, UtilizationOfAlwaysBusyServerIsOne) {
+  Simulator sim;
+  Resource res(sim, "cpu", 1);
+  std::vector<double> done;
+  for (int i = 0; i < 10; ++i) Spawn(UseResource(res, 1.0, done, sim));
+  sim.Run();
+  EXPECT_NEAR(res.Utilization(), 1.0, 1e-9);
+}
+
+TEST(ResourceTest, DetachedUseRunsCallback) {
+  Simulator sim;
+  Resource res(sim, "disk", 1);
+  bool completed = false;
+  double completion_time = 0;
+  res.UseDetached(1.5, [&] {
+    completed = true;
+    completion_time = sim.now();
+  });
+  sim.Run();
+  EXPECT_TRUE(completed);
+  EXPECT_DOUBLE_EQ(completion_time, 1.5);
+  EXPECT_EQ(res.completions(), 1u);
+}
+
+TEST(ResourceTest, DetachedAndAwaitedShareTheQueue) {
+  Simulator sim;
+  Resource res(sim, "disk", 1);
+  std::vector<double> done;
+  res.UseDetached(2.0);
+  Spawn(UseResource(res, 1.0, done, sim));
+  sim.Run();
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_DOUBLE_EQ(done[0], 3.0);  // waited behind the detached request
+}
+
+// Closed-network sanity: N customers cycling a single server with think
+// time have response time bounded below by service and throughput bounded
+// by the server rate (a coarse operational-law check).
+Task ClosedLoopUser(Simulator& sim, Resource& server, int cycles,
+                    int& completed) {
+  for (int i = 0; i < cycles; ++i) {
+    co_await Delay(sim, 1.0);        // think
+    co_await server.Use(0.5);        // service
+    ++completed;
+  }
+}
+
+TEST(ResourceTest, ClosedNetworkThroughputBoundedByServer) {
+  Simulator sim;
+  Resource server(sim, "cpu", 1);
+  int completed = 0;
+  for (int u = 0; u < 8; ++u) {
+    Spawn(ClosedLoopUser(sim, server, 10, completed));
+  }
+  sim.Run();
+  EXPECT_EQ(completed, 80);
+  // 80 jobs x 0.5s service on one server -> at least 40s of busy time.
+  EXPECT_GE(sim.now(), 40.0);
+}
+
+}  // namespace
+}  // namespace oodb::sim

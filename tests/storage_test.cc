@@ -1,0 +1,191 @@
+#include "gtest/gtest.h"
+#include "storage/page.h"
+#include "storage/storage_manager.h"
+
+namespace oodb::store {
+namespace {
+
+// ---------------------------------------------------------------- page
+
+TEST(PageTest, InsertTracksSpace) {
+  Page p(100);
+  EXPECT_TRUE(p.Insert(1, 40));
+  EXPECT_TRUE(p.Insert(2, 30));
+  EXPECT_EQ(p.used_bytes(), 70u);
+  EXPECT_EQ(p.free_bytes(), 30u);
+  EXPECT_EQ(p.object_count(), 2u);
+}
+
+TEST(PageTest, RejectsOverflowWithoutModification) {
+  Page p(100);
+  EXPECT_TRUE(p.Insert(1, 80));
+  EXPECT_FALSE(p.Insert(2, 30));
+  EXPECT_EQ(p.used_bytes(), 80u);
+  EXPECT_FALSE(p.Contains(2));
+}
+
+TEST(PageTest, ExactFitAccepted) {
+  Page p(100);
+  EXPECT_TRUE(p.Insert(1, 100));
+  EXPECT_EQ(p.free_bytes(), 0u);
+}
+
+TEST(PageTest, RemoveReclaimsSpace) {
+  Page p(100);
+  p.Insert(1, 40);
+  p.Insert(2, 30);
+  EXPECT_TRUE(p.Remove(1));
+  EXPECT_EQ(p.used_bytes(), 30u);
+  EXPECT_FALSE(p.Contains(1));
+  EXPECT_TRUE(p.Contains(2));
+  EXPECT_FALSE(p.Remove(1));  // already gone
+}
+
+TEST(PageTest, ResizeObjectRespectsCapacity) {
+  Page p(100);
+  p.Insert(1, 40);
+  p.Insert(2, 30);
+  EXPECT_TRUE(p.ResizeObject(1, 60));
+  EXPECT_EQ(p.used_bytes(), 90u);
+  EXPECT_FALSE(p.ResizeObject(1, 80));  // 80+30 > 100
+  EXPECT_EQ(p.used_bytes(), 90u);       // unchanged on failure
+  EXPECT_FALSE(p.ResizeObject(99, 10)); // absent object
+}
+
+// --------------------------------------------------------- storage manager
+
+class StorageManagerTest : public ::testing::Test {
+ protected:
+  StorageManager store_{1000};
+};
+
+TEST_F(StorageManagerTest, PlaceAndLookup) {
+  PageId p = store_.AllocatePage();
+  ASSERT_TRUE(store_.Place(7, 100, p).ok());
+  EXPECT_EQ(store_.PageOf(7), p);
+  EXPECT_TRUE(store_.IsPlaced(7));
+  EXPECT_EQ(store_.SizeOf(7), 100u);
+  EXPECT_EQ(store_.used_bytes(), 100u);
+}
+
+TEST_F(StorageManagerTest, DoublePlacementRejected) {
+  PageId p = store_.AllocatePage();
+  ASSERT_TRUE(store_.Place(7, 100, p).ok());
+  Status s = store_.Place(7, 100, p);
+  EXPECT_EQ(s.code(), StatusCode::kAlreadyExists);
+}
+
+TEST_F(StorageManagerTest, FullPageRejectsPlacement) {
+  PageId p = store_.AllocatePage();
+  ASSERT_TRUE(store_.Place(1, 900, p).ok());
+  EXPECT_EQ(store_.Place(2, 200, p).code(), StatusCode::kResourceExhausted);
+}
+
+TEST_F(StorageManagerTest, OversizeObjectInvalid) {
+  PageId p = store_.AllocatePage();
+  EXPECT_EQ(store_.Place(1, 1001, p).code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(StorageManagerTest, AppendPlacementFillsThenAllocates) {
+  auto p1 = store_.PlaceAppend(1, 600);
+  ASSERT_TRUE(p1.ok());
+  auto p2 = store_.PlaceAppend(2, 600);  // doesn't fit on p1
+  ASSERT_TRUE(p2.ok());
+  EXPECT_NE(*p1, *p2);
+  auto p3 = store_.PlaceAppend(3, 300);  // fits on p2
+  ASSERT_TRUE(p3.ok());
+  EXPECT_EQ(*p3, *p2);
+  EXPECT_EQ(store_.page_count(), 2u);
+}
+
+TEST_F(StorageManagerTest, RelocateMovesBetweenPages) {
+  PageId a = store_.AllocatePage();
+  PageId b = store_.AllocatePage();
+  ASSERT_TRUE(store_.Place(1, 100, a).ok());
+  ASSERT_TRUE(store_.Relocate(1, b).ok());
+  EXPECT_EQ(store_.PageOf(1), b);
+  EXPECT_FALSE(store_.page(a).Contains(1));
+  EXPECT_TRUE(store_.page(b).Contains(1));
+  EXPECT_EQ(store_.used_bytes(), 100u);  // unchanged by a move
+}
+
+TEST_F(StorageManagerTest, RelocateToFullPageFailsCleanly) {
+  PageId a = store_.AllocatePage();
+  PageId b = store_.AllocatePage();
+  ASSERT_TRUE(store_.Place(1, 100, a).ok());
+  ASSERT_TRUE(store_.Place(2, 950, b).ok());
+  EXPECT_EQ(store_.Relocate(1, b).code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(store_.PageOf(1), a);  // still where it was
+}
+
+TEST_F(StorageManagerTest, RelocateToSamePageIsNoop) {
+  PageId a = store_.AllocatePage();
+  ASSERT_TRUE(store_.Place(1, 100, a).ok());
+  EXPECT_TRUE(store_.Relocate(1, a).ok());
+  EXPECT_EQ(store_.PageOf(1), a);
+}
+
+TEST_F(StorageManagerTest, EraseFreesSpaceAndDirectory) {
+  PageId a = store_.AllocatePage();
+  ASSERT_TRUE(store_.Place(1, 100, a).ok());
+  ASSERT_TRUE(store_.Erase(1).ok());
+  EXPECT_FALSE(store_.IsPlaced(1));
+  EXPECT_EQ(store_.used_bytes(), 0u);
+  EXPECT_EQ(store_.Erase(1).code(), StatusCode::kNotFound);
+}
+
+TEST_F(StorageManagerTest, ResizeInPlace) {
+  PageId a = store_.AllocatePage();
+  ASSERT_TRUE(store_.Place(1, 100, a).ok());
+  ASSERT_TRUE(store_.ResizeInPlace(1, 300).ok());
+  EXPECT_EQ(store_.SizeOf(1), 300u);
+  EXPECT_EQ(store_.used_bytes(), 300u);
+  ASSERT_TRUE(store_.Place(2, 650, a).ok());
+  EXPECT_EQ(store_.ResizeInPlace(1, 400).code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST_F(StorageManagerTest, OccupancyIgnoresEmptyPages) {
+  PageId a = store_.AllocatePage();
+  store_.AllocatePage();  // stays empty
+  ASSERT_TRUE(store_.Place(1, 500, a).ok());
+  EXPECT_DOUBLE_EQ(store_.MeanOccupancy(), 0.5);
+}
+
+TEST_F(StorageManagerTest, UnknownObjectUnplaced) {
+  EXPECT_EQ(store_.PageOf(424242), kInvalidPage);
+  EXPECT_FALSE(store_.IsPlaced(424242));
+}
+
+// Property: after any sequence of placements and relocations, every page's
+// used_bytes equals the sum of its slot sizes and the directory agrees with
+// slot residency.
+TEST_F(StorageManagerTest, InvariantsHoldUnderChurn) {
+  std::vector<PageId> pages;
+  for (int i = 0; i < 8; ++i) pages.push_back(store_.AllocatePage());
+  uint64_t seed = 99;
+  auto next = [&seed] {
+    seed = seed * 6364136223846793005ULL + 1442695040888963407ULL;
+    return seed >> 33;
+  };
+  for (obj::ObjectId id = 0; id < 200; ++id) {
+    store_.PlaceAppend(id, 50 + next() % 150).status();
+  }
+  for (int step = 0; step < 500; ++step) {
+    const obj::ObjectId id = next() % 200;
+    const PageId to = pages[next() % pages.size()];
+    store_.Relocate(id, to);  // may fail; that's fine
+  }
+  for (PageId p = 0; p < store_.page_count(); ++p) {
+    uint32_t sum = 0;
+    for (const Slot& s : store_.page(p).slots()) {
+      sum += s.size_bytes;
+      EXPECT_EQ(store_.PageOf(s.object), p);
+    }
+    EXPECT_EQ(store_.page(p).used_bytes(), sum);
+    EXPECT_LE(sum, store_.page(p).capacity_bytes());
+  }
+}
+
+}  // namespace
+}  // namespace oodb::store

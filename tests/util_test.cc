@@ -1,0 +1,235 @@
+#include <cmath>
+#include <sstream>
+
+#include "gtest/gtest.h"
+#include "util/random.h"
+#include "util/stats.h"
+#include "util/status.h"
+#include "util/table_printer.h"
+
+namespace oodb {
+namespace {
+
+// ---------------------------------------------------------------- Status
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("object 7");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "object 7");
+  EXPECT_EQ(s.ToString(), "NotFound: object 7");
+}
+
+TEST(StatusTest, AllConstructorsProduceMatchingCodes) {
+  EXPECT_EQ(Status::InvalidArgument("").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::AlreadyExists("").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::OutOfRange("").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::ResourceExhausted("").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(Status::FailedPrecondition("").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::Internal("").code(), StatusCode::kInternal);
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v = Status::OutOfRange("past end");
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kOutOfRange);
+}
+
+Status FailsThenPropagates() {
+  OODB_RETURN_IF_ERROR(Status::Internal("inner"));
+  return Status::Ok();
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  EXPECT_EQ(FailsThenPropagates().code(), StatusCode::kInternal);
+}
+
+// ---------------------------------------------------------------- Rng
+
+TEST(RngTest, DeterministicForEqualSeeds) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.NextU64() == b.NextU64());
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, NextBelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextBelow(13), 13u);
+  }
+}
+
+TEST(RngTest, UniformIntCoversInclusiveRange) {
+  Rng rng(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    int64_t v = rng.UniformInt(5, 20);
+    EXPECT_GE(v, 5);
+    EXPECT_LE(v, 20);
+    saw_lo |= (v == 5);
+    saw_hi |= (v == 20);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, ExponentialHasRequestedMean) {
+  Rng rng(11);
+  StreamingStats stats;
+  for (int i = 0; i < 200000; ++i) stats.Add(rng.Exponential(4.0));
+  EXPECT_NEAR(stats.Mean(), 4.0, 0.05);
+  EXPECT_GT(stats.min(), 0.0);
+}
+
+TEST(RngTest, ZipfZeroThetaIsUniform) {
+  Rng rng(13);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 100000; ++i) ++counts[rng.Zipf(10, 0.0)];
+  for (int c : counts) EXPECT_NEAR(c, 10000, 600);
+}
+
+TEST(RngTest, ZipfSkewFavoursLowIndices) {
+  Rng rng(17);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 100000; ++i) ++counts[rng.Zipf(100, 0.8)];
+  EXPECT_GT(counts[0], counts[50] * 5);
+  EXPECT_GT(counts[0], counts[99] * 5);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(21);
+  Rng b = a.Fork();
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.NextU64() == b.NextU64());
+  EXPECT_LT(same, 3);
+}
+
+TEST(DiscreteDistributionTest, MatchesWeights) {
+  Rng rng(23);
+  DiscreteDistribution dist({1.0, 3.0, 6.0});
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 100000; ++i) ++counts[dist.Sample(rng)];
+  EXPECT_NEAR(counts[0] / 100000.0, 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / 100000.0, 0.3, 0.01);
+  EXPECT_NEAR(counts[2] / 100000.0, 0.6, 0.01);
+}
+
+TEST(DiscreteDistributionTest, ZeroWeightNeverSampled) {
+  Rng rng(29);
+  DiscreteDistribution dist({0.0, 1.0});
+  for (int i = 0; i < 10000; ++i) EXPECT_EQ(dist.Sample(rng), 1u);
+}
+
+TEST(DiscreteDistributionTest, NormalisedProbabilities) {
+  DiscreteDistribution dist({2.0, 2.0, 4.0});
+  EXPECT_DOUBLE_EQ(dist.probability(0), 0.25);
+  EXPECT_DOUBLE_EQ(dist.probability(2), 0.5);
+}
+
+// ---------------------------------------------------------------- Stats
+
+TEST(StreamingStatsTest, KnownMoments) {
+  StreamingStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.Mean(), 5.0);
+  EXPECT_NEAR(s.Variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(StreamingStatsTest, MergeEqualsSingleStream) {
+  Rng rng(31);
+  StreamingStats whole, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    double x = rng.NextDouble();
+    whole.Add(x);
+    (i % 2 ? a : b).Add(x);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_NEAR(a.Mean(), whole.Mean(), 1e-12);
+  EXPECT_NEAR(a.Variance(), whole.Variance(), 1e-9);
+}
+
+TEST(StreamingStatsTest, EmptyIsSafe) {
+  StreamingStats s;
+  EXPECT_EQ(s.Mean(), 0.0);
+  EXPECT_EQ(s.Variance(), 0.0);
+}
+
+TEST(HistogramTest, QuantilesOfUniformData) {
+  Histogram h(0, 100, 100);
+  for (int i = 0; i < 100; ++i) h.Add(i + 0.5);
+  EXPECT_NEAR(h.Quantile(0.5), 50.0, 1.5);
+  EXPECT_NEAR(h.Quantile(0.9), 90.0, 1.5);
+}
+
+TEST(HistogramTest, BucketFractions) {
+  Histogram h(0, 10, 2);
+  h.Add(1);
+  h.Add(2);
+  h.Add(7);
+  EXPECT_NEAR(h.BucketFraction(0), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(h.BucketFraction(1), 1.0 / 3.0, 1e-12);
+}
+
+TEST(TimeWeightedStatsTest, PiecewiseConstantMean) {
+  TimeWeightedStats s;
+  s.Update(0.0, 0.0);   // start clock
+  s.Update(2.0, 1.0);   // value 1 held over [0,2)
+  s.Update(3.0, 4.0);   // value 4 held over [2,3)
+  EXPECT_DOUBLE_EQ(s.Mean(), (1.0 * 2 + 4.0 * 1) / 3.0);
+}
+
+// ---------------------------------------------------------------- Table
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter t({"policy", "rt"});
+  t.AddRow({"No_Clustering", "1.23"});
+  t.AddRow({"2_IO_limit", "0.45"});
+  std::ostringstream os;
+  t.Print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| policy"), std::string::npos);
+  EXPECT_NE(out.find("| No_Clustering |"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(TablePrinterTest, FormatHelpers) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatRatio(2.0, 1), "2.0x");
+}
+
+}  // namespace
+}  // namespace oodb
