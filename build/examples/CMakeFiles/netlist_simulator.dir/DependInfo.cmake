@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/netlist_simulator.cpp" "examples/CMakeFiles/netlist_simulator.dir/netlist_simulator.cpp.o" "gcc" "examples/CMakeFiles/netlist_simulator.dir/netlist_simulator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/semclust_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/oct/CMakeFiles/semclust_oct.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/semclust_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/semclust_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/semclust_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/buffer/CMakeFiles/semclust_buffer.dir/DependInfo.cmake"
+  "/root/repo/build/src/txlog/CMakeFiles/semclust_txlog.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/semclust_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/semclust_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/semclust_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/objmodel/CMakeFiles/semclust_objmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/semclust_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semclust_core.dir/engineering_db.cc.o"
+  "CMakeFiles/semclust_core.dir/engineering_db.cc.o.d"
+  "CMakeFiles/semclust_core.dir/experiment.cc.o"
+  "CMakeFiles/semclust_core.dir/experiment.cc.o.d"
+  "CMakeFiles/semclust_core.dir/report.cc.o"
+  "CMakeFiles/semclust_core.dir/report.cc.o.d"
+  "libsemclust_core.a"
+  "libsemclust_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semclust_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
