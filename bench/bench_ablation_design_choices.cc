@@ -42,22 +42,35 @@ int main() {
   low.density = workload::StructureDensity::kLow3;
   low.read_write_ratio = 5;
 
-  core::ModelConfig none_cfg = core::WithWorkload(bench::BaseConfig(), hi);
-  none_cfg.clustering.pool = cluster::CandidatePool::kNoClustering;
-  const double none_hi = bench::MeanResponse(none_cfg);
+  // One parallel batch: the No_Clustering baseline plus the four variants
+  // at both workloads.
+  std::vector<bench::CellSpec> batch;
+  {
+    bench::CellSpec baseline;
+    baseline.config = core::WithWorkload(bench::BaseConfig(), hi);
+    baseline.config.clustering.pool = cluster::CandidatePool::kNoClustering;
+    batch.push_back(std::move(baseline));
+  }
+  for (const Variant& v : variants) {
+    for (const workload::WorkloadConfig& w : {low, hi}) {
+      bench::CellSpec cell;
+      cell.config = core::WithWorkload(bench::BaseConfig(), w);
+      cell.config.clustering.pool = cluster::CandidatePool::kWithinDb;
+      cell.config.clustering.sibling_candidates = v.siblings;
+      cell.config.clustering.fresh_page_on_overflow = v.fresh_page;
+      cell.policy = v.name;
+      batch.push_back(std::move(cell));
+    }
+  }
+  const auto results = bench::RunCells(std::move(batch));
+  const double none_hi = results[0].response_time.Mean();
 
   double full_gain = 0, neither_gain = 0, no_sibling_gain = 0,
          no_fresh_gain = 0;
-  for (const Variant& v : variants) {
-    auto run = [&](const workload::WorkloadConfig& w) {
-      core::ModelConfig cfg = core::WithWorkload(bench::BaseConfig(), w);
-      cfg.clustering.pool = cluster::CandidatePool::kWithinDb;
-      cfg.clustering.sibling_candidates = v.siblings;
-      cfg.clustering.fresh_page_on_overflow = v.fresh_page;
-      return bench::MeanResponse(cfg);
-    };
-    const double rt_low = run(low);
-    const double rt_hi = run(hi);
+  for (size_t vi = 0; vi < 4; ++vi) {
+    const Variant& v = variants[vi];
+    const double rt_low = results[1 + 2 * vi].response_time.Mean();
+    const double rt_hi = results[2 + 2 * vi].response_time.Mean();
     const double gain = none_hi / rt_hi;
     table.AddRow({v.name, bench::Sec(rt_low), bench::Sec(rt_hi),
                   FormatRatio(gain)});

@@ -8,6 +8,7 @@
 // StructureValidator over the design graph) as a one-pass check.
 
 #include <cstdio>
+#include <utility>
 
 #include "bench_common.h"
 #include "objmodel/validator.h"
@@ -46,6 +47,19 @@ int main() {
   const double overhead =
       static_cast<double>(ops_with - ops_without) /
       static_cast<double>(ops_with);
+
+  // No simulation cells here — record the scan-overhead comparison itself
+  // (io_count carries the logical-op totals).
+  for (const auto& [label, ops] :
+       {std::pair<const char*, uint64_t>{"with_scan", ops_with},
+        {"without_scan", ops_without}}) {
+    core::BenchRecord record;
+    record.cell_label = label;
+    record.policy = "SPARCS";
+    record.workload = "oct-trace";
+    record.io_count = ops;
+    bench::Report().Record(record);
+  }
 
   std::printf("SPARCS, %d invocations:\n", invocations);
   std::printf("  with per-invocation verification scan : %llu logical ops\n",

@@ -43,9 +43,12 @@ int main() {
   headers.push_back("mean");
   TablePrinter table(std::move(headers));
 
-  double static_mean = 0, dynamic_mean = 0, none_mean = 0;
+  // The three layout variants run as one parallel batch.
+  std::vector<bench::CellSpec> batch;
   for (const Variant& v : variants) {
-    core::ModelConfig cfg = bench::BaseConfig();
+    bench::CellSpec cell;
+    core::ModelConfig& cfg = cell.config;
+    cfg = bench::BaseConfig();
     cfg.workload.density = workload::StructureDensity::kMed5;
     cfg.database.density = cfg.workload.density;
     cfg.workload.read_write_ratio = 3;  // write-heavy: structure churns
@@ -56,8 +59,15 @@ int main() {
                                ? cluster::SplitPolicy::kLinearGreedy
                                : cluster::SplitPolicy::kNoSplit;
     cfg.static_reorganize_after_build = v.reorganize;
+    cell.policy = v.name;
+    batch.push_back(std::move(cell));
+  }
+  const auto results = bench::RunCells(std::move(batch));
 
-    const core::RunResult r = core::RunCell(cfg);
+  double static_mean = 0, dynamic_mean = 0, none_mean = 0;
+  for (size_t i = 0; i < results.size(); ++i) {
+    const Variant& v = variants[i];
+    const core::RunResult& r = results[i];
     std::vector<std::string> row{v.name};
     for (const auto& epoch : r.response_epochs) {
       row.push_back(bench::Sec(epoch.Mean()));

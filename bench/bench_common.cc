@@ -1,10 +1,30 @@
 #include "bench_common.h"
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <sstream>
+#include <utility>
 
 namespace oodb::bench {
+
+namespace {
+
+double Now() {
+  using clock = std::chrono::steady_clock;
+  return std::chrono::duration<double>(clock::now().time_since_epoch())
+      .count();
+}
+
+void FillDefaultLabels(CellSpec& cell) {
+  if (cell.policy.empty()) cell.policy = cell.config.clustering.Label();
+  if (cell.workload.empty()) cell.workload = cell.config.workload.Label();
+  if (cell.cell_label.empty()) {
+    cell.cell_label = cell.policy + "/" + cell.workload;
+  }
+}
+
+}  // namespace
 
 bool FastMode() {
   const char* fast = std::getenv("SEMCLUST_BENCH_FAST");
@@ -22,8 +42,14 @@ core::ModelConfig BaseConfig() {
   return cfg;
 }
 
+core::BenchReport& Report() {
+  static core::BenchReport report("bench");
+  return report;
+}
+
 void PrintHeader(const std::string& figure, const std::string& title,
                  const std::string& expectation) {
+  Report().set_bench(figure);
   std::printf("\n================================================================\n");
   std::printf("%s -- %s\n", figure.c_str(), title.c_str());
   std::printf("Paper expectation: %s\n", expectation.c_str());
@@ -35,8 +61,41 @@ void ShapeCheck(const std::string& claim, bool holds) {
   std::printf("[%s] %s\n", holds ? "SHAPE-OK " : "DEVIATION", claim.c_str());
 }
 
+std::vector<core::RunResult> RunCells(std::vector<CellSpec> cells) {
+  for (CellSpec& cell : cells) FillDefaultLabels(cell);
+
+  std::vector<core::ModelConfig> configs;
+  configs.reserve(cells.size());
+  for (const CellSpec& cell : cells) configs.push_back(cell.config);
+
+  exec::ExperimentRunner runner;
+  const double start = Now();
+  auto outcomes = runner.Run(std::move(configs));
+  const double wall = Now() - start;
+  // Status goes to stderr so the stdout tables stay byte-identical to the
+  // serial harness.
+  std::fprintf(stderr, "[exec] %zu cells, jobs=%d, %.1f s wall\n",
+               cells.size(), runner.jobs(), wall);
+
+  std::vector<core::RunResult> results;
+  results.reserve(outcomes.size());
+  for (size_t i = 0; i < outcomes.size(); ++i) {
+    Report().Record(cells[i].cell_label, cells[i].policy, cells[i].workload,
+                    outcomes[i].result, outcomes[i].wall_s);
+    results.push_back(std::move(outcomes[i].result));
+  }
+  return results;
+}
+
 double MeanResponse(const core::ModelConfig& config) {
-  return core::RunCell(config).response_time.Mean();
+  const double start = Now();
+  const core::RunResult result = core::RunCell(config);
+  CellSpec labels;
+  labels.config = config;
+  FillDefaultLabels(labels);
+  Report().Record(labels.cell_label, labels.policy, labels.workload, result,
+                  Now() - start);
+  return result.response_time.Mean();
 }
 
 std::string Sec(double s) { return FormatDouble(s * 1000.0, 1) + " ms"; }
@@ -47,13 +106,28 @@ ClusteringGrid RunClusteringGrid(
   ClusteringGrid grid;
   const auto policies = core::ClusteringPolicyLevels(split);
   for (const auto& w : cells) grid.workload_labels.push_back(w.Label());
+  for (const auto& policy : policies) grid.policy_labels.push_back(policy.Label());
+
+  // One flat batch (policy-major, matching the legacy loop order) so the
+  // whole grid parallelises across SEMCLUST_BENCH_JOBS workers.
+  std::vector<CellSpec> batch;
+  batch.reserve(policies.size() * cells.size());
   for (const auto& policy : policies) {
-    grid.policy_labels.push_back(policy.Label());
-    std::vector<double> row;
     for (const auto& w : cells) {
-      core::ModelConfig cfg = core::WithWorkload(BaseConfig(), w);
-      cfg.clustering = policy;
-      row.push_back(MeanResponse(cfg));
+      CellSpec cell;
+      cell.config = core::WithWorkload(BaseConfig(), w);
+      cell.config.clustering = policy;
+      batch.push_back(std::move(cell));
+    }
+  }
+  const auto results = RunCells(std::move(batch));
+
+  size_t i = 0;
+  for (size_t p = 0; p < policies.size(); ++p) {
+    std::vector<double> row;
+    row.reserve(cells.size());
+    for (size_t w = 0; w < cells.size(); ++w) {
+      row.push_back(results[i++].response_time.Mean());
     }
     grid.response.push_back(std::move(row));
   }

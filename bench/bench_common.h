@@ -4,8 +4,10 @@
 #include <string>
 #include <vector>
 
+#include "core/bench_report.h"
 #include "core/experiment.h"
 #include "core/model_config.h"
+#include "exec/experiment_runner.h"
 #include "util/table_printer.h"
 
 /// \file
@@ -14,9 +16,16 @@
 /// expected shape, the regenerated series as an aligned table, and a short
 /// shape check (PASS/DEVIATION) against the paper's qualitative claims.
 ///
+/// Experiment grids run on the exec::ExperimentRunner worker pool; each
+/// cell gets a splitmix64-derived per-cell seed, so the numbers are
+/// bit-identical at any job count.
+///
 /// Environment:
-///   SEMCLUST_BENCH_FAST=1   quarter-length runs (smoke mode)
-///   SEMCLUST_BENCH_SEED=n   override the simulation seed
+///   SEMCLUST_BENCH_FAST=1      quarter-length runs (smoke mode)
+///   SEMCLUST_BENCH_SEED=n      override the simulation base seed
+///   SEMCLUST_BENCH_JOBS=n      worker threads (default: hardware
+///                              concurrency; 1 = legacy serial path)
+///   SEMCLUST_BENCH_JSON=path   append one JSON record per cell to `path`
 
 namespace oodb::bench {
 
@@ -27,14 +36,36 @@ bool FastMode();
 /// database with the paper's 1000-buffer level and default cost model.
 core::ModelConfig BaseConfig();
 
-/// Prints the figure banner.
+/// The per-binary JSON reporter. Its bench name is set by PrintHeader;
+/// inert unless SEMCLUST_BENCH_JSON is set.
+core::BenchReport& Report();
+
+/// Prints the figure banner and names the JSON reporter after `figure`.
 void PrintHeader(const std::string& figure, const std::string& title,
                  const std::string& expectation);
 
 /// Prints a shape-check verdict line.
 void ShapeCheck(const std::string& claim, bool holds);
 
-/// Runs one cell and returns mean response time in seconds.
+/// One labelled cell for batch execution. Empty label fields are filled
+/// from the config (policy from clustering, workload from the workload,
+/// cell_label as "policy/workload").
+struct CellSpec {
+  core::ModelConfig config;
+  std::string cell_label;
+  std::string policy;
+  std::string workload;
+};
+
+/// Runs `cells` through the ExperimentRunner (SEMCLUST_BENCH_JOBS
+/// workers), emits one JSON record per cell through Report(), prints a
+/// `[exec]` wall-clock summary to stderr, and returns the results in
+/// submission order.
+std::vector<core::RunResult> RunCells(std::vector<CellSpec> cells);
+
+/// Runs one cell on the calling thread (no per-cell seed derivation — the
+/// configured seed is used as-is) and returns mean response time in
+/// seconds. Emits a JSON record.
 double MeanResponse(const core::ModelConfig& config);
 
 /// Label helper: seconds with ms precision.
@@ -55,7 +86,7 @@ struct ClusteringGrid {
   }
 };
 
-/// Runs the five clustering policies over `cells`.
+/// Runs the five clustering policies over `cells` as one parallel batch.
 ClusteringGrid RunClusteringGrid(
     const std::vector<workload::WorkloadConfig>& cells,
     cluster::SplitPolicy split = cluster::SplitPolicy::kNoSplit);

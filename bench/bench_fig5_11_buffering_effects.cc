@@ -36,15 +36,29 @@ int main() {
   for (const auto& w : cells) headers.push_back(w.Label());
   TablePrinter table(std::move(headers));
 
+  // One flat batch (level-major, matching the legacy loop order) over the
+  // ExperimentRunner worker pool.
+  std::vector<bench::CellSpec> batch;
+  batch.reserve(levels.size() * cells.size());
+  for (size_t l = 0; l < levels.size(); ++l) {
+    for (size_t w = 0; w < cells.size(); ++w) {
+      bench::CellSpec cell;
+      cell.config = BufferingBase(cells[w]);
+      cell.config.replacement = levels[l].replacement;
+      cell.config.prefetch = levels[l].prefetch;
+      cell.policy = levels[l].label;
+      batch.push_back(std::move(cell));
+    }
+  }
+  const auto results = bench::RunCells(std::move(batch));
+
   std::vector<std::vector<double>> rt(levels.size(),
                                       std::vector<double>(cells.size()));
+  size_t i = 0;
   for (size_t l = 0; l < levels.size(); ++l) {
     std::vector<std::string> row{levels[l].label};
     for (size_t w = 0; w < cells.size(); ++w) {
-      core::ModelConfig cfg = BufferingBase(cells[w]);
-      cfg.replacement = levels[l].replacement;
-      cfg.prefetch = levels[l].prefetch;
-      rt[l][w] = bench::MeanResponse(cfg);
+      rt[l][w] = results[i++].response_time.Mean();
       row.push_back(bench::Sec(rt[l][w]));
     }
     table.AddRow(std::move(row));

@@ -25,6 +25,12 @@ int main() {
   base.measured_transactions = bench::FastMode() ? 200 : 600;
 
   analysis::FactorialDesign design(base, analysis::StandardFactors());
+  design.set_cell_observer([](uint32_t mask, const core::ModelConfig& cfg,
+                              const core::RunResult& result, double wall_s) {
+    bench::Report().Record("cell-" + std::to_string(mask),
+                           cfg.clustering.Label(), cfg.workload.Label(),
+                           result, wall_s);
+  });
   design.Run();
 
   TablePrinter mains({"factor", "effect (ms)", "|effect| (ms)"});

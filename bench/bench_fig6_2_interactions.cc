@@ -23,6 +23,12 @@ int main() {
 
   const auto factors = analysis::StandardFactors();
   analysis::FactorialDesign design(base, factors);
+  design.set_cell_observer([](uint32_t mask, const core::ModelConfig& cfg,
+                              const core::RunResult& result, double wall_s) {
+    bench::Report().Record("cell-" + std::to_string(mask),
+                           cfg.clustering.Label(), cfg.workload.Label(),
+                           result, wall_s);
+  });
   design.Run();
 
   TablePrinter table({"factor pair", "ll (ms)", "lh (ms)", "hl (ms)",

@@ -25,21 +25,32 @@ int RunPrefetchFigure(const std::string& figure,
   for (const auto& w : cells) headers.push_back(w.Label());
   TablePrinter table(std::move(headers));
 
-  double rt[3][9];
-  int p = 0;
+  // One flat batch (prefetch-major, matching the legacy loop order) over
+  // the ExperimentRunner worker pool.
+  std::vector<CellSpec> batch;
   for (auto prefetch : policies) {
-    std::vector<std::string> row{buffer::PrefetchPolicyName(prefetch)};
     for (size_t w = 0; w < cells.size(); ++w) {
-      core::ModelConfig cfg = core::WithWorkload(BaseConfig(), cells[w]);
-      cfg.clustering.pool = cluster::CandidatePool::kWithinDb;
-      cfg.clustering.split = cluster::SplitPolicy::kLinearGreedy;
-      cfg.replacement = replacement;
-      cfg.prefetch = prefetch;
-      rt[p][w] = MeanResponse(cfg);
+      CellSpec cell;
+      cell.config = core::WithWorkload(BaseConfig(), cells[w]);
+      cell.config.clustering.pool = cluster::CandidatePool::kWithinDb;
+      cell.config.clustering.split = cluster::SplitPolicy::kLinearGreedy;
+      cell.config.replacement = replacement;
+      cell.config.prefetch = prefetch;
+      cell.policy = buffer::PrefetchPolicyName(prefetch);
+      batch.push_back(std::move(cell));
+    }
+  }
+  const auto results = RunCells(std::move(batch));
+
+  double rt[3][9];
+  size_t i = 0;
+  for (int p = 0; p < 3; ++p) {
+    std::vector<std::string> row{buffer::PrefetchPolicyName(policies[p])};
+    for (size_t w = 0; w < cells.size(); ++w) {
+      rt[p][w] = results[i++].response_time.Mean();
       row.push_back(Sec(rt[p][w]));
     }
     table.AddRow(std::move(row));
-    ++p;
   }
   std::ostringstream os;
   table.Print(os);

@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# CI entry point: configure, build, unit-test, then run the fig5.1 bench
+# in fast mode at 1 and 4 jobs and diff the machine-readable output to
+# catch determinism regressions in the parallel experiment runner.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${ROOT}/build-ci"
+
+cmake -S "${ROOT}" -B "${BUILD}" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCMAKE_CXX_FLAGS="-fno-omit-frame-pointer"
+cmake --build "${BUILD}" -j "$(nproc)"
+
+ctest --test-dir "${BUILD}" --output-on-failure -j "$(nproc)"
+
+# Determinism gate: the parallel runner must be bit-identical to the
+# serial path. elapsed_wall_s is the only nondeterministic field, so it
+# is stripped before the diff.
+BENCH="${BUILD}/bench/bench_fig5_1_clustering_effects"
+J1="${BUILD}/bench_jobs1.json"
+J4="${BUILD}/bench_jobs4.json"
+rm -f "${J1}" "${J4}"
+
+SEMCLUST_BENCH_FAST=1 SEMCLUST_BENCH_JOBS=1 SEMCLUST_BENCH_JSON="${J1}" \
+  "${BENCH}" > "${BUILD}/bench_jobs1.out"
+SEMCLUST_BENCH_FAST=1 SEMCLUST_BENCH_JOBS=4 SEMCLUST_BENCH_JSON="${J4}" \
+  "${BENCH}" > "${BUILD}/bench_jobs4.out"
+
+strip_wall() { sed -E 's/"elapsed_wall_s":[^,}]+//' "$1"; }
+if ! diff <(strip_wall "${J1}") <(strip_wall "${J4}"); then
+  echo "FAIL: parallel bench output differs from serial" >&2
+  exit 1
+fi
+if ! diff "${BUILD}/bench_jobs1.out" "${BUILD}/bench_jobs4.out"; then
+  echo "FAIL: human-readable bench tables differ between job counts" >&2
+  exit 1
+fi
+echo "ci: ok (tests passed, jobs=1 == jobs=4)"

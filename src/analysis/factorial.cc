@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "exec/experiment_runner.h"
 #include "util/check.h"
 
 namespace oodb::analysis {
@@ -87,7 +88,8 @@ FactorialDesign::FactorialDesign(core::ModelConfig base,
                                  std::vector<Factor> factors, Runner runner)
     : base_(std::move(base)),
       factors_(std::move(factors)),
-      runner_(std::move(runner)) {
+      runner_(std::move(runner)),
+      custom_runner_(runner_ != nullptr) {
   OODB_CHECK(!factors_.empty());
   OODB_CHECK_LE(factors_.size(), 16u);
   if (!runner_) {
@@ -97,15 +99,40 @@ FactorialDesign::FactorialDesign(core::ModelConfig base,
   }
 }
 
+void FactorialDesign::set_cell_observer(CellObserver observer) {
+  observer_ = std::move(observer);
+}
+
 void FactorialDesign::Run() {
   const uint32_t cells = 1u << factors_.size();
   responses_.resize(cells);
+  std::vector<core::ModelConfig> cfgs;
+  cfgs.reserve(cells);
   for (uint32_t mask = 0; mask < cells; ++mask) {
     core::ModelConfig cfg = base_;
     for (size_t f = 0; f < factors_.size(); ++f) {
       factors_[f].apply(cfg, (mask >> f) & 1u);
     }
-    responses_[mask] = runner_(cfg);
+    cfgs.push_back(std::move(cfg));
+  }
+  if (custom_runner_) {
+    // Injected runners (tests) keep the legacy serial loop and see the
+    // configured seed untouched.
+    for (uint32_t mask = 0; mask < cells; ++mask) {
+      responses_[mask] = runner_(cfgs[mask]);
+    }
+  } else {
+    exec::ExperimentRunner runner;
+    const auto outcomes = runner.Run(cfgs);
+    for (uint32_t mask = 0; mask < cells; ++mask) {
+      responses_[mask] = outcomes[mask].result.response_time.Mean();
+    }
+    if (observer_) {
+      for (uint32_t mask = 0; mask < cells; ++mask) {
+        observer_(mask, cfgs[mask], outcomes[mask].result,
+                  outcomes[mask].wall_s);
+      }
+    }
   }
   ran_ = true;
 }

@@ -64,10 +64,25 @@ class FactorialDesign {
   /// response time. Injectable for tests.
   using Runner = std::function<double(const core::ModelConfig&)>;
 
+  /// Called once per cell after the design runs (default runner only):
+  /// the cell's factor mask, its configuration, the full simulation
+  /// result, and the wall-clock seconds it took. Invoked on the calling
+  /// thread in mask order.
+  using CellObserver =
+      std::function<void(uint32_t mask, const core::ModelConfig& config,
+                         const core::RunResult& result, double wall_s)>;
+
   FactorialDesign(core::ModelConfig base, std::vector<Factor> factors,
                   Runner runner = nullptr);
 
-  /// Simulates all 2^k cells (k <= 16).
+  /// Registers an observer for per-cell results; call before Run().
+  void set_cell_observer(CellObserver observer);
+
+  /// Simulates all 2^k cells (k <= 16). With the default runner the cells
+  /// execute on the exec::ExperimentRunner worker pool
+  /// (SEMCLUST_BENCH_JOBS), each under its splitmix64-derived per-cell
+  /// seed, so the design's responses are bit-identical at any job count.
+  /// An injected runner keeps the legacy serial loop.
   void Run();
 
   /// Response of the cell whose factor levels are the bits of `mask`.
@@ -96,6 +111,8 @@ class FactorialDesign {
   core::ModelConfig base_;
   std::vector<Factor> factors_;
   Runner runner_;
+  bool custom_runner_ = false;
+  CellObserver observer_;
   std::vector<double> responses_;
   bool ran_ = false;
 };

@@ -14,16 +14,10 @@ AffinityModel::AffinityModel(const obj::TypeLattice* lattice,
     : lattice_(lattice), learned_share_(learned_share) {
   OODB_CHECK_GE(learned_share, 0.0);
   OODB_CHECK_LE(learned_share, 1.0);
-}
-
-const AffinityModel::TypeState& AffinityModel::StateFor(
-    obj::TypeId type) const {
-  if (type >= states_.size()) {
-    states_.resize(lattice_->size());
-    initialised_.resize(lattice_->size(), false);
-  }
-  OODB_CHECK_LT(type, states_.size());
-  if (!initialised_[type]) {
+  // Eager build: the table never grows afterwards, so StateFor is genuinely
+  // read-only and the returned references are stable for the model's life.
+  states_.resize(lattice_->size());
+  for (obj::TypeId type = 0; type < states_.size(); ++type) {
     TypeState& s = states_[type];
     const auto profile = lattice_->EffectiveTraversal(type);
     double sum = 0;
@@ -33,32 +27,47 @@ const AffinityModel::TypeState& AffinityModel::StateFor(
           sum > 0 ? profile[static_cast<size_t>(k)] / sum
                   : 1.0 / obj::kNumRelKinds;
     }
-    initialised_[type] = true;
   }
+}
+
+const AffinityModel::TypeState& AffinityModel::StateFor(
+    obj::TypeId type) const {
+  OODB_CHECK_LT(type, states_.size());
   return states_[type];
 }
 
 void AffinityModel::RecordTraversal(obj::TypeId type, obj::RelKind kind) {
-  StateFor(type);  // ensure initialised
+  OODB_CHECK_LT(type, states_.size());
   TypeState& s = states_[type];
   ++s.counts[static_cast<size_t>(kind)];
   ++s.total_count;
+  s.cache_valid = false;
+}
+
+void AffinityModel::RefreshCache(const TypeState& s) const {
+  if (s.total_count == 0) {
+    s.cached_weights = s.prior;
+  } else {
+    // Ramp the learned share in with observation volume so a handful of
+    // traversals does not swing placement.
+    const double ramp =
+        std::min(1.0, static_cast<double>(s.total_count) /
+                          static_cast<double>(kWarmupObservations));
+    const double share = learned_share_ * ramp;
+    const double inv_total = 1.0 / static_cast<double>(s.total_count);
+    for (int k = 0; k < obj::kNumRelKinds; ++k) {
+      const auto i = static_cast<size_t>(k);
+      const double learned = static_cast<double>(s.counts[i]) * inv_total;
+      s.cached_weights[i] = (1.0 - share) * s.prior[i] + share * learned;
+    }
+  }
+  s.cache_valid = true;
 }
 
 double AffinityModel::Weight(obj::TypeId type, obj::RelKind kind) const {
   const TypeState& s = StateFor(type);
-  const double prior = s.prior[static_cast<size_t>(kind)];
-  if (s.total_count == 0) return prior;
-  const double learned =
-      static_cast<double>(s.counts[static_cast<size_t>(kind)]) /
-      static_cast<double>(s.total_count);
-  // Ramp the learned share in with observation volume so a handful of
-  // traversals does not swing placement.
-  const double ramp =
-      std::min(1.0, static_cast<double>(s.total_count) /
-                        static_cast<double>(kWarmupObservations));
-  const double share = learned_share_ * ramp;
-  return (1.0 - share) * prior + share * learned;
+  if (!s.cache_valid) RefreshCache(s);
+  return s.cached_weights[static_cast<size_t>(kind)];
 }
 
 double AffinityModel::EdgeWeight(const obj::ObjectGraph& graph,

@@ -14,6 +14,11 @@
 /// observed traversal mix per type so the reclustering algorithm adapts as
 /// an application's phases change (paper §3.3 observes R/W and access mixes
 /// vary across phases of the same tool).
+///
+/// Threading: an AffinityModel belongs to exactly one simulation cell (one
+/// EngineeringDbModel); it is never shared across cells or threads. The
+/// type-state table is sized once, in the constructor, from the lattice —
+/// every type must therefore be registered before the model is built.
 
 namespace oodb::cluster {
 
@@ -21,17 +26,21 @@ namespace oodb::cluster {
 class AffinityModel {
  public:
   /// `learned_share` in [0, 1] is the weight of the learned component once
-  /// enough observations accumulate.
+  /// enough observations accumulate. The per-type state table is built
+  /// eagerly here for every type currently in `lattice` (priors included),
+  /// so the const accessors below never resize or initialise anything.
   explicit AffinityModel(const obj::TypeLattice* lattice,
                          double learned_share = 0.5);
 
   /// Records that an application navigated from an instance of `type`
-  /// along `kind`.
+  /// along `kind`. Invalidates the cached weights of `type`.
   void RecordTraversal(obj::TypeId type, obj::RelKind kind);
 
   /// Affinity weight for navigating from an instance of `type` along
   /// `kind`: the type prior blended with the learned distribution.
   /// Priors are normalised so weights across kinds sum to ~1 per type.
+  /// The blend is cached per type between RecordTraversal calls — the hot
+  /// path of candidate scoring recomputes nothing.
   double Weight(obj::TypeId type, obj::RelKind kind) const;
 
   /// Affinity contribution of one structural edge for clustering purposes:
@@ -48,14 +57,20 @@ class AffinityModel {
     std::array<double, obj::kNumRelKinds> prior{};   // normalised
     std::array<uint64_t, obj::kNumRelKinds> counts{};
     uint64_t total_count = 0;
+    /// Blended prior+learned weights, valid while `cache_valid`. Mutable:
+    /// the cache is refreshed inside const Weight() on first use after an
+    /// invalidation (the model is per-cell, so no synchronisation needed).
+    mutable std::array<double, obj::kNumRelKinds> cached_weights{};
+    mutable bool cache_valid = false;
   };
 
   const TypeState& StateFor(obj::TypeId type) const;
+  /// Recomputes `cached_weights` for one state.
+  void RefreshCache(const TypeState& s) const;
 
   const obj::TypeLattice* lattice_;
   double learned_share_;
-  mutable std::vector<TypeState> states_;  // lazily initialised per type
-  mutable std::vector<bool> initialised_;
+  std::vector<TypeState> states_;  // one per lattice type, fixed size
 };
 
 }  // namespace oodb::cluster

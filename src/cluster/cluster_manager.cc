@@ -21,9 +21,10 @@ ClusterManager::ClusterManager(obj::ObjectGraph* graph,
   OODB_CHECK(affinity != nullptr);
 }
 
-std::vector<ClusterManager::Candidate> ClusterManager::ScoreCandidates(
+const std::vector<ClusterManager::Candidate>& ClusterManager::ScoreCandidates(
     obj::ObjectId id) const {
-  std::unordered_map<store::PageId, double> scores;
+  std::unordered_map<store::PageId, double>& scores = score_scratch_;
+  scores.clear();
   for (const obj::Edge& e : graph_->object(id).edges) {
     if (!graph_->IsLive(e.target)) continue;
     const store::PageId p = storage_->PageOf(e.target);
@@ -49,7 +50,8 @@ std::vector<ClusterManager::Candidate> ClusterManager::ScoreCandidates(
           });
     }
   }
-  std::vector<Candidate> candidates;
+  std::vector<Candidate>& candidates = candidates_scratch_;
+  candidates.clear();
   candidates.reserve(scores.size());
   for (const auto& [page, score] : scores) {
     candidates.push_back(Candidate{page, score});
@@ -95,7 +97,7 @@ PlacementReport ClusterManager::PlaceImpl(obj::ObjectId id,
     return report;
   }
 
-  const std::vector<Candidate> candidates = ScoreCandidates(id);
+  const std::vector<Candidate>& candidates = ScoreCandidates(id);
 
   double current_score = 0;
   if (!placing_new) {

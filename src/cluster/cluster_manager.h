@@ -2,6 +2,7 @@
 #define SEMCLUST_CLUSTER_CLUSTER_MANAGER_H_
 
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "buffer/buffer_pool.h"
@@ -94,8 +95,11 @@ class ClusterManager {
 
   /// Scores candidate pages by summed structural affinity of `id` to the
   /// objects already resident on them (hint boosts applied), best first.
-  /// Exposed for tests and benchmarks.
-  std::vector<Candidate> ScoreCandidates(obj::ObjectId id) const;
+  /// Exposed for tests and benchmarks. The returned reference points at a
+  /// scratch buffer owned by the manager and is invalidated by the next
+  /// ScoreCandidates/PlaceNew/Recluster call (the manager, like the whole
+  /// simulation cell, is single-threaded).
+  const std::vector<Candidate>& ScoreCandidates(obj::ObjectId id) const;
 
  private:
   /// Shared engine behind PlaceNew/Recluster. `current_page` is the page
@@ -118,6 +122,12 @@ class ClusterManager {
   const buffer::BufferPool* buffer_;
   ClusterConfig config_;
   ClusterStats stats_;
+
+  // Scratch state reused across ScoreCandidates calls: placement runs once
+  // per object write, and a fresh map + vector per call dominated its
+  // profile. clear() keeps the map's buckets and the vector's capacity.
+  mutable std::unordered_map<store::PageId, double> score_scratch_;
+  mutable std::vector<Candidate> candidates_scratch_;
 };
 
 }  // namespace oodb::cluster

@@ -1,0 +1,53 @@
+#include "core/bench_report.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "util/json_writer.h"
+
+namespace oodb::core {
+
+BenchReport::BenchReport(std::string bench) : bench_(std::move(bench)) {
+  if (const char* path = std::getenv("SEMCLUST_BENCH_JSON")) {
+    if (path[0] != '\0') path_ = path;
+  }
+}
+
+void BenchReport::Record(const BenchRecord& record) const {
+  if (!enabled()) return;
+  JsonObjectWriter json;
+  json.Add("bench", bench_)
+      .Add("cell_label", record.cell_label)
+      .Add("policy", record.policy)
+      .Add("workload", record.workload)
+      .Add("mean_response_s", record.mean_response_s)
+      .Add("io_count", record.io_count)
+      .Add("hit_ratio", record.hit_ratio)
+      .Add("elapsed_wall_s", record.elapsed_wall_s);
+  std::ofstream out(path_, std::ios::app);
+  if (out) {
+    out << json.str() << '\n';
+  } else if (!warned_unwritable_) {
+    warned_unwritable_ = true;
+    std::fprintf(stderr, "[bench] SEMCLUST_BENCH_JSON=%s is not writable; "
+                 "records dropped\n", path_.c_str());
+  }
+}
+
+void BenchReport::Record(const std::string& cell_label,
+                         const std::string& policy,
+                         const std::string& workload, const RunResult& result,
+                         double elapsed_wall_s) const {
+  BenchRecord r;
+  r.cell_label = cell_label;
+  r.policy = policy;
+  r.workload = workload;
+  r.mean_response_s = result.response_time.Mean();
+  r.io_count = result.total_physical_ios();
+  r.hit_ratio = result.buffer_hit_ratio;
+  r.elapsed_wall_s = elapsed_wall_s;
+  Record(r);
+}
+
+}  // namespace oodb::core

@@ -1,0 +1,58 @@
+#ifndef SEMCLUST_CORE_BENCH_REPORT_H_
+#define SEMCLUST_CORE_BENCH_REPORT_H_
+
+#include <string>
+
+#include "core/engineering_db.h"
+
+/// \file
+/// Machine-readable benchmark output. When SEMCLUST_BENCH_JSON=<path> is
+/// set, every bench binary appends one JSON record per simulated cell to
+/// that file (JSON Lines: one object per line), which is what populates the
+/// repo's BENCH_*.json perf-trajectory files. Without the variable the
+/// reporter is inert and the human-readable tables are the only output.
+
+namespace oodb::core {
+
+/// One emitted record's fields (all cells of a bench share `bench`).
+struct BenchRecord {
+  std::string cell_label;  ///< unique-within-bench cell name
+  std::string policy;      ///< clustering/buffering policy label
+  std::string workload;    ///< workload label, e.g. "hi10-100"
+  double mean_response_s = 0;
+  uint64_t io_count = 0;  ///< total physical I/Os of the measured phase
+  double hit_ratio = 0;   ///< buffer hit ratio
+  double elapsed_wall_s = 0;  ///< host wall-clock spent on the cell
+};
+
+/// Appends records for one bench binary to $SEMCLUST_BENCH_JSON.
+class BenchReport {
+ public:
+  /// `bench` names the binary/figure and is stamped on every record. The
+  /// destination is read from SEMCLUST_BENCH_JSON once, at construction.
+  explicit BenchReport(std::string bench);
+
+  /// False when SEMCLUST_BENCH_JSON is unset (records are dropped).
+  bool enabled() const { return !path_.empty(); }
+
+  const std::string& bench() const { return bench_; }
+  void set_bench(std::string bench) { bench_ = std::move(bench); }
+
+  /// Appends one record (open-append-close per record, so partial bench
+  /// runs still leave valid lines behind).
+  void Record(const BenchRecord& record) const;
+
+  /// Convenience: fills the numeric fields from a RunResult.
+  void Record(const std::string& cell_label, const std::string& policy,
+              const std::string& workload, const RunResult& result,
+              double elapsed_wall_s) const;
+
+ private:
+  std::string bench_;
+  std::string path_;
+  mutable bool warned_unwritable_ = false;
+};
+
+}  // namespace oodb::core
+
+#endif  // SEMCLUST_CORE_BENCH_REPORT_H_

@@ -1,0 +1,55 @@
+#ifndef SEMCLUST_EXEC_THREAD_POOL_H_
+#define SEMCLUST_EXEC_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+/// \file
+/// A fixed-size worker-thread pool for the experiment harness. Tasks are
+/// plain closures; the pool makes no ordering promises — callers that need
+/// deterministic results must make each task independent and write into a
+/// pre-sized slot (see ExperimentRunner).
+
+namespace oodb::exec {
+
+/// Fixed-size thread pool. Threads are started in the constructor and
+/// joined in the destructor; Wait() blocks until every submitted task has
+/// finished.
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers (clamped to >= 1).
+  explicit ThreadPool(int num_threads);
+
+  /// Drains outstanding work, then stops and joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues one task. Must not be called after the destructor starts.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and no task is executing.
+  void Wait();
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  int active_ = 0;      // tasks currently executing
+  bool stopping_ = false;
+};
+
+}  // namespace oodb::exec
+
+#endif  // SEMCLUST_EXEC_THREAD_POOL_H_

@@ -1,0 +1,42 @@
+#ifndef SEMCLUST_UTIL_JSON_WRITER_H_
+#define SEMCLUST_UTIL_JSON_WRITER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+/// \file
+/// Minimal hand-rolled JSON emission — enough for the benchmark harness's
+/// machine-readable records without any external dependency. Doubles are
+/// printed with %.17g, so bit-identical values always render to identical
+/// text (the property the determinism CI diff relies on).
+
+namespace oodb {
+
+/// Escapes `s` for inclusion inside a JSON string literal (quotes not
+/// included).
+std::string JsonEscape(std::string_view s);
+
+/// Builds one flat JSON object, key by key, in insertion order.
+class JsonObjectWriter {
+ public:
+  JsonObjectWriter& Add(std::string_view key, std::string_view value);
+  JsonObjectWriter& Add(std::string_view key, const char* value);
+  JsonObjectWriter& Add(std::string_view key, double value);
+  JsonObjectWriter& Add(std::string_view key, uint64_t value);
+  JsonObjectWriter& Add(std::string_view key, int64_t value);
+  JsonObjectWriter& Add(std::string_view key, int value);
+  JsonObjectWriter& Add(std::string_view key, bool value);
+
+  /// The complete object, e.g. `{"a":1,"b":"x"}`.
+  std::string str() const { return "{" + body_ + "}"; }
+
+ private:
+  void AppendKey(std::string_view key);
+
+  std::string body_;
+};
+
+}  // namespace oodb
+
+#endif  // SEMCLUST_UTIL_JSON_WRITER_H_

@@ -254,12 +254,15 @@ class ClusterManagerTest : public ::testing::Test {
  protected:
   static constexpr uint32_t kPageSize = 400;
 
+  // Types are registered before affinity_ is built: AffinityModel sizes
+  // its type-state table eagerly from the lattice at construction.
   ClusterManagerTest()
-      : graph_(&lattice_), storage_(kPageSize), affinity_(&lattice_) {
-    type_ = lattice_.DefineType("cell", obj::kInvalidType, 32,
-                                {8.0, 1.0, 0.5, 0.5});
-    fam_ = graph_.NewFamily("F");
-  }
+      : graph_(&lattice_),
+        storage_(kPageSize),
+        type_(lattice_.DefineType("cell", obj::kInvalidType, 32,
+                                  {8.0, 1.0, 0.5, 0.5})),
+        fam_(graph_.NewFamily("F")),
+        affinity_(&lattice_) {}
 
   obj::ObjectId NewObject(uint32_t size = 100) {
     return graph_.Create(fam_, 1, type_, size);
@@ -273,9 +276,9 @@ class ClusterManagerTest : public ::testing::Test {
   obj::TypeLattice lattice_;
   obj::ObjectGraph graph_;
   store::StorageManager storage_;
-  AffinityModel affinity_;
   obj::TypeId type_ = 0;
   obj::FamilyId fam_ = 0;
+  AffinityModel affinity_;
 };
 
 TEST_F(ClusterManagerTest, NoClusteringAppends) {

@@ -9,10 +9,13 @@ namespace {
 
 class StaticClustererTest : public ::testing::Test {
  protected:
-  StaticClustererTest() : graph_(&lattice_), storage_(4096),
-                          affinity_(&lattice_) {
-    types_ = workload::RegisterCadTypes(lattice_);
-  }
+  // Types are registered before affinity_ is built: AffinityModel sizes
+  // its type-state table eagerly from the lattice at construction.
+  StaticClustererTest()
+      : graph_(&lattice_),
+        storage_(4096),
+        types_(workload::RegisterCadTypes(lattice_)),
+        affinity_(&lattice_) {}
 
   // Builds an arrival-order (scattered) database.
   workload::DesignDatabase BuildScattered(uint64_t bytes = 256 << 10) {
@@ -44,9 +47,9 @@ class StaticClustererTest : public ::testing::Test {
   obj::TypeLattice lattice_;
   obj::ObjectGraph graph_;
   store::StorageManager storage_;
+  workload::CadTypes types_{};
   AffinityModel affinity_;
   std::unique_ptr<ClusterManager> mgr_;
-  workload::CadTypes types_{};
 };
 
 TEST_F(StaticClustererTest, OrderVisitsEveryPlacedObjectOnce) {

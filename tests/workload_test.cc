@@ -33,9 +33,13 @@ TEST(WorkloadConfigTest, FanoutRangesMatchPaperBuckets) {
 
 class DbBuilderTest : public ::testing::Test {
  protected:
-  DbBuilderTest() : graph_(&lattice_), storage_(4096), affinity_(&lattice_) {
-    types_ = RegisterCadTypes(lattice_);
-  }
+  // Types are registered before affinity_ is built: AffinityModel sizes
+  // its type-state table eagerly from the lattice at construction.
+  DbBuilderTest()
+      : graph_(&lattice_),
+        storage_(4096),
+        types_(RegisterCadTypes(lattice_)),
+        affinity_(&lattice_) {}
 
   DesignDatabase BuildWith(cluster::CandidatePool pool, DatabaseSpec spec) {
     cluster::ClusterConfig config;
@@ -50,9 +54,9 @@ class DbBuilderTest : public ::testing::Test {
   obj::TypeLattice lattice_;
   obj::ObjectGraph graph_;
   store::StorageManager storage_;
+  CadTypes types_{};
   cluster::AffinityModel affinity_;
   std::unique_ptr<cluster::ClusterManager> cluster_;
-  CadTypes types_{};
 };
 
 TEST_F(DbBuilderTest, ReachesTargetSize) {
@@ -210,9 +214,11 @@ TEST_F(DbBuilderTest, ClusteringKeepsModulesDense) {
 
 class WorkloadGenTest : public ::testing::Test {
  protected:
-  WorkloadGenTest() : graph_(&lattice_), storage_(4096),
-                      affinity_(&lattice_) {
-    types_ = RegisterCadTypes(lattice_);
+  WorkloadGenTest()
+      : graph_(&lattice_),
+        storage_(4096),
+        types_(RegisterCadTypes(lattice_)),
+        affinity_(&lattice_) {
     cluster::ClusterConfig config;
     config.pool = cluster::CandidatePool::kNoClustering;
     cluster_ = std::make_unique<cluster::ClusterManager>(
@@ -226,9 +232,9 @@ class WorkloadGenTest : public ::testing::Test {
   obj::TypeLattice lattice_;
   obj::ObjectGraph graph_;
   store::StorageManager storage_;
+  CadTypes types_{};
   cluster::AffinityModel affinity_;
   std::unique_ptr<cluster::ClusterManager> cluster_;
-  CadTypes types_{};
   DesignDatabase db_;
 };
 
