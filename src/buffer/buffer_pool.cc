@@ -80,6 +80,7 @@ void BufferPool::RecordAccess(FrameId f) {
     case ReplacementPolicy::kContextSensitive:
       access_clock_ += 1.0;
       SetPriority(f, access_clock_);
+      frames_[f].boosted = false;  // plain recency from here on
       break;
     case ReplacementPolicy::kRandom:
       break;
@@ -110,6 +111,25 @@ BufferPool::FixResult BufferPool::Fix(store::PageId page) {
     result.evicted_dirty = victim.dirty;
     ++evictions_;
     if (victim.dirty) ++dirty_evictions_;
+    if (trace_ != nullptr) {
+      obs::EvictionClass cls = obs::EvictionClass::kPlainRecency;
+      switch (policy_) {
+        case ReplacementPolicy::kLru:
+          cls = obs::EvictionClass::kLru;
+          break;
+        case ReplacementPolicy::kRandom:
+          cls = obs::EvictionClass::kRandom;
+          break;
+        case ReplacementPolicy::kContextSensitive:
+          cls = victim.boosted ? obs::EvictionClass::kContextBoosted
+                               : obs::EvictionClass::kPlainRecency;
+          break;
+      }
+      trace_->Record(obs::Subsystem::kBuffer,
+                     obs::TraceEventType::kEviction, victim.page,
+                     static_cast<uint64_t>(cls), victim.dirty ? 1 : 0,
+                     victim.priority);
+    }
     frame_of_.erase(victim.page);
     if (policy_ == ReplacementPolicy::kLru) LruUnlink(f);
   }
@@ -117,6 +137,7 @@ BufferPool::FixResult BufferPool::Fix(store::PageId page) {
   Frame& fr = frames_[f];
   fr.page = page;
   fr.dirty = false;
+  fr.boosted = false;
   fr.pin_count = 0;
   fr.priority = 0;
   fr.heap_stamp = 0;
@@ -192,6 +213,7 @@ void BufferPool::Boost(store::PageId page, double weight) {
       Frame& fr = frames_[it->second];
       const double base = std::max(fr.priority, access_clock_);
       SetPriority(it->second, base + weight);
+      fr.boosted = true;
       break;
     }
     case ReplacementPolicy::kLru:

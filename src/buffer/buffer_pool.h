@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "buffer/policy.h"
+#include "obs/trace_sink.h"
 #include "storage/page.h"
 #include "util/random.h"
 
@@ -93,6 +94,12 @@ class BufferPool {
   /// Zeroes the counters (between warmup and measurement).
   void ResetCounters();
 
+  /// Attaches an event sink (may be null to detach). Each eviction then
+  /// records an obs::TraceEventType::kEviction event carrying the page,
+  /// its EvictionClass (whether a context boost was protecting it), the
+  /// dirty bit, and the replacement priority at eviction time.
+  void set_trace(obs::TraceSink* trace) { trace_ = trace; }
+
  private:
   using FrameId = uint32_t;
   static constexpr FrameId kNoFrame = UINT32_MAX;
@@ -100,6 +107,7 @@ class BufferPool {
   struct Frame {
     store::PageId page = store::kInvalidPage;
     bool dirty = false;
+    bool boosted = false;  // context boost since the last plain access
     uint32_t pin_count = 0;
     double priority = 0;   // context-sensitive replacement key
     uint64_t heap_stamp = 0;  // invalidates stale heap entries
@@ -145,6 +153,8 @@ class BufferPool {
   uint64_t misses_ = 0;
   uint64_t evictions_ = 0;
   uint64_t dirty_evictions_ = 0;
+
+  obs::TraceSink* trace_ = nullptr;
 };
 
 }  // namespace oodb::buffer

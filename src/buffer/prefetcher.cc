@@ -18,7 +18,8 @@ obj::RelKind DominantKind(const obj::ObjectGraph& graph,
 PrefetchGroup ComputePrefetchGroup(const obj::ObjectGraph& graph,
                                    const store::StorageManager& storage,
                                    obj::ObjectId object, AccessHint hint,
-                                   int config_depth, size_t max_pages) {
+                                   int config_depth, size_t max_pages,
+                                   obs::TraceSink* trace) {
   PrefetchGroup group;
   group.kind = hint.active ? hint.kind : DominantKind(graph, object);
 
@@ -73,6 +74,11 @@ PrefetchGroup ComputePrefetchGroup(const obj::ObjectGraph& graph,
       graph.ForEachNeighbor(object, obj::RelKind::kInstanceInheritance,
                             obj::Direction::kUp, add_object);
       break;
+  }
+  if (trace != nullptr && !group.pages.empty()) {
+    trace->Record(obs::Subsystem::kBuffer,
+                  obs::TraceEventType::kPrefetchGroup,
+                  static_cast<uint64_t>(group.kind), group.pages.size());
   }
   return group;
 }

@@ -5,6 +5,7 @@
 
 #include "buffer/policy.h"
 #include "objmodel/object_graph.h"
+#include "obs/trace_sink.h"
 #include "storage/storage_manager.h"
 
 /// \file
@@ -35,11 +36,15 @@ struct PrefetchGroup {
 /// descendants; correspondence brings all corresponding objects; instance
 /// inheritance brings the inheritance sources (the objects a by-reference
 /// attribute dereferences into).
+///
+/// A non-null `trace` records one obs::TraceEventType::kPrefetchGroup
+/// event per non-empty group (relationship kind + group size).
 PrefetchGroup ComputePrefetchGroup(const obj::ObjectGraph& graph,
                                    const store::StorageManager& storage,
                                    obj::ObjectId object, AccessHint hint,
                                    int config_depth = 2,
-                                   size_t max_pages = 8);
+                                   size_t max_pages = 8,
+                                   obs::TraceSink* trace = nullptr);
 
 /// The dominant relationship kind of `object`'s effective type profile.
 obj::RelKind DominantKind(const obj::ObjectGraph& graph,

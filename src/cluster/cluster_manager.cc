@@ -73,6 +73,7 @@ PlacementReport ClusterManager::PlaceNew(obj::ObjectId id) {
 PlacementReport ClusterManager::Recluster(obj::ObjectId id) {
   const store::PageId current = storage_->PageOf(id);
   OODB_CHECK_NE(current, store::kInvalidPage);
+  ++stats_.reclusterings;
   return PlaceImpl(id, current);
 }
 
@@ -200,6 +201,11 @@ PlacementReport ClusterManager::PlaceImpl(obj::ObjectId id,
     if (it != report.exam_reads.end()) report.exam_reads.erase(it);
   }
   stats_.exam_reads += report.exam_reads.size();
+  if (trace_ != nullptr) {
+    trace_->Record(obs::Subsystem::kCluster,
+                   obs::TraceEventType::kRecluster, candidates.size(),
+                   report.exam_reads.size(), report.relocated ? 1 : 0);
+  }
   return report;
 }
 
@@ -271,8 +277,15 @@ bool ClusterManager::TrySplit(obj::ObjectId incoming_id,
   report.split_new_page = new_page;
   report.split_broken_cost = split.broken_cost;
   report.page = target;
+  if (trace_ != nullptr) {
+    trace_->Record(obs::Subsystem::kCluster,
+                   obs::TraceEventType::kPageSplit, page,
+                   static_cast<uint64_t>(report.objects_moved),
+                   split.search_steps, split.broken_cost);
+  }
   ++stats_.splits;
   stats_.objects_moved_by_splits += static_cast<uint64_t>(report.objects_moved);
+  stats_.split_search_steps += split.search_steps;
   stats_.split_broken_cost += split.broken_cost;
   return true;
 }

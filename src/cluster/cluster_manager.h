@@ -53,11 +53,16 @@ struct PlacementReport {
 /// Aggregate counters over a manager's lifetime.
 struct ClusterStats {
   uint64_t placements = 0;
+  /// Recluster() calls (reclustering *attempts*, relocated or not).
+  uint64_t reclusterings = 0;
   uint64_t appends = 0;
   uint64_t relocations = 0;
   uint64_t splits = 0;
   uint64_t exam_reads = 0;
   uint64_t objects_moved_by_splits = 0;
+  /// Split-algorithm effort summed over executed splits (arcs examined by
+  /// the greedy pass plus branch-and-bound expansions for NP split).
+  uint64_t split_search_steps = 0;
   double split_broken_cost = 0;
 };
 
@@ -86,6 +91,12 @@ class ClusterManager {
   const ClusterStats& stats() const { return stats_; }
   const store::StorageManager& storage() const { return *storage_; }
   void ResetStats() { stats_ = ClusterStats{}; }
+
+  /// Attaches an event sink (may be null). Every placement/reclustering
+  /// decision then records a kRecluster event (candidates scored, exam
+  /// I/Os owed, whether the object moved), and every executed split a
+  /// kPageSplit event (objects moved, broken affinity cost).
+  void set_trace(obs::TraceSink* trace) { trace_ = trace; }
 
   /// A scored candidate page for placing `id`.
   struct Candidate {
@@ -122,6 +133,7 @@ class ClusterManager {
   const buffer::BufferPool* buffer_;
   ClusterConfig config_;
   ClusterStats stats_;
+  obs::TraceSink* trace_ = nullptr;
 
   // Scratch state reused across ScoreCandidates calls: placement runs once
   // per object write, and a fresh map + vector per call dominated its

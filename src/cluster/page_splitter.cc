@@ -141,11 +141,13 @@ SplitResult GreedyLinearSplit(const DependencyGraph& graph,
   // one page); the two-sided packing below enforces the rest.
   const uint64_t group_cap = capacity_bytes;
 
+  uint64_t steps = 0;
   UnionFind uf(graph);
   // The single pass over the arc set (the paper's linearity argument: no
   // sorting, each arc examined once).
   for (const DepArc& arc : graph.arcs) {
     uf.UnionIfFits(arc.a, arc.b, group_cap);
+    ++steps;
   }
 
   // Gather components.
@@ -172,9 +174,12 @@ SplitResult GreedyLinearSplit(const DependencyGraph& graph,
   if (!PackGroups(graph, std::move(groups), capacity_bytes, side_of)) {
     SplitResult r;
     r.feasible = false;
+    r.search_steps = steps;
     return r;
   }
-  return ResultFromSides(graph, side_of, capacity_bytes);
+  SplitResult result = ResultFromSides(graph, side_of, capacity_bytes);
+  result.search_steps = steps;
+  return result;
 }
 
 namespace {
@@ -215,9 +220,11 @@ class ExactSolver {
   }
 
   double best_cost() const { return best_cost_; }
+  uint64_t steps() const { return steps_; }
 
  private:
   void Recurse(uint32_t depth, double cut, uint64_t load0, uint64_t load1) {
+    ++steps_;
     if (cut > best_cost_ + 1e-12) return;
     if (depth == n_) {
       if (load0 == 0 || load1 == 0) return;  // must actually split
@@ -255,6 +262,7 @@ class ExactSolver {
   std::vector<int> best_side_;
   double best_cost_ = std::numeric_limits<double>::infinity();
   bool found_ = false;
+  uint64_t steps_ = 0;
 };
 
 /// Coarsens `g` by merging the heaviest arcs (capacity-bounded) until at
@@ -328,8 +336,13 @@ SplitResult ExhaustiveMinCutSplit(const DependencyGraph& graph,
   if (static_cast<int>(n) <= exact_node_limit) {
     ExactSolver solver(graph, capacity_bytes);
     auto side = solver.Solve(bound + 1e-9);
-    if (!side.has_value()) return greedy;
-    return ResultFromSides(graph, *side, capacity_bytes);
+    if (!side.has_value()) {
+      greedy.search_steps += solver.steps();
+      return greedy;
+    }
+    SplitResult result = ResultFromSides(graph, *side, capacity_bytes);
+    result.search_steps = greedy.search_steps + solver.steps();
+    return result;
   }
 
   // Too many nodes for exact enumeration: coarsen, solve exactly on the
@@ -337,15 +350,21 @@ SplitResult ExhaustiveMinCutSplit(const DependencyGraph& graph,
   auto [coarse, members] = Coarsen(graph, capacity_bytes, exact_node_limit);
   ExactSolver solver(coarse, capacity_bytes);
   auto coarse_side = solver.Solve(bound + 1e-9);
-  if (!coarse_side.has_value()) return greedy;
+  const uint64_t total_steps = greedy.search_steps + solver.steps();
+  if (!coarse_side.has_value()) {
+    greedy.search_steps = total_steps;
+    return greedy;
+  }
   std::vector<int> side_of(n, 0);
   for (uint32_t c = 0; c < coarse.nodes.size(); ++c) {
     for (uint32_t node : members[c]) side_of[node] = (*coarse_side)[c];
   }
   SplitResult result = ResultFromSides(graph, side_of, capacity_bytes);
+  result.search_steps = total_steps;
   // Keep whichever of {exact-on-coarse, greedy} is better and feasible.
   if (greedy.feasible &&
       (!result.feasible || greedy.broken_cost < result.broken_cost)) {
+    greedy.search_steps = total_steps;
     return greedy;
   }
   return result;

@@ -25,6 +25,10 @@ struct SplitResult {
   std::vector<uint32_t> right;
   /// Total weight of arcs crossing the partition.
   double broken_cost = 0;
+  /// Algorithm effort: arcs examined (greedy) or branch-and-bound nodes
+  /// expanded (exact, including the greedy seed's arcs). This is the
+  /// observable gap between Linear Split and NP Split (Fig 5.10).
+  uint64_t search_steps = 0;
 };
 
 /// Total weight of arcs whose endpoints fall on different sides.

@@ -14,8 +14,7 @@ BenchReport::BenchReport(std::string bench) : bench_(std::move(bench)) {
   }
 }
 
-void BenchReport::Record(const BenchRecord& record) const {
-  if (!enabled()) return;
+std::string BenchReport::ToJsonLine(const BenchRecord& record) const {
   JsonObjectWriter json;
   json.Add("bench", bench_)
       .Add("cell_label", record.cell_label)
@@ -24,10 +23,22 @@ void BenchReport::Record(const BenchRecord& record) const {
       .Add("mean_response_s", record.mean_response_s)
       .Add("io_count", record.io_count)
       .Add("hit_ratio", record.hit_ratio)
+      .Add("buffer_hit_ratio", record.buffer_hit_ratio)
+      .Add("exam_ios_per_recluster", record.exam_ios_per_recluster)
+      .Add("prefetch_accuracy", record.prefetch_accuracy)
+      .Add("page_splits", record.page_splits)
       .Add("elapsed_wall_s", record.elapsed_wall_s);
+  if (!record.metrics.empty()) {
+    json.AddRaw("metrics", record.metrics.ToJson());
+  }
+  return json.str();
+}
+
+void BenchReport::Record(const BenchRecord& record) const {
+  if (!enabled()) return;
   std::ofstream out(path_, std::ios::app);
   if (out) {
-    out << json.str() << '\n';
+    out << ToJsonLine(record) << '\n';
   } else if (!warned_unwritable_) {
     warned_unwritable_ = true;
     std::fprintf(stderr, "[bench] SEMCLUST_BENCH_JSON=%s is not writable; "
@@ -35,10 +46,11 @@ void BenchReport::Record(const BenchRecord& record) const {
   }
 }
 
-void BenchReport::Record(const std::string& cell_label,
-                         const std::string& policy,
-                         const std::string& workload, const RunResult& result,
-                         double elapsed_wall_s) const {
+BenchRecord BenchReport::FromResult(const std::string& cell_label,
+                                    const std::string& policy,
+                                    const std::string& workload,
+                                    const RunResult& result,
+                                    double elapsed_wall_s) {
   BenchRecord r;
   r.cell_label = cell_label;
   r.policy = policy;
@@ -47,7 +59,44 @@ void BenchReport::Record(const std::string& cell_label,
   r.io_count = result.total_physical_ios();
   r.hit_ratio = result.buffer_hit_ratio;
   r.elapsed_wall_s = elapsed_wall_s;
-  Record(r);
+  r.metrics = result.metrics;
+  // Derived ratios come from the registry snapshot when available so the
+  // JSONL record is self-consistent with the embedded metrics; they fall
+  // back to the RunResult counters when metrics collection is disabled.
+  // Either way a zero denominator yields null, not a division by zero.
+  const std::optional<uint64_t> hits = r.metrics.counter("buffer.hits");
+  const std::optional<uint64_t> misses = r.metrics.counter("buffer.misses");
+  std::optional<uint64_t> accesses;
+  if (hits.has_value() && misses.has_value()) accesses = *hits + *misses;
+  r.buffer_hit_ratio = obs::MetricsSnapshot::Ratio(hits, accesses);
+  r.exam_ios_per_recluster =
+      obs::MetricsSnapshot::Ratio(r.metrics.counter("cluster.exam_reads"),
+                                  r.metrics.counter("cluster.reclusterings"));
+  r.prefetch_accuracy =
+      obs::MetricsSnapshot::Ratio(r.metrics.counter("core.prefetch.hits"),
+                                  r.metrics.counter("core.prefetch.issued"));
+  r.page_splits = result.cluster_stats.splits;
+  if (r.metrics.empty()) {
+    // SEMCLUST_METRICS=0: derive what the RunResult itself carries.
+    const uint64_t exams = result.cluster_stats.exam_reads;
+    const uint64_t attempts = result.cluster_stats.reclusterings;
+    if (attempts != 0) {
+      r.exam_ios_per_recluster =
+          static_cast<double>(exams) / static_cast<double>(attempts);
+    }
+    if (result.prefetch_issued != 0) {
+      r.prefetch_accuracy = static_cast<double>(result.prefetch_hits) /
+                            static_cast<double>(result.prefetch_issued);
+    }
+  }
+  return r;
+}
+
+void BenchReport::Record(const std::string& cell_label,
+                         const std::string& policy,
+                         const std::string& workload, const RunResult& result,
+                         double elapsed_wall_s) const {
+  Record(FromResult(cell_label, policy, workload, result, elapsed_wall_s));
 }
 
 }  // namespace oodb::core

@@ -1,9 +1,11 @@
 #ifndef SEMCLUST_CORE_BENCH_REPORT_H_
 #define SEMCLUST_CORE_BENCH_REPORT_H_
 
+#include <optional>
 #include <string>
 
 #include "core/engineering_db.h"
+#include "obs/metrics.h"
 
 /// \file
 /// Machine-readable benchmark output. When SEMCLUST_BENCH_JSON=<path> is
@@ -11,6 +13,11 @@
 /// that file (JSON Lines: one object per line), which is what populates the
 /// repo's BENCH_*.json perf-trajectory files. Without the variable the
 /// reporter is inert and the human-readable tables are the only output.
+///
+/// Every record embeds the cell's final metric snapshot (under "metrics")
+/// plus the derived observability ratios. Derived ratios whose denominator
+/// is zero — no buffer accesses, no reclusterings, no prefetches issued —
+/// are emitted as JSON null, never as the result of a division by zero.
 
 namespace oodb::core {
 
@@ -23,6 +30,16 @@ struct BenchRecord {
   uint64_t io_count = 0;  ///< total physical I/Os of the measured phase
   double hit_ratio = 0;   ///< buffer hit ratio
   double elapsed_wall_s = 0;  ///< host wall-clock spent on the cell
+
+  // Observability summary (nullopt renders as JSON null).
+  std::optional<double> buffer_hit_ratio;        ///< hits / accesses
+  std::optional<double> exam_ios_per_recluster;  ///< exam reads / attempts
+  std::optional<double> prefetch_accuracy;       ///< hits / issued
+  uint64_t page_splits = 0;
+
+  /// The cell's full metric snapshot (empty snapshots are omitted from the
+  /// JSON rather than rendered as an empty object).
+  obs::MetricsSnapshot metrics;
 };
 
 /// Appends records for one bench binary to $SEMCLUST_BENCH_JSON.
@@ -42,10 +59,22 @@ class BenchReport {
   /// runs still leave valid lines behind).
   void Record(const BenchRecord& record) const;
 
-  /// Convenience: fills the numeric fields from a RunResult.
+  /// Convenience: fills the numeric fields (including the observability
+  /// summary and metric snapshot) from a RunResult.
   void Record(const std::string& cell_label, const std::string& policy,
               const std::string& workload, const RunResult& result,
               double elapsed_wall_s) const;
+
+  /// Builds a record from a RunResult (the null-safe ratio derivation
+  /// lives here; exposed for tests).
+  static BenchRecord FromResult(const std::string& cell_label,
+                                const std::string& policy,
+                                const std::string& workload,
+                                const RunResult& result,
+                                double elapsed_wall_s);
+
+  /// Renders one record as its JSONL line (without the trailing newline).
+  std::string ToJsonLine(const BenchRecord& record) const;
 
  private:
   std::string bench_;

@@ -46,7 +46,11 @@ ModelConfig TestConfig() {
 }
 
 EngineeringDbModel::EngineeringDbModel(ModelConfig config)
-    : config_(std::move(config)), rng_(config_.seed) {
+    : config_(std::move(config)),
+      trace_(&sim_, obs::TraceCollector::PathFromEnv() != nullptr
+                        ? obs::TraceCollector::RingCapacityFromEnv()
+                        : 0),
+      rng_(config_.seed) {
   types_ = workload::RegisterCadTypes(lattice_);
   graph_ = std::make_unique<obj::ObjectGraph>(&lattice_);
   storage_ = std::make_unique<store::StorageManager>(
@@ -86,6 +90,24 @@ EngineeringDbModel::EngineeringDbModel(ModelConfig config)
   response_epochs_.resize(
       static_cast<size_t>(std::max(1, config_.measurement_epochs)));
 
+  // Observability is attached only now: the build phase above is the
+  // repository's accretion history, not part of the run, and its page
+  // traffic would otherwise flood the trace ring before the first
+  // transaction. The sink is disabled (capacity 0) unless SEMCLUST_TRACE
+  // is set, so these calls cost two compares per event when tracing is off.
+  buffer_->set_trace(&trace_);
+  io_->set_trace(&trace_);
+  log_->set_trace(&trace_);
+  cluster_->set_trace(&trace_);
+
+  m_txns_ = metrics_.Counter("core.txns");
+  m_prefetch_issued_ = metrics_.Counter("core.prefetch.issued");
+  m_prefetch_hits_ = metrics_.Counter("core.prefetch.hits");
+  m_prefetch_wasted_ = metrics_.Counter("core.prefetch.wasted");
+  m_response_s_ = metrics_.Histogram(
+      "core.response_s",
+      {0.05, 0.1, 0.2, 0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 60.0});
+
   for (int u = 0; u < config_.num_users; ++u) {
     generators_.push_back(std::make_unique<workload::WorkloadGenerator>(
         graph_.get(), &db_, config_.workload,
@@ -106,14 +128,32 @@ sim::Task EngineeringDbModel::ChargeLogFlushes(int flushes) {
   }
 }
 
+void EngineeringDbModel::NotePrefetchEviction(
+    const buffer::BufferPool::FixResult& fix) {
+  if (fix.evicted_page == store::kInvalidPage) return;
+  if (prefetched_unused_.erase(fix.evicted_page) == 0) return;
+  metrics_.Add(m_prefetch_wasted_);
+  trace_.Record(obs::Subsystem::kBuffer,
+                obs::TraceEventType::kPrefetchWaste, fix.evicted_page);
+}
+
+void EngineeringDbModel::NotePrefetchDemand(store::PageId page) {
+  if (prefetched_unused_.erase(page) == 0) return;
+  metrics_.Add(m_prefetch_hits_);
+  trace_.Record(obs::Subsystem::kBuffer, obs::TraceEventType::kPrefetchHit,
+                page);
+}
+
 sim::Task EngineeringDbModel::FetchPage(store::PageId page, bool pin) {
   OODB_CHECK_NE(page, store::kInvalidPage);
+  NotePrefetchDemand(page);
   if (inflight_.find(page) != inflight_.end()) {
     // A prefetch for this page is on the disk: join it rather than issuing
     // a duplicate read.
     co_await PrefetchJoin(*this, page);
   }
   const auto fix = buffer_->Fix(page);
+  NotePrefetchEviction(fix);
   // Pin before any suspension: concurrent processes may otherwise evict
   // the frame while this one waits on the disk.
   if (pin) buffer_->Pin(page);
@@ -130,12 +170,17 @@ sim::Task EngineeringDbModel::FetchPage(store::PageId page, bool pin) {
 void EngineeringDbModel::StartPrefetch(store::PageId page) {
   if (inflight_.find(page) != inflight_.end()) return;
   inflight_.emplace(page, std::vector<std::coroutine_handle<>>{});
+  prefetched_unused_.insert(page);
+  metrics_.Add(m_prefetch_issued_);
+  trace_.Record(obs::Subsystem::kBuffer,
+                obs::TraceEventType::kPrefetchIssue, page);
   io_->ReadAsync(page, io::IoCategory::kPrefetchRead,
                  [this, page] { OnPrefetchComplete(page); });
 }
 
 void EngineeringDbModel::OnPrefetchComplete(store::PageId page) {
   const auto fix = buffer_->Fix(page);
+  NotePrefetchEviction(fix);
   if (!fix.hit && fix.evicted_dirty) {
     io_->WriteAsync(fix.evicted_page, io::IoCategory::kDirtyFlush);
   }
@@ -167,8 +212,9 @@ void EngineeringDbModel::PostAccess(obj::ObjectId id) {
       config_.clustering.use_hints
           ? buffer::AccessHint::For(config_.clustering.hint_kind)
           : buffer::AccessHint::None();
-  const auto group =
-      buffer::ComputePrefetchGroup(*graph_, *storage_, id, hint);
+  const auto group = buffer::ComputePrefetchGroup(
+      *graph_, *storage_, id, hint, /*config_depth=*/2, /*max_pages=*/8,
+      &trace_);
   for (store::PageId p : group.pages) {
     if (buffer_->Contains(p)) {
       buffer_->Boost(p, kPrefetchBoost);
@@ -316,6 +362,7 @@ sim::Task EngineeringDbModel::ChargeExamReads(
   // and the pages enter the buffer pool (they were just read).
   for (store::PageId p : report.exam_reads) {
     const auto fix = buffer_->Fix(p);
+    NotePrefetchEviction(fix);
     if (!fix.hit) {
       if (fix.evicted_dirty) {
         co_await io_->Write(fix.evicted_page, io::IoCategory::kDirtyFlush);
@@ -334,7 +381,7 @@ sim::Task EngineeringDbModel::ChargeSplit(
           : config_.split_linear_instructions);
   // The newly allocated page is flushed and the change logged
   // (paper §5.1.2: one extra I/O plus one extra log record).
-  buffer_->Fix(report.split_new_page);
+  NotePrefetchEviction(buffer_->Fix(report.split_new_page));
   buffer_->MarkDirty(report.split_new_page);
   co_await io_->Write(report.split_new_page, io::IoCategory::kDataWrite);
   co_await ChargeLogFlushes(log_->LogWrite(
@@ -466,6 +513,9 @@ sim::Task EngineeringDbModel::WriteQuery(
 sim::Task EngineeringDbModel::ExecuteTransaction(
     const workload::TransactionSpec& spec) {
   const txlog::TxnId txn = next_txn_++;
+  const double start = sim_.now();
+  trace_.Record(obs::Subsystem::kCore, obs::TraceEventType::kTxnBegin, txn,
+                static_cast<uint64_t>(spec.type));
   log_->Begin(txn);
   if (spec.type == workload::QueryType::kObjectWrite) {
     co_await WriteQuery(spec, txn);
@@ -474,6 +524,8 @@ sim::Task EngineeringDbModel::ExecuteTransaction(
   }
   co_await ChargeLogFlushes(
       log_->Commit(txn, config_.force_log_at_commit));
+  trace_.Record(obs::Subsystem::kCore, obs::TraceEventType::kTxnEnd, txn,
+                static_cast<uint64_t>(spec.type), 0, sim_.now() - start);
 }
 
 void EngineeringDbModel::ApplyEpochSchedule(size_t epoch) {
@@ -489,6 +541,11 @@ void EngineeringDbModel::ResetMeasurementCounters() {
   buffer_->ResetCounters();
   log_->ResetCounters();
   cluster_->ResetStats();
+  metrics_.ResetValues();
+  // Pages prefetched during warmup were counted against the warmup issue
+  // counter that was just reset; forgetting them keeps the measured-window
+  // invariant hits + wasted <= issued.
+  prefetched_unused_.clear();
   logical_reads_ = 0;
   logical_writes_ = 0;
 }
@@ -506,6 +563,8 @@ void EngineeringDbModel::OnTransactionDone(double response_s,
     return;
   }
   if (done_) return;  // in-flight stragglers after the quota was reached
+  metrics_.Add(m_txns_);
+  metrics_.Observe(m_response_s_, response_s);
   response_time_.Add(response_s);
   const bool was_write = type == workload::QueryType::kObjectWrite;
   (was_write ? write_response_ : read_response_).Add(response_s);
@@ -548,6 +607,48 @@ sim::Task EngineeringDbModel::UserLoop(int user) {
   }
 }
 
+void EngineeringDbModel::ExportComponentMetrics() {
+  if (!metrics_.enabled()) return;
+  // Registration is idempotent (re-registering returns the existing
+  // handle), so exporting at the end of every run is safe.
+  metrics_.Add(metrics_.Counter("buffer.hits"), buffer_->hits());
+  metrics_.Add(metrics_.Counter("buffer.misses"), buffer_->misses());
+  metrics_.Add(metrics_.Counter("buffer.evictions"), buffer_->evictions());
+  metrics_.Add(metrics_.Counter("buffer.dirty_evictions"),
+               buffer_->dirty_evictions());
+  for (int c = 0; c < io::kNumIoCategories; ++c) {
+    const auto cat = static_cast<io::IoCategory>(c);
+    metrics_.Add(
+        metrics_.Counter(std::string("io.") + io::IoCategoryName(cat)),
+        io_->physical_count(cat));
+  }
+  metrics_.Add(metrics_.Counter("log.records"), log_->records_appended());
+  metrics_.Add(metrics_.Counter("log.before_images"),
+               log_->before_images());
+  metrics_.Add(metrics_.Counter("log.flushes"), log_->flush_count());
+  const cluster::ClusterStats& cs = cluster_->stats();
+  metrics_.Add(metrics_.Counter("cluster.placements"), cs.placements);
+  metrics_.Add(metrics_.Counter("cluster.reclusterings"),
+               cs.reclusterings);
+  metrics_.Add(metrics_.Counter("cluster.relocations"), cs.relocations);
+  metrics_.Add(metrics_.Counter("cluster.splits"), cs.splits);
+  metrics_.Add(metrics_.Counter("cluster.exam_reads"), cs.exam_reads);
+  metrics_.Add(metrics_.Counter("cluster.objects_moved_by_splits"),
+               cs.objects_moved_by_splits);
+  metrics_.Add(metrics_.Counter("cluster.split_search_steps"),
+               cs.split_search_steps);
+  metrics_.Set(metrics_.Gauge("cluster.split_broken_cost"),
+               cs.split_broken_cost);
+  metrics_.Add(metrics_.Counter("sim.events_processed"),
+               sim_.events_processed());
+  metrics_.Add(metrics_.Counter("sim.events_scheduled"),
+               sim_.events_scheduled());
+  metrics_.Set(metrics_.Gauge("io.mean_disk_utilization"),
+               io_->MeanUtilization());
+  metrics_.Set(metrics_.Gauge("cpu.utilization"), cpu_->Utilization());
+  metrics_.Set(metrics_.Gauge("sim.duration_s"), sim_.now());
+}
+
 RunResult EngineeringDbModel::Run() {
   const double start_time = sim_.now();
   for (int u = 0; u < config_.num_users; ++u) {
@@ -583,8 +684,19 @@ RunResult EngineeringDbModel::Run() {
           ? static_cast<double>(result.logical_reads)
           : static_cast<double>(result.logical_reads) /
                 static_cast<double>(result.logical_writes);
+  result.prefetch_issued = metrics_.value(m_prefetch_issued_);
+  result.prefetch_hits = metrics_.value(m_prefetch_hits_);
+  result.prefetch_wasted = metrics_.value(m_prefetch_wasted_);
   result.db_pages = storage_->page_count();
   result.db_objects = graph_->live_count();
+  ExportComponentMetrics();
+  result.metrics = metrics_.Snapshot();
+  if (trace_.enabled()) {
+    obs::TraceCollector::Global().Collect(
+        config_.cell_index,
+        config_.clustering.Label() + "/" + config_.workload.Label(),
+        trace_);
+  }
   return result;
 }
 

@@ -5,6 +5,7 @@
 #include <coroutine>
 #include <memory>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "buffer/buffer_pool.h"
@@ -14,6 +15,8 @@
 #include "io/io_subsystem.h"
 #include "objmodel/inheritance.h"
 #include "objmodel/object_graph.h"
+#include "obs/metrics.h"
+#include "obs/trace_sink.h"
 #include "sim/process.h"
 #include "sim/resource.h"
 #include "sim/simulator.h"
@@ -65,8 +68,18 @@ struct RunResult {
   double sim_duration_s = 0;
   double achieved_rw_ratio = 0;
 
+  // Prefetch effectiveness (measured phase): pages whose asynchronous read
+  // was issued, absorbed a later demand access, or was evicted unused.
+  uint64_t prefetch_issued = 0;
+  uint64_t prefetch_hits = 0;
+  uint64_t prefetch_wasted = 0;
+
   size_t db_pages = 0;
   size_t db_objects = 0;
+
+  /// The cell's full metrics-registry state at the end of the measured
+  /// phase (empty when SEMCLUST_METRICS=0).
+  obs::MetricsSnapshot metrics;
 
   uint64_t total_physical_ios() const {
     return data_reads + dirty_flushes + log_flush_ios + cluster_exam_reads +
@@ -96,6 +109,8 @@ class EngineeringDbModel {
   const cluster::ClusterManager& cluster() const { return *cluster_; }
   const workload::DesignDatabase& database() const { return db_; }
   const ModelConfig& config() const { return config_; }
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
+  const obs::TraceSink& trace() const { return trace_; }
 
  private:
   // ---- process layer ----
@@ -158,8 +173,21 @@ class EngineeringDbModel {
   /// Applies config.rw_ratio_schedule at an epoch boundary.
   void ApplyEpochSchedule(size_t epoch);
 
+  /// Prefetch-effectiveness bookkeeping around a Fix: if the eviction the
+  /// fix caused threw out a prefetched-but-never-referenced page, that
+  /// prefetch was wasted.
+  void NotePrefetchEviction(const buffer::BufferPool::FixResult& fix);
+  /// Records a demand access to `page`; a pending prefetch of it counts
+  /// as a prefetch hit.
+  void NotePrefetchDemand(store::PageId page);
+  /// Copies component counters (buffer/io/log/cluster/sim) into the
+  /// metrics registry at the end of the measured phase.
+  void ExportComponentMetrics();
+
   ModelConfig config_;
   sim::Simulator sim_;
+  obs::MetricsRegistry metrics_;
+  obs::TraceSink trace_;
 
   obj::TypeLattice lattice_;
   workload::CadTypes types_{};
@@ -179,6 +207,18 @@ class EngineeringDbModel {
   // In-flight prefetch reads: page -> waiting processes.
   std::unordered_map<store::PageId, std::vector<std::coroutine_handle<>>>
       inflight_;
+
+  // Pages brought in (or being brought in) by prefetch that no demand
+  // access has referenced yet: a later demand access scores a hit, an
+  // eviction first scores a waste.
+  std::unordered_set<store::PageId> prefetched_unused_;
+
+  // Hot-path metric handles, resolved once at construction.
+  obs::CounterHandle m_txns_;
+  obs::CounterHandle m_prefetch_issued_;
+  obs::CounterHandle m_prefetch_hits_;
+  obs::CounterHandle m_prefetch_wasted_;
+  obs::HistogramHandle m_response_s_;
 
   // Run state.
   bool measuring_ = false;

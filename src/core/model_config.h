@@ -88,6 +88,11 @@ struct ModelConfig {
   /// clustering).
   bool static_reorganize_after_build = false;
   uint64_t seed = 1;
+  /// Position of this cell within its batch (stamped by
+  /// exec::ExperimentRunner). Purely observational: it becomes the pid of
+  /// the cell's track in an exported trace and never influences the
+  /// simulation itself.
+  int cell_index = 0;
 
   /// Buffer-pool operating levels at the scaled database size, preserving
   /// the paper's buffer:database ratios (100/1000/10000 : 128 K pages).

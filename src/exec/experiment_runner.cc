@@ -40,6 +40,15 @@ int ExperimentRunner::JobsFromEnv() {
   return hw == 0 ? 1 : static_cast<int>(hw);
 }
 
+obs::MetricsSnapshot ExperimentRunner::MergeMetrics(
+    const std::vector<CellOutcome>& outcomes) {
+  obs::MetricsSnapshot merged;
+  for (const CellOutcome& o : outcomes) {
+    merged.MergeFrom(o.result.metrics);
+  }
+  return merged;
+}
+
 uint64_t ExperimentRunner::CellSeed(uint64_t base_seed, uint64_t cell_index) {
   // splitmix64 (Steele, Lea & Flood) over the pair. Mixing the index with
   // a large odd constant before adding keeps adjacent indices far apart in
@@ -58,6 +67,7 @@ std::vector<CellOutcome> ExperimentRunner::Run(
     std::vector<core::ModelConfig> cells) const {
   for (size_t i = 0; i < cells.size(); ++i) {
     cells[i].seed = CellSeed(cells[i].seed, static_cast<uint64_t>(i));
+    cells[i].cell_index = static_cast<int>(i);
   }
   std::vector<CellOutcome> outcomes(cells.size());
 

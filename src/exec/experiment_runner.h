@@ -6,6 +6,7 @@
 
 #include "core/engineering_db.h"
 #include "core/model_config.h"
+#include "obs/metrics.h"
 
 /// \file
 /// Parallel execution of independent experiment cells. The paper's
@@ -43,10 +44,18 @@ class ExperimentRunner {
   explicit ExperimentRunner(int jobs = JobsFromEnv());
 
   /// Runs every cell and returns outcomes in submission order. Each cell's
-  /// config has its seed replaced by CellSeed(config.seed, index) before
-  /// the run, so a batch gives every cell an independent, reproducible
-  /// random stream.
+  /// config has its seed replaced by CellSeed(config.seed, index) and its
+  /// cell_index stamped with the submission index before the run, so a
+  /// batch gives every cell an independent, reproducible random stream and
+  /// a stable identity in exported traces.
   std::vector<CellOutcome> Run(std::vector<core::ModelConfig> cells) const;
+
+  /// Folds every outcome's metric snapshot into one, in submission order.
+  /// Because each cell's snapshot depends only on its own config and the
+  /// fold order is fixed, the merged snapshot is bit-identical at any job
+  /// count — the determinism contract extended to observability.
+  static obs::MetricsSnapshot MergeMetrics(
+      const std::vector<CellOutcome>& outcomes);
 
   int jobs() const { return jobs_; }
 

@@ -38,31 +38,39 @@ double IoSubsystem::PageServiceTime() const {
 
 sim::Task IoSubsystem::Read(store::PageId page, IoCategory category) {
   ++counts_[static_cast<size_t>(category)];
-  co_await disks_[static_cast<size_t>(DiskOf(page))]->Use(PageServiceTime());
+  const auto disk = static_cast<size_t>(DiskOf(page));
+  TraceIo(obs::TraceEventType::kPageRead, page, category, disk);
+  co_await disks_[disk]->Use(PageServiceTime());
 }
 
 sim::Task IoSubsystem::Write(store::PageId page, IoCategory category) {
   ++counts_[static_cast<size_t>(category)];
-  co_await disks_[static_cast<size_t>(DiskOf(page))]->Use(PageServiceTime());
+  const auto disk = static_cast<size_t>(DiskOf(page));
+  TraceIo(obs::TraceEventType::kPageWrite, page, category, disk);
+  co_await disks_[disk]->Use(PageServiceTime());
 }
 
 void IoSubsystem::ReadAsync(store::PageId page, IoCategory category,
                             sim::Simulator::Callback on_complete) {
   ++counts_[static_cast<size_t>(category)];
-  disks_[static_cast<size_t>(DiskOf(page))]->UseDetached(
-      PageServiceTime(), std::move(on_complete));
+  const auto disk = static_cast<size_t>(DiskOf(page));
+  TraceIo(obs::TraceEventType::kPageRead, page, category, disk);
+  disks_[disk]->UseDetached(PageServiceTime(), std::move(on_complete));
 }
 
 void IoSubsystem::WriteAsync(store::PageId page, IoCategory category,
                              sim::Simulator::Callback on_complete) {
   ++counts_[static_cast<size_t>(category)];
-  disks_[static_cast<size_t>(DiskOf(page))]->UseDetached(
-      PageServiceTime(), std::move(on_complete));
+  const auto disk = static_cast<size_t>(DiskOf(page));
+  TraceIo(obs::TraceEventType::kPageWrite, page, category, disk);
+  disks_[disk]->UseDetached(PageServiceTime(), std::move(on_complete));
 }
 
 sim::Task IoSubsystem::FlushLog() {
   ++counts_[static_cast<size_t>(IoCategory::kLogWrite)];
   const size_t disk = log_stripe_++ % disks_.size();
+  TraceIo(obs::TraceEventType::kPageWrite, store::kInvalidPage,
+          IoCategory::kLogWrite, disk);
   // Sequential log write: no seek, half a rotation plus transfer.
   const double service =
       0.5 * params_.avg_rotation_s +

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/trace_sink.h"
 #include "sim/process.h"
 #include "sim/resource.h"
 #include "sim/simulator.h"
@@ -96,13 +97,26 @@ class IoSubsystem {
   /// Zeroes the per-category counters (between warmup and measurement).
   void ResetCounters();
 
+  /// Attaches an event sink (may be null). Every physical I/O then
+  /// records a kPageRead/kPageWrite event with page, category, and disk.
+  void set_trace(obs::TraceSink* trace) { trace_ = trace; }
+
  private:
+  void TraceIo(obs::TraceEventType type, store::PageId page,
+               IoCategory category, size_t disk) {
+    if (trace_ != nullptr) {
+      trace_->Record(obs::Subsystem::kIo, type, page,
+                     static_cast<uint64_t>(category), disk);
+    }
+  }
+
   sim::Simulator& sim_;
   uint32_t page_size_;
   DiskParams params_;
   std::vector<std::unique_ptr<sim::Resource>> disks_;
   std::array<uint64_t, kNumIoCategories> counts_{};
   uint64_t log_stripe_ = 0;
+  obs::TraceSink* trace_ = nullptr;
 };
 
 }  // namespace oodb::io

@@ -50,6 +50,11 @@ class Simulator {
   /// Total events processed since construction.
   uint64_t events_processed() const { return events_processed_; }
 
+  /// Total events ever scheduled (processed + still pending). Together
+  /// with events_processed() this is the engine's own observability
+  /// surface; the model exports both into its metrics registry.
+  uint64_t events_scheduled() const { return next_seq_; }
+
   /// True when no events are pending.
   bool Empty() const { return queue_.empty(); }
 

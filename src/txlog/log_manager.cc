@@ -25,6 +25,11 @@ int LogManager::Append(uint32_t payload) {
     // Circular buffer full: flush it (one physical write of the log tail).
     ++flushes_;
     ++flushes;
+    if (trace_ != nullptr) {
+      trace_->Record(obs::Subsystem::kTxlog, obs::TraceEventType::kLogFlush,
+                     buffered_, records_ - records_at_last_flush_);
+    }
+    records_at_last_flush_ = records_;
     buffered_ = 0;
     if (records_ > 0) {
       // Everything appended so far is on disk.
@@ -77,6 +82,11 @@ int LogManager::Commit(TxnId txn, bool force) {
   if (force && buffered_ > 0) {
     ++flushes_;
     ++flushes;
+    if (trace_ != nullptr) {
+      trace_->Record(obs::Subsystem::kTxlog, obs::TraceEventType::kLogFlush,
+                     buffered_, records_ - records_at_last_flush_);
+    }
+    records_at_last_flush_ = records_;
     buffered_ = 0;
     durable_lsn_ = records_ - 1;
     any_flush_ = true;

@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/trace_sink.h"
 #include "storage/page.h"
 #include "util/check.h"
 
@@ -99,6 +100,10 @@ class LogManager {
     return {durable_lsn_, any_flush_};
   }
 
+  /// Attaches an event sink (may be null). Every log flush then records a
+  /// kLogFlush event carrying the bytes and record count flushed.
+  void set_trace(obs::TraceSink* trace) { trace_ = trace; }
+
  private:
   /// Appends a record of `payload` bytes; returns flush I/Os (0 or 1).
   int Append(uint32_t payload);
@@ -121,6 +126,8 @@ class LogManager {
   std::vector<LogRecord> journal_;
   uint64_t durable_lsn_ = 0;
   bool any_flush_ = false;
+  obs::TraceSink* trace_ = nullptr;
+  uint64_t records_at_last_flush_ = 0;
 };
 
 }  // namespace oodb::txlog

@@ -59,15 +59,16 @@ JsonObjectWriter& JsonObjectWriter::Add(std::string_view key,
   return Add(key, std::string_view(value));
 }
 
+std::string JsonNumber(double value) {
+  if (!std::isfinite(value)) return "null";  // JSON has no inf/nan
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", value);
+  return buf;
+}
+
 JsonObjectWriter& JsonObjectWriter::Add(std::string_view key, double value) {
   AppendKey(key);
-  if (std::isfinite(value)) {
-    char buf[40];
-    std::snprintf(buf, sizeof buf, "%.17g", value);
-    body_ += buf;
-  } else {
-    body_ += "null";  // JSON has no inf/nan
-  }
+  body_ += JsonNumber(value);
   return *this;
 }
 
@@ -91,6 +92,54 @@ JsonObjectWriter& JsonObjectWriter::Add(std::string_view key, int value) {
 JsonObjectWriter& JsonObjectWriter::Add(std::string_view key, bool value) {
   AppendKey(key);
   body_ += value ? "true" : "false";
+  return *this;
+}
+
+JsonObjectWriter& JsonObjectWriter::Add(std::string_view key,
+                                        std::optional<double> value) {
+  return value.has_value() ? Add(key, *value) : AddNull(key);
+}
+
+JsonObjectWriter& JsonObjectWriter::AddNull(std::string_view key) {
+  AppendKey(key);
+  body_ += "null";
+  return *this;
+}
+
+JsonObjectWriter& JsonObjectWriter::AddRaw(std::string_view key,
+                                           std::string_view raw_json) {
+  AppendKey(key);
+  body_ += raw_json;
+  return *this;
+}
+
+void JsonArrayWriter::Separate() {
+  if (!body_.empty()) body_ += ',';
+}
+
+JsonArrayWriter& JsonArrayWriter::Add(double value) {
+  Separate();
+  body_ += JsonNumber(value);
+  return *this;
+}
+
+JsonArrayWriter& JsonArrayWriter::Add(uint64_t value) {
+  Separate();
+  body_ += std::to_string(value);
+  return *this;
+}
+
+JsonArrayWriter& JsonArrayWriter::Add(std::string_view value) {
+  Separate();
+  body_ += '"';
+  body_ += JsonEscape(value);
+  body_ += '"';
+  return *this;
+}
+
+JsonArrayWriter& JsonArrayWriter::AddRaw(std::string_view raw_json) {
+  Separate();
+  body_ += raw_json;
   return *this;
 }
 

@@ -130,6 +130,25 @@ TEST(ExperimentRunnerTest, ResultsComeBackInSubmissionOrder) {
   }
 }
 
+TEST(ExperimentRunnerTest, MergedMetricsBitIdenticalAcrossJobCounts) {
+  const auto cells = Grid3x3();
+  const auto serial = ExperimentRunner(1).Run(cells);
+  const auto parallel = ExperimentRunner(4).Run(cells);
+  const obs::MetricsSnapshot m1 = ExperimentRunner::MergeMetrics(serial);
+  const obs::MetricsSnapshot m4 = ExperimentRunner::MergeMetrics(parallel);
+  // The merged snapshots must render to the same bytes: same metrics, in
+  // the same order, with bit-identical values (%.17g round-trips doubles).
+  EXPECT_EQ(m1.ToJson(), m4.ToJson());
+  if (!m1.empty()) {
+    // Merging summed across the nine cells.
+    uint64_t txns = 0;
+    for (const auto& o : serial) txns += o.result.transactions;
+    EXPECT_EQ(*m1.counter("core.txns"), txns);
+    ASSERT_NE(m1.histogram("core.response_s"), nullptr);
+    EXPECT_EQ(m1.histogram("core.response_s")->count, txns);
+  }
+}
+
 TEST(ExperimentRunnerTest, SeedDerivationIndependentOfJobCount) {
   const auto cells = Grid3x3();
   for (int jobs : {1, 2, 4, 7}) {

@@ -109,14 +109,12 @@ class WorkbenchTest : public ::testing::Test {
   static const std::vector<ToolSummary>& Summaries() {
     // The workbench run is shared across tests: it is deterministic and
     // moderately expensive.
-    static const std::vector<ToolSummary>* summaries = [] {
-      auto* wb = new OctWorkbench(7);
-      wb->RunAll(/*invocations_per_tool=*/6);
-      auto* s = new std::vector<ToolSummary>(
-          SummarizeByTool(wb->trace().sessions()));
-      return s;
+    static const std::vector<ToolSummary> summaries = [] {
+      OctWorkbench wb(7);
+      wb.RunAll(/*invocations_per_tool=*/6);
+      return SummarizeByTool(wb.trace().sessions());
     }();
-    return *summaries;
+    return summaries;
   }
 
   static const ToolSummary& Tool(const std::string& name) {

@@ -1,6 +1,7 @@
 #include <sstream>
 
 #include "gtest/gtest.h"
+#include "core/bench_report.h"
 #include "core/experiment.h"
 #include "core/report.h"
 
@@ -46,6 +47,43 @@ TEST(ReportTest, CsvRowContainsTransactionCount) {
   const RunResult r = SampleRun();
   const std::string row = ToCsvRow("x", r);
   EXPECT_NE(row.find(",150,"), std::string::npos);
+}
+
+TEST(BenchReportTest, ZeroSampleRatiosEmitNull) {
+  // A RunResult that never ran: no buffer accesses, no reclusterings, no
+  // prefetches. Every derived ratio must come out null, not 0/0 or inf.
+  RunResult empty;
+  const BenchRecord r =
+      BenchReport::FromResult("cell", "policy", "workload", empty, 0.0);
+  EXPECT_FALSE(r.buffer_hit_ratio.has_value());
+  EXPECT_FALSE(r.exam_ios_per_recluster.has_value());
+  EXPECT_FALSE(r.prefetch_accuracy.has_value());
+  EXPECT_EQ(r.page_splits, 0u);
+
+  const BenchReport report("t");
+  const std::string line = report.ToJsonLine(r);
+  EXPECT_NE(line.find("\"buffer_hit_ratio\":null"), std::string::npos);
+  EXPECT_NE(line.find("\"exam_ios_per_recluster\":null"), std::string::npos);
+  EXPECT_NE(line.find("\"prefetch_accuracy\":null"), std::string::npos);
+  EXPECT_EQ(line.find("inf"), std::string::npos);
+  EXPECT_EQ(line.find("nan"), std::string::npos);
+}
+
+TEST(BenchReportTest, RealRunEmbedsMetricsAndRatios) {
+  const RunResult r = SampleRun();
+  const BenchRecord rec =
+      BenchReport::FromResult("cell", "policy", "workload", r, 1.0);
+  // TestConfig runs under the default-on metrics registry.
+  if (!rec.metrics.empty()) {
+    ASSERT_TRUE(rec.buffer_hit_ratio.has_value());
+    EXPECT_GT(*rec.buffer_hit_ratio, 0.0);
+    EXPECT_LE(*rec.buffer_hit_ratio, 1.0);
+    EXPECT_EQ(*rec.metrics.counter("core.txns"), r.transactions);
+    const BenchReport report("t");
+    const std::string line = report.ToJsonLine(rec);
+    EXPECT_NE(line.find("\"metrics\":{\"counters\":{"), std::string::npos);
+    EXPECT_NE(line.find("\"core.response_s\""), std::string::npos);
+  }
 }
 
 }  // namespace

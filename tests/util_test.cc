@@ -1,7 +1,11 @@
 #include <cmath>
+#include <optional>
 #include <sstream>
+#include <string>
+#include <string_view>
 
 #include "gtest/gtest.h"
+#include "util/json_writer.h"
 #include "util/random.h"
 #include "util/stats.h"
 #include "util/status.h"
@@ -229,6 +233,78 @@ TEST(TablePrinterTest, AlignsColumns) {
 TEST(TablePrinterTest, FormatHelpers) {
   EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
   EXPECT_EQ(FormatRatio(2.0, 1), "2.0x");
+}
+
+// ---------------------------------------------------------------- JSON
+
+TEST(JsonWriterTest, EscapesStrings) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(JsonEscape("line\nfeed\ttab\rret"),
+            "line\\nfeed\\ttab\\rret");
+  EXPECT_EQ(JsonEscape(std::string_view("\x01\x1f", 2)), "\\u0001\\u001f");
+  // Multi-byte UTF-8 passes through unchanged.
+  EXPECT_EQ(JsonEscape("caf\xc3\xa9"), "caf\xc3\xa9");
+}
+
+TEST(JsonWriterTest, NonFiniteDoublesRenderNull) {
+  EXPECT_EQ(JsonNumber(std::nan("")), "null");
+  EXPECT_EQ(JsonNumber(INFINITY), "null");
+  EXPECT_EQ(JsonNumber(-INFINITY), "null");
+  EXPECT_EQ(JsonNumber(0.5), "0.5");
+  JsonObjectWriter w;
+  w.Add("bad", std::nan("")).Add("ok", 1.0);
+  EXPECT_EQ(w.str(), "{\"bad\":null,\"ok\":1}");
+}
+
+TEST(JsonWriterTest, OptionalAndNull) {
+  JsonObjectWriter w;
+  w.Add("missing", std::optional<double>())
+      .Add("present", std::optional<double>(2.5))
+      .AddNull("explicit");
+  EXPECT_EQ(w.str(),
+            "{\"missing\":null,\"present\":2.5,\"explicit\":null}");
+}
+
+TEST(JsonWriterTest, EscapesKeysToo) {
+  JsonObjectWriter w;
+  w.Add("ke\"y", 1);
+  EXPECT_EQ(w.str(), "{\"ke\\\"y\":1}");
+}
+
+TEST(JsonWriterTest, ArrayElementsAndTypes) {
+  JsonArrayWriter a;
+  EXPECT_TRUE(a.empty());
+  a.Add(1.5).Add(uint64_t{7}).Add("x\"y").AddRaw("[2]");
+  EXPECT_FALSE(a.empty());
+  EXPECT_EQ(a.str(), "[1.5,7,\"x\\\"y\",[2]]");
+}
+
+TEST(JsonWriterTest, DeepNestingViaRaw) {
+  // 64 levels of {"k": ...} nesting assembled inside-out with AddRaw.
+  std::string inner = "{}";
+  for (int depth = 0; depth < 64; ++depth) {
+    JsonObjectWriter level;
+    level.AddRaw("k", inner);
+    inner = level.str();
+  }
+  size_t opens = 0;
+  size_t closes = 0;
+  for (char c : inner) {
+    opens += (c == '{');
+    closes += (c == '}');
+  }
+  EXPECT_EQ(opens, 65u);
+  EXPECT_EQ(closes, 65u);
+  EXPECT_EQ(inner.rfind("{\"k\":{\"k\":", 0), 0u);
+}
+
+TEST(JsonWriterTest, DeterministicDoubleRendering) {
+  // %.17g round-trips: equal bits render to equal text.
+  const double v = 0.1 + 0.2;
+  EXPECT_EQ(JsonNumber(v), JsonNumber(0.30000000000000004));
+  EXPECT_NE(JsonNumber(v), JsonNumber(0.3));
 }
 
 }  // namespace

@@ -1,0 +1,151 @@
+// Per-subsystem rollups of a semclust Chrome trace file.
+//
+// Usage: trace_summary <trace.json>
+//
+// The exporter (src/obs/trace_sink.cc) writes one JSON object per line, so
+// this tool line-scans with string searches instead of a JSON parser: for
+// each instant event it reads the pid (cell), cat (subsystem), and name,
+// and for metadata records it picks up cell labels and ring-drop counts.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+
+namespace {
+
+/// Value of `"key":...` in `line` as raw text (up to `,` or `}`), or empty.
+std::string RawValue(const std::string& line, const char* key) {
+  const std::string needle = std::string("\"") + key + "\":";
+  const size_t at = line.find(needle);
+  if (at == std::string::npos) return "";
+  size_t begin = at + needle.size();
+  size_t end = begin;
+  if (begin < line.size() && line[begin] == '"') {
+    ++begin;
+    end = line.find('"', begin);
+    if (end == std::string::npos) return "";
+  } else {
+    while (end < line.size() && line[end] != ',' && line[end] != '}') ++end;
+  }
+  return line.substr(begin, end - begin);
+}
+
+long long IntValue(const std::string& line, const char* key) {
+  const std::string raw = RawValue(line, key);
+  return raw.empty() ? 0 : std::strtoll(raw.c_str(), nullptr, 10);
+}
+
+double DoubleValue(const std::string& line, const char* key) {
+  const std::string raw = RawValue(line, key);
+  return raw.empty() ? 0.0 : std::strtod(raw.c_str(), nullptr);
+}
+
+struct SubsystemRollup {
+  uint64_t events = 0;
+  std::map<std::string, uint64_t> by_name;
+};
+
+struct CellRollup {
+  std::string label;
+  uint64_t events = 0;
+  uint64_t dropped = 0;
+  double first_ts_us = 0;
+  double last_ts_us = 0;
+  std::map<std::string, SubsystemRollup> subsystems;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <trace.json>\n", argv[0]);
+    return 2;
+  }
+  std::ifstream in(argv[1]);
+  if (!in) {
+    std::fprintf(stderr, "trace_summary: cannot open %s\n", argv[1]);
+    return 1;
+  }
+
+  std::map<long long, CellRollup> cells;
+  std::string line;
+  uint64_t parsed = 0;
+  while (std::getline(in, line)) {
+    const std::string ph = RawValue(line, "ph");
+    if (ph == "M") {
+      const std::string name = RawValue(line, "name");
+      CellRollup& cell = cells[IntValue(line, "pid")];
+      if (name == "process_name") {
+        // args is the innermost object, so its "name" is the second one on
+        // the line; take the last match.
+        const size_t args_at = line.find("\"args\":");
+        if (args_at != std::string::npos) {
+          cell.label = RawValue(line.substr(args_at), "name");
+        }
+      } else if (name == "semclust_ring_dropped") {
+        cell.dropped += static_cast<uint64_t>(IntValue(line, "dropped"));
+      }
+      continue;
+    }
+    if (ph != "i") continue;
+    CellRollup& cell = cells[IntValue(line, "pid")];
+    const double ts = DoubleValue(line, "ts");
+    if (cell.events == 0 || ts < cell.first_ts_us) cell.first_ts_us = ts;
+    if (ts > cell.last_ts_us) cell.last_ts_us = ts;
+    ++cell.events;
+    ++parsed;
+    SubsystemRollup& sub = cell.subsystems[RawValue(line, "cat")];
+    ++sub.events;
+    ++sub.by_name[RawValue(line, "name")];
+  }
+
+  if (cells.empty()) {
+    std::printf("no trace events in %s\n", argv[1]);
+    return 0;
+  }
+
+  uint64_t total_events = 0;
+  uint64_t total_reads = 0;
+  uint64_t total_writes = 0;
+  uint64_t total_dropped = 0;
+  for (const auto& [pid, cell] : cells) {
+    std::printf("cell %lld (%s): %llu events retained",
+                pid, cell.label.empty() ? "?" : cell.label.c_str(),
+                static_cast<unsigned long long>(cell.events));
+    if (cell.dropped > 0) {
+      std::printf(", %llu dropped by the ring",
+                  static_cast<unsigned long long>(cell.dropped));
+    }
+    std::printf(", sim time %.3f..%.3f s\n", cell.first_ts_us / 1e6,
+                cell.last_ts_us / 1e6);
+    for (const auto& [subsystem, sub] : cell.subsystems) {
+      std::printf("  %-8s %8llu events:", subsystem.c_str(),
+                  static_cast<unsigned long long>(sub.events));
+      for (const auto& [name, count] : sub.by_name) {
+        std::printf(" %s=%llu", name.c_str(),
+                    static_cast<unsigned long long>(count));
+      }
+      std::printf("\n");
+    }
+    total_events += cell.events;
+    total_dropped += cell.dropped;
+    const auto io = cell.subsystems.find("io");
+    if (io != cell.subsystems.end()) {
+      for (const auto& [name, count] : io->second.by_name) {
+        if (name == "page-read") total_reads += count;
+        if (name == "page-write") total_writes += count;
+      }
+    }
+  }
+  std::printf("total: %zu cell(s), %llu events (%llu dropped), "
+              "io %llu page reads + %llu page writes\n",
+              cells.size(), static_cast<unsigned long long>(total_events),
+              static_cast<unsigned long long>(total_dropped),
+              static_cast<unsigned long long>(total_reads),
+              static_cast<unsigned long long>(total_writes));
+  return parsed == 0 ? 1 : 0;
+}
