@@ -39,6 +39,11 @@ core::ModelConfig BaseConfig() {
   if (const char* seed = std::getenv("SEMCLUST_BENCH_SEED")) {
     cfg.seed = static_cast<uint64_t>(std::strtoull(seed, nullptr, 10));
   }
+  // Telemetry density: epoch-boundary samples are always on; a positive
+  // interval adds simulated-time samples between them (DESIGN.md §9).
+  if (const char* interval = std::getenv("SEMCLUST_BENCH_SERIES_S")) {
+    cfg.telemetry_interval_s = std::strtod(interval, nullptr);
+  }
   return cfg;
 }
 

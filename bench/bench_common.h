@@ -26,6 +26,8 @@
 ///   SEMCLUST_BENCH_JOBS=n      worker threads (default: hardware
 ///                              concurrency; 1 = legacy serial path)
 ///   SEMCLUST_BENCH_JSON=path   append one JSON record per cell to `path`
+///   SEMCLUST_BENCH_SERIES_S=x  simulated seconds between telemetry
+///                              samples (default: epoch boundaries only)
 
 namespace oodb::bench {
 

@@ -36,4 +36,29 @@ if ! diff "${BUILD}/bench_jobs1.out" "${BUILD}/bench_jobs4.out"; then
   echo "FAIL: human-readable bench tables differ between job counts" >&2
   exit 1
 fi
-echo "ci: ok (tests passed, jobs=1 == jobs=4)"
+
+# Exact cross-job gate again, through the structured differ (tolerance 0):
+# same records, field by field, including the telemetry series.
+"${BUILD}/tools/bench_diff" "${J1}" "${J4}"
+
+# Regression gate against the committed baseline. Tolerances (documented
+# in DESIGN.md §9): 20% relative on every numeric field absorbs the
+# cross-toolchain floating-point drift that shifts simulated trajectories
+# slightly between the machine that committed the baseline and this
+# runner, while still catching real clustering/buffering regressions
+# (which move response times and I/O counts by integer factors).
+# Baseline mode: fields added since the baseline was committed never fail
+# the gate; removed or renamed fields do.
+BASELINE="${ROOT}/BENCH_fig5_1_fast.jsonl"
+"${BUILD}/tools/bench_diff" --baseline "${BASELINE}" --rtol 0.2 "${J1}"
+
+# Self-check that the gate can actually trip: a 10x response-time
+# perturbation must exit non-zero.
+sed 's/"mean_response_s":0\./"mean_response_s":9./' "${J1}" \
+  > "${BUILD}/bench_perturbed.json"
+if "${BUILD}/tools/bench_diff" --baseline "${BASELINE}" --rtol 0.2 \
+    "${BUILD}/bench_perturbed.json" > /dev/null 2>&1; then
+  echo "FAIL: bench_diff did not flag a 10x response-time perturbation" >&2
+  exit 1
+fi
+echo "ci: ok (tests passed, jobs=1 == jobs=4, baseline within tolerance)"

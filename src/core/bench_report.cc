@@ -27,9 +27,24 @@ std::string BenchReport::ToJsonLine(const BenchRecord& record) const {
       .Add("exam_ios_per_recluster", record.exam_ios_per_recluster)
       .Add("prefetch_accuracy", record.prefetch_accuracy)
       .Add("page_splits", record.page_splits)
+      .Add("response_p50_s", record.response_p50_s)
+      .Add("response_p95_s", record.response_p95_s)
+      .Add("response_p99_s", record.response_p99_s)
       .Add("elapsed_wall_s", record.elapsed_wall_s);
+  if (!record.response_epochs.empty()) {
+    JsonArrayWriter epochs;
+    for (const auto& [count, mean_s] : record.response_epochs) {
+      JsonObjectWriter epoch;
+      epoch.Add("count", count).Add("mean_s", mean_s);
+      epochs.AddRaw(epoch.str());
+    }
+    json.AddRaw("response_epochs", epochs.str());
+  }
   if (!record.metrics.empty()) {
     json.AddRaw("metrics", record.metrics.ToJson());
+  }
+  if (!record.series.empty()) {
+    json.AddRaw("series", record.series.ToJson());
   }
   return json.str();
 }
@@ -76,6 +91,17 @@ BenchRecord BenchReport::FromResult(const std::string& cell_label,
       obs::MetricsSnapshot::Ratio(r.metrics.counter("core.prefetch.hits"),
                                   r.metrics.counter("core.prefetch.issued"));
   r.page_splits = result.cluster_stats.splits;
+  if (const obs::HistogramSnapshot* rt =
+          r.metrics.histogram("core.response_s")) {
+    r.response_p50_s = rt->Quantile(0.50);
+    r.response_p95_s = rt->Quantile(0.95);
+    r.response_p99_s = rt->Quantile(0.99);
+  }
+  r.response_epochs.reserve(result.response_epochs.size());
+  for (const StreamingStats& epoch : result.response_epochs) {
+    r.response_epochs.emplace_back(epoch.count(), epoch.Mean());
+  }
+  r.series = result.series;
   if (r.metrics.empty()) {
     // SEMCLUST_METRICS=0: derive what the RunResult itself carries.
     const uint64_t exams = result.cluster_stats.exam_reads;

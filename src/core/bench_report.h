@@ -37,9 +37,23 @@ struct BenchRecord {
   std::optional<double> prefetch_accuracy;       ///< hits / issued
   uint64_t page_splits = 0;
 
+  /// Response-time percentiles interpolated from the core.response_s
+  /// histogram buckets (null when metrics are off or no transactions ran).
+  std::optional<double> response_p50_s;
+  std::optional<double> response_p95_s;
+  std::optional<double> response_p99_s;
+
+  /// Per-measurement-epoch response time: (transaction count, mean
+  /// seconds), one entry per configured epoch.
+  std::vector<std::pair<uint64_t, double>> response_epochs;
+
   /// The cell's full metric snapshot (empty snapshots are omitted from the
   /// JSON rather than rendered as an empty object).
   obs::MetricsSnapshot metrics;
+
+  /// The cell's simulated-time telemetry (omitted from the JSON when
+  /// empty): metric deltas + placement audits per sample.
+  obs::TimeSeries series;
 };
 
 /// Appends records for one bench binary to $SEMCLUST_BENCH_JSON.

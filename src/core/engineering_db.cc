@@ -50,6 +50,7 @@ EngineeringDbModel::EngineeringDbModel(ModelConfig config)
       trace_(&sim_, obs::TraceCollector::PathFromEnv() != nullptr
                         ? obs::TraceCollector::RingCapacityFromEnv()
                         : 0),
+      sampler_(&metrics_, config_.telemetry_interval_s),
       rng_(config_.seed) {
   types_ = workload::RegisterCadTypes(lattice_);
   graph_ = std::make_unique<obj::ObjectGraph>(&lattice_);
@@ -99,6 +100,16 @@ EngineeringDbModel::EngineeringDbModel(ModelConfig config)
   io_->set_trace(&trace_);
   log_->set_trace(&trace_);
   cluster_->set_trace(&trace_);
+
+  // Telemetry rides the same after-the-build attachment rule: the sampler
+  // starts at the warmup/measured boundary, and each sample re-syncs the
+  // mirrored component counters so deltas cover the whole system.
+  auditor_ = std::make_unique<obs::PlacementAuditor>(graph_.get(),
+                                                     storage_.get());
+  if (config_.telemetry_audit_placement) {
+    sampler_.set_placement_auditor(auditor_.get());
+  }
+  sampler_.set_pre_sample_hook([this] { SyncComponentMetrics(); });
 
   m_txns_ = metrics_.Counter("core.txns");
   m_prefetch_issued_ = metrics_.Counter("core.prefetch.issued");
@@ -559,25 +570,38 @@ void EngineeringDbModel::OnTransactionDone(double response_s,
       measuring_ = true;
       ResetMeasurementCounters();
       ApplyEpochSchedule(0);
+      sampler_.StartMeasurement(sim_.now());
     }
     return;
   }
   if (done_) return;  // in-flight stragglers after the quota was reached
+  const uint64_t per_epoch = std::max<uint64_t>(
+      1, static_cast<uint64_t>(config_.measured_transactions) /
+             response_epochs_.size());
+  const size_t epoch = std::min(response_epochs_.size() - 1,
+                                static_cast<size_t>(measured_txns_ / per_epoch));
+  const bool crossed = epoch != current_epoch_;
+  if (crossed) {
+    // The first transaction of the new epoch just completed: close every
+    // epoch crossed (usually one) with a boundary sample *before*
+    // recording this transaction, so the boundary delta covers exactly
+    // the closed epoch's transactions.
+    for (size_t closed = current_epoch_; closed < epoch; ++closed) {
+      sampler_.SampleEpochBoundary(sim_.now(),
+                                   static_cast<uint32_t>(closed));
+    }
+    current_epoch_ = epoch;
+    ApplyEpochSchedule(epoch);
+  }
   metrics_.Add(m_txns_);
   metrics_.Observe(m_response_s_, response_s);
   response_time_.Add(response_s);
   const bool was_write = type == workload::QueryType::kObjectWrite;
   (was_write ? write_response_ : read_response_).Add(response_s);
   response_by_query_[static_cast<size_t>(type)].Add(response_s);
-  const uint64_t per_epoch = std::max<uint64_t>(
-      1, static_cast<uint64_t>(config_.measured_transactions) /
-             response_epochs_.size());
-  const size_t epoch = std::min(response_epochs_.size() - 1,
-                                static_cast<size_t>(measured_txns_ / per_epoch));
   response_epochs_[epoch].Add(response_s);
-  if (epoch != current_epoch_) {
-    current_epoch_ = epoch;
-    ApplyEpochSchedule(epoch);
+  if (!crossed) {
+    sampler_.Poll(sim_.now(), static_cast<uint32_t>(epoch));
   }
   ++measured_txns_;
   if (measured_txns_ >=
@@ -607,42 +631,48 @@ sim::Task EngineeringDbModel::UserLoop(int user) {
   }
 }
 
-void EngineeringDbModel::ExportComponentMetrics() {
+void EngineeringDbModel::SyncComponentMetrics() {
   if (!metrics_.enabled()) return;
   // Registration is idempotent (re-registering returns the existing
-  // handle), so exporting at the end of every run is safe.
-  metrics_.Add(metrics_.Counter("buffer.hits"), buffer_->hits());
-  metrics_.Add(metrics_.Counter("buffer.misses"), buffer_->misses());
-  metrics_.Add(metrics_.Counter("buffer.evictions"), buffer_->evictions());
-  metrics_.Add(metrics_.Counter("buffer.dirty_evictions"),
-               buffer_->dirty_evictions());
+  // handle) and the values are absolute cumulative counts written with
+  // set-semantics, so syncing at every telemetry sample and again at end
+  // of run is safe.
+  metrics_.SetCounter(metrics_.Counter("buffer.hits"), buffer_->hits());
+  metrics_.SetCounter(metrics_.Counter("buffer.misses"), buffer_->misses());
+  metrics_.SetCounter(metrics_.Counter("buffer.evictions"),
+                      buffer_->evictions());
+  metrics_.SetCounter(metrics_.Counter("buffer.dirty_evictions"),
+                      buffer_->dirty_evictions());
   for (int c = 0; c < io::kNumIoCategories; ++c) {
     const auto cat = static_cast<io::IoCategory>(c);
-    metrics_.Add(
+    metrics_.SetCounter(
         metrics_.Counter(std::string("io.") + io::IoCategoryName(cat)),
         io_->physical_count(cat));
   }
-  metrics_.Add(metrics_.Counter("log.records"), log_->records_appended());
-  metrics_.Add(metrics_.Counter("log.before_images"),
-               log_->before_images());
-  metrics_.Add(metrics_.Counter("log.flushes"), log_->flush_count());
+  metrics_.SetCounter(metrics_.Counter("log.records"),
+                      log_->records_appended());
+  metrics_.SetCounter(metrics_.Counter("log.before_images"),
+                      log_->before_images());
+  metrics_.SetCounter(metrics_.Counter("log.flushes"), log_->flush_count());
   const cluster::ClusterStats& cs = cluster_->stats();
-  metrics_.Add(metrics_.Counter("cluster.placements"), cs.placements);
-  metrics_.Add(metrics_.Counter("cluster.reclusterings"),
-               cs.reclusterings);
-  metrics_.Add(metrics_.Counter("cluster.relocations"), cs.relocations);
-  metrics_.Add(metrics_.Counter("cluster.splits"), cs.splits);
-  metrics_.Add(metrics_.Counter("cluster.exam_reads"), cs.exam_reads);
-  metrics_.Add(metrics_.Counter("cluster.objects_moved_by_splits"),
-               cs.objects_moved_by_splits);
-  metrics_.Add(metrics_.Counter("cluster.split_search_steps"),
-               cs.split_search_steps);
+  metrics_.SetCounter(metrics_.Counter("cluster.placements"), cs.placements);
+  metrics_.SetCounter(metrics_.Counter("cluster.reclusterings"),
+                      cs.reclusterings);
+  metrics_.SetCounter(metrics_.Counter("cluster.relocations"),
+                      cs.relocations);
+  metrics_.SetCounter(metrics_.Counter("cluster.splits"), cs.splits);
+  metrics_.SetCounter(metrics_.Counter("cluster.exam_reads"),
+                      cs.exam_reads);
+  metrics_.SetCounter(metrics_.Counter("cluster.objects_moved_by_splits"),
+                      cs.objects_moved_by_splits);
+  metrics_.SetCounter(metrics_.Counter("cluster.split_search_steps"),
+                      cs.split_search_steps);
   metrics_.Set(metrics_.Gauge("cluster.split_broken_cost"),
                cs.split_broken_cost);
-  metrics_.Add(metrics_.Counter("sim.events_processed"),
-               sim_.events_processed());
-  metrics_.Add(metrics_.Counter("sim.events_scheduled"),
-               sim_.events_scheduled());
+  metrics_.SetCounter(metrics_.Counter("sim.events_processed"),
+                      sim_.events_processed());
+  metrics_.SetCounter(metrics_.Counter("sim.events_scheduled"),
+                      sim_.events_scheduled());
   metrics_.Set(metrics_.Gauge("io.mean_disk_utilization"),
                io_->MeanUtilization());
   metrics_.Set(metrics_.Gauge("cpu.utilization"), cpu_->Utilization());
@@ -689,8 +719,14 @@ RunResult EngineeringDbModel::Run() {
   result.prefetch_wasted = metrics_.value(m_prefetch_wasted_);
   result.db_pages = storage_->page_count();
   result.db_objects = graph_->live_count();
-  ExportComponentMetrics();
+  // Close the final epoch. If the warmup quota was never reached (tiny
+  // smoke configs), start measurement now so the series still carries one
+  // end-of-run sample.
+  if (!measuring_) sampler_.StartMeasurement(sim_.now());
+  sampler_.SampleFinal(sim_.now(), static_cast<uint32_t>(current_epoch_));
+  SyncComponentMetrics();
   result.metrics = metrics_.Snapshot();
+  result.series = sampler_.series();
   if (trace_.enabled()) {
     obs::TraceCollector::Global().Collect(
         config_.cell_index,

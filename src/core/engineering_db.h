@@ -16,6 +16,8 @@
 #include "objmodel/inheritance.h"
 #include "objmodel/object_graph.h"
 #include "obs/metrics.h"
+#include "obs/placement_auditor.h"
+#include "obs/time_series.h"
 #include "obs/trace_sink.h"
 #include "sim/process.h"
 #include "sim/resource.h"
@@ -80,6 +82,11 @@ struct RunResult {
   /// The cell's full metrics-registry state at the end of the measured
   /// phase (empty when SEMCLUST_METRICS=0).
   obs::MetricsSnapshot metrics;
+
+  /// Simulated-time telemetry over the measured phase: metric deltas and
+  /// placement-quality audits per sample (DESIGN.md §9). Always has at
+  /// least the final epoch-boundary sample.
+  obs::TimeSeries series;
 
   uint64_t total_physical_ios() const {
     return data_reads + dirty_flushes + log_flush_ios + cluster_exam_reads +
@@ -180,14 +187,18 @@ class EngineeringDbModel {
   /// Records a demand access to `page`; a pending prefetch of it counts
   /// as a prefetch hit.
   void NotePrefetchDemand(store::PageId page);
-  /// Copies component counters (buffer/io/log/cluster/sim) into the
-  /// metrics registry at the end of the measured phase.
-  void ExportComponentMetrics();
+  /// Mirrors component counters (buffer/io/log/cluster/sim) into the
+  /// metrics registry with set-semantics: values are absolute cumulative
+  /// counts, so re-syncing at every telemetry sample and again at end of
+  /// run is idempotent.
+  void SyncComponentMetrics();
 
   ModelConfig config_;
   sim::Simulator sim_;
   obs::MetricsRegistry metrics_;
   obs::TraceSink trace_;
+  obs::TimeSeriesSampler sampler_;
+  std::unique_ptr<obs::PlacementAuditor> auditor_;
 
   obj::TypeLattice lattice_;
   workload::CadTypes types_{};

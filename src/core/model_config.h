@@ -77,6 +77,16 @@ struct ModelConfig {
   /// Split the measured phase into this many equal epochs; RunResult then
   /// reports response time per epoch (layout-decay studies).
   int measurement_epochs = 1;
+  /// Simulated seconds between telemetry samples during the measured
+  /// phase (DESIGN.md §9). 0 disables interval sampling; epoch-boundary
+  /// samples (one per measurement epoch, including the final end-of-run
+  /// sample) are always taken.
+  double telemetry_interval_s = 0;
+  /// Attach a PlacementAuditor to the telemetry sampler: every sample
+  /// then carries clustering-quality metrics (edge co-location, page
+  /// occupancy, fragmentation). Reads model state only; never changes a
+  /// simulated outcome.
+  bool telemetry_audit_placement = true;
   /// When non-empty, the target read/write ratio is switched at each
   /// measurement-epoch boundary to the scheduled value (entry i applies
   /// to epoch i; the last entry applies from then on). Models one

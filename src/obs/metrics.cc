@@ -74,6 +74,30 @@ void MetricsSnapshot::MergeFrom(const MetricsSnapshot& other) {
   }
 }
 
+std::optional<double> HistogramSnapshot::Quantile(double q) const {
+  if (count == 0 || bounds.empty()) return std::nullopt;
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  // Smallest rank whose cumulative count covers q of the mass.
+  const double target = q * static_cast<double>(count);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    const uint64_t before = cumulative;
+    cumulative += buckets[i];
+    if (static_cast<double>(cumulative) < target || buckets[i] == 0) {
+      continue;
+    }
+    if (i >= bounds.size()) return bounds.back();  // overflow: clamp
+    const double lo = i == 0 ? 0.0 : bounds[i - 1];
+    const double hi = bounds[i];
+    const double within =
+        (target - static_cast<double>(before)) /
+        static_cast<double>(buckets[i]);
+    return lo + (hi - lo) * (within < 0 ? 0.0 : within);
+  }
+  return bounds.back();
+}
+
 std::optional<double> MetricsSnapshot::Ratio(std::optional<uint64_t> num,
                                              std::optional<uint64_t> den) {
   if (!num.has_value() || !den.has_value() || *den == 0) return std::nullopt;

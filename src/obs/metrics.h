@@ -56,6 +56,12 @@ struct HistogramSnapshot {
     if (count == 0) return std::nullopt;
     return sum / static_cast<double>(count);
   }
+
+  /// Quantile estimate for `q` in [0, 1] by linear interpolation inside
+  /// the covering bucket. Assumes non-negative observations (bucket 0
+  /// spans [0, bounds[0]]); mass in the overflow bucket is clamped to the
+  /// last finite bound. nullopt when the histogram is empty.
+  std::optional<double> Quantile(double q) const;
 };
 
 /// A registry's full state, detached from the registry: plain data, safe
@@ -118,6 +124,13 @@ class MetricsRegistry {
   // ---- mutation (hot path: bounds-checked slot writes, no hashing) ----
   void Add(CounterHandle h, uint64_t delta = 1) {
     if (h.valid()) counter_slots_[h.slot] += delta;
+  }
+  /// Overwrites a counter with an absolute cumulative value. For metrics
+  /// mirrored from component counters (buffer hits, physical I/Os, ...):
+  /// re-syncing at every telemetry sample is then idempotent, so the
+  /// registry can be snapshotted mid-run, not only at end of run.
+  void SetCounter(CounterHandle h, uint64_t value) {
+    if (h.valid()) counter_slots_[h.slot] = value;
   }
   void Set(GaugeHandle h, double value) {
     if (h.valid()) gauge_slots_[h.slot] = value;

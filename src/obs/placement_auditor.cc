@@ -1,0 +1,191 @@
+#include "obs/placement_auditor.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_set>
+#include <vector>
+
+#include "util/json_writer.h"
+
+namespace oodb::obs {
+
+namespace {
+
+/// Cycle/size guard for the configuration walk (attachments are
+/// unvalidated, as in OCT, so the configuration graph may contain cycles).
+constexpr size_t kMaxConfigurationWalk = 4096;
+
+}  // namespace
+
+void PlacementSample::MergeFrom(const PlacementSample& other) {
+  live_objects += other.live_objects;
+  placed_objects += other.placed_objects;
+  pages += other.pages;
+  for (size_t k = 0; k < by_kind.size(); ++k) {
+    by_kind[k].edges += other.by_kind[k].edges;
+    by_kind[k].colocated += other.by_kind[k].colocated;
+  }
+  edges += other.edges;
+  colocated += other.colocated;
+  for (size_t b = 0; b < occupancy_histogram.size(); ++b) {
+    occupancy_histogram[b] += other.occupancy_histogram[b];
+  }
+  // Means re-weight by the populations they were taken over.
+  const auto reweight = [](double& mine, uint64_t my_n, double theirs,
+                           uint64_t their_n) {
+    const uint64_t n = my_n + their_n;
+    if (n == 0) return;
+    mine = (mine * static_cast<double>(my_n) +
+            theirs * static_cast<double>(their_n)) /
+           static_cast<double>(n);
+  };
+  reweight(mean_occupancy, nonempty_pages, other.mean_occupancy,
+           other.nonempty_pages);
+  reweight(mean_type_fragmentation, types_audited,
+           other.mean_type_fragmentation, other.types_audited);
+  reweight(mean_pages_per_configuration, configurations,
+           other.mean_pages_per_configuration, other.configurations);
+  nonempty_pages += other.nonempty_pages;
+  types_audited += other.types_audited;
+  configurations += other.configurations;
+}
+
+std::string PlacementSample::ToJson() const {
+  JsonObjectWriter kinds;
+  for (size_t k = 0; k < by_kind.size(); ++k) {
+    JsonObjectWriter kind;
+    kind.Add("edges", by_kind[k].edges)
+        .Add("colocated", by_kind[k].colocated);
+    kinds.AddRaw(obj::RelKindName(static_cast<obj::RelKind>(k)), kind.str());
+  }
+  JsonArrayWriter occupancy;
+  for (uint64_t b : occupancy_histogram) occupancy.Add(b);
+  JsonObjectWriter out;
+  out.Add("live_objects", live_objects)
+      .Add("placed_objects", placed_objects)
+      .Add("pages", pages)
+      .Add("nonempty_pages", nonempty_pages)
+      .Add("edges", edges)
+      .Add("colocated", colocated)
+      .Add("colocated_fraction", ColocatedFraction())
+      .AddRaw("by_kind", kinds.str())
+      .AddRaw("occupancy_histogram", occupancy.str())
+      .Add("mean_occupancy", mean_occupancy)
+      .Add("mean_type_fragmentation", mean_type_fragmentation)
+      .Add("types_audited", types_audited)
+      .Add("mean_pages_per_configuration", mean_pages_per_configuration)
+      .Add("configurations", configurations);
+  return out.str();
+}
+
+PlacementSample PlacementAuditor::Sample() const {
+  PlacementSample s;
+  const obj::ObjectGraph& graph = *graph_;
+  const store::StorageManager& storage = *storage_;
+
+  // ---- edges, per-type extents, and configuration roots in one pass ----
+  struct TypeExtent {
+    uint64_t bytes = 0;
+    std::unordered_set<store::PageId> pages;
+  };
+  std::map<obj::TypeId, TypeExtent> extents;
+  std::vector<obj::ObjectId> config_roots;
+
+  const auto num_objects = static_cast<obj::ObjectId>(graph.size());
+  for (obj::ObjectId id = 0; id < num_objects; ++id) {
+    if (!graph.IsLive(id)) continue;
+    ++s.live_objects;
+    const obj::DesignObject& o = graph.object(id);
+    const store::PageId my_page = storage.PageOf(id);
+    if (my_page != store::kInvalidPage) {
+      ++s.placed_objects;
+      TypeExtent& extent = extents[o.type];
+      extent.bytes += storage.SizeOf(id);
+      extent.pages.insert(my_page);
+    }
+    bool has_down_config = false;
+    bool has_up_config = false;
+    for (const obj::Edge& e : o.edges) {
+      if (e.kind == obj::RelKind::kConfiguration) {
+        (e.dir == obj::Direction::kDown ? has_down_config : has_up_config) =
+            true;
+      }
+      // Count each edge once, from its kDown side.
+      if (e.dir != obj::Direction::kDown) continue;
+      if (my_page == store::kInvalidPage || !graph.IsLive(e.target)) continue;
+      const store::PageId target_page = storage.PageOf(e.target);
+      if (target_page == store::kInvalidPage) continue;
+      EdgeLocality& kind = s.by_kind[static_cast<size_t>(e.kind)];
+      ++kind.edges;
+      ++s.edges;
+      if (target_page == my_page) {
+        ++kind.colocated;
+        ++s.colocated;
+      }
+    }
+    if (has_down_config && !has_up_config) config_roots.push_back(id);
+  }
+
+  // ---- page occupancy ----
+  s.pages = storage.page_count();
+  double fill_sum = 0;
+  for (store::PageId p = 0; p < storage.page_count(); ++p) {
+    const store::Page& page = storage.page(p);
+    if (page.object_count() == 0) continue;
+    ++s.nonempty_pages;
+    const double fill = static_cast<double>(page.used_bytes()) /
+                        static_cast<double>(page.capacity_bytes());
+    fill_sum += fill;
+    size_t bucket = static_cast<size_t>(fill * kOccupancyBuckets);
+    if (bucket >= kOccupancyBuckets) bucket = kOccupancyBuckets - 1;
+    ++s.occupancy_histogram[bucket];
+  }
+  if (s.nonempty_pages > 0) {
+    s.mean_occupancy = fill_sum / static_cast<double>(s.nonempty_pages);
+  }
+
+  // ---- per-type fragmentation ----
+  const uint64_t capacity = storage.page_size_bytes();
+  double frag_sum = 0;
+  for (const auto& [type, extent] : extents) {
+    const uint64_t min_pages =
+        std::max<uint64_t>(1, (extent.bytes + capacity - 1) / capacity);
+    frag_sum += static_cast<double>(extent.pages.size()) /
+                static_cast<double>(min_pages);
+    ++s.types_audited;
+  }
+  if (s.types_audited > 0) {
+    s.mean_type_fragmentation =
+        frag_sum / static_cast<double>(s.types_audited);
+  }
+
+  // ---- pages per configuration ----
+  double config_pages_sum = 0;
+  std::vector<obj::ObjectId> stack;
+  for (const obj::ObjectId root : config_roots) {
+    std::unordered_set<obj::ObjectId> visited{root};
+    std::unordered_set<store::PageId> config_pages;
+    stack.assign(1, root);
+    while (!stack.empty() && visited.size() < kMaxConfigurationWalk) {
+      const obj::ObjectId o = stack.back();
+      stack.pop_back();
+      const store::PageId p = storage.PageOf(o);
+      if (p != store::kInvalidPage) config_pages.insert(p);
+      graph.ForEachNeighbor(o, obj::RelKind::kConfiguration,
+                            obj::Direction::kDown, [&](obj::ObjectId c) {
+                              if (graph.IsLive(c) && visited.insert(c).second) {
+                                stack.push_back(c);
+                              }
+                            });
+    }
+    config_pages_sum += static_cast<double>(config_pages.size());
+    ++s.configurations;
+  }
+  if (s.configurations > 0) {
+    s.mean_pages_per_configuration =
+        config_pages_sum / static_cast<double>(s.configurations);
+  }
+  return s;
+}
+
+}  // namespace oodb::obs

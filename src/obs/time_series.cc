@@ -1,0 +1,145 @@
+#include "obs/time_series.h"
+
+#include <cmath>
+
+#include "util/json_writer.h"
+
+namespace oodb::obs {
+
+std::optional<uint64_t> TimeSeriesSample::counter_delta(
+    std::string_view name) const {
+  for (const auto& [n, v] : counter_deltas) {
+    if (n == name) return v;
+  }
+  return std::nullopt;
+}
+
+std::string TimeSeriesSample::ToJson() const {
+  JsonObjectWriter counters;
+  for (const auto& [name, delta] : counter_deltas) counters.Add(name, delta);
+  JsonObjectWriter gauges_json;
+  for (const auto& [name, value] : gauges) gauges_json.Add(name, value);
+  JsonObjectWriter out;
+  out.Add("sim_time_s", sim_time_s)
+      .Add("epoch", static_cast<uint64_t>(epoch))
+      .Add("epoch_boundary", epoch_boundary)
+      .AddRaw("counter_deltas", counters.str())
+      .AddRaw("gauges", gauges_json.str());
+  if (placement.has_value()) {
+    out.AddRaw("placement", placement->ToJson());
+  }
+  return out.str();
+}
+
+std::string TimeSeries::ToJson() const {
+  JsonArrayWriter out;
+  for (const TimeSeriesSample& s : samples) out.AddRaw(s.ToJson());
+  return out.str();
+}
+
+void TimeSeries::MergeFrom(const TimeSeries& other) {
+  for (size_t i = 0; i < other.samples.size(); ++i) {
+    if (i >= samples.size()) {
+      samples.push_back(other.samples[i]);
+      continue;
+    }
+    TimeSeriesSample& mine = samples[i];
+    const TimeSeriesSample& theirs = other.samples[i];
+    if (theirs.sim_time_s > mine.sim_time_s) {
+      mine.sim_time_s = theirs.sim_time_s;
+    }
+    if (theirs.epoch > mine.epoch) mine.epoch = theirs.epoch;
+    mine.epoch_boundary = mine.epoch_boundary || theirs.epoch_boundary;
+    for (const auto& [name, delta] : theirs.counter_deltas) {
+      bool found = false;
+      for (auto& [n, v] : mine.counter_deltas) {
+        if (n == name) {
+          v += delta;
+          found = true;
+          break;
+        }
+      }
+      if (!found) mine.counter_deltas.emplace_back(name, delta);
+    }
+    for (const auto& [name, value] : theirs.gauges) {
+      bool found = false;
+      for (auto& [n, v] : mine.gauges) {
+        if (n == name) {
+          v += value;
+          found = true;
+          break;
+        }
+      }
+      if (!found) mine.gauges.emplace_back(name, value);
+    }
+    if (theirs.placement.has_value()) {
+      if (mine.placement.has_value()) {
+        mine.placement->MergeFrom(*theirs.placement);
+      } else {
+        mine.placement = theirs.placement;
+      }
+    }
+  }
+}
+
+TimeSeriesSampler::TimeSeriesSampler(const MetricsRegistry* registry,
+                                     double interval_s)
+    : registry_(registry), interval_s_(interval_s) {}
+
+void TimeSeriesSampler::StartMeasurement(double now) {
+  started_ = true;
+  start_time_ = now;
+  next_sample_time_ = interval_s_ > 0 ? now + interval_s_ : 0;
+  if (pre_sample_hook_) pre_sample_hook_();
+  baseline_ = registry_ != nullptr ? registry_->Snapshot() : MetricsSnapshot{};
+  series_.samples.clear();
+}
+
+void TimeSeriesSampler::Poll(double now, uint32_t epoch) {
+  if (!started_ || interval_s_ <= 0 || now < next_sample_time_) return;
+  TakeSample(now, epoch, /*epoch_boundary=*/false);
+  // Skip to the first boundary strictly after `now`: long idle stretches
+  // yield one catch-up sample, not a burst of empty ones.
+  const double intervals_done =
+      std::floor((now - start_time_) / interval_s_) + 1.0;
+  next_sample_time_ = start_time_ + intervals_done * interval_s_;
+}
+
+void TimeSeriesSampler::SampleEpochBoundary(double now, uint32_t epoch) {
+  if (!started_) return;
+  TakeSample(now, epoch, /*epoch_boundary=*/true);
+}
+
+void TimeSeriesSampler::SampleFinal(double now, uint32_t last_epoch) {
+  if (!started_) return;
+  TakeSample(now, last_epoch, /*epoch_boundary=*/true);
+}
+
+void TimeSeriesSampler::TakeSample(double now, uint32_t epoch,
+                                   bool epoch_boundary) {
+  if (pre_sample_hook_) pre_sample_hook_();
+  TimeSeriesSample sample;
+  sample.sim_time_s = now;
+  sample.epoch = epoch;
+  sample.epoch_boundary = epoch_boundary;
+  if (registry_ != nullptr) {
+    MetricsSnapshot current = registry_->Snapshot();
+    sample.counter_deltas.reserve(current.counters.size());
+    for (const auto& [name, value] : current.counters) {
+      const std::optional<uint64_t> before = baseline_.counter(name);
+      // Mirrored counters are set-synced (monotone), so value >= before;
+      // a counter registered after the baseline deltas from zero.
+      const uint64_t prev = before.value_or(0);
+      sample.counter_deltas.emplace_back(name,
+                                         value >= prev ? value - prev : 0);
+    }
+    sample.gauges = current.gauges;
+    baseline_ = std::move(current);
+  }
+  if (auditor_ != nullptr) {
+    sample.placement = auditor_->Sample();
+  }
+  series_.samples.push_back(std::move(sample));
+}
+
+}  // namespace oodb::obs

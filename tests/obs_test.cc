@@ -1,3 +1,6 @@
+#include <algorithm>
+#include <cstdlib>
+
 #include "gtest/gtest.h"
 #include "obs/metrics.h"
 #include "obs/trace_sink.h"
@@ -121,6 +124,51 @@ TEST(MetricsTest, MergeSumsAndAppendsDeterministically) {
   EXPECT_EQ(refolded.ToJson(), merged.ToJson());
 }
 
+TEST(MetricsTest, SetCounterOverwritesInsteadOfAdding) {
+  MetricsRegistry reg(/*enabled=*/true);
+  const CounterHandle c = reg.Counter("a");
+  reg.SetCounter(c, 10);
+  reg.SetCounter(c, 7);  // idempotent mirroring: last write wins
+  EXPECT_EQ(reg.value(c), 7u);
+  reg.SetCounter(CounterHandle{}, 99);  // invalid handle: no-op
+  EXPECT_EQ(reg.value(c), 7u);
+}
+
+TEST(MetricsTest, QuantileInterpolatesWithinBuckets) {
+  MetricsRegistry reg(/*enabled=*/true);
+  const HistogramHandle h = reg.Histogram("h", {1.0, 2.0, 4.0});
+  reg.Observe(h, 0.5);
+  reg.Observe(h, 1.0);
+  reg.Observe(h, 3.0);
+  const MetricsSnapshot snap = reg.Snapshot();
+  const HistogramSnapshot* hs = snap.histogram("h");
+  ASSERT_NE(hs, nullptr);
+  // Bucket masses: [2, 0, 1, 0] over bounds [0..1], (1..2], (2..4].
+  EXPECT_DOUBLE_EQ(*hs->Quantile(0.0), 0.0);
+  // target = 1.5 of 2 in bucket 0: 0 + 1 * (1.5 / 2).
+  EXPECT_DOUBLE_EQ(*hs->Quantile(0.5), 0.75);
+  // target = 3 lands at the top of bucket 2.
+  EXPECT_DOUBLE_EQ(*hs->Quantile(1.0), 4.0);
+  EXPECT_DOUBLE_EQ(*hs->Quantile(2.0), 4.0);  // clamped q
+}
+
+TEST(MetricsTest, QuantileClampsOverflowMassToLastBound) {
+  MetricsRegistry reg(/*enabled=*/true);
+  const HistogramHandle h = reg.Histogram("h", {1.0, 2.0});
+  reg.Observe(h, 100.0);  // all mass in the overflow bucket
+  const MetricsSnapshot snap = reg.Snapshot();
+  const HistogramSnapshot* hs = snap.histogram("h");
+  ASSERT_NE(hs, nullptr);
+  EXPECT_DOUBLE_EQ(*hs->Quantile(0.5), 2.0);
+}
+
+TEST(MetricsTest, QuantileOfEmptyHistogramIsNull) {
+  MetricsRegistry reg(/*enabled=*/true);
+  reg.Histogram("h", {1.0});
+  const MetricsSnapshot snap = reg.Snapshot();
+  EXPECT_EQ(snap.histogram("h")->Quantile(0.5), std::nullopt);
+}
+
 TEST(MetricsTest, RatioIsNullSafe) {
   EXPECT_EQ(MetricsSnapshot::Ratio(std::nullopt, 10), std::nullopt);
   EXPECT_EQ(MetricsSnapshot::Ratio(1, std::nullopt), std::nullopt);
@@ -207,6 +255,49 @@ TEST(TraceCollectorTest, ChromeTraceStructure) {
   EXPECT_NE(json.find("\"page-write\""), std::string::npos);
   EXPECT_NE(json.find("\"cat\":\"txlog\""), std::string::npos);
   EXPECT_NE(json.find("\"clock\":\"simulated\""), std::string::npos);
+}
+
+TEST(TraceCollectorTest, OverflowedRingStillExportsParsableTrace) {
+  // The satellite check for SEMCLUST_TRACE_EVENTS: size the ring from the
+  // environment, overflow it heavily, and assert the exported Chrome
+  // trace is still line-parsable with the drops accounted for.
+  ASSERT_EQ(setenv("SEMCLUST_TRACE_EVENTS", "8", /*overwrite=*/1), 0);
+  const size_t capacity = TraceCollector::RingCapacityFromEnv();
+  unsetenv("SEMCLUST_TRACE_EVENTS");
+  ASSERT_EQ(capacity, 8u);
+
+  TraceSink sink(nullptr, capacity);
+  constexpr uint64_t kRecorded = 1000;
+  for (uint64_t i = 0; i < kRecorded; ++i) {
+    sink.Record(Subsystem::kIo, TraceEventType::kPageRead, i);
+  }
+  EXPECT_EQ(sink.dropped(), kRecorded - capacity);
+
+  TraceCollector& collector = TraceCollector::Global();
+  collector.Reset();
+  collector.Collect(0, "overflow-cell", sink);
+  const std::string json = collector.ChromeTraceJson();
+  collector.Reset();
+
+  // Every event line is a balanced JSON object (the property
+  // tools/trace_summary's line scanner relies on), and only `capacity`
+  // events survived.
+  size_t event_lines = 0;
+  size_t begin = 0;
+  while (begin < json.size()) {
+    size_t end = json.find('\n', begin);
+    if (end == std::string::npos) end = json.size();
+    const std::string line = json.substr(begin, end - begin);
+    begin = end + 1;
+    if (line.find("\"ph\":\"i\"") == std::string::npos) continue;
+    ++event_lines;
+    EXPECT_EQ(std::count(line.begin(), line.end(), '{'),
+              std::count(line.begin(), line.end(), '}'))
+        << line;
+  }
+  EXPECT_EQ(event_lines, capacity);
+  EXPECT_NE(json.find("\"semclust_ring_dropped\""), std::string::npos);
+  EXPECT_NE(json.find("\"dropped\":992"), std::string::npos);
 }
 
 TEST(TraceCollectorTest, DisabledSinkIsNotCollected) {

@@ -1,0 +1,380 @@
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+#include "core/bench_report.h"
+#include "core/engineering_db.h"
+#include "core/model_config.h"
+#include "exec/experiment_runner.h"
+#include "obs/metrics.h"
+#include "obs/placement_auditor.h"
+#include "obs/time_series.h"
+#include "objmodel/object_graph.h"
+#include "objmodel/type_system.h"
+#include "storage/storage_manager.h"
+
+namespace oodb {
+namespace {
+
+// ------------------------------------------------------ sampler mechanics
+
+TEST(TimeSeriesSamplerTest, DeltasBetweenSamplesNotCumulatives) {
+  obs::MetricsRegistry reg(/*enabled=*/true);
+  const obs::CounterHandle c = reg.Counter("c");
+  obs::TimeSeriesSampler sampler(&reg, /*interval_s=*/0);
+
+  reg.Add(c, 100);  // warmup activity lands in the baseline, not a sample
+  sampler.StartMeasurement(10.0);
+  reg.Add(c, 5);
+  sampler.SampleEpochBoundary(20.0, 0);
+  reg.Add(c, 7);
+  sampler.SampleFinal(30.0, 1);
+
+  const obs::TimeSeries& series = sampler.series();
+  ASSERT_EQ(series.samples.size(), 2u);
+  EXPECT_DOUBLE_EQ(series.samples[0].sim_time_s, 20.0);
+  EXPECT_EQ(series.samples[0].epoch, 0u);
+  EXPECT_TRUE(series.samples[0].epoch_boundary);
+  EXPECT_EQ(series.samples[0].counter_delta("c"), 5u);
+  EXPECT_DOUBLE_EQ(series.samples[1].sim_time_s, 30.0);
+  EXPECT_EQ(series.samples[1].epoch, 1u);
+  EXPECT_TRUE(series.samples[1].epoch_boundary);
+  EXPECT_EQ(series.samples[1].counter_delta("c"), 7u);
+}
+
+TEST(TimeSeriesSamplerTest, ZeroDeltasKeepTheKeySet) {
+  obs::MetricsRegistry reg(/*enabled=*/true);
+  reg.Counter("idle");
+  obs::TimeSeriesSampler sampler(&reg, 0);
+  sampler.StartMeasurement(0.0);
+  sampler.SampleFinal(1.0, 0);
+  ASSERT_EQ(sampler.series().samples.size(), 1u);
+  EXPECT_EQ(sampler.series().samples[0].counter_delta("idle"), 0u);
+}
+
+TEST(TimeSeriesSamplerTest, CounterRegisteredMidSeriesDeltasFromZero) {
+  obs::MetricsRegistry reg(/*enabled=*/true);
+  obs::TimeSeriesSampler sampler(&reg, 0);
+  sampler.StartMeasurement(0.0);
+  const obs::CounterHandle late = reg.Counter("late");
+  reg.Add(late, 3);
+  sampler.SampleFinal(1.0, 0);
+  EXPECT_EQ(sampler.series().samples[0].counter_delta("late"), 3u);
+  EXPECT_EQ(sampler.series().samples[0].counter_delta("nonesuch"),
+            std::nullopt);
+}
+
+TEST(TimeSeriesSamplerTest, PreSampleHookSyncsMirroredCounters) {
+  // The model mirrors component-owned counters into the registry with
+  // set-semantics right before each snapshot; deltas must still come out
+  // as per-window flows.
+  obs::MetricsRegistry reg(/*enabled=*/true);
+  const obs::CounterHandle mirror = reg.Counter("mirror");
+  uint64_t component_total = 0;
+  obs::TimeSeriesSampler sampler(&reg, 0);
+  sampler.set_pre_sample_hook(
+      [&] { reg.SetCounter(mirror, component_total); });
+
+  sampler.StartMeasurement(0.0);
+  component_total = 42;
+  sampler.SampleEpochBoundary(1.0, 0);
+  component_total = 50;
+  sampler.SampleFinal(2.0, 1);
+
+  const auto& samples = sampler.series().samples;
+  ASSERT_EQ(samples.size(), 2u);
+  EXPECT_EQ(samples[0].counter_delta("mirror"), 42u);
+  EXPECT_EQ(samples[1].counter_delta("mirror"), 8u);
+}
+
+TEST(TimeSeriesSamplerTest, GaugesAreLevelsNotFlows) {
+  obs::MetricsRegistry reg(/*enabled=*/true);
+  const obs::GaugeHandle g = reg.Gauge("g");
+  obs::TimeSeriesSampler sampler(&reg, 0);
+  sampler.StartMeasurement(0.0);
+  reg.Set(g, 2.5);
+  sampler.SampleEpochBoundary(1.0, 0);
+  reg.Set(g, 7.5);
+  sampler.SampleFinal(2.0, 1);
+  const auto& samples = sampler.series().samples;
+  ASSERT_EQ(samples.size(), 2u);
+  ASSERT_EQ(samples[0].gauges.size(), 1u);
+  EXPECT_DOUBLE_EQ(samples[0].gauges[0].second, 2.5);
+  EXPECT_DOUBLE_EQ(samples[1].gauges[0].second, 7.5);
+}
+
+TEST(TimeSeriesSamplerTest, IntervalScheduleCatchesUpWithoutBackfill) {
+  obs::MetricsRegistry reg(/*enabled=*/true);
+  obs::TimeSeriesSampler sampler(&reg, /*interval_s=*/10.0);
+  sampler.Poll(100.0, 0);  // before StartMeasurement: no-op
+  EXPECT_TRUE(sampler.series().empty());
+
+  sampler.StartMeasurement(0.0);
+  sampler.Poll(5.0, 0);
+  EXPECT_EQ(sampler.series().samples.size(), 0u);
+  sampler.Poll(12.0, 0);  // crossed t=10
+  ASSERT_EQ(sampler.series().samples.size(), 1u);
+  EXPECT_DOUBLE_EQ(sampler.series().samples[0].sim_time_s, 12.0);
+  EXPECT_FALSE(sampler.series().samples[0].epoch_boundary);
+  sampler.Poll(13.0, 0);  // next boundary is 20
+  EXPECT_EQ(sampler.series().samples.size(), 1u);
+  sampler.Poll(47.0, 0);  // skipped 20/30/40: ONE catch-up sample
+  ASSERT_EQ(sampler.series().samples.size(), 2u);
+  EXPECT_DOUBLE_EQ(sampler.series().samples[1].sim_time_s, 47.0);
+  sampler.Poll(50.0, 0);  // next boundary after 47 is 50
+  EXPECT_EQ(sampler.series().samples.size(), 3u);
+}
+
+TEST(TimeSeriesTest, MergeFromSumsDeltasByIndex) {
+  obs::MetricsRegistry reg_a(/*enabled=*/true);
+  const obs::CounterHandle ca = reg_a.Counter("c");
+  obs::TimeSeriesSampler a(&reg_a, 0);
+  a.StartMeasurement(0.0);
+  reg_a.Add(ca, 5);
+  a.SampleFinal(10.0, 0);
+
+  obs::MetricsRegistry reg_b(/*enabled=*/true);
+  const obs::CounterHandle cb = reg_b.Counter("c");
+  obs::TimeSeriesSampler b(&reg_b, 0);
+  b.StartMeasurement(0.0);
+  reg_b.Add(cb, 7);
+  b.SampleFinal(20.0, 0);
+
+  obs::TimeSeries merged = a.series();
+  merged.MergeFrom(b.series());
+  ASSERT_EQ(merged.samples.size(), 1u);
+  EXPECT_EQ(merged.samples[0].counter_delta("c"), 12u);
+  EXPECT_DOUBLE_EQ(merged.samples[0].sim_time_s, 20.0);  // max over cells
+}
+
+// ------------------------------------------------------ placement auditor
+
+class PlacementAuditorTest : public ::testing::Test {
+ protected:
+  PlacementAuditorTest() : graph_(&lattice_), store_(100) {
+    t_ = lattice_.DefineType("t", obj::kInvalidType, 0, {});
+    u_ = lattice_.DefineType("u", obj::kInvalidType, 0, {});
+    fam_ = graph_.NewFamily("f");
+  }
+
+  obj::TypeLattice lattice_;
+  obj::ObjectGraph graph_;
+  store::StorageManager store_;
+  obj::TypeId t_ = obj::kInvalidType;
+  obj::TypeId u_ = obj::kInvalidType;
+  obj::FamilyId fam_ = obj::kInvalidFamily;
+};
+
+TEST_F(PlacementAuditorTest, AuditsEdgesOccupancyAndConfigurations) {
+  const obj::ObjectId a = graph_.Create(fam_, 0, t_, 40);
+  const obj::ObjectId b = graph_.Create(fam_, 1, t_, 40);
+  const obj::ObjectId c = graph_.Create(fam_, 2, u_, 40);
+  const obj::ObjectId d = graph_.Create(fam_, 3, u_, 40);  // never placed
+
+  const store::PageId p0 = store_.AllocatePage();
+  const store::PageId p1 = store_.AllocatePage();
+  ASSERT_TRUE(store_.Place(a, 40, p0).ok());
+  ASSERT_TRUE(store_.Place(b, 40, p0).ok());
+  ASSERT_TRUE(store_.Place(c, 40, p1).ok());
+
+  graph_.Relate(a, b, obj::RelKind::kConfiguration);   // co-located
+  graph_.Relate(a, c, obj::RelKind::kConfiguration);   // cross-page
+  graph_.Relate(b, c, obj::RelKind::kCorrespondence);  // symmetric: 2 edges
+  graph_.Relate(a, d, obj::RelKind::kVersionHistory);  // target unplaced
+
+  const obs::PlacementAuditor auditor(&graph_, &store_);
+  const obs::PlacementSample s = auditor.Sample();
+
+  EXPECT_EQ(s.live_objects, 4u);
+  EXPECT_EQ(s.placed_objects, 3u);
+  EXPECT_EQ(s.pages, 2u);
+  EXPECT_EQ(s.nonempty_pages, 2u);
+
+  const auto& config =
+      s.by_kind[static_cast<size_t>(obj::RelKind::kConfiguration)];
+  EXPECT_EQ(config.edges, 2u);
+  EXPECT_EQ(config.colocated, 1u);
+  const auto& corr =
+      s.by_kind[static_cast<size_t>(obj::RelKind::kCorrespondence)];
+  EXPECT_EQ(corr.edges, 2u);  // counted once per symmetric endpoint
+  EXPECT_EQ(corr.colocated, 0u);
+  const auto& vh =
+      s.by_kind[static_cast<size_t>(obj::RelKind::kVersionHistory)];
+  EXPECT_EQ(vh.edges, 0u);  // unplaced endpoint does not qualify
+  EXPECT_EQ(s.edges, 4u);
+  EXPECT_EQ(s.colocated, 1u);
+  EXPECT_DOUBLE_EQ(*s.ColocatedFraction(), 0.25);
+
+  // p0 is 80/100 full (decile 8), p1 is 40/100 full (decile 4).
+  EXPECT_EQ(s.occupancy_histogram[8], 1u);
+  EXPECT_EQ(s.occupancy_histogram[4], 1u);
+  EXPECT_DOUBLE_EQ(s.mean_occupancy, 0.6);
+
+  // Both types fit on one page and span exactly one: no fragmentation.
+  EXPECT_EQ(s.types_audited, 2u);
+  EXPECT_DOUBLE_EQ(s.mean_type_fragmentation, 1.0);
+
+  // `a` is the sole configuration root; {a, b, c} spans two pages.
+  EXPECT_EQ(s.configurations, 1u);
+  EXPECT_DOUBLE_EQ(s.mean_pages_per_configuration, 2.0);
+}
+
+TEST_F(PlacementAuditorTest, DeletedObjectsAreExcluded) {
+  const obj::ObjectId a = graph_.Create(fam_, 0, t_, 40);
+  const obj::ObjectId b = graph_.Create(fam_, 1, t_, 40);
+  const store::PageId p0 = store_.AllocatePage();
+  ASSERT_TRUE(store_.Place(a, 40, p0).ok());
+  ASSERT_TRUE(store_.Place(b, 40, p0).ok());
+  graph_.Relate(a, b, obj::RelKind::kConfiguration);
+  graph_.Remove(b);
+
+  const obs::PlacementAuditor auditor(&graph_, &store_);
+  const obs::PlacementSample s = auditor.Sample();
+  EXPECT_EQ(s.live_objects, 1u);
+  EXPECT_EQ(s.edges, 0u);  // Remove detached the edge
+  EXPECT_EQ(s.ColocatedFraction(), std::nullopt);
+}
+
+TEST(PlacementSampleTest, MergeReweightsMeansByPopulation) {
+  obs::PlacementSample x;
+  x.nonempty_pages = 1;
+  x.mean_occupancy = 0.5;
+  x.edges = 4;
+  x.colocated = 1;
+  obs::PlacementSample y;
+  y.nonempty_pages = 3;
+  y.mean_occupancy = 0.9;
+  y.edges = 4;
+  y.colocated = 3;
+  x.MergeFrom(y);
+  EXPECT_EQ(x.nonempty_pages, 4u);
+  EXPECT_DOUBLE_EQ(x.mean_occupancy, (0.5 * 1 + 0.9 * 3) / 4);
+  EXPECT_DOUBLE_EQ(*x.ColocatedFraction(), 0.5);
+}
+
+// ------------------------------------------------- model-level sampling
+
+core::ModelConfig SmallConfig() {
+  core::ModelConfig cfg = core::TestConfig();
+  cfg.warmup_transactions = 40;
+  cfg.measured_transactions = 240;
+  return cfg;
+}
+
+TEST(ModelTelemetryTest, EpochBoundariesAlignWithResponseEpochs) {
+  core::ModelConfig cfg = SmallConfig();
+  cfg.measurement_epochs = 3;
+  core::EngineeringDbModel model(cfg);
+  const core::RunResult r = model.Run();
+
+  ASSERT_EQ(r.response_epochs.size(), 3u);
+  ASSERT_EQ(r.series.samples.size(), 3u);  // interval sampling off
+  uint64_t txns = 0;
+  for (size_t i = 0; i < r.series.samples.size(); ++i) {
+    const obs::TimeSeriesSample& s = r.series.samples[i];
+    EXPECT_TRUE(s.epoch_boundary);
+    EXPECT_EQ(s.epoch, static_cast<uint32_t>(i));
+    if (i > 0) {
+      EXPECT_GE(s.sim_time_s, r.series.samples[i - 1].sim_time_s);
+    }
+    // Each epoch window saw exactly its share of the measured phase.
+    ASSERT_TRUE(s.counter_delta("core.txns").has_value());
+    EXPECT_EQ(*s.counter_delta("core.txns"), r.response_epochs[i].count());
+    txns += *s.counter_delta("core.txns");
+    ASSERT_TRUE(s.placement.has_value());
+    EXPECT_GT(s.placement->live_objects, 0u);
+    EXPECT_GT(s.placement->edges, 0u);
+  }
+  EXPECT_EQ(txns, static_cast<uint64_t>(cfg.measured_transactions));
+}
+
+TEST(ModelTelemetryTest, IntervalSamplingAddsMidEpochSamples) {
+  core::ModelConfig cfg = SmallConfig();
+  cfg.telemetry_interval_s = 1.0;
+  core::EngineeringDbModel model(cfg);
+  const core::RunResult r = model.Run();
+
+  ASSERT_GT(r.series.samples.size(), 1u);
+  uint64_t interval_samples = 0;
+  uint64_t txns = 0;
+  for (const obs::TimeSeriesSample& s : r.series.samples) {
+    if (!s.epoch_boundary) ++interval_samples;
+    txns += s.counter_delta("core.txns").value_or(0);
+  }
+  EXPECT_GT(interval_samples, 0u);
+  EXPECT_TRUE(r.series.samples.back().epoch_boundary);
+  // Deltas partition the measured phase exactly.
+  EXPECT_EQ(txns, static_cast<uint64_t>(cfg.measured_transactions));
+}
+
+TEST(ModelTelemetryTest, PlacementAuditCanBeDisabled) {
+  core::ModelConfig cfg = SmallConfig();
+  cfg.telemetry_audit_placement = false;
+  core::EngineeringDbModel model(cfg);
+  const core::RunResult r = model.Run();
+  ASSERT_FALSE(r.series.empty());
+  for (const obs::TimeSeriesSample& s : r.series.samples) {
+    EXPECT_FALSE(s.placement.has_value());
+  }
+}
+
+// ------------------------------------------------- determinism contract
+
+TEST(ModelTelemetryTest, SeriesBitIdenticalAcrossJobCounts) {
+  std::vector<core::ModelConfig> cells;
+  for (int i = 0; i < 3; ++i) {
+    core::ModelConfig cfg = SmallConfig();
+    cfg.measurement_epochs = 2;
+    cfg.telemetry_interval_s = 5.0;
+    cells.push_back(cfg);
+  }
+
+  const exec::ExperimentRunner serial(1);
+  const exec::ExperimentRunner threaded(4);
+  const auto o1 = serial.Run(cells);
+  const auto o4 = threaded.Run(cells);
+  ASSERT_EQ(o1.size(), o4.size());
+  for (size_t i = 0; i < o1.size(); ++i) {
+    ASSERT_FALSE(o1[i].result.series.empty());
+    EXPECT_EQ(o1[i].result.series.ToJson(), o4[i].result.series.ToJson());
+  }
+  EXPECT_EQ(exec::ExperimentRunner::MergeSeries(o1).ToJson(),
+            exec::ExperimentRunner::MergeSeries(o4).ToJson());
+
+  // The full JSONL record (wall-clock zeroed) is byte-identical too.
+  const core::BenchReport report("telemetry_test");
+  const core::BenchRecord r1 = core::BenchReport::FromResult(
+      "cell", "p", "w", o1[0].result, /*elapsed_wall_s=*/0);
+  const core::BenchRecord r4 = core::BenchReport::FromResult(
+      "cell", "p", "w", o4[0].result, /*elapsed_wall_s=*/0);
+  EXPECT_EQ(report.ToJsonLine(r1), report.ToJsonLine(r4));
+}
+
+TEST(ModelTelemetryTest, BenchRecordEmbedsSeriesAndPercentiles) {
+  core::ModelConfig cfg = SmallConfig();
+  cfg.measurement_epochs = 2;
+  core::EngineeringDbModel model(cfg);
+  const core::RunResult result = model.Run();
+
+  const core::BenchReport report("telemetry_test");
+  const core::BenchRecord rec =
+      core::BenchReport::FromResult("cell", "p", "w", result, 0.0);
+  ASSERT_TRUE(rec.response_p50_s.has_value());
+  ASSERT_TRUE(rec.response_p99_s.has_value());
+  EXPECT_LE(*rec.response_p50_s, *rec.response_p99_s);
+  ASSERT_EQ(rec.response_epochs.size(), 2u);
+  EXPECT_EQ(rec.response_epochs[0].first + rec.response_epochs[1].first,
+            static_cast<uint64_t>(cfg.measured_transactions));
+
+  const std::string line = report.ToJsonLine(rec);
+  EXPECT_NE(line.find("\"response_p50_s\":"), std::string::npos);
+  EXPECT_NE(line.find("\"response_epochs\":["), std::string::npos);
+  EXPECT_NE(line.find("\"series\":["), std::string::npos);
+  EXPECT_NE(line.find("\"counter_deltas\":"), std::string::npos);
+  EXPECT_NE(line.find("\"placement\":"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace oodb

@@ -1,0 +1,439 @@
+// Field-by-field comparison of two semclust bench JSONL files
+// (SEMCLUST_BENCH_JSON output) with per-metric relative tolerances — the
+// CI regression gate that keeps metric and perf drift from accumulating
+// silently.
+//
+// Usage:
+//   bench_diff [options] <a.jsonl> <b.jsonl>
+//   bench_diff --baseline <baseline.jsonl> [options] <current.jsonl>
+//
+// Options:
+//   --rtol <x>       default relative tolerance for numeric fields
+//                    (default 0: exact, the jobs=1 vs jobs=4 gate)
+//   --tol <k=x>      tolerance override for fields whose flattened path
+//                    matches k (suffix '*' = prefix match; x may be
+//                    "ignore"). Most-specific (longest) pattern wins.
+//   --max-report <n> mismatch lines printed before eliding (default 20)
+//
+// Records are JSON objects, one per line, matched across files by
+// (bench, cell_label, occurrence). Every record is flattened to
+// path -> scalar (objects by ".", arrays by "[i]"), and paths are
+// compared pairwise. In --baseline mode, fields present only in the
+// current file are allowed (new telemetry never breaks the gate);
+// fields present only in the baseline fail. Outside --baseline mode any
+// asymmetry fails. Wall-clock fields (*wall_s*) are always ignored.
+//
+// Exit status: 0 = within tolerance, 1 = differences, 2 = usage/IO/parse
+// error.
+
+#include <cctype>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal recursive-descent JSON reader that flattens one document into
+// path -> scalar-as-text. Numbers keep their source text (so exact
+// comparison is byte exact) plus a parsed double for tolerant comparison.
+// ---------------------------------------------------------------------------
+
+enum class ValueKind { kNumber, kString, kBool, kNull };
+
+struct FlatValue {
+  ValueKind kind = ValueKind::kNull;
+  std::string text;    // source text (number) or decoded string
+  double number = 0;   // valid when kind == kNumber
+};
+
+struct Parser {
+  const std::string& s;
+  size_t at = 0;
+  bool ok = true;
+  std::string error;
+
+  explicit Parser(const std::string& str) : s(str) {}
+
+  void Fail(const std::string& why) {
+    if (ok) {
+      ok = false;
+      error = why + " at offset " + std::to_string(at);
+    }
+  }
+  void SkipWs() {
+    while (at < s.size() && std::isspace(static_cast<unsigned char>(s[at]))) {
+      ++at;
+    }
+  }
+  bool Consume(char c) {
+    SkipWs();
+    if (at < s.size() && s[at] == c) {
+      ++at;
+      return true;
+    }
+    return false;
+  }
+  std::string ParseString() {
+    SkipWs();
+    std::string out;
+    if (at >= s.size() || s[at] != '"') {
+      Fail("expected string");
+      return out;
+    }
+    ++at;
+    while (at < s.size() && s[at] != '"') {
+      char c = s[at++];
+      if (c == '\\' && at < s.size()) {
+        const char esc = s[at++];
+        switch (esc) {
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case 'r': c = '\r'; break;
+          case 'b': c = '\b'; break;
+          case 'f': c = '\f'; break;
+          case 'u':
+            // Keep \uXXXX escapes verbatim; they only need to compare
+            // equal, not decode.
+            out += "\\u";
+            continue;
+          default: c = esc; break;
+        }
+      }
+      out += c;
+    }
+    if (at >= s.size()) {
+      Fail("unterminated string");
+    } else {
+      ++at;  // closing quote
+    }
+    return out;
+  }
+
+  void ParseValue(const std::string& path,
+                  std::map<std::string, FlatValue>& out) {
+    SkipWs();
+    if (!ok || at >= s.size()) {
+      Fail("unexpected end of input");
+      return;
+    }
+    const char c = s[at];
+    if (c == '{') {
+      ++at;
+      if (Consume('}')) return;
+      do {
+        const std::string key = ParseString();
+        if (!ok) return;
+        if (!Consume(':')) {
+          Fail("expected ':'");
+          return;
+        }
+        ParseValue(path.empty() ? key : path + "." + key, out);
+        if (!ok) return;
+      } while (Consume(','));
+      if (!Consume('}')) Fail("expected '}'");
+      return;
+    }
+    if (c == '[') {
+      ++at;
+      if (Consume(']')) return;
+      size_t index = 0;
+      do {
+        ParseValue(path + "[" + std::to_string(index++) + "]", out);
+        if (!ok) return;
+      } while (Consume(','));
+      if (!Consume(']')) Fail("expected ']'");
+      return;
+    }
+    if (c == '"') {
+      FlatValue v;
+      v.kind = ValueKind::kString;
+      v.text = ParseString();
+      out[path] = std::move(v);
+      return;
+    }
+    if (std::strncmp(s.c_str() + at, "true", 4) == 0) {
+      at += 4;
+      out[path] = FlatValue{ValueKind::kBool, "true", 1};
+      return;
+    }
+    if (std::strncmp(s.c_str() + at, "false", 5) == 0) {
+      at += 5;
+      out[path] = FlatValue{ValueKind::kBool, "false", 0};
+      return;
+    }
+    if (std::strncmp(s.c_str() + at, "null", 4) == 0) {
+      at += 4;
+      out[path] = FlatValue{ValueKind::kNull, "null", 0};
+      return;
+    }
+    // Number.
+    const size_t begin = at;
+    while (at < s.size() &&
+           (std::isdigit(static_cast<unsigned char>(s[at])) || s[at] == '-' ||
+            s[at] == '+' || s[at] == '.' || s[at] == 'e' || s[at] == 'E')) {
+      ++at;
+    }
+    if (at == begin) {
+      Fail("unexpected character");
+      return;
+    }
+    FlatValue v;
+    v.kind = ValueKind::kNumber;
+    v.text = s.substr(begin, at - begin);
+    v.number = std::strtod(v.text.c_str(), nullptr);
+    out[path] = std::move(v);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Tolerance rules
+// ---------------------------------------------------------------------------
+
+constexpr double kIgnore = -1;  // sentinel: skip the field entirely
+
+struct ToleranceRule {
+  std::string pattern;  // trailing '*' = prefix match
+  double rtol = 0;      // kIgnore skips
+};
+
+struct Tolerances {
+  double default_rtol = 0;
+  std::vector<ToleranceRule> rules;
+
+  /// Most-specific (longest-pattern) matching rule, or default_rtol.
+  double For(const std::string& path) const {
+    size_t best_len = 0;
+    double best = default_rtol;
+    bool matched = false;
+    for (const ToleranceRule& r : rules) {
+      bool hit;
+      if (!r.pattern.empty() && r.pattern.back() == '*') {
+        hit = path.compare(0, r.pattern.size() - 1, r.pattern, 0,
+                           r.pattern.size() - 1) == 0;
+      } else {
+        hit = path == r.pattern;
+      }
+      if (hit && (!matched || r.pattern.size() >= best_len)) {
+        matched = true;
+        best_len = r.pattern.size();
+        best = r.rtol;
+      }
+    }
+    return best;
+  }
+};
+
+bool NumbersMatch(double a, double b, double rtol) {
+  if (a == b) return true;  // covers both zero and identical values
+  if (std::isnan(a) && std::isnan(b)) return true;
+  const double mag = std::fmax(std::fabs(a), std::fabs(b));
+  return std::fabs(a - b) <= rtol * mag;
+}
+
+// ---------------------------------------------------------------------------
+// Record loading
+// ---------------------------------------------------------------------------
+
+struct Record {
+  std::string key;  // bench/cell_label#occurrence
+  std::map<std::string, FlatValue> fields;
+};
+
+bool LoadRecords(const char* path, std::vector<Record>& out) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "bench_diff: cannot open %s\n", path);
+    return false;
+  }
+  std::map<std::string, int> occurrences;
+  std::string line;
+  size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    Parser p(line);
+    Record r;
+    p.ParseValue("", r.fields);
+    p.SkipWs();
+    if (!p.ok || p.at != line.size()) {
+      std::fprintf(stderr, "bench_diff: %s:%zu: %s\n", path, lineno,
+                   p.ok ? "trailing garbage" : p.error.c_str());
+      return false;
+    }
+    const auto bench = r.fields.find("bench");
+    const auto cell = r.fields.find("cell_label");
+    std::string id =
+        (bench != r.fields.end() ? bench->second.text : "?") + "/" +
+        (cell != r.fields.end() ? cell->second.text : "?");
+    const int n = occurrences[id]++;
+    if (n > 0) id += "#" + std::to_string(n);
+    r.key = std::move(id);
+    out.push_back(std::move(r));
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Comparison
+// ---------------------------------------------------------------------------
+
+struct Reporter {
+  uint64_t mismatches = 0;
+  uint64_t reported = 0;
+  uint64_t limit = 20;
+
+  void Report(const std::string& cell, const std::string& path,
+              const std::string& a, const std::string& b) {
+    ++mismatches;
+    if (reported < limit) {
+      std::fprintf(stderr, "  %s: %s: %s != %s\n", cell.c_str(),
+                   path.c_str(), a.c_str(), b.c_str());
+      ++reported;
+    } else if (reported == limit) {
+      std::fprintf(stderr, "  ... further mismatches elided\n");
+      ++reported;
+    }
+  }
+};
+
+void CompareRecords(const Record& a, const Record& b, const Tolerances& tol,
+                    bool baseline_mode, Reporter& report) {
+  for (const auto& [path, va] : a.fields) {
+    const double rtol = tol.For(path);
+    if (rtol == kIgnore) continue;
+    const auto it = b.fields.find(path);
+    if (it == b.fields.end()) {
+      report.Report(a.key, path, va.text, "<missing>");
+      continue;
+    }
+    const FlatValue& vb = it->second;
+    if (va.kind != vb.kind) {
+      report.Report(a.key, path, va.text, vb.text);
+      continue;
+    }
+    const bool match = va.kind == ValueKind::kNumber
+                           ? NumbersMatch(va.number, vb.number, rtol)
+                           : va.text == vb.text;
+    if (!match) report.Report(a.key, path, va.text, vb.text);
+  }
+  if (baseline_mode) return;  // extra fields in `b` are allowed there
+  for (const auto& [path, vb] : b.fields) {
+    if (tol.For(path) == kIgnore) continue;
+    if (a.fields.find(path) == a.fields.end()) {
+      report.Report(b.key, path, "<missing>", vb.text);
+    }
+  }
+}
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [options] <a.jsonl> <b.jsonl>\n"
+               "       %s --baseline <baseline.jsonl> [options] "
+               "<current.jsonl>\n"
+               "  --rtol <x>        default relative tolerance (default 0)\n"
+               "  --tol <key=x>     per-field tolerance ('*' suffix = "
+               "prefix; x may be 'ignore')\n"
+               "  --max-report <n>  mismatch lines printed (default 20)\n",
+               argv0, argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Tolerances tol;
+  // Host wall-clock is the one field that legitimately differs run to run.
+  tol.rules.push_back({"elapsed_wall_s", kIgnore});
+  tol.rules.push_back({"wall_s", kIgnore});
+
+  const char* baseline_path = nullptr;
+  Reporter report;
+  std::vector<const char*> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return ++i < argc ? argv[i] : nullptr;
+    };
+    if (arg == "--baseline") {
+      if ((baseline_path = next()) == nullptr) return Usage(argv[0]);
+    } else if (arg == "--rtol") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      tol.default_rtol = std::strtod(v, nullptr);
+    } else if (arg == "--tol") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      const char* eq = std::strchr(v, '=');
+      if (eq == nullptr) return Usage(argv[0]);
+      ToleranceRule rule;
+      rule.pattern.assign(v, eq);
+      rule.rtol = std::strcmp(eq + 1, "ignore") == 0
+                      ? kIgnore
+                      : std::strtod(eq + 1, nullptr);
+      tol.rules.push_back(std::move(rule));
+    } else if (arg == "--max-report") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      report.limit = std::strtoull(v, nullptr, 10);
+    } else if (arg.rfind("--", 0) == 0) {
+      return Usage(argv[0]);
+    } else {
+      files.push_back(argv[i]);
+    }
+  }
+
+  const bool baseline_mode = baseline_path != nullptr;
+  const char* a_path;
+  const char* b_path;
+  if (baseline_mode) {
+    if (files.size() != 1) return Usage(argv[0]);
+    a_path = baseline_path;  // baseline drives the field set
+    b_path = files[0];
+  } else {
+    if (files.size() != 2) return Usage(argv[0]);
+    a_path = files[0];
+    b_path = files[1];
+  }
+
+  std::vector<Record> a, b;
+  if (!LoadRecords(a_path, a) || !LoadRecords(b_path, b)) return 2;
+
+  std::map<std::string, const Record*> b_by_key;
+  for (const Record& r : b) b_by_key[r.key] = &r;
+  std::map<std::string, const Record*> a_by_key;
+  for (const Record& r : a) a_by_key[r.key] = &r;
+
+  for (const Record& ra : a) {
+    const auto it = b_by_key.find(ra.key);
+    if (it == b_by_key.end()) {
+      report.Report(ra.key, "<record>", "present", "<missing>");
+      continue;
+    }
+    CompareRecords(ra, *it->second, tol, baseline_mode, report);
+  }
+  for (const Record& rb : b) {
+    if (a_by_key.find(rb.key) == a_by_key.end()) {
+      // A brand-new cell is a grid change either way: the baseline no
+      // longer describes the bench.
+      report.Report(rb.key, "<record>", "<missing>", "present");
+    }
+  }
+
+  if (report.mismatches > 0) {
+    std::fprintf(stderr,
+                 "bench_diff: %llu mismatching field(s) between %s and %s "
+                 "(rtol=%g)\n",
+                 static_cast<unsigned long long>(report.mismatches), a_path,
+                 b_path, tol.default_rtol);
+    return 1;
+  }
+  std::printf("bench_diff: %zu record(s) match within tolerance\n", a.size());
+  return 0;
+}

@@ -1,11 +1,18 @@
 // Per-subsystem rollups of a semclust Chrome trace file.
 //
-// Usage: trace_summary <trace.json>
+// Usage: trace_summary [--csv] <trace.json>
 //
 // The exporter (src/obs/trace_sink.cc) writes one JSON object per line, so
 // this tool line-scans with string searches instead of a JSON parser: for
 // each instant event it reads the pid (cell), cat (subsystem), and name,
 // and for metadata records it picks up cell labels and ring-drop counts.
+//
+// Beyond the per-subsystem event counts, the summary reports each
+// subsystem's simulated-time span (first..last event) and an event-rate
+// profile: the cell's span split into ten equal simulated-time windows
+// with events/s per window, which makes warmup ramps and recluster storms
+// visible without opening the trace in a viewer. `--csv` emits the same
+// profile as cell,label,subsystem,window rows for plotting.
 
 #include <cstdint>
 #include <cstdio>
@@ -14,8 +21,12 @@
 #include <fstream>
 #include <map>
 #include <string>
+#include <vector>
 
 namespace {
+
+/// Number of equal simulated-time windows in the rate profile.
+constexpr int kRateWindows = 10;
 
 /// Value of `"key":...` in `line` as raw text (up to `,` or `}`), or empty.
 std::string RawValue(const std::string& line, const char* key) {
@@ -46,7 +57,12 @@ double DoubleValue(const std::string& line, const char* key) {
 
 struct SubsystemRollup {
   uint64_t events = 0;
+  double first_ts_us = 0;
+  double last_ts_us = 0;
   std::map<std::string, uint64_t> by_name;
+  /// Event timestamps, retained for the windowed rate profile. Bounded by
+  /// the exporter's ring capacity, so keeping them is cheap.
+  std::vector<double> ts_us;
 };
 
 struct CellRollup {
@@ -58,16 +74,44 @@ struct CellRollup {
   std::map<std::string, SubsystemRollup> subsystems;
 };
 
+/// Events of `sub` bucketed into kRateWindows equal windows over the
+/// cell's [first_us, last_us] span.
+std::vector<uint64_t> WindowCounts(const SubsystemRollup& sub,
+                                   double first_us, double last_us) {
+  std::vector<uint64_t> counts(kRateWindows, 0);
+  const double span = last_us - first_us;
+  for (double ts : sub.ts_us) {
+    int w = span <= 0 ? 0
+                      : static_cast<int>((ts - first_us) / span * kRateWindows);
+    if (w < 0) w = 0;
+    if (w >= kRateWindows) w = kRateWindows - 1;
+    ++counts[static_cast<size_t>(w)];
+  }
+  return counts;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc != 2) {
-    std::fprintf(stderr, "usage: %s <trace.json>\n", argv[0]);
+  bool csv = false;
+  const char* path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--csv") == 0) {
+      csv = true;
+    } else if (path == nullptr) {
+      path = argv[i];
+    } else {
+      path = nullptr;
+      break;
+    }
+  }
+  if (path == nullptr) {
+    std::fprintf(stderr, "usage: %s [--csv] <trace.json>\n", argv[0]);
     return 2;
   }
-  std::ifstream in(argv[1]);
+  std::ifstream in(path);
   if (!in) {
-    std::fprintf(stderr, "trace_summary: cannot open %s\n", argv[1]);
+    std::fprintf(stderr, "trace_summary: cannot open %s\n", path);
     return 1;
   }
 
@@ -99,12 +143,42 @@ int main(int argc, char** argv) {
     ++cell.events;
     ++parsed;
     SubsystemRollup& sub = cell.subsystems[RawValue(line, "cat")];
+    if (sub.events == 0 || ts < sub.first_ts_us) sub.first_ts_us = ts;
+    if (ts > sub.last_ts_us) sub.last_ts_us = ts;
     ++sub.events;
     ++sub.by_name[RawValue(line, "name")];
+    sub.ts_us.push_back(ts);
   }
 
   if (cells.empty()) {
-    std::printf("no trace events in %s\n", argv[1]);
+    std::printf("no trace events in %s\n", path);
+    return 0;
+  }
+
+  if (csv) {
+    std::printf(
+        "cell,label,subsystem,window,window_start_s,window_end_s,events,"
+        "events_per_s\n");
+    for (const auto& [pid, cell] : cells) {
+      const double span_us = cell.last_ts_us - cell.first_ts_us;
+      const double window_s = span_us / kRateWindows / 1e6;
+      for (const auto& [subsystem, sub] : cell.subsystems) {
+        const auto counts = WindowCounts(sub, cell.first_ts_us,
+                                         cell.last_ts_us);
+        for (int w = 0; w < kRateWindows; ++w) {
+          const double start_s = cell.first_ts_us / 1e6 + w * window_s;
+          const double rate = window_s > 0
+                                  ? counts[static_cast<size_t>(w)] / window_s
+                                  : 0;
+          std::printf("%lld,%s,%s,%d,%.6f,%.6f,%llu,%.3f\n", pid,
+                      cell.label.c_str(), subsystem.c_str(), w, start_s,
+                      start_s + window_s,
+                      static_cast<unsigned long long>(
+                          counts[static_cast<size_t>(w)]),
+                      rate);
+        }
+      }
+    }
     return 0;
   }
 
@@ -122,14 +196,25 @@ int main(int argc, char** argv) {
     }
     std::printf(", sim time %.3f..%.3f s\n", cell.first_ts_us / 1e6,
                 cell.last_ts_us / 1e6);
+    const double span_us = cell.last_ts_us - cell.first_ts_us;
+    const double window_s = span_us / kRateWindows / 1e6;
     for (const auto& [subsystem, sub] : cell.subsystems) {
-      std::printf("  %-8s %8llu events:", subsystem.c_str(),
-                  static_cast<unsigned long long>(sub.events));
+      std::printf("  %-8s %8llu events, span %.3f..%.3f s:",
+                  subsystem.c_str(),
+                  static_cast<unsigned long long>(sub.events),
+                  sub.first_ts_us / 1e6, sub.last_ts_us / 1e6);
       for (const auto& [name, count] : sub.by_name) {
         std::printf(" %s=%llu", name.c_str(),
                     static_cast<unsigned long long>(count));
       }
       std::printf("\n");
+      if (window_s > 0) {
+        const auto counts = WindowCounts(sub, cell.first_ts_us,
+                                         cell.last_ts_us);
+        std::printf("           rate/s over %d windows:", kRateWindows);
+        for (uint64_t c : counts) std::printf(" %.0f", c / window_s);
+        std::printf("\n");
+      }
     }
     total_events += cell.events;
     total_dropped += cell.dropped;
