@@ -61,4 +61,20 @@ if "${BUILD}/tools/bench_diff" --baseline "${BASELINE}" --rtol 0.2 \
   echo "FAIL: bench_diff did not flag a 10x response-time perturbation" >&2
   exit 1
 fi
-echo "ci: ok (tests passed, jobs=1 == jobs=4, baseline within tolerance)"
+
+# Scenario-driven smoke run: the committed declarative scenario must be
+# deterministic across job counts (exact diff, tolerance 0) and must
+# reproduce the hand-written C++ bench byte-for-byte on this toolchain —
+# the declarative path and the compiled path are the same experiment.
+RUN="${BUILD}/tools/semclust_run"
+SCENARIO="${ROOT}/bench/scenarios/fig5_1_fast.scenario.json"
+S1="${BUILD}/scenario_jobs1.json"
+S4="${BUILD}/scenario_jobs4.json"
+rm -f "${S1}" "${S4}"
+"${RUN}" --jobs 1 --json "${S1}" "${SCENARIO}" > "${BUILD}/scenario_jobs1.out"
+"${RUN}" --jobs 4 --json "${S4}" "${SCENARIO}" > "${BUILD}/scenario_jobs4.out"
+"${BUILD}/tools/bench_diff" "${S1}" "${S4}"
+"${BUILD}/tools/bench_diff" "${J1}" "${S1}"
+"${BUILD}/tools/bench_diff" --baseline "${BASELINE}" --rtol 0.2 "${S1}"
+
+echo "ci: ok (tests passed, jobs=1 == jobs=4, scenario == bench, baseline within tolerance)"

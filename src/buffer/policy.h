@@ -20,6 +20,13 @@ enum class ReplacementPolicy : uint8_t {
 
 const char* ReplacementPolicyName(ReplacementPolicy p);
 
+/// Every replacement level, in enum order. The policy registry and sweep
+/// helpers iterate this list, so a new level added here (with its Name
+/// case) becomes resolvable by name everywhere at once.
+inline constexpr ReplacementPolicy kAllReplacementPolicies[] = {
+    ReplacementPolicy::kLru, ReplacementPolicy::kContextSensitive,
+    ReplacementPolicy::kRandom};
+
 /// Prefetch policy (Table 4.1, parameter M).
 enum class PrefetchPolicy : uint8_t {
   kNone = 0,
@@ -28,6 +35,11 @@ enum class PrefetchPolicy : uint8_t {
 };
 
 const char* PrefetchPolicyName(PrefetchPolicy p);
+
+/// Every prefetch level, in enum order (see kAllReplacementPolicies).
+inline constexpr PrefetchPolicy kAllPrefetchPolicies[] = {
+    PrefetchPolicy::kNone, PrefetchPolicy::kWithinBuffer,
+    PrefetchPolicy::kWithinDb};
 
 /// An application's declared primary access pattern, e.g. "my primary
 /// access is via configuration relationships". Inactive means the buffer

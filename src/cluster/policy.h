@@ -24,6 +24,13 @@ enum class CandidatePool : uint8_t {
 
 const char* CandidatePoolName(CandidatePool p);
 
+/// Every candidate-pool level, in enum order. The policy registry
+/// iterates this list, so extending the axis here (with its Name case)
+/// makes the new level resolvable by name everywhere at once.
+inline constexpr CandidatePool kAllCandidatePools[] = {
+    CandidatePool::kNoClustering, CandidatePool::kWithinBuffer,
+    CandidatePool::kIoLimit, CandidatePool::kWithinDb};
+
 /// Page-splitting policy on candidate-page overflow (parameter I).
 enum class SplitPolicy : uint8_t {
   kNoSplit = 0,     ///< take the next-best candidate page instead
@@ -32,6 +39,11 @@ enum class SplitPolicy : uint8_t {
 };
 
 const char* SplitPolicyName(SplitPolicy p);
+
+/// Every split level, in enum order (see kAllCandidatePools).
+inline constexpr SplitPolicy kAllSplitPolicies[] = {
+    SplitPolicy::kNoSplit, SplitPolicy::kLinearGreedy,
+    SplitPolicy::kExhaustive};
 
 /// Full clustering configuration.
 struct ClusterConfig {

@@ -1,739 +1,16 @@
 #include "core/engineering_db.h"
 
-#include <algorithm>
-#include <unordered_set>
-
-#include "cluster/static_clusterer.h"
-#include "workload/db_builder.h"
+#include <utility>
 
 namespace oodb::core {
 
-namespace {
-/// How strongly a structural-neighbour boost lifts a page above plain
-/// recency, in units of accesses, scaled by the relationship's affinity
-/// weight (which is <= ~1).
-constexpr double kContextBoostScale = 8.0;
-/// Boost applied to prefetched / prefetch-group pages.
-constexpr double kPrefetchBoost = 6.0;
-/// Probability that reading an object with by-reference inherited
-/// attributes dereferences its inheritance source.
-constexpr double kInheritanceDerefProbability = 0.5;
-}  // namespace
-
-ModelConfig PaperScaleConfig() {
-  ModelConfig cfg;
-  cfg.database_bytes = 500ull << 20;
-  cfg.buffer_pages = 1000;
-  cfg.database.target_bytes = cfg.database_bytes;
-  return cfg;
-}
-
-ModelConfig ScaledConfig() {
-  ModelConfig cfg;
-  cfg.database.target_bytes = cfg.database_bytes;
-  cfg.buffer_pages = cfg.BufferMedium();
-  return cfg;
-}
-
-ModelConfig TestConfig() {
-  ModelConfig cfg;
-  cfg.database_bytes = 2ull << 20;
-  cfg.database.target_bytes = cfg.database_bytes;
-  cfg.buffer_pages = 64;
-  cfg.warmup_transactions = 50;
-  cfg.measured_transactions = 300;
-  return cfg;
-}
-
 EngineeringDbModel::EngineeringDbModel(ModelConfig config)
-    : config_(std::move(config)),
-      trace_(&sim_, obs::TraceCollector::PathFromEnv() != nullptr
-                        ? obs::TraceCollector::RingCapacityFromEnv()
-                        : 0),
-      sampler_(&metrics_, config_.telemetry_interval_s),
-      rng_(config_.seed) {
-  types_ = workload::RegisterCadTypes(lattice_);
-  graph_ = std::make_unique<obj::ObjectGraph>(&lattice_);
-  storage_ = std::make_unique<store::StorageManager>(
-      config_.page_size_bytes, config_.append_fill_fraction);
-  buffer_ = std::make_unique<buffer::BufferPool>(
-      config_.buffer_pages, config_.replacement, config_.seed ^ 0xB0FFEB0FF);
-  affinity_ = std::make_unique<cluster::AffinityModel>(&lattice_);
-  cluster_ = std::make_unique<cluster::ClusterManager>(
-      graph_.get(), storage_.get(), affinity_.get(), buffer_.get(),
-      config_.clustering);
-  io_ = std::make_unique<io::IoSubsystem>(sim_, config_.num_disks,
-                                          config_.page_size_bytes,
-                                          config_.disk);
-  log_ = std::make_unique<txlog::LogManager>(config_.log_buffer_bytes,
-                                             config_.page_size_bytes);
-  cpu_ = std::make_unique<sim::Resource>(sim_, "cpu", 1);
-
-  // Build the database through the policy under test. The build is the
-  // accretion history of the repository, not part of the measured run.
-  workload::DatabaseSpec spec = config_.database;
-  spec.target_bytes = config_.database_bytes;
-  spec.density = config_.workload.density;
-  spec.concurrent_streams = config_.num_users;
-  spec.seed = config_.seed ^ 0xDBDBDB;
-  workload::DbBuilder builder(graph_.get(), cluster_.get(), buffer_.get(),
-                              spec);
-  db_ = builder.Build(types_);
-  OODB_CHECK(!db_.modules.empty());
-
-  if (config_.static_reorganize_after_build) {
-    // The DBA's offline alternative: quiesce and repack the whole
-    // database by affinity (paper §2.1's static clustering).
-    cluster::StaticClusterer reorganizer(graph_.get(), storage_.get(),
-                                         affinity_.get());
-    reorganizer.Reorganize();
-  }
-  response_epochs_.resize(
-      static_cast<size_t>(std::max(1, config_.measurement_epochs)));
-
-  // Observability is attached only now: the build phase above is the
-  // repository's accretion history, not part of the run, and its page
-  // traffic would otherwise flood the trace ring before the first
-  // transaction. The sink is disabled (capacity 0) unless SEMCLUST_TRACE
-  // is set, so these calls cost two compares per event when tracing is off.
-  buffer_->set_trace(&trace_);
-  io_->set_trace(&trace_);
-  log_->set_trace(&trace_);
-  cluster_->set_trace(&trace_);
-
-  // Telemetry rides the same after-the-build attachment rule: the sampler
-  // starts at the warmup/measured boundary, and each sample re-syncs the
-  // mirrored component counters so deltas cover the whole system.
-  auditor_ = std::make_unique<obs::PlacementAuditor>(graph_.get(),
-                                                     storage_.get());
-  if (config_.telemetry_audit_placement) {
-    sampler_.set_placement_auditor(auditor_.get());
-  }
-  sampler_.set_pre_sample_hook([this] { SyncComponentMetrics(); });
-
-  m_txns_ = metrics_.Counter("core.txns");
-  m_prefetch_issued_ = metrics_.Counter("core.prefetch.issued");
-  m_prefetch_hits_ = metrics_.Counter("core.prefetch.hits");
-  m_prefetch_wasted_ = metrics_.Counter("core.prefetch.wasted");
-  m_response_s_ = metrics_.Histogram(
-      "core.response_s",
-      {0.05, 0.1, 0.2, 0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 60.0});
-
-  for (int u = 0; u < config_.num_users; ++u) {
-    generators_.push_back(std::make_unique<workload::WorkloadGenerator>(
-        graph_.get(), &db_, config_.workload,
-        config_.seed * 7919 + static_cast<uint64_t>(u)));
-  }
-}
+    : ctx_(std::move(config)),
+      pipeline_(ctx_),
+      measurement_(ctx_, pipeline_) {}
 
 EngineeringDbModel::~EngineeringDbModel() = default;
 
-sim::Task EngineeringDbModel::ChargeCpu(double instructions) {
-  co_await cpu_->Use(instructions / (config_.cpu_mips * 1e6));
-}
-
-sim::Task EngineeringDbModel::ChargeLogFlushes(int flushes) {
-  for (int i = 0; i < flushes; ++i) {
-    co_await io_->FlushLog();
-    co_await ChargeCpu(config_.physical_io_instructions);
-  }
-}
-
-void EngineeringDbModel::NotePrefetchEviction(
-    const buffer::BufferPool::FixResult& fix) {
-  if (fix.evicted_page == store::kInvalidPage) return;
-  if (prefetched_unused_.erase(fix.evicted_page) == 0) return;
-  metrics_.Add(m_prefetch_wasted_);
-  trace_.Record(obs::Subsystem::kBuffer,
-                obs::TraceEventType::kPrefetchWaste, fix.evicted_page);
-}
-
-void EngineeringDbModel::NotePrefetchDemand(store::PageId page) {
-  if (prefetched_unused_.erase(page) == 0) return;
-  metrics_.Add(m_prefetch_hits_);
-  trace_.Record(obs::Subsystem::kBuffer, obs::TraceEventType::kPrefetchHit,
-                page);
-}
-
-sim::Task EngineeringDbModel::FetchPage(store::PageId page, bool pin) {
-  OODB_CHECK_NE(page, store::kInvalidPage);
-  NotePrefetchDemand(page);
-  if (inflight_.find(page) != inflight_.end()) {
-    // A prefetch for this page is on the disk: join it rather than issuing
-    // a duplicate read.
-    co_await PrefetchJoin(*this, page);
-  }
-  const auto fix = buffer_->Fix(page);
-  NotePrefetchEviction(fix);
-  // Pin before any suspension: concurrent processes may otherwise evict
-  // the frame while this one waits on the disk.
-  if (pin) buffer_->Pin(page);
-  if (fix.hit) co_return;
-  co_await ChargeCpu(config_.physical_io_instructions);
-  if (fix.evicted_dirty) {
-    // Worst case (paper §4.1): flush the dirty page before the read.
-    co_await io_->Write(fix.evicted_page, io::IoCategory::kDirtyFlush);
-    co_await ChargeCpu(config_.physical_io_instructions);
-  }
-  co_await io_->Read(page, io::IoCategory::kDataRead);
-}
-
-void EngineeringDbModel::StartPrefetch(store::PageId page) {
-  if (inflight_.find(page) != inflight_.end()) return;
-  inflight_.emplace(page, std::vector<std::coroutine_handle<>>{});
-  prefetched_unused_.insert(page);
-  metrics_.Add(m_prefetch_issued_);
-  trace_.Record(obs::Subsystem::kBuffer,
-                obs::TraceEventType::kPrefetchIssue, page);
-  io_->ReadAsync(page, io::IoCategory::kPrefetchRead,
-                 [this, page] { OnPrefetchComplete(page); });
-}
-
-void EngineeringDbModel::OnPrefetchComplete(store::PageId page) {
-  const auto fix = buffer_->Fix(page);
-  NotePrefetchEviction(fix);
-  if (!fix.hit && fix.evicted_dirty) {
-    io_->WriteAsync(fix.evicted_page, io::IoCategory::kDirtyFlush);
-  }
-  buffer_->Boost(page, kPrefetchBoost);
-  auto it = inflight_.find(page);
-  OODB_CHECK(it != inflight_.end());
-  std::vector<std::coroutine_handle<>> waiters = std::move(it->second);
-  inflight_.erase(it);
-  for (auto h : waiters) h.resume();
-}
-
-void EngineeringDbModel::PostAccess(obj::ObjectId id) {
-  // Context-sensitive replacement: pages holding this object's structural
-  // relatives gain priority (paper §2.2).
-  if (config_.replacement == buffer::ReplacementPolicy::kContextSensitive) {
-    const obj::TypeId type = graph_->object(id).type;
-    for (const obj::Edge& e : graph_->object(id).edges) {
-      const store::PageId p = storage_->PageOf(e.target);
-      if (p == store::kInvalidPage) continue;
-      const double w = affinity_->Weight(type, e.kind);
-      buffer_->Boost(p, 1.0 + kContextBoostScale * w);
-    }
-  }
-
-  // Prefetching (paper §2.2): the group follows the user hint or the
-  // type's dominant traversal kind.
-  if (config_.prefetch == buffer::PrefetchPolicy::kNone) return;
-  const buffer::AccessHint hint =
-      config_.clustering.use_hints
-          ? buffer::AccessHint::For(config_.clustering.hint_kind)
-          : buffer::AccessHint::None();
-  const auto group = buffer::ComputePrefetchGroup(
-      *graph_, *storage_, id, hint, /*config_depth=*/2, /*max_pages=*/8,
-      &trace_);
-  for (store::PageId p : group.pages) {
-    if (buffer_->Contains(p)) {
-      buffer_->Boost(p, kPrefetchBoost);
-    } else if (config_.prefetch == buffer::PrefetchPolicy::kWithinDb) {
-      StartPrefetch(p);
-    }
-  }
-}
-
-sim::Task EngineeringDbModel::AccessObject(obj::ObjectId id,
-                                           obj::TypeId from_type,
-                                           int nav_kind) {
-  ++logical_reads_;
-  co_await ChargeCpu(config_.logical_op_instructions);
-  if (nav_kind >= 0) {
-    affinity_->RecordTraversal(from_type,
-                               static_cast<obj::RelKind>(nav_kind));
-  }
-  const store::PageId page = storage_->PageOf(id);
-  if (page != store::kInvalidPage) {
-    co_await FetchPage(page);
-  }
-  PostAccess(id);
-
-  // Dereference by-reference inherited attributes with some probability:
-  // the heir's data partially lives with its inheritance source.
-  if (rng_.Bernoulli(kInheritanceDerefProbability)) {
-    for (const obj::Edge& e : graph_->object(id).edges) {
-      if (e.kind == obj::RelKind::kInstanceInheritance &&
-          e.dir == obj::Direction::kUp && graph_->IsLive(e.target)) {
-        ++logical_reads_;
-        affinity_->RecordTraversal(graph_->object(id).type,
-                                   obj::RelKind::kInstanceInheritance);
-        const store::PageId sp = storage_->PageOf(e.target);
-        if (sp != store::kInvalidPage) co_await FetchPage(sp);
-        break;  // one dereference is representative
-      }
-    }
-  }
-}
-
-sim::Task EngineeringDbModel::ReadQuery(
-    const workload::TransactionSpec& spec) {
-  const obj::ObjectId target = spec.target;
-  if (!graph_->IsLive(target)) co_return;
-  const obj::TypeId ttype = graph_->object(target).type;
-  co_await AccessObject(target, ttype, -1);
-
-  switch (spec.type) {
-    case workload::QueryType::kSimpleLookup:
-      break;
-    case workload::QueryType::kComponentRetrieval: {
-      for (obj::ObjectId c : graph_->Components(target)) {
-        if (graph_->IsLive(c)) {
-          co_await AccessObject(
-              c, ttype, static_cast<int>(obj::RelKind::kConfiguration));
-        }
-      }
-      break;
-    }
-    case workload::QueryType::kCompositeRetrieval: {
-      // Deep retrieval: materialise the whole configuration subtree.
-      // Attachments are unvalidated (as in OCT), so the configuration
-      // graph may contain cycles: guard with a visited set and a bound.
-      constexpr size_t kMaxRetrieval = 512;
-      std::vector<obj::ObjectId> stack = graph_->Components(target);
-      std::unordered_set<obj::ObjectId> visited{target};
-      while (!stack.empty() && visited.size() < kMaxRetrieval) {
-        const obj::ObjectId o = stack.back();
-        stack.pop_back();
-        if (!graph_->IsLive(o) || !visited.insert(o).second) continue;
-        co_await AccessObject(
-            o, ttype, static_cast<int>(obj::RelKind::kConfiguration));
-        for (obj::ObjectId c : graph_->Components(o)) stack.push_back(c);
-      }
-      break;
-    }
-    case workload::QueryType::kDescendantVersions: {
-      for (obj::ObjectId d : graph_->Descendants(target)) {
-        if (graph_->IsLive(d)) {
-          co_await AccessObject(
-              d, ttype, static_cast<int>(obj::RelKind::kVersionHistory));
-        }
-      }
-      break;
-    }
-    case workload::QueryType::kAncestorVersions: {
-      for (obj::ObjectId a : graph_->Ancestors(target)) {
-        if (graph_->IsLive(a)) {
-          co_await AccessObject(
-              a, ttype, static_cast<int>(obj::RelKind::kVersionHistory));
-        }
-      }
-      break;
-    }
-    case workload::QueryType::kCorresponding: {
-      for (obj::ObjectId c : graph_->Correspondents(target)) {
-        if (graph_->IsLive(c)) {
-          co_await AccessObject(
-              c, ttype, static_cast<int>(obj::RelKind::kCorrespondence));
-        }
-      }
-      break;
-    }
-    case workload::QueryType::kObjectWrite:
-      OODB_CHECK(false);  // handled by WriteQuery
-      break;
-  }
-}
-
-sim::Task EngineeringDbModel::LogAndDirty(txlog::TxnId txn,
-                                          store::PageId page,
-                                          uint32_t object_size) {
-  ++logical_writes_;
-  co_await ChargeCpu(config_.logical_op_instructions);
-  // The object may have been deleted by a concurrent transaction between
-  // target selection and this write; the write then degenerates to a log
-  // record with no page touch.
-  if (page == store::kInvalidPage) {
-    co_await ChargeLogFlushes(log_->LogWrite(txn, page, object_size));
-    co_return;
-  }
-  co_await FetchPage(page, /*pin=*/true);  // read-modify-write
-  buffer_->MarkDirty(page);
-  buffer_->Unpin(page);
-  co_await ChargeLogFlushes(log_->LogWrite(txn, page, object_size));
-}
-
-sim::Task EngineeringDbModel::WriteObject(txlog::TxnId txn,
-                                          obj::ObjectId id) {
-  // Object-level write that tolerates concurrent deletion: resolves the
-  // page and size only if the object is still live and placed.
-  if (graph_->IsLive(id) && storage_->IsPlaced(id)) {
-    co_await LogAndDirty(txn, storage_->PageOf(id), storage_->SizeOf(id));
-  } else {
-    ++logical_writes_;
-    co_await ChargeCpu(config_.logical_op_instructions);
-    co_await ChargeLogFlushes(log_->LogWrite(txn, store::kInvalidPage, 64));
-  }
-}
-
-sim::Task EngineeringDbModel::ChargeExamReads(
-    const cluster::PlacementReport& report) {
-  // Candidate pages examined on disk: demand reads charged to the writer,
-  // and the pages enter the buffer pool (they were just read).
-  for (store::PageId p : report.exam_reads) {
-    const auto fix = buffer_->Fix(p);
-    NotePrefetchEviction(fix);
-    if (!fix.hit) {
-      if (fix.evicted_dirty) {
-        co_await io_->Write(fix.evicted_page, io::IoCategory::kDirtyFlush);
-      }
-      co_await io_->Read(p, io::IoCategory::kClusterRead);
-      co_await ChargeCpu(config_.physical_io_instructions);
-    }
-  }
-}
-
-sim::Task EngineeringDbModel::ChargeSplit(
-    txlog::TxnId txn, const cluster::PlacementReport& report) {
-  co_await ChargeCpu(
-      config_.clustering.split == cluster::SplitPolicy::kExhaustive
-          ? config_.split_exhaustive_instructions
-          : config_.split_linear_instructions);
-  // The newly allocated page is flushed and the change logged
-  // (paper §5.1.2: one extra I/O plus one extra log record).
-  NotePrefetchEviction(buffer_->Fix(report.split_new_page));
-  buffer_->MarkDirty(report.split_new_page);
-  co_await io_->Write(report.split_new_page, io::IoCategory::kDataWrite);
-  co_await ChargeLogFlushes(log_->LogWrite(
-      txn, report.split_new_page, config_.page_size_bytes / 4));
-}
-
-sim::Task EngineeringDbModel::ChargePlacement(
-    txlog::TxnId txn, const cluster::PlacementReport& report,
-    obj::ObjectId placed) {
-  co_await ChargeExamReads(report);
-  if (report.split) co_await ChargeSplit(txn, report);
-  // The write of the placed object itself.
-  co_await LogAndDirty(txn, report.page, storage_->SizeOf(placed));
-}
-
-sim::Task EngineeringDbModel::ReclusterAfterStructureChange(
-    txlog::TxnId txn, obj::ObjectId id) {
-  if (config_.clustering.pool == cluster::CandidatePool::kNoClustering) {
-    co_return;
-  }
-  if (!graph_->IsLive(id) || !storage_->IsPlaced(id)) co_return;
-  co_await ChargeCpu(config_.cluster_decision_instructions);
-  const auto report = cluster_->Recluster(id);
-  co_await ChargeExamReads(report);
-  if (report.split) co_await ChargeSplit(txn, report);
-  if (report.relocated) {
-    // Moving the object modifies both its old and its new page.
-    const uint32_t size = storage_->SizeOf(id);
-    co_await LogAndDirty(txn, report.page, size);
-    if (report.old_page != store::kInvalidPage &&
-        report.old_page != report.page) {
-      co_await LogAndDirty(txn, report.old_page, size);
-    }
-  }
-}
-
-sim::Task EngineeringDbModel::WriteQuery(
-    const workload::TransactionSpec& spec, txlog::TxnId txn) {
-  workload::DesignDatabase::Module& module = db_.modules[spec.module];
-  obj::ObjectId target = spec.target;
-  if (!graph_->IsLive(target)) co_return;
-
-  switch (spec.write_kind) {
-    case workload::WriteKind::kSimpleUpdate: {
-      // A "save edit": the target plus most of its immediate components
-      // are rewritten in one transaction (the paper's checkin invokes
-      // several updates). Co-located components then share before-imaged
-      // pages — the Fig 5.5 mechanism.
-      co_await WriteObject(txn, target);
-      int updated = 0;
-      for (obj::ObjectId c : graph_->Components(target)) {
-        if (updated >= 6) break;
-        if (!rng_.Bernoulli(0.7)) continue;
-        co_await WriteObject(txn, c);
-        ++updated;
-      }
-      break;
-    }
-    case workload::WriteKind::kStructureWrite: {
-      obj::ObjectId other = spec.other;
-      if (other == obj::kInvalidObject || !graph_->IsLive(other) ||
-          other == target) {
-        // Attachment end vanished: degrade to a simple update.
-        co_await WriteObject(txn, target);
-        break;
-      }
-      const obj::RelKind kind = rng_.Bernoulli(0.6)
-                                    ? obj::RelKind::kConfiguration
-                                    : obj::RelKind::kCorrespondence;
-      graph_->Relate(target, other, kind);
-      if (kind == obj::RelKind::kCorrespondence) {
-        module.corresponding.push_back(target);
-        module.corresponding.push_back(other);
-      } else if (std::find(module.composites.begin(),
-                           module.composites.end(),
-                           target) == module.composites.end()) {
-        module.composites.push_back(target);
-      }
-      co_await WriteObject(txn, target);
-      co_await WriteObject(txn, other);
-      // Both endpoints' structures changed: run-time reclustering.
-      co_await ReclusterAfterStructureChange(txn, target);
-      co_await ReclusterAfterStructureChange(txn, other);
-      break;
-    }
-    case workload::WriteKind::kInsertObject: {
-      const obj::DesignObject& parent = graph_->object(target);
-      const uint32_t size = std::max<uint32_t>(
-          32, static_cast<uint32_t>(
-                  rng_.Exponential(config_.database.mean_object_bytes)));
-      const obj::ObjectId child = graph_->Create(
-          parent.family, parent.version, types_.leaf,
-          std::min(size, config_.page_size_bytes / 4));
-      graph_->Relate(target, child, obj::RelKind::kConfiguration);
-      const auto report = cluster_->PlaceNew(child);
-      co_await ChargePlacement(txn, report, child);
-      module.objects.push_back(child);
-      break;
-    }
-    case workload::WriteKind::kDeriveVersion: {
-      const auto derived = obj::DeriveVersion(*graph_, target,
-                                              inherit_model_);
-      const auto report = cluster_->PlaceNew(derived.heir);
-      co_await ChargePlacement(txn, report, derived.heir);
-      module.objects.push_back(derived.heir);
-      module.versioned.push_back(target);
-      module.versioned.push_back(derived.heir);
-      break;
-    }
-    case workload::WriteKind::kDeleteObject: {
-      if (!graph_->Components(target).empty() ||
-          !graph_->Descendants(target).empty() || target == module.root) {
-        // Keep the catalogue navigable: only leaves are deleted.
-        co_await WriteObject(txn, target);
-        break;
-      }
-      co_await WriteObject(txn, target);
-      // Re-check after the awaits: a concurrent transaction may have
-      // deleted the object first.
-      if (graph_->IsLive(target) && storage_->IsPlaced(target)) {
-        OODB_CHECK(storage_->Erase(target).ok());
-        graph_->Remove(target);
-      }
-      break;
-    }
-  }
-}
-
-sim::Task EngineeringDbModel::ExecuteTransaction(
-    const workload::TransactionSpec& spec) {
-  const txlog::TxnId txn = next_txn_++;
-  const double start = sim_.now();
-  trace_.Record(obs::Subsystem::kCore, obs::TraceEventType::kTxnBegin, txn,
-                static_cast<uint64_t>(spec.type));
-  log_->Begin(txn);
-  if (spec.type == workload::QueryType::kObjectWrite) {
-    co_await WriteQuery(spec, txn);
-  } else {
-    co_await ReadQuery(spec);
-  }
-  co_await ChargeLogFlushes(
-      log_->Commit(txn, config_.force_log_at_commit));
-  trace_.Record(obs::Subsystem::kCore, obs::TraceEventType::kTxnEnd, txn,
-                static_cast<uint64_t>(spec.type), 0, sim_.now() - start);
-}
-
-void EngineeringDbModel::ApplyEpochSchedule(size_t epoch) {
-  if (config_.rw_ratio_schedule.empty()) return;
-  const size_t i = std::min(epoch, config_.rw_ratio_schedule.size() - 1);
-  for (auto& gen : generators_) {
-    gen->SetTargetRatio(config_.rw_ratio_schedule[i]);
-  }
-}
-
-void EngineeringDbModel::ResetMeasurementCounters() {
-  io_->ResetCounters();
-  buffer_->ResetCounters();
-  log_->ResetCounters();
-  cluster_->ResetStats();
-  metrics_.ResetValues();
-  // Pages prefetched during warmup were counted against the warmup issue
-  // counter that was just reset; forgetting them keeps the measured-window
-  // invariant hits + wasted <= issued.
-  prefetched_unused_.clear();
-  logical_reads_ = 0;
-  logical_writes_ = 0;
-}
-
-void EngineeringDbModel::OnTransactionDone(double response_s,
-                                           workload::QueryType type) {
-  ++completed_txns_;
-  if (!measuring_) {
-    if (completed_txns_ >=
-        static_cast<uint64_t>(config_.warmup_transactions)) {
-      measuring_ = true;
-      ResetMeasurementCounters();
-      ApplyEpochSchedule(0);
-      sampler_.StartMeasurement(sim_.now());
-    }
-    return;
-  }
-  if (done_) return;  // in-flight stragglers after the quota was reached
-  const uint64_t per_epoch = std::max<uint64_t>(
-      1, static_cast<uint64_t>(config_.measured_transactions) /
-             response_epochs_.size());
-  const size_t epoch = std::min(response_epochs_.size() - 1,
-                                static_cast<size_t>(measured_txns_ / per_epoch));
-  const bool crossed = epoch != current_epoch_;
-  if (crossed) {
-    // The first transaction of the new epoch just completed: close every
-    // epoch crossed (usually one) with a boundary sample *before*
-    // recording this transaction, so the boundary delta covers exactly
-    // the closed epoch's transactions.
-    for (size_t closed = current_epoch_; closed < epoch; ++closed) {
-      sampler_.SampleEpochBoundary(sim_.now(),
-                                   static_cast<uint32_t>(closed));
-    }
-    current_epoch_ = epoch;
-    ApplyEpochSchedule(epoch);
-  }
-  metrics_.Add(m_txns_);
-  metrics_.Observe(m_response_s_, response_s);
-  response_time_.Add(response_s);
-  const bool was_write = type == workload::QueryType::kObjectWrite;
-  (was_write ? write_response_ : read_response_).Add(response_s);
-  response_by_query_[static_cast<size_t>(type)].Add(response_s);
-  response_epochs_[epoch].Add(response_s);
-  if (!crossed) {
-    sampler_.Poll(sim_.now(), static_cast<uint32_t>(epoch));
-  }
-  ++measured_txns_;
-  if (measured_txns_ >=
-      static_cast<uint64_t>(config_.measured_transactions)) {
-    done_ = true;
-  }
-}
-
-sim::Task EngineeringDbModel::UserLoop(int user) {
-  workload::WorkloadGenerator& gen = *generators_[static_cast<size_t>(user)];
-  Rng think_rng(config_.seed * 104729 + static_cast<uint64_t>(user));
-  while (!done_) {
-    const int session_len = gen.BeginSession();
-    for (int t = 0; t < session_len && !done_; ++t) {
-      co_await sim::Delay(sim_,
-                          think_rng.Exponential(config_.think_time_s));
-      if (done_) break;
-      const workload::TransactionSpec spec = gen.NextTransaction();
-      const uint64_t reads_before = logical_reads_;
-      const uint64_t writes_before = logical_writes_;
-      const double start = sim_.now();
-      co_await ExecuteTransaction(spec);
-      gen.RecordOps(logical_reads_ - reads_before,
-                    logical_writes_ - writes_before);
-      OnTransactionDone(sim_.now() - start, spec.type);
-    }
-  }
-}
-
-void EngineeringDbModel::SyncComponentMetrics() {
-  if (!metrics_.enabled()) return;
-  // Registration is idempotent (re-registering returns the existing
-  // handle) and the values are absolute cumulative counts written with
-  // set-semantics, so syncing at every telemetry sample and again at end
-  // of run is safe.
-  metrics_.SetCounter(metrics_.Counter("buffer.hits"), buffer_->hits());
-  metrics_.SetCounter(metrics_.Counter("buffer.misses"), buffer_->misses());
-  metrics_.SetCounter(metrics_.Counter("buffer.evictions"),
-                      buffer_->evictions());
-  metrics_.SetCounter(metrics_.Counter("buffer.dirty_evictions"),
-                      buffer_->dirty_evictions());
-  for (int c = 0; c < io::kNumIoCategories; ++c) {
-    const auto cat = static_cast<io::IoCategory>(c);
-    metrics_.SetCounter(
-        metrics_.Counter(std::string("io.") + io::IoCategoryName(cat)),
-        io_->physical_count(cat));
-  }
-  metrics_.SetCounter(metrics_.Counter("log.records"),
-                      log_->records_appended());
-  metrics_.SetCounter(metrics_.Counter("log.before_images"),
-                      log_->before_images());
-  metrics_.SetCounter(metrics_.Counter("log.flushes"), log_->flush_count());
-  const cluster::ClusterStats& cs = cluster_->stats();
-  metrics_.SetCounter(metrics_.Counter("cluster.placements"), cs.placements);
-  metrics_.SetCounter(metrics_.Counter("cluster.reclusterings"),
-                      cs.reclusterings);
-  metrics_.SetCounter(metrics_.Counter("cluster.relocations"),
-                      cs.relocations);
-  metrics_.SetCounter(metrics_.Counter("cluster.splits"), cs.splits);
-  metrics_.SetCounter(metrics_.Counter("cluster.exam_reads"),
-                      cs.exam_reads);
-  metrics_.SetCounter(metrics_.Counter("cluster.objects_moved_by_splits"),
-                      cs.objects_moved_by_splits);
-  metrics_.SetCounter(metrics_.Counter("cluster.split_search_steps"),
-                      cs.split_search_steps);
-  metrics_.Set(metrics_.Gauge("cluster.split_broken_cost"),
-               cs.split_broken_cost);
-  metrics_.SetCounter(metrics_.Counter("sim.events_processed"),
-                      sim_.events_processed());
-  metrics_.SetCounter(metrics_.Counter("sim.events_scheduled"),
-                      sim_.events_scheduled());
-  metrics_.Set(metrics_.Gauge("io.mean_disk_utilization"),
-               io_->MeanUtilization());
-  metrics_.Set(metrics_.Gauge("cpu.utilization"), cpu_->Utilization());
-  metrics_.Set(metrics_.Gauge("sim.duration_s"), sim_.now());
-}
-
-RunResult EngineeringDbModel::Run() {
-  const double start_time = sim_.now();
-  for (int u = 0; u < config_.num_users; ++u) {
-    sim::Spawn(UserLoop(u));
-  }
-  sim_.Run();
-
-  RunResult result;
-  result.response_time = response_time_;
-  result.read_response = read_response_;
-  result.write_response = write_response_;
-  result.response_by_query = response_by_query_;
-  result.response_epochs = response_epochs_;
-  result.transactions = measured_txns_;
-  result.logical_reads = logical_reads_;
-  result.logical_writes = logical_writes_;
-  result.data_reads = io_->physical_count(io::IoCategory::kDataRead);
-  result.dirty_flushes = io_->physical_count(io::IoCategory::kDirtyFlush);
-  result.log_flush_ios = io_->physical_count(io::IoCategory::kLogWrite);
-  result.cluster_exam_reads =
-      io_->physical_count(io::IoCategory::kClusterRead);
-  result.prefetch_reads =
-      io_->physical_count(io::IoCategory::kPrefetchRead);
-  result.split_writes = io_->physical_count(io::IoCategory::kDataWrite);
-  result.buffer_hit_ratio = buffer_->HitRatio();
-  result.log_before_images = log_->before_images();
-  result.cluster_stats = cluster_->stats();
-  result.mean_disk_utilization = io_->MeanUtilization();
-  result.cpu_utilization = cpu_->Utilization();
-  result.sim_duration_s = sim_.now() - start_time;
-  result.achieved_rw_ratio =
-      result.logical_writes == 0
-          ? static_cast<double>(result.logical_reads)
-          : static_cast<double>(result.logical_reads) /
-                static_cast<double>(result.logical_writes);
-  result.prefetch_issued = metrics_.value(m_prefetch_issued_);
-  result.prefetch_hits = metrics_.value(m_prefetch_hits_);
-  result.prefetch_wasted = metrics_.value(m_prefetch_wasted_);
-  result.db_pages = storage_->page_count();
-  result.db_objects = graph_->live_count();
-  // Close the final epoch. If the warmup quota was never reached (tiny
-  // smoke configs), start measurement now so the series still carries one
-  // end-of-run sample.
-  if (!measuring_) sampler_.StartMeasurement(sim_.now());
-  sampler_.SampleFinal(sim_.now(), static_cast<uint32_t>(current_epoch_));
-  SyncComponentMetrics();
-  result.metrics = metrics_.Snapshot();
-  result.series = sampler_.series();
-  if (trace_.enabled()) {
-    obs::TraceCollector::Global().Collect(
-        config_.cell_index,
-        config_.clustering.Label() + "/" + config_.workload.Label(),
-        trace_);
-  }
-  return result;
-}
+RunResult EngineeringDbModel::Run() { return measurement_.Run(); }
 
 }  // namespace oodb::core

@@ -1,31 +1,11 @@
 #ifndef SEMCLUST_CORE_ENGINEERING_DB_H_
 #define SEMCLUST_CORE_ENGINEERING_DB_H_
 
-#include <array>
-#include <coroutine>
-#include <memory>
-#include <unordered_map>
-#include <unordered_set>
-#include <vector>
-
-#include "buffer/buffer_pool.h"
-#include "buffer/prefetcher.h"
-#include "cluster/cluster_manager.h"
+#include "core/measurement.h"
 #include "core/model_config.h"
-#include "io/io_subsystem.h"
-#include "objmodel/inheritance.h"
-#include "objmodel/object_graph.h"
-#include "obs/metrics.h"
-#include "obs/placement_auditor.h"
-#include "obs/time_series.h"
-#include "obs/trace_sink.h"
-#include "sim/process.h"
-#include "sim/resource.h"
-#include "sim/simulator.h"
-#include "storage/storage_manager.h"
-#include "txlog/log_manager.h"
-#include "util/stats.h"
-#include "workload/workload_gen.h"
+#include "core/run_result.h"
+#include "core/server_context.h"
+#include "core/txn_pipeline.h"
 
 /// \file
 /// The engineering-database simulation model (paper §4, Figure 4.1/4.2):
@@ -33,66 +13,18 @@
 /// submitting transactions to a server whose buffer manager, cluster
 /// manager, transaction log, CPU, and disks are fully modelled. This is
 /// the PAWS model re-expressed on the `sim` engine.
+///
+/// The model is three composable layers behind one facade (DESIGN.md §10):
+///   - ServerContext    — pure component wiring (core/server_context.h)
+///   - TxnPipeline      — the coroutine read/write/recluster primitives
+///                        and the cost model (core/txn_pipeline.h)
+///   - MeasurementController — warmup/epochs/telemetry and RunResult
+///                        assembly (core/measurement.h)
+/// EngineeringDbModel wires the three together and preserves the original
+/// construct-then-Run() API for tests, examples, benches, and the OCT
+/// instrumentation.
 
 namespace oodb::core {
-
-/// Everything one run reports.
-struct RunResult {
-  /// Per-transaction response time over the measured phase (seconds).
-  StreamingStats response_time;
-  StreamingStats read_response;
-  StreamingStats write_response;
-
-  uint64_t transactions = 0;
-  uint64_t logical_reads = 0;
-  uint64_t logical_writes = 0;
-
-  /// Response time broken down by the seven query types (paper §4.1),
-  /// indexed by workload::QueryType.
-  std::array<StreamingStats, workload::kNumQueryTypes> response_by_query;
-  /// Response time per measurement epoch (config.measurement_epochs).
-  std::vector<StreamingStats> response_epochs;
-
-  // Physical I/O by purpose (measured phase).
-  uint64_t data_reads = 0;
-  uint64_t dirty_flushes = 0;
-  uint64_t log_flush_ios = 0;
-  uint64_t cluster_exam_reads = 0;
-  uint64_t prefetch_reads = 0;
-  uint64_t split_writes = 0;
-
-  double buffer_hit_ratio = 0;
-  uint64_t log_before_images = 0;
-  cluster::ClusterStats cluster_stats;
-
-  double mean_disk_utilization = 0;
-  double cpu_utilization = 0;
-  double sim_duration_s = 0;
-  double achieved_rw_ratio = 0;
-
-  // Prefetch effectiveness (measured phase): pages whose asynchronous read
-  // was issued, absorbed a later demand access, or was evicted unused.
-  uint64_t prefetch_issued = 0;
-  uint64_t prefetch_hits = 0;
-  uint64_t prefetch_wasted = 0;
-
-  size_t db_pages = 0;
-  size_t db_objects = 0;
-
-  /// The cell's full metrics-registry state at the end of the measured
-  /// phase (empty when SEMCLUST_METRICS=0).
-  obs::MetricsSnapshot metrics;
-
-  /// Simulated-time telemetry over the measured phase: metric deltas and
-  /// placement-quality audits per sample (DESIGN.md §9). Always has at
-  /// least the final epoch-boundary sample.
-  obs::TimeSeries series;
-
-  uint64_t total_physical_ios() const {
-    return data_reads + dirty_flushes + log_flush_ios + cluster_exam_reads +
-           prefetch_reads + split_writes;
-  }
-};
 
 /// One fully wired simulation instance. Construct, call Run() once.
 class EngineeringDbModel {
@@ -108,143 +40,25 @@ class EngineeringDbModel {
   RunResult Run();
 
   // Component access (examples, tests, and the OCT instrumentation).
-  const obj::ObjectGraph& graph() const { return *graph_; }
-  const store::StorageManager& storage() const { return *storage_; }
-  const buffer::BufferPool& buffer() const { return *buffer_; }
-  const io::IoSubsystem& io() const { return *io_; }
-  const txlog::LogManager& log() const { return *log_; }
-  const cluster::ClusterManager& cluster() const { return *cluster_; }
-  const workload::DesignDatabase& database() const { return db_; }
-  const ModelConfig& config() const { return config_; }
-  const obs::MetricsRegistry& metrics() const { return metrics_; }
-  const obs::TraceSink& trace() const { return trace_; }
+  const obj::ObjectGraph& graph() const { return *ctx_.graph; }
+  const store::StorageManager& storage() const { return *ctx_.storage; }
+  const buffer::BufferPool& buffer() const { return *ctx_.buffer; }
+  const io::IoSubsystem& io() const { return *ctx_.io; }
+  const txlog::LogManager& log() const { return *ctx_.log; }
+  const cluster::ClusterManager& cluster() const { return *ctx_.cluster; }
+  const workload::DesignDatabase& database() const { return ctx_.db; }
+  const ModelConfig& config() const { return ctx_.config; }
+  const obs::MetricsRegistry& metrics() const { return ctx_.metrics; }
+  const obs::TraceSink& trace() const { return ctx_.trace; }
+
+  /// The wiring layer itself, for callers composing their own pipelines.
+  const ServerContext& context() const { return ctx_; }
+  ServerContext& context() { return ctx_; }
 
  private:
-  // ---- process layer ----
-  sim::Task UserLoop(int user);
-  sim::Task ExecuteTransaction(const workload::TransactionSpec& spec);
-
-  // Read-side primitives.
-  sim::Task AccessObject(obj::ObjectId id, obj::TypeId from_type,
-                         int nav_kind);
-  /// Makes `page` resident, charging I/O. With `pin`, the page is pinned
-  /// before any suspension and stays pinned on return (caller unpins) —
-  /// required when the caller mutates the frame after the awaits.
-  sim::Task FetchPage(store::PageId page, bool pin = false);
-  sim::Task ReadQuery(const workload::TransactionSpec& spec);
-
-  // Write-side primitives.
-  sim::Task WriteQuery(const workload::TransactionSpec& spec,
-                       txlog::TxnId txn);
-  sim::Task LogAndDirty(txlog::TxnId txn, store::PageId page,
-                        uint32_t object_size);
-  /// Object-level write that tolerates concurrent deletion of `id`.
-  sim::Task WriteObject(txlog::TxnId txn, obj::ObjectId id);
-  sim::Task ChargeExamReads(const cluster::PlacementReport& report);
-  sim::Task ChargeSplit(txlog::TxnId txn,
-                        const cluster::PlacementReport& report);
-  sim::Task ChargePlacement(txlog::TxnId txn,
-                            const cluster::PlacementReport& report,
-                            obj::ObjectId placed);
-  sim::Task ReclusterAfterStructureChange(txlog::TxnId txn,
-                                          obj::ObjectId id);
-
-  sim::Task ChargeCpu(double instructions);
-  sim::Task ChargeLogFlushes(int flushes);
-
-  // Buffer-semantics hooks (boosts + prefetch) after an object access.
-  void PostAccess(obj::ObjectId id);
-  void StartPrefetch(store::PageId page);
-  void OnPrefetchComplete(store::PageId page);
-
-  /// Awaits completion of an in-flight prefetch of `page`.
-  class PrefetchJoin {
-   public:
-    PrefetchJoin(EngineeringDbModel& model, store::PageId page)
-        : model_(model), page_(page) {}
-    bool await_ready() const {
-      return model_.inflight_.find(page_) == model_.inflight_.end();
-    }
-    void await_suspend(std::coroutine_handle<> h) {
-      model_.inflight_[page_].push_back(h);
-    }
-    void await_resume() {}
-
-   private:
-    EngineeringDbModel& model_;
-    store::PageId page_;
-  };
-
-  void OnTransactionDone(double response_s, workload::QueryType type);
-  void ResetMeasurementCounters();
-  /// Applies config.rw_ratio_schedule at an epoch boundary.
-  void ApplyEpochSchedule(size_t epoch);
-
-  /// Prefetch-effectiveness bookkeeping around a Fix: if the eviction the
-  /// fix caused threw out a prefetched-but-never-referenced page, that
-  /// prefetch was wasted.
-  void NotePrefetchEviction(const buffer::BufferPool::FixResult& fix);
-  /// Records a demand access to `page`; a pending prefetch of it counts
-  /// as a prefetch hit.
-  void NotePrefetchDemand(store::PageId page);
-  /// Mirrors component counters (buffer/io/log/cluster/sim) into the
-  /// metrics registry with set-semantics: values are absolute cumulative
-  /// counts, so re-syncing at every telemetry sample and again at end of
-  /// run is idempotent.
-  void SyncComponentMetrics();
-
-  ModelConfig config_;
-  sim::Simulator sim_;
-  obs::MetricsRegistry metrics_;
-  obs::TraceSink trace_;
-  obs::TimeSeriesSampler sampler_;
-  std::unique_ptr<obs::PlacementAuditor> auditor_;
-
-  obj::TypeLattice lattice_;
-  workload::CadTypes types_{};
-  std::unique_ptr<obj::ObjectGraph> graph_;
-  std::unique_ptr<store::StorageManager> storage_;
-  std::unique_ptr<buffer::BufferPool> buffer_;
-  std::unique_ptr<cluster::AffinityModel> affinity_;
-  std::unique_ptr<cluster::ClusterManager> cluster_;
-  std::unique_ptr<io::IoSubsystem> io_;
-  std::unique_ptr<txlog::LogManager> log_;
-  std::unique_ptr<sim::Resource> cpu_;
-  workload::DesignDatabase db_;
-  std::vector<std::unique_ptr<workload::WorkloadGenerator>> generators_;
-  obj::InheritanceCostModel inherit_model_;
-  Rng rng_;
-
-  // In-flight prefetch reads: page -> waiting processes.
-  std::unordered_map<store::PageId, std::vector<std::coroutine_handle<>>>
-      inflight_;
-
-  // Pages brought in (or being brought in) by prefetch that no demand
-  // access has referenced yet: a later demand access scores a hit, an
-  // eviction first scores a waste.
-  std::unordered_set<store::PageId> prefetched_unused_;
-
-  // Hot-path metric handles, resolved once at construction.
-  obs::CounterHandle m_txns_;
-  obs::CounterHandle m_prefetch_issued_;
-  obs::CounterHandle m_prefetch_hits_;
-  obs::CounterHandle m_prefetch_wasted_;
-  obs::HistogramHandle m_response_s_;
-
-  // Run state.
-  bool measuring_ = false;
-  bool done_ = false;
-  uint64_t completed_txns_ = 0;
-  txlog::TxnId next_txn_ = 1;
-  uint64_t logical_reads_ = 0;
-  uint64_t logical_writes_ = 0;
-  StreamingStats response_time_;
-  StreamingStats read_response_;
-  StreamingStats write_response_;
-  std::array<StreamingStats, workload::kNumQueryTypes> response_by_query_{};
-  std::vector<StreamingStats> response_epochs_;
-  size_t current_epoch_ = 0;
-  uint64_t measured_txns_ = 0;
+  ServerContext ctx_;
+  TxnPipeline pipeline_;
+  MeasurementController measurement_;
 };
 
 }  // namespace oodb::core

@@ -9,9 +9,7 @@ RunResult RunCell(const ModelConfig& config) {
 
 std::vector<workload::WorkloadConfig> StandardWorkloadGrid() {
   std::vector<workload::WorkloadConfig> grid;
-  for (auto density :
-       {workload::StructureDensity::kLow3, workload::StructureDensity::kMed5,
-        workload::StructureDensity::kHigh10}) {
+  for (auto density : workload::kAllStructureDensities) {
     for (double ratio : {5.0, 10.0, 100.0}) {
       workload::WorkloadConfig w;
       w.density = density;
@@ -24,9 +22,7 @@ std::vector<workload::WorkloadConfig> StandardWorkloadGrid() {
 
 std::vector<workload::WorkloadConfig> DensitySweep(double rw_ratio) {
   std::vector<workload::WorkloadConfig> grid;
-  for (auto density :
-       {workload::StructureDensity::kLow3, workload::StructureDensity::kMed5,
-        workload::StructureDensity::kHigh10}) {
+  for (auto density : workload::kAllStructureDensities) {
     workload::WorkloadConfig w;
     w.density = density;
     w.read_write_ratio = rw_ratio;

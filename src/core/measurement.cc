@@ -1,0 +1,220 @@
+#include "core/measurement.h"
+
+#include <algorithm>
+#include <string>
+
+namespace oodb::core {
+
+MeasurementController::MeasurementController(ServerContext& context,
+                                             TxnPipeline& pipeline)
+    : ctx_(context), pipeline_(pipeline) {
+  response_epochs_.resize(static_cast<size_t>(
+      std::max(1, ctx_.config.measurement_epochs)));
+  ctx_.sampler.set_pre_sample_hook([this] { SyncComponentMetrics(); });
+}
+
+void MeasurementController::ApplyEpochSchedule(size_t epoch) {
+  if (ctx_.config.rw_ratio_schedule.empty()) return;
+  const size_t i =
+      std::min(epoch, ctx_.config.rw_ratio_schedule.size() - 1);
+  for (auto& gen : ctx_.generators) {
+    gen->SetTargetRatio(ctx_.config.rw_ratio_schedule[i]);
+  }
+}
+
+void MeasurementController::ResetMeasurementCounters() {
+  ctx_.io->ResetCounters();
+  ctx_.buffer->ResetCounters();
+  ctx_.log->ResetCounters();
+  ctx_.cluster->ResetStats();
+  ctx_.metrics.ResetValues();
+  // Pages prefetched during warmup were counted against the warmup issue
+  // counter that was just reset; forgetting them keeps the measured-window
+  // invariant hits + wasted <= issued.
+  pipeline_.ResetMeasurementState();
+}
+
+void MeasurementController::OnTransactionDone(double response_s,
+                                              workload::QueryType type) {
+  ++completed_txns_;
+  if (!measuring_) {
+    if (completed_txns_ >=
+        static_cast<uint64_t>(ctx_.config.warmup_transactions)) {
+      measuring_ = true;
+      ResetMeasurementCounters();
+      ApplyEpochSchedule(0);
+      ctx_.sampler.StartMeasurement(ctx_.sim.now());
+    }
+    return;
+  }
+  if (done_) return;  // in-flight stragglers after the quota was reached
+  const uint64_t per_epoch = std::max<uint64_t>(
+      1, static_cast<uint64_t>(ctx_.config.measured_transactions) /
+             response_epochs_.size());
+  const size_t epoch =
+      std::min(response_epochs_.size() - 1,
+               static_cast<size_t>(measured_txns_ / per_epoch));
+  const bool crossed = epoch != current_epoch_;
+  if (crossed) {
+    // The first transaction of the new epoch just completed: close every
+    // epoch crossed (usually one) with a boundary sample *before*
+    // recording this transaction, so the boundary delta covers exactly
+    // the closed epoch's transactions.
+    for (size_t closed = current_epoch_; closed < epoch; ++closed) {
+      ctx_.sampler.SampleEpochBoundary(ctx_.sim.now(),
+                                       static_cast<uint32_t>(closed));
+    }
+    current_epoch_ = epoch;
+    ApplyEpochSchedule(epoch);
+  }
+  ctx_.metrics.Add(ctx_.handles.txns);
+  ctx_.metrics.Observe(ctx_.handles.response_s, response_s);
+  response_time_.Add(response_s);
+  const bool was_write = type == workload::QueryType::kObjectWrite;
+  (was_write ? write_response_ : read_response_).Add(response_s);
+  response_by_query_[static_cast<size_t>(type)].Add(response_s);
+  response_epochs_[epoch].Add(response_s);
+  if (!crossed) {
+    ctx_.sampler.Poll(ctx_.sim.now(), static_cast<uint32_t>(epoch));
+  }
+  ++measured_txns_;
+  if (measured_txns_ >=
+      static_cast<uint64_t>(ctx_.config.measured_transactions)) {
+    done_ = true;
+  }
+}
+
+sim::Task MeasurementController::UserLoop(int user) {
+  workload::WorkloadGenerator& gen =
+      *ctx_.generators[static_cast<size_t>(user)];
+  Rng think_rng(ctx_.config.seed * 104729 + static_cast<uint64_t>(user));
+  while (!done_) {
+    const int session_len = gen.BeginSession();
+    for (int t = 0; t < session_len && !done_; ++t) {
+      co_await sim::Delay(ctx_.sim,
+                          think_rng.Exponential(ctx_.config.think_time_s));
+      if (done_) break;
+      const workload::TransactionSpec spec = gen.NextTransaction();
+      const uint64_t reads_before = pipeline_.logical_reads();
+      const uint64_t writes_before = pipeline_.logical_writes();
+      const double start = ctx_.sim.now();
+      co_await pipeline_.ExecuteTransaction(spec);
+      gen.RecordOps(pipeline_.logical_reads() - reads_before,
+                    pipeline_.logical_writes() - writes_before);
+      OnTransactionDone(ctx_.sim.now() - start, spec.type);
+    }
+  }
+}
+
+void MeasurementController::SyncComponentMetrics() {
+  obs::MetricsRegistry& metrics = ctx_.metrics;
+  if (!metrics.enabled()) return;
+  // Registration is idempotent (re-registering returns the existing
+  // handle) and the values are absolute cumulative counts written with
+  // set-semantics, so syncing at every telemetry sample and again at end
+  // of run is safe.
+  metrics.SetCounter(metrics.Counter("buffer.hits"), ctx_.buffer->hits());
+  metrics.SetCounter(metrics.Counter("buffer.misses"),
+                     ctx_.buffer->misses());
+  metrics.SetCounter(metrics.Counter("buffer.evictions"),
+                     ctx_.buffer->evictions());
+  metrics.SetCounter(metrics.Counter("buffer.dirty_evictions"),
+                     ctx_.buffer->dirty_evictions());
+  for (int c = 0; c < io::kNumIoCategories; ++c) {
+    const auto cat = static_cast<io::IoCategory>(c);
+    metrics.SetCounter(
+        metrics.Counter(std::string("io.") + io::IoCategoryName(cat)),
+        ctx_.io->physical_count(cat));
+  }
+  metrics.SetCounter(metrics.Counter("log.records"),
+                     ctx_.log->records_appended());
+  metrics.SetCounter(metrics.Counter("log.before_images"),
+                     ctx_.log->before_images());
+  metrics.SetCounter(metrics.Counter("log.flushes"),
+                     ctx_.log->flush_count());
+  const cluster::ClusterStats& cs = ctx_.cluster->stats();
+  metrics.SetCounter(metrics.Counter("cluster.placements"), cs.placements);
+  metrics.SetCounter(metrics.Counter("cluster.reclusterings"),
+                     cs.reclusterings);
+  metrics.SetCounter(metrics.Counter("cluster.relocations"),
+                     cs.relocations);
+  metrics.SetCounter(metrics.Counter("cluster.splits"), cs.splits);
+  metrics.SetCounter(metrics.Counter("cluster.exam_reads"), cs.exam_reads);
+  metrics.SetCounter(metrics.Counter("cluster.objects_moved_by_splits"),
+                     cs.objects_moved_by_splits);
+  metrics.SetCounter(metrics.Counter("cluster.split_search_steps"),
+                     cs.split_search_steps);
+  metrics.Set(metrics.Gauge("cluster.split_broken_cost"),
+              cs.split_broken_cost);
+  metrics.SetCounter(metrics.Counter("sim.events_processed"),
+                     ctx_.sim.events_processed());
+  metrics.SetCounter(metrics.Counter("sim.events_scheduled"),
+                     ctx_.sim.events_scheduled());
+  metrics.Set(metrics.Gauge("io.mean_disk_utilization"),
+              ctx_.io->MeanUtilization());
+  metrics.Set(metrics.Gauge("cpu.utilization"), ctx_.cpu->Utilization());
+  metrics.Set(metrics.Gauge("sim.duration_s"), ctx_.sim.now());
+}
+
+RunResult MeasurementController::Run() {
+  const double start_time = ctx_.sim.now();
+  for (int u = 0; u < ctx_.config.num_users; ++u) {
+    sim::Spawn(UserLoop(u));
+  }
+  ctx_.sim.Run();
+
+  RunResult result;
+  result.response_time = response_time_;
+  result.read_response = read_response_;
+  result.write_response = write_response_;
+  result.response_by_query = response_by_query_;
+  result.response_epochs = response_epochs_;
+  result.transactions = measured_txns_;
+  result.logical_reads = pipeline_.logical_reads();
+  result.logical_writes = pipeline_.logical_writes();
+  result.data_reads = ctx_.io->physical_count(io::IoCategory::kDataRead);
+  result.dirty_flushes =
+      ctx_.io->physical_count(io::IoCategory::kDirtyFlush);
+  result.log_flush_ios =
+      ctx_.io->physical_count(io::IoCategory::kLogWrite);
+  result.cluster_exam_reads =
+      ctx_.io->physical_count(io::IoCategory::kClusterRead);
+  result.prefetch_reads =
+      ctx_.io->physical_count(io::IoCategory::kPrefetchRead);
+  result.split_writes = ctx_.io->physical_count(io::IoCategory::kDataWrite);
+  result.buffer_hit_ratio = ctx_.buffer->HitRatio();
+  result.log_before_images = ctx_.log->before_images();
+  result.cluster_stats = ctx_.cluster->stats();
+  result.mean_disk_utilization = ctx_.io->MeanUtilization();
+  result.cpu_utilization = ctx_.cpu->Utilization();
+  result.sim_duration_s = ctx_.sim.now() - start_time;
+  result.achieved_rw_ratio =
+      result.logical_writes == 0
+          ? static_cast<double>(result.logical_reads)
+          : static_cast<double>(result.logical_reads) /
+                static_cast<double>(result.logical_writes);
+  result.prefetch_issued = ctx_.metrics.value(ctx_.handles.prefetch_issued);
+  result.prefetch_hits = ctx_.metrics.value(ctx_.handles.prefetch_hits);
+  result.prefetch_wasted =
+      ctx_.metrics.value(ctx_.handles.prefetch_wasted);
+  result.db_pages = ctx_.storage->page_count();
+  result.db_objects = ctx_.graph->live_count();
+  // Close the final epoch. If the warmup quota was never reached (tiny
+  // smoke configs), start measurement now so the series still carries one
+  // end-of-run sample.
+  if (!measuring_) ctx_.sampler.StartMeasurement(ctx_.sim.now());
+  ctx_.sampler.SampleFinal(ctx_.sim.now(),
+                           static_cast<uint32_t>(current_epoch_));
+  SyncComponentMetrics();
+  result.metrics = ctx_.metrics.Snapshot();
+  result.series = ctx_.sampler.series();
+  if (ctx_.trace.enabled()) {
+    obs::TraceCollector::Global().Collect(
+        ctx_.config.cell_index,
+        ctx_.config.clustering.Label() + "/" + ctx_.config.workload.Label(),
+        ctx_.trace);
+  }
+  return result;
+}
+
+}  // namespace oodb::core

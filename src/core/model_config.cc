@@ -1,0 +1,95 @@
+#include "core/model_config.h"
+
+#include <string>
+
+namespace oodb::core {
+
+namespace {
+
+Status Invalid(const std::string& what) {
+  return Status::InvalidArgument("invalid ModelConfig: " + what);
+}
+
+}  // namespace
+
+Status ModelConfig::Validate() const {
+  if (database_bytes == 0) {
+    return Invalid(
+        "database_bytes is 0; the builder would create an empty database "
+        "and the workload generator would have nothing to access");
+  }
+  if (page_size_bytes == 0) {
+    return Invalid(
+        "page_size_bytes is 0; page math (buffer scaling, striping, fill "
+        "fractions) divides by the page size");
+  }
+  if (num_users <= 0) {
+    return Invalid("num_users is " + std::to_string(num_users) +
+                   "; at least one user process must submit transactions "
+                   "or the simulation never terminates");
+  }
+  if (num_disks <= 0) {
+    return Invalid("num_disks is " + std::to_string(num_disks) +
+                   "; the I/O subsystem needs at least one disk to stripe "
+                   "pages across");
+  }
+  if (buffer_pages < 8) {
+    return Invalid("buffer_pages is " + std::to_string(buffer_pages) +
+                   "; the pool needs at least 8 frames to hold a pinned "
+                   "read-modify-write page plus an eviction victim under "
+                   "concurrent transactions (ScaledBuffers clamps here)");
+  }
+  if (measured_transactions <= 0) {
+    return Invalid("measured_transactions is " +
+                   std::to_string(measured_transactions) +
+                   "; a run must measure at least one transaction to "
+                   "terminate");
+  }
+  if (warmup_transactions < 0) {
+    return Invalid("warmup_transactions is " +
+                   std::to_string(warmup_transactions) +
+                   "; use 0 to measure from the first transaction");
+  }
+  if (measurement_epochs < 1) {
+    return Invalid("measurement_epochs is " +
+                   std::to_string(measurement_epochs) +
+                   "; the measured phase is split into >= 1 epochs "
+                   "(1 disables the per-epoch breakdown)");
+  }
+  for (size_t i = 0; i < rw_ratio_schedule.size(); ++i) {
+    if (!(rw_ratio_schedule[i] > 0)) {
+      return Invalid("rw_ratio_schedule[" + std::to_string(i) + "] is " +
+                     std::to_string(rw_ratio_schedule[i]) +
+                     "; scheduled read/write ratios are reads per write "
+                     "and must be > 0");
+    }
+  }
+  return Status::Ok();
+}
+
+ModelConfig PaperScaleConfig() {
+  ModelConfig cfg;
+  cfg.database_bytes = 500ull << 20;
+  cfg.buffer_pages = 1000;
+  cfg.database.target_bytes = cfg.database_bytes;
+  return cfg;
+}
+
+ModelConfig ScaledConfig() {
+  ModelConfig cfg;
+  cfg.database.target_bytes = cfg.database_bytes;
+  cfg.buffer_pages = cfg.BufferMedium();
+  return cfg;
+}
+
+ModelConfig TestConfig() {
+  ModelConfig cfg;
+  cfg.database_bytes = 2ull << 20;
+  cfg.database.target_bytes = cfg.database_bytes;
+  cfg.buffer_pages = 64;
+  cfg.warmup_transactions = 50;
+  cfg.measured_transactions = 300;
+  return cfg;
+}
+
+}  // namespace oodb::core

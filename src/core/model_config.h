@@ -7,6 +7,7 @@
 #include "buffer/policy.h"
 #include "cluster/policy.h"
 #include "io/io_subsystem.h"
+#include "util/status.h"
 #include "workload/db_builder.h"
 #include "workload/workload_config.h"
 
@@ -111,6 +112,10 @@ struct ModelConfig {
   size_t BufferLarge() const { return ScaledBuffers(10000); }
 
   size_t ScaledBuffers(size_t paper_buffers) const {
+    // Degenerate sizes would divide by zero (page_size_bytes == 0) or
+    // scale everything to zero (database_bytes == 0); both land on the
+    // 8-page floor the clamp below enforces anyway.
+    if (page_size_bytes == 0 || database_bytes == 0) return 8;
     // paper: 500 MB / 4 KB = 131072 pages.
     const double ratio = static_cast<double>(paper_buffers) / 131072.0;
     const double db_pages = static_cast<double>(database_bytes) /
@@ -118,6 +123,15 @@ struct ModelConfig {
     const auto scaled = static_cast<size_t>(ratio * db_pages + 0.5);
     return scaled < 8 ? 8 : scaled;
   }
+
+  /// Checks the configuration for values that would make the simulation
+  /// hang, divide by zero, or silently produce nonsense. Returns OK or an
+  /// InvalidArgument status whose message names the offending field, the
+  /// value it had, and what it must satisfy. Called by the
+  /// EngineeringDbModel constructor (which aborts on failure — a bad
+  /// config is a programming error there) and by the scenario loader
+  /// (which propagates the status to the CLI).
+  Status Validate() const;
 };
 
 /// The paper's full-scale configuration (500 MB database, 1000 buffers).

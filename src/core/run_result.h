@@ -1,0 +1,83 @@
+#ifndef SEMCLUST_CORE_RUN_RESULT_H_
+#define SEMCLUST_CORE_RUN_RESULT_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "cluster/cluster_manager.h"
+#include "obs/metrics.h"
+#include "obs/time_series.h"
+#include "util/stats.h"
+#include "workload/query.h"
+
+/// \file
+/// The statistics one simulation run reports — assembled by the
+/// MeasurementController and returned through the EngineeringDbModel
+/// facade. Split out of engineering_db.h so downstream consumers
+/// (bench reporting, the experiment runner) can depend on the result
+/// shape without pulling in the whole model wiring.
+
+namespace oodb::core {
+
+/// Everything one run reports.
+struct RunResult {
+  /// Per-transaction response time over the measured phase (seconds).
+  StreamingStats response_time;
+  StreamingStats read_response;
+  StreamingStats write_response;
+
+  uint64_t transactions = 0;
+  uint64_t logical_reads = 0;
+  uint64_t logical_writes = 0;
+
+  /// Response time broken down by the seven query types (paper §4.1),
+  /// indexed by workload::QueryType.
+  std::array<StreamingStats, workload::kNumQueryTypes> response_by_query;
+  /// Response time per measurement epoch (config.measurement_epochs).
+  std::vector<StreamingStats> response_epochs;
+
+  // Physical I/O by purpose (measured phase).
+  uint64_t data_reads = 0;
+  uint64_t dirty_flushes = 0;
+  uint64_t log_flush_ios = 0;
+  uint64_t cluster_exam_reads = 0;
+  uint64_t prefetch_reads = 0;
+  uint64_t split_writes = 0;
+
+  double buffer_hit_ratio = 0;
+  uint64_t log_before_images = 0;
+  cluster::ClusterStats cluster_stats;
+
+  double mean_disk_utilization = 0;
+  double cpu_utilization = 0;
+  double sim_duration_s = 0;
+  double achieved_rw_ratio = 0;
+
+  // Prefetch effectiveness (measured phase): pages whose asynchronous read
+  // was issued, absorbed a later demand access, or was evicted unused.
+  uint64_t prefetch_issued = 0;
+  uint64_t prefetch_hits = 0;
+  uint64_t prefetch_wasted = 0;
+
+  size_t db_pages = 0;
+  size_t db_objects = 0;
+
+  /// The cell's full metrics-registry state at the end of the measured
+  /// phase (empty when SEMCLUST_METRICS=0).
+  obs::MetricsSnapshot metrics;
+
+  /// Simulated-time telemetry over the measured phase: metric deltas and
+  /// placement-quality audits per sample (DESIGN.md §9). Always has at
+  /// least the final epoch-boundary sample.
+  obs::TimeSeries series;
+
+  uint64_t total_physical_ios() const {
+    return data_reads + dirty_flushes + log_flush_ios + cluster_exam_reads +
+           prefetch_reads + split_writes;
+  }
+};
+
+}  // namespace oodb::core
+
+#endif  // SEMCLUST_CORE_RUN_RESULT_H_

@@ -1,0 +1,601 @@
+#include "core/scenario.h"
+
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "core/experiment.h"
+#include "core/policy_registry.h"
+#include "util/json_reader.h"
+#include "util/json_writer.h"
+
+namespace oodb::core {
+
+namespace {
+
+const PolicyRegistry& Reg() { return PolicyRegistry::Global(); }
+
+Status Err(std::string what) {
+  return Status::InvalidArgument("scenario: " + std::move(what));
+}
+
+Status TypeErr(const std::string& key, const char* want) {
+  return Err("\"" + key + "\" must be " + want);
+}
+
+StatusOr<double> AsNumber(const JsonValue& v, const std::string& key) {
+  if (!v.is_number()) return TypeErr(key, "a number");
+  return v.number_value();
+}
+
+StatusOr<int> AsInt(const JsonValue& v, const std::string& key) {
+  if (!v.is_number()) return TypeErr(key, "an integer");
+  return static_cast<int>(v.int_value());
+}
+
+StatusOr<uint64_t> AsUint(const JsonValue& v, const std::string& key) {
+  if (!v.is_number()) return TypeErr(key, "a non-negative integer");
+  return v.uint_value();
+}
+
+StatusOr<bool> AsBool(const JsonValue& v, const std::string& key) {
+  if (!v.is_bool()) return TypeErr(key, "a boolean (true/false)");
+  return v.bool_value();
+}
+
+StatusOr<std::string> AsString(const JsonValue& v, const std::string& key) {
+  if (!v.is_string()) return TypeErr(key, "a string");
+  return v.string_value();
+}
+
+Status UnknownName(const std::string& key, PolicyAxis axis,
+                   const std::string& got) {
+  return Err("\"" + key + "\": unknown " + std::string(PolicyAxisName(axis)) +
+             " policy \"" + got + "\"; known: " + Reg().KnownNames(axis));
+}
+
+StatusOr<buffer::ReplacementPolicy> ResolveReplacement(
+    const JsonValue& v, const std::string& key) {
+  auto name = AsString(v, key);
+  if (!name.ok()) return name.status();
+  const auto p = Reg().Replacement(*name);
+  if (!p) return UnknownName(key, PolicyAxis::kReplacement, *name);
+  return *p;
+}
+
+StatusOr<buffer::PrefetchPolicy> ResolvePrefetch(const JsonValue& v,
+                                                 const std::string& key) {
+  auto name = AsString(v, key);
+  if (!name.ok()) return name.status();
+  const auto p = Reg().Prefetch(*name);
+  if (!p) return UnknownName(key, PolicyAxis::kPrefetch, *name);
+  return *p;
+}
+
+StatusOr<cluster::CandidatePool> ResolvePool(const JsonValue& v,
+                                             const std::string& key) {
+  auto name = AsString(v, key);
+  if (!name.ok()) return name.status();
+  const auto p = Reg().CandidatePool(*name);
+  if (!p) return UnknownName(key, PolicyAxis::kCandidatePool, *name);
+  return *p;
+}
+
+StatusOr<cluster::SplitPolicy> ResolveSplit(const JsonValue& v,
+                                            const std::string& key) {
+  auto name = AsString(v, key);
+  if (!name.ok()) return name.status();
+  const auto p = Reg().Split(*name);
+  if (!p) return UnknownName(key, PolicyAxis::kSplit, *name);
+  return *p;
+}
+
+StatusOr<workload::StructureDensity> ResolveDensity(const JsonValue& v,
+                                                    const std::string& key) {
+  auto name = AsString(v, key);
+  if (!name.ok()) return name.status();
+  const auto p = Reg().Density(*name);
+  if (!p) return UnknownName(key, PolicyAxis::kDensity, *name);
+  return *p;
+}
+
+StatusOr<obj::RelKind> ResolveRelKind(const JsonValue& v,
+                                      const std::string& key) {
+  auto name = AsString(v, key);
+  if (!name.ok()) return name.status();
+  const auto p = Reg().Relationship(*name);
+  if (!p) return UnknownName(key, PolicyAxis::kRelKind, *name);
+  return *p;
+}
+
+/// A clustering entry: a bare pool name, or an object overriding fields of
+/// `from` (so a split policy set in "config" carries into sweep levels).
+StatusOr<cluster::ClusterConfig> ParseClusterEntry(
+    const JsonValue& v, cluster::ClusterConfig from, const std::string& ctx) {
+  if (v.is_string()) {
+    const auto pool = ResolvePool(v, ctx);
+    if (!pool.ok()) return pool.status();
+    from.pool = *pool;
+    return from;
+  }
+  if (!v.is_object()) return TypeErr(ctx, "a pool name or an object");
+  for (const auto& [key, value] : v.members()) {
+    const std::string sub = ctx + "." + key;
+    if (key == "pool") {
+      const auto pool = ResolvePool(value, sub);
+      if (!pool.ok()) return pool.status();
+      from.pool = *pool;
+    } else if (key == "io_limit") {
+      const auto n = AsInt(value, sub);
+      if (!n.ok()) return n.status();
+      from.io_limit = *n;
+    } else if (key == "split") {
+      const auto split = ResolveSplit(value, sub);
+      if (!split.ok()) return split.status();
+      from.split = *split;
+    } else if (key == "use_hints") {
+      const auto b = AsBool(value, sub);
+      if (!b.ok()) return b.status();
+      from.use_hints = *b;
+    } else if (key == "hint_kind") {
+      const auto kind = ResolveRelKind(value, sub);
+      if (!kind.ok()) return kind.status();
+      from.hint_kind = *kind;
+    } else if (key == "hint_boost") {
+      const auto boost = AsNumber(value, sub);
+      if (!boost.ok()) return boost.status();
+      from.hint_boost = *boost;
+    } else {
+      return Err(ctx + ": unknown key \"" + key +
+                 "\" (known: pool, io_limit, split, use_hints, hint_kind, "
+                 "hint_boost)");
+    }
+  }
+  return from;
+}
+
+/// A workload entry: an object overriding density / rw_ratio of `from`.
+StatusOr<workload::WorkloadConfig> ParseWorkloadEntry(
+    const JsonValue& v, workload::WorkloadConfig from,
+    const std::string& ctx) {
+  if (!v.is_object()) return TypeErr(ctx, "an object");
+  for (const auto& [key, value] : v.members()) {
+    const std::string sub = ctx + "." + key;
+    if (key == "density") {
+      const auto d = ResolveDensity(value, sub);
+      if (!d.ok()) return d.status();
+      from.density = *d;
+    } else if (key == "rw_ratio") {
+      const auto r = AsNumber(value, sub);
+      if (!r.ok()) return r.status();
+      from.read_write_ratio = *r;
+    } else {
+      return Err(ctx + ": unknown key \"" + key +
+                 "\" (known: density, rw_ratio)");
+    }
+  }
+  return from;
+}
+
+StatusOr<size_t> ResolveBufferLevel(const ModelConfig& cfg,
+                                    const std::string& level,
+                                    const std::string& ctx) {
+  if (level == "small") return cfg.BufferSmall();
+  if (level == "medium") return cfg.BufferMedium();
+  if (level == "large") return cfg.BufferLarge();
+  return Err("\"" + ctx + "\": unknown buffer level \"" + level +
+             "\"; known: small, medium, large");
+}
+
+Status ParseConfigSection(const JsonValue& obj, ModelConfig& cfg) {
+  if (!obj.is_object()) return TypeErr("config", "an object");
+  std::string buffer_level;
+  bool buffer_pages_set = false;
+  for (const auto& [key, v] : obj.members()) {
+    const std::string ctx = "config." + key;
+    if (key == "database_bytes") {
+      const auto n = AsUint(v, ctx);
+      OODB_RETURN_IF_ERROR(n.status());
+      cfg.database_bytes = *n;
+    } else if (key == "page_size_bytes") {
+      const auto n = AsUint(v, ctx);
+      OODB_RETURN_IF_ERROR(n.status());
+      cfg.page_size_bytes = static_cast<uint32_t>(*n);
+    } else if (key == "append_fill_fraction") {
+      const auto n = AsNumber(v, ctx);
+      OODB_RETURN_IF_ERROR(n.status());
+      cfg.append_fill_fraction = *n;
+    } else if (key == "num_users") {
+      const auto n = AsInt(v, ctx);
+      OODB_RETURN_IF_ERROR(n.status());
+      cfg.num_users = *n;
+    } else if (key == "num_disks") {
+      const auto n = AsInt(v, ctx);
+      OODB_RETURN_IF_ERROR(n.status());
+      cfg.num_disks = *n;
+    } else if (key == "think_time_s") {
+      const auto n = AsNumber(v, ctx);
+      OODB_RETURN_IF_ERROR(n.status());
+      cfg.think_time_s = *n;
+    } else if (key == "buffer_pages") {
+      const auto n = AsUint(v, ctx);
+      OODB_RETURN_IF_ERROR(n.status());
+      cfg.buffer_pages = static_cast<size_t>(*n);
+      buffer_pages_set = true;
+    } else if (key == "buffer_level") {
+      const auto s = AsString(v, ctx);
+      OODB_RETURN_IF_ERROR(s.status());
+      buffer_level = *s;
+    } else if (key == "replacement") {
+      const auto p = ResolveReplacement(v, ctx);
+      OODB_RETURN_IF_ERROR(p.status());
+      cfg.replacement = *p;
+    } else if (key == "prefetch") {
+      const auto p = ResolvePrefetch(v, ctx);
+      OODB_RETURN_IF_ERROR(p.status());
+      cfg.prefetch = *p;
+    } else if (key == "warmup_transactions") {
+      const auto n = AsInt(v, ctx);
+      OODB_RETURN_IF_ERROR(n.status());
+      cfg.warmup_transactions = *n;
+    } else if (key == "measured_transactions") {
+      const auto n = AsInt(v, ctx);
+      OODB_RETURN_IF_ERROR(n.status());
+      cfg.measured_transactions = *n;
+    } else if (key == "measurement_epochs") {
+      const auto n = AsInt(v, ctx);
+      OODB_RETURN_IF_ERROR(n.status());
+      cfg.measurement_epochs = *n;
+    } else if (key == "telemetry_interval_s") {
+      const auto n = AsNumber(v, ctx);
+      OODB_RETURN_IF_ERROR(n.status());
+      cfg.telemetry_interval_s = *n;
+    } else if (key == "telemetry_audit_placement") {
+      const auto b = AsBool(v, ctx);
+      OODB_RETURN_IF_ERROR(b.status());
+      cfg.telemetry_audit_placement = *b;
+    } else if (key == "rw_ratio_schedule") {
+      if (!v.is_array()) return TypeErr(ctx, "an array of numbers");
+      cfg.rw_ratio_schedule.clear();
+      for (size_t i = 0; i < v.items().size(); ++i) {
+        const auto n =
+            AsNumber(v.items()[i], ctx + "[" + std::to_string(i) + "]");
+        OODB_RETURN_IF_ERROR(n.status());
+        cfg.rw_ratio_schedule.push_back(*n);
+      }
+    } else if (key == "static_reorganize_after_build") {
+      const auto b = AsBool(v, ctx);
+      OODB_RETURN_IF_ERROR(b.status());
+      cfg.static_reorganize_after_build = *b;
+    } else if (key == "seed") {
+      const auto n = AsUint(v, ctx);
+      OODB_RETURN_IF_ERROR(n.status());
+      cfg.seed = *n;
+    } else if (key == "workload") {
+      auto w = ParseWorkloadEntry(v, cfg.workload, ctx);
+      OODB_RETURN_IF_ERROR(w.status());
+      cfg.workload = *w;
+    } else if (key == "clustering") {
+      auto c = ParseClusterEntry(v, cfg.clustering, ctx);
+      OODB_RETURN_IF_ERROR(c.status());
+      cfg.clustering = *c;
+    } else {
+      return Err("config: unknown key \"" + key + "\"");
+    }
+  }
+  // The builder's target tracks the configured database size, and the
+  // generated graph's density tracks the workload (WithWorkload semantics).
+  cfg.database.target_bytes = cfg.database_bytes;
+  cfg.database.density = cfg.workload.density;
+  if (!buffer_level.empty()) {
+    if (buffer_pages_set) {
+      return Err(
+          "config: set either \"buffer_pages\" or \"buffer_level\", not "
+          "both");
+    }
+    const auto pages =
+        ResolveBufferLevel(cfg, buffer_level, "config.buffer_level");
+    OODB_RETURN_IF_ERROR(pages.status());
+    cfg.buffer_pages = *pages;
+  }
+  return Status::Ok();
+}
+
+Status ParseSweepSection(const JsonValue& obj, ScenarioSpec& spec) {
+  if (!obj.is_object()) return TypeErr("sweep", "an object");
+  for (const auto& [key, v] : obj.members()) {
+    const std::string ctx = "sweep." + key;
+    if (key == "clustering") {
+      if (v.is_string()) {
+        if (v.string_value() != "figure5_1") {
+          return Err("\"" + ctx + "\": unknown shorthand \"" +
+                     v.string_value() + "\"; known: figure5_1");
+        }
+        spec.clustering = ClusteringPolicyLevels(spec.base.clustering.split);
+      } else if (v.is_array()) {
+        for (size_t i = 0; i < v.items().size(); ++i) {
+          auto c = ParseClusterEntry(v.items()[i], spec.base.clustering,
+                                     ctx + "[" + std::to_string(i) + "]");
+          OODB_RETURN_IF_ERROR(c.status());
+          spec.clustering.push_back(*c);
+        }
+      } else {
+        return TypeErr(ctx, "\"figure5_1\" or an array");
+      }
+    } else if (key == "workload") {
+      if (v.is_string()) {
+        if (v.string_value() != "standard_grid") {
+          return Err("\"" + ctx + "\": unknown shorthand \"" +
+                     v.string_value() + "\"; known: standard_grid");
+        }
+        spec.workloads = StandardWorkloadGrid();
+      } else if (v.is_array()) {
+        for (size_t i = 0; i < v.items().size(); ++i) {
+          auto w = ParseWorkloadEntry(v.items()[i], spec.base.workload,
+                                      ctx + "[" + std::to_string(i) + "]");
+          OODB_RETURN_IF_ERROR(w.status());
+          spec.workloads.push_back(*w);
+        }
+      } else {
+        return TypeErr(ctx, "\"standard_grid\" or an array");
+      }
+    } else if (key == "replacement") {
+      if (!v.is_array()) return TypeErr(ctx, "an array of policy names");
+      for (size_t i = 0; i < v.items().size(); ++i) {
+        const auto p = ResolveReplacement(
+            v.items()[i], ctx + "[" + std::to_string(i) + "]");
+        OODB_RETURN_IF_ERROR(p.status());
+        spec.replacement.push_back(*p);
+      }
+    } else if (key == "prefetch") {
+      if (!v.is_array()) return TypeErr(ctx, "an array of policy names");
+      for (size_t i = 0; i < v.items().size(); ++i) {
+        const auto p =
+            ResolvePrefetch(v.items()[i], ctx + "[" + std::to_string(i) + "]");
+        OODB_RETURN_IF_ERROR(p.status());
+        spec.prefetch.push_back(*p);
+      }
+    } else if (key == "buffer_pages") {
+      if (!v.is_array()) {
+        return TypeErr(ctx, "an array of page counts or level names");
+      }
+      for (size_t i = 0; i < v.items().size(); ++i) {
+        const JsonValue& item = v.items()[i];
+        const std::string sub = ctx + "[" + std::to_string(i) + "]";
+        size_t pages = 0;
+        if (item.is_string()) {
+          const auto resolved =
+              ResolveBufferLevel(spec.base, item.string_value(), sub);
+          OODB_RETURN_IF_ERROR(resolved.status());
+          pages = *resolved;
+        } else {
+          const auto n = AsUint(item, sub);
+          OODB_RETURN_IF_ERROR(n.status());
+          pages = static_cast<size_t>(*n);
+        }
+        if (pages < 8) {
+          return Err("\"" + sub + "\" is " + std::to_string(pages) +
+                     "; the pool needs at least 8 frames");
+        }
+        spec.buffer_pages.push_back(pages);
+      }
+    } else {
+      return Err("sweep: unknown key \"" + key +
+                 "\" (known: clustering, workload, replacement, prefetch, "
+                 "buffer_pages)");
+    }
+  }
+  return Status::Ok();
+}
+
+std::string ClusterJson(const cluster::ClusterConfig& c) {
+  JsonObjectWriter o;
+  o.Add("pool", cluster::CandidatePoolName(c.pool));
+  o.Add("io_limit", c.io_limit);
+  o.Add("split", cluster::SplitPolicyName(c.split));
+  o.Add("use_hints", c.use_hints);
+  o.Add("hint_kind", obj::RelKindName(c.hint_kind));
+  o.Add("hint_boost", c.hint_boost);
+  return o.str();
+}
+
+std::string WorkloadJson(const workload::WorkloadConfig& w) {
+  JsonObjectWriter o;
+  o.Add("density", workload::StructureDensityName(w.density));
+  o.Add("rw_ratio", w.read_write_ratio);
+  return o.str();
+}
+
+}  // namespace
+
+std::vector<ScenarioCell> ScenarioSpec::Expand() const {
+  using ReplacementAxis = std::vector<buffer::ReplacementPolicy>;
+  using PrefetchAxis = std::vector<buffer::PrefetchPolicy>;
+  const ReplacementAxis reps =
+      replacement.empty() ? ReplacementAxis{base.replacement} : replacement;
+  const PrefetchAxis prefs =
+      prefetch.empty() ? PrefetchAxis{base.prefetch} : prefetch;
+  const std::vector<size_t> bufs = buffer_pages.empty()
+                                       ? std::vector<size_t>{base.buffer_pages}
+                                       : buffer_pages;
+  const std::vector<cluster::ClusterConfig> clus =
+      clustering.empty() ? std::vector<cluster::ClusterConfig>{base.clustering}
+                         : clustering;
+  const std::vector<workload::WorkloadConfig> works =
+      workloads.empty() ? std::vector<workload::WorkloadConfig>{base.workload}
+                        : workloads;
+
+  std::vector<ScenarioCell> cells;
+  cells.reserve(reps.size() * prefs.size() * bufs.size() * clus.size() *
+                works.size());
+  for (const auto rep : reps) {
+    for (const auto pref : prefs) {
+      for (const size_t pages : bufs) {
+        for (const auto& clu : clus) {
+          for (const auto& work : works) {
+            ScenarioCell cell;
+            cell.config = WithWorkload(base, work);
+            cell.config.clustering = clu;
+            cell.config.replacement = rep;
+            cell.config.prefetch = pref;
+            cell.config.buffer_pages = pages;
+
+            // Labels: identical to bench_common's FillDefaultLabels when
+            // only clustering/workload sweep; multi-level buffering axes
+            // prefix the policy label to keep cells unique.
+            std::string policy;
+            if (reps.size() > 1) policy = buffer::ReplacementPolicyName(rep);
+            if (prefs.size() > 1) {
+              if (!policy.empty()) policy += "_";
+              policy += buffer::PrefetchPolicyName(pref);
+            }
+            if (bufs.size() > 1) {
+              if (!policy.empty()) policy += "_";
+              policy += std::to_string(pages) + "buf";
+            }
+            if (policy.empty()) {
+              policy = clu.Label();
+            } else if (clus.size() > 1) {
+              policy += "_" + clu.Label();
+            }
+            cell.policy = std::move(policy);
+            cell.workload = work.Label();
+            cell.cell_label = cell.policy + "/" + cell.workload;
+            cells.push_back(std::move(cell));
+          }
+        }
+      }
+    }
+  }
+  return cells;
+}
+
+std::string ScenarioSpec::ToJson() const {
+  JsonObjectWriter root;
+  root.Add("name", name);
+  root.Add("bench", bench.empty() ? name : bench);
+  if (!description.empty()) root.Add("description", description);
+
+  JsonObjectWriter cfg;
+  cfg.Add("database_bytes", static_cast<uint64_t>(base.database_bytes));
+  cfg.Add("page_size_bytes", static_cast<uint64_t>(base.page_size_bytes));
+  cfg.Add("append_fill_fraction", base.append_fill_fraction);
+  cfg.Add("num_users", base.num_users);
+  cfg.Add("num_disks", base.num_disks);
+  cfg.Add("think_time_s", base.think_time_s);
+  cfg.Add("buffer_pages", static_cast<uint64_t>(base.buffer_pages));
+  cfg.Add("replacement", buffer::ReplacementPolicyName(base.replacement));
+  cfg.Add("prefetch", buffer::PrefetchPolicyName(base.prefetch));
+  cfg.Add("warmup_transactions", base.warmup_transactions);
+  cfg.Add("measured_transactions", base.measured_transactions);
+  cfg.Add("measurement_epochs", base.measurement_epochs);
+  cfg.Add("telemetry_interval_s", base.telemetry_interval_s);
+  cfg.Add("telemetry_audit_placement", base.telemetry_audit_placement);
+  if (!base.rw_ratio_schedule.empty()) {
+    JsonArrayWriter sched;
+    for (const double ratio : base.rw_ratio_schedule) sched.Add(ratio);
+    cfg.AddRaw("rw_ratio_schedule", sched.str());
+  }
+  cfg.Add("static_reorganize_after_build",
+          base.static_reorganize_after_build);
+  cfg.Add("seed", static_cast<uint64_t>(base.seed));
+  cfg.AddRaw("workload", WorkloadJson(base.workload));
+  cfg.AddRaw("clustering", ClusterJson(base.clustering));
+  root.AddRaw("config", cfg.str());
+
+  JsonObjectWriter sweep;
+  bool any_axis = false;
+  if (!clustering.empty()) {
+    JsonArrayWriter axis;
+    for (const auto& c : clustering) axis.AddRaw(ClusterJson(c));
+    sweep.AddRaw("clustering", axis.str());
+    any_axis = true;
+  }
+  if (!workloads.empty()) {
+    JsonArrayWriter axis;
+    for (const auto& w : workloads) axis.AddRaw(WorkloadJson(w));
+    sweep.AddRaw("workload", axis.str());
+    any_axis = true;
+  }
+  if (!replacement.empty()) {
+    JsonArrayWriter axis;
+    for (const auto p : replacement) {
+      axis.Add(std::string_view(buffer::ReplacementPolicyName(p)));
+    }
+    sweep.AddRaw("replacement", axis.str());
+    any_axis = true;
+  }
+  if (!prefetch.empty()) {
+    JsonArrayWriter axis;
+    for (const auto p : prefetch) {
+      axis.Add(std::string_view(buffer::PrefetchPolicyName(p)));
+    }
+    sweep.AddRaw("prefetch", axis.str());
+    any_axis = true;
+  }
+  if (!buffer_pages.empty()) {
+    JsonArrayWriter axis;
+    for (const size_t pages : buffer_pages) {
+      axis.Add(static_cast<uint64_t>(pages));
+    }
+    sweep.AddRaw("buffer_pages", axis.str());
+    any_axis = true;
+  }
+  if (any_axis) root.AddRaw("sweep", sweep.str());
+  return root.str();
+}
+
+StatusOr<ScenarioSpec> ParseScenario(std::string_view json_text) {
+  auto doc = JsonValue::Parse(json_text);
+  if (!doc.ok()) return doc.status();
+  if (!doc->is_object()) return Err("top-level value must be an object");
+
+  ScenarioSpec spec;
+  spec.base = ScaledConfig();
+  // "config" first regardless of file order: sweep shorthands and buffer
+  // levels derive from the base configuration.
+  if (const JsonValue* config = doc->Find("config")) {
+    OODB_RETURN_IF_ERROR(ParseConfigSection(*config, spec.base));
+  }
+  for (const auto& [key, v] : doc->members()) {
+    if (key == "config") continue;
+    if (key == "name") {
+      const auto s = AsString(v, "name");
+      OODB_RETURN_IF_ERROR(s.status());
+      spec.name = *s;
+    } else if (key == "bench") {
+      const auto s = AsString(v, "bench");
+      OODB_RETURN_IF_ERROR(s.status());
+      spec.bench = *s;
+    } else if (key == "description") {
+      const auto s = AsString(v, "description");
+      OODB_RETURN_IF_ERROR(s.status());
+      spec.description = *s;
+    } else if (key == "sweep") {
+      OODB_RETURN_IF_ERROR(ParseSweepSection(v, spec));
+    } else {
+      return Err("unknown top-level key \"" + key +
+                 "\" (known: name, bench, description, config, sweep)");
+    }
+  }
+  if (spec.name.empty()) return Err("\"name\" is required");
+  if (spec.bench.empty()) spec.bench = spec.name;
+
+  const Status valid = spec.base.Validate();
+  if (!valid.ok()) return Err("config: " + valid.message());
+  return spec;
+}
+
+StatusOr<ScenarioSpec> LoadScenarioFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("scenario: cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  auto spec = ParseScenario(buf.str());
+  if (!spec.ok()) {
+    return Status::InvalidArgument(path + ": " + spec.status().message());
+  }
+  return spec;
+}
+
+}  // namespace oodb::core

@@ -1,0 +1,104 @@
+#ifndef SEMCLUST_CORE_SCENARIO_H_
+#define SEMCLUST_CORE_SCENARIO_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/model_config.h"
+#include "util/status.h"
+
+/// \file
+/// Declarative experiment scenarios. A `.scenario.json` file names a base
+/// ModelConfig (policies by their registry names — see
+/// core/policy_registry.h) plus sweep axes; the loader expands the axes
+/// into the same cell grid the hand-written bench binaries build, in the
+/// same order, so a scenario run through `tools/semclust_run` regenerates
+/// a bench's JSONL bit-identically.
+///
+/// Schema (all sections optional except "name"; unknown keys are errors):
+///
+///   {
+///     "name": "fig5_1_fast",
+///     "bench": "Figure 5.1",          // BenchReport label (default: name)
+///     "description": "free text",
+///     "config": {                     // overrides on ScaledConfig()
+///       "database_bytes": 50331648, "page_size_bytes": 4096,
+///       "append_fill_fraction": 0.8, "num_users": 10, "num_disks": 10,
+///       "think_time_s": 4.0,
+///       "buffer_pages": 94,           // or "buffer_level": "medium"
+///       "replacement": "LRU", "prefetch": "No_prefetch",
+///       "warmup_transactions": 100, "measured_transactions": 500,
+///       "measurement_epochs": 1, "telemetry_interval_s": 0,
+///       "telemetry_audit_placement": true,
+///       "rw_ratio_schedule": [10, 100],
+///       "static_reorganize_after_build": false, "seed": 1,
+///       "workload": {"density": "med5", "rw_ratio": 10},
+///       "clustering": {"pool": "No_Clustering", "io_limit": 2,
+///                      "split": "No_Splitting", "use_hints": false,
+///                      "hint_kind": "configuration", "hint_boost": 3}
+///     },
+///     "sweep": {                      // each axis: empty/absent = base value
+///       "clustering": "figure5_1",    // or an array of pool names/objects
+///       "workload": "standard_grid",  // or [{"density": ..., "rw_ratio": ...}]
+///       "replacement": ["LRU", "Context-sensitive"],
+///       "prefetch": ["No_prefetch"],
+///       "buffer_pages": [94, "large"]
+///     }
+///   }
+///
+/// Policy names resolve through PolicyRegistry::Global(), so every alias
+/// the registry knows works in a scenario file, and error messages list
+/// the canonical spellings.
+
+namespace oodb::core {
+
+/// One expanded cell: a runnable config plus the labels a bench would
+/// stamp on its JSONL record.
+struct ScenarioCell {
+  ModelConfig config;
+  std::string cell_label;
+  std::string policy;
+  std::string workload;
+};
+
+/// A parsed scenario: base config + sweep axes.
+struct ScenarioSpec {
+  std::string name;
+  std::string bench;  ///< BenchReport label; defaults to `name`
+  std::string description;
+  /// Base configuration every cell starts from (scenario "config" applied
+  /// over ScaledConfig()).
+  ModelConfig base;
+
+  // Sweep axes. An empty axis means "the base config's value".
+  std::vector<cluster::ClusterConfig> clustering;
+  std::vector<workload::WorkloadConfig> workloads;
+  std::vector<buffer::ReplacementPolicy> replacement;
+  std::vector<buffer::PrefetchPolicy> prefetch;
+  std::vector<size_t> buffer_pages;
+
+  /// Expands the axes into cells, outermost to innermost: replacement,
+  /// prefetch, buffer_pages, clustering, workload. With only the
+  /// clustering and workload axes populated this is exactly the
+  /// policy-major order of bench_common's RunClusteringGrid, and the
+  /// labels match FillDefaultLabels (policy = clustering label, workload =
+  /// workload label, cell = "policy/workload"). Multi-level buffering axes
+  /// prefix the policy label so cell labels stay unique.
+  std::vector<ScenarioCell> Expand() const;
+
+  /// Canonical JSON serialization; ParseScenario(ToJson()) round-trips.
+  std::string ToJson() const;
+};
+
+/// Parses one scenario document. Unknown keys, unresolvable policy names,
+/// and configs failing ModelConfig::Validate() all return InvalidArgument
+/// with an actionable message.
+StatusOr<ScenarioSpec> ParseScenario(std::string_view json_text);
+
+/// Reads `path` and parses it.
+StatusOr<ScenarioSpec> LoadScenarioFile(const std::string& path);
+
+}  // namespace oodb::core
+
+#endif  // SEMCLUST_CORE_SCENARIO_H_

@@ -1,0 +1,98 @@
+#include "core/server_context.h"
+
+#include <cstdio>
+#include <utility>
+
+#include "cluster/static_clusterer.h"
+#include "util/check.h"
+#include "workload/db_builder.h"
+
+namespace oodb::core {
+
+ServerContext::ServerContext(ModelConfig model_config)
+    : config(std::move(model_config)),
+      trace(&sim, obs::TraceCollector::PathFromEnv() != nullptr
+                      ? obs::TraceCollector::RingCapacityFromEnv()
+                      : 0),
+      sampler(&metrics, config.telemetry_interval_s) {
+  const Status valid = config.Validate();
+  if (!valid.ok()) {
+    std::fprintf(stderr, "ModelConfig: %s\n", valid.ToString().c_str());
+  }
+  OODB_CHECK(valid.ok());
+
+  types = workload::RegisterCadTypes(lattice);
+  graph = std::make_unique<obj::ObjectGraph>(&lattice);
+  storage = std::make_unique<store::StorageManager>(
+      config.page_size_bytes, config.append_fill_fraction);
+  buffer = std::make_unique<buffer::BufferPool>(
+      config.buffer_pages, config.replacement, config.seed ^ 0xB0FFEB0FF);
+  affinity = std::make_unique<cluster::AffinityModel>(&lattice);
+  cluster = std::make_unique<cluster::ClusterManager>(
+      graph.get(), storage.get(), affinity.get(), buffer.get(),
+      config.clustering);
+  io = std::make_unique<io::IoSubsystem>(sim, config.num_disks,
+                                         config.page_size_bytes,
+                                         config.disk);
+  log = std::make_unique<txlog::LogManager>(config.log_buffer_bytes,
+                                            config.page_size_bytes);
+  cpu = std::make_unique<sim::Resource>(sim, "cpu", 1);
+
+  // Build the database through the policy under test. The build is the
+  // accretion history of the repository, not part of the measured run.
+  workload::DatabaseSpec spec = config.database;
+  spec.target_bytes = config.database_bytes;
+  spec.density = config.workload.density;
+  spec.concurrent_streams = config.num_users;
+  spec.seed = config.seed ^ 0xDBDBDB;
+  workload::DbBuilder builder(graph.get(), cluster.get(), buffer.get(),
+                              spec);
+  db = builder.Build(types);
+  OODB_CHECK(!db.modules.empty());
+
+  if (config.static_reorganize_after_build) {
+    // The DBA's offline alternative: quiesce and repack the whole
+    // database by affinity (paper §2.1's static clustering).
+    cluster::StaticClusterer reorganizer(graph.get(), storage.get(),
+                                         affinity.get());
+    reorganizer.Reorganize();
+  }
+
+  // Observability is attached only now: the build phase above is the
+  // repository's accretion history, not part of the run, and its page
+  // traffic would otherwise flood the trace ring before the first
+  // transaction. The sink is disabled (capacity 0) unless SEMCLUST_TRACE
+  // is set, so these calls cost two compares per event when tracing is off.
+  buffer->set_trace(&trace);
+  io->set_trace(&trace);
+  log->set_trace(&trace);
+  cluster->set_trace(&trace);
+
+  // Telemetry rides the same after-the-build attachment rule: the sampler
+  // starts at the warmup/measured boundary. Its pre-sample hook (which
+  // re-syncs the mirrored component counters) is installed by the
+  // MeasurementController, the layer that owns the mirroring.
+  auditor = std::make_unique<obs::PlacementAuditor>(graph.get(),
+                                                    storage.get());
+  if (config.telemetry_audit_placement) {
+    sampler.set_placement_auditor(auditor.get());
+  }
+
+  handles.txns = metrics.Counter("core.txns");
+  handles.prefetch_issued = metrics.Counter("core.prefetch.issued");
+  handles.prefetch_hits = metrics.Counter("core.prefetch.hits");
+  handles.prefetch_wasted = metrics.Counter("core.prefetch.wasted");
+  handles.response_s = metrics.Histogram(
+      "core.response_s",
+      {0.05, 0.1, 0.2, 0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 60.0});
+
+  for (int u = 0; u < config.num_users; ++u) {
+    generators.push_back(std::make_unique<workload::WorkloadGenerator>(
+        graph.get(), &db, config.workload,
+        config.seed * 7919 + static_cast<uint64_t>(u)));
+  }
+}
+
+ServerContext::~ServerContext() = default;
+
+}  // namespace oodb::core

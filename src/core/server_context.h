@@ -1,0 +1,88 @@
+#ifndef SEMCLUST_CORE_SERVER_CONTEXT_H_
+#define SEMCLUST_CORE_SERVER_CONTEXT_H_
+
+#include <memory>
+#include <vector>
+
+#include "buffer/buffer_pool.h"
+#include "buffer/prefetcher.h"
+#include "cluster/cluster_manager.h"
+#include "core/model_config.h"
+#include "io/io_subsystem.h"
+#include "objmodel/inheritance.h"
+#include "objmodel/object_graph.h"
+#include "obs/metrics.h"
+#include "obs/placement_auditor.h"
+#include "obs/time_series.h"
+#include "obs/trace_sink.h"
+#include "sim/resource.h"
+#include "sim/simulator.h"
+#include "storage/storage_manager.h"
+#include "txlog/log_manager.h"
+#include "workload/workload_gen.h"
+
+/// \file
+/// Pure component wiring for one simulated server (paper §4, Figure
+/// 4.1/4.2): the simulator, the object graph and storage, the buffer
+/// pool, cluster manager, I/O subsystem, transaction log, CPU, the
+/// generated design database, and the observability attachments — built
+/// and connected in one place, with no transaction or measurement logic.
+/// TxnPipeline executes transactions against this context; the
+/// MeasurementController drives the run and assembles the RunResult.
+
+namespace oodb::core {
+
+/// Hot-path metric handles of the core model, resolved once at wiring
+/// time (registration order is part of the snapshot layout and must stay
+/// stable).
+struct CoreMetricHandles {
+  obs::CounterHandle txns;
+  obs::CounterHandle prefetch_issued;
+  obs::CounterHandle prefetch_hits;
+  obs::CounterHandle prefetch_wasted;
+  obs::HistogramHandle response_s;
+};
+
+/// One fully wired (but not yet running) simulated server. Members are
+/// deliberately public: this is the wiring layer the execution and
+/// measurement layers build on, not an encapsulation boundary. The
+/// constructor validates the configuration (aborting with an actionable
+/// message on a bad config), builds the database through the clustering
+/// policy under test, optionally runs the offline static reorganisation,
+/// and attaches observability — exactly the construction sequence the
+/// monolithic EngineeringDbModel used to perform.
+class ServerContext {
+ public:
+  explicit ServerContext(ModelConfig model_config);
+  ~ServerContext();
+
+  ServerContext(const ServerContext&) = delete;
+  ServerContext& operator=(const ServerContext&) = delete;
+
+  ModelConfig config;
+  sim::Simulator sim;
+  obs::MetricsRegistry metrics;
+  obs::TraceSink trace;
+  obs::TimeSeriesSampler sampler;
+  std::unique_ptr<obs::PlacementAuditor> auditor;
+
+  obj::TypeLattice lattice;
+  workload::CadTypes types{};
+  std::unique_ptr<obj::ObjectGraph> graph;
+  std::unique_ptr<store::StorageManager> storage;
+  std::unique_ptr<buffer::BufferPool> buffer;
+  std::unique_ptr<cluster::AffinityModel> affinity;
+  std::unique_ptr<cluster::ClusterManager> cluster;
+  std::unique_ptr<io::IoSubsystem> io;
+  std::unique_ptr<txlog::LogManager> log;
+  std::unique_ptr<sim::Resource> cpu;
+  workload::DesignDatabase db;
+  std::vector<std::unique_ptr<workload::WorkloadGenerator>> generators;
+  obj::InheritanceCostModel inherit_model;
+
+  CoreMetricHandles handles;
+};
+
+}  // namespace oodb::core
+
+#endif  // SEMCLUST_CORE_SERVER_CONTEXT_H_

@@ -1,0 +1,446 @@
+#include "core/txn_pipeline.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/check.h"
+
+namespace oodb::core {
+
+namespace {
+/// How strongly a structural-neighbour boost lifts a page above plain
+/// recency, in units of accesses, scaled by the relationship's affinity
+/// weight (which is <= ~1).
+constexpr double kContextBoostScale = 8.0;
+/// Boost applied to prefetched / prefetch-group pages.
+constexpr double kPrefetchBoost = 6.0;
+/// Probability that reading an object with by-reference inherited
+/// attributes dereferences its inheritance source.
+constexpr double kInheritanceDerefProbability = 0.5;
+}  // namespace
+
+TxnPipeline::TxnPipeline(ServerContext& context)
+    : ctx_(context), rng_(context.config.seed) {}
+
+sim::Task TxnPipeline::ChargeCpu(double instructions) {
+  co_await ctx_.cpu->Use(instructions / (ctx_.config.cpu_mips * 1e6));
+}
+
+sim::Task TxnPipeline::ChargeLogFlushes(int flushes) {
+  for (int i = 0; i < flushes; ++i) {
+    co_await ctx_.io->FlushLog();
+    co_await ChargeCpu(ctx_.config.physical_io_instructions);
+  }
+}
+
+void TxnPipeline::NotePrefetchEviction(
+    const buffer::BufferPool::FixResult& fix) {
+  if (fix.evicted_page == store::kInvalidPage) return;
+  if (prefetched_unused_.erase(fix.evicted_page) == 0) return;
+  ctx_.metrics.Add(ctx_.handles.prefetch_wasted);
+  ctx_.trace.Record(obs::Subsystem::kBuffer,
+                    obs::TraceEventType::kPrefetchWaste, fix.evicted_page);
+}
+
+void TxnPipeline::NotePrefetchDemand(store::PageId page) {
+  if (prefetched_unused_.erase(page) == 0) return;
+  ctx_.metrics.Add(ctx_.handles.prefetch_hits);
+  ctx_.trace.Record(obs::Subsystem::kBuffer,
+                    obs::TraceEventType::kPrefetchHit, page);
+}
+
+sim::Task TxnPipeline::FetchPage(store::PageId page, bool pin) {
+  OODB_CHECK_NE(page, store::kInvalidPage);
+  NotePrefetchDemand(page);
+  if (inflight_.find(page) != inflight_.end()) {
+    // A prefetch for this page is on the disk: join it rather than issuing
+    // a duplicate read.
+    co_await PrefetchJoin(*this, page);
+  }
+  const auto fix = ctx_.buffer->Fix(page);
+  NotePrefetchEviction(fix);
+  // Pin before any suspension: concurrent processes may otherwise evict
+  // the frame while this one waits on the disk.
+  if (pin) ctx_.buffer->Pin(page);
+  if (fix.hit) co_return;
+  co_await ChargeCpu(ctx_.config.physical_io_instructions);
+  if (fix.evicted_dirty) {
+    // Worst case (paper §4.1): flush the dirty page before the read.
+    co_await ctx_.io->Write(fix.evicted_page, io::IoCategory::kDirtyFlush);
+    co_await ChargeCpu(ctx_.config.physical_io_instructions);
+  }
+  co_await ctx_.io->Read(page, io::IoCategory::kDataRead);
+}
+
+void TxnPipeline::StartPrefetch(store::PageId page) {
+  if (inflight_.find(page) != inflight_.end()) return;
+  inflight_.emplace(page, std::vector<std::coroutine_handle<>>{});
+  prefetched_unused_.insert(page);
+  ctx_.metrics.Add(ctx_.handles.prefetch_issued);
+  ctx_.trace.Record(obs::Subsystem::kBuffer,
+                    obs::TraceEventType::kPrefetchIssue, page);
+  ctx_.io->ReadAsync(page, io::IoCategory::kPrefetchRead,
+                     [this, page] { OnPrefetchComplete(page); });
+}
+
+void TxnPipeline::OnPrefetchComplete(store::PageId page) {
+  const auto fix = ctx_.buffer->Fix(page);
+  NotePrefetchEviction(fix);
+  if (!fix.hit && fix.evicted_dirty) {
+    ctx_.io->WriteAsync(fix.evicted_page, io::IoCategory::kDirtyFlush);
+  }
+  ctx_.buffer->Boost(page, kPrefetchBoost);
+  auto it = inflight_.find(page);
+  OODB_CHECK(it != inflight_.end());
+  std::vector<std::coroutine_handle<>> waiters = std::move(it->second);
+  inflight_.erase(it);
+  for (auto h : waiters) h.resume();
+}
+
+void TxnPipeline::PostAccess(obj::ObjectId id) {
+  // Context-sensitive replacement: pages holding this object's structural
+  // relatives gain priority (paper §2.2).
+  if (ctx_.config.replacement ==
+      buffer::ReplacementPolicy::kContextSensitive) {
+    const obj::TypeId type = ctx_.graph->object(id).type;
+    for (const obj::Edge& e : ctx_.graph->object(id).edges) {
+      const store::PageId p = ctx_.storage->PageOf(e.target);
+      if (p == store::kInvalidPage) continue;
+      const double w = ctx_.affinity->Weight(type, e.kind);
+      ctx_.buffer->Boost(p, 1.0 + kContextBoostScale * w);
+    }
+  }
+
+  // Prefetching (paper §2.2): the group follows the user hint or the
+  // type's dominant traversal kind.
+  if (ctx_.config.prefetch == buffer::PrefetchPolicy::kNone) return;
+  const buffer::AccessHint hint =
+      ctx_.config.clustering.use_hints
+          ? buffer::AccessHint::For(ctx_.config.clustering.hint_kind)
+          : buffer::AccessHint::None();
+  const auto group = buffer::ComputePrefetchGroup(
+      *ctx_.graph, *ctx_.storage, id, hint, /*config_depth=*/2,
+      /*max_pages=*/8, &ctx_.trace);
+  for (store::PageId p : group.pages) {
+    if (ctx_.buffer->Contains(p)) {
+      ctx_.buffer->Boost(p, kPrefetchBoost);
+    } else if (ctx_.config.prefetch == buffer::PrefetchPolicy::kWithinDb) {
+      StartPrefetch(p);
+    }
+  }
+}
+
+sim::Task TxnPipeline::AccessObject(obj::ObjectId id, obj::TypeId from_type,
+                                    int nav_kind) {
+  ++logical_reads_;
+  co_await ChargeCpu(ctx_.config.logical_op_instructions);
+  if (nav_kind >= 0) {
+    ctx_.affinity->RecordTraversal(from_type,
+                                   static_cast<obj::RelKind>(nav_kind));
+  }
+  const store::PageId page = ctx_.storage->PageOf(id);
+  if (page != store::kInvalidPage) {
+    co_await FetchPage(page);
+  }
+  PostAccess(id);
+
+  // Dereference by-reference inherited attributes with some probability:
+  // the heir's data partially lives with its inheritance source.
+  if (rng_.Bernoulli(kInheritanceDerefProbability)) {
+    for (const obj::Edge& e : ctx_.graph->object(id).edges) {
+      if (e.kind == obj::RelKind::kInstanceInheritance &&
+          e.dir == obj::Direction::kUp && ctx_.graph->IsLive(e.target)) {
+        ++logical_reads_;
+        ctx_.affinity->RecordTraversal(ctx_.graph->object(id).type,
+                                       obj::RelKind::kInstanceInheritance);
+        const store::PageId sp = ctx_.storage->PageOf(e.target);
+        if (sp != store::kInvalidPage) co_await FetchPage(sp);
+        break;  // one dereference is representative
+      }
+    }
+  }
+}
+
+sim::Task TxnPipeline::ReadQuery(const workload::TransactionSpec& spec) {
+  const obj::ObjectId target = spec.target;
+  if (!ctx_.graph->IsLive(target)) co_return;
+  const obj::TypeId ttype = ctx_.graph->object(target).type;
+  co_await AccessObject(target, ttype, -1);
+
+  switch (spec.type) {
+    case workload::QueryType::kSimpleLookup:
+      break;
+    case workload::QueryType::kComponentRetrieval: {
+      for (obj::ObjectId c : ctx_.graph->Components(target)) {
+        if (ctx_.graph->IsLive(c)) {
+          co_await AccessObject(
+              c, ttype, static_cast<int>(obj::RelKind::kConfiguration));
+        }
+      }
+      break;
+    }
+    case workload::QueryType::kCompositeRetrieval: {
+      // Deep retrieval: materialise the whole configuration subtree.
+      // Attachments are unvalidated (as in OCT), so the configuration
+      // graph may contain cycles: guard with a visited set and a bound.
+      constexpr size_t kMaxRetrieval = 512;
+      std::vector<obj::ObjectId> stack = ctx_.graph->Components(target);
+      std::unordered_set<obj::ObjectId> visited{target};
+      while (!stack.empty() && visited.size() < kMaxRetrieval) {
+        const obj::ObjectId o = stack.back();
+        stack.pop_back();
+        if (!ctx_.graph->IsLive(o) || !visited.insert(o).second) continue;
+        co_await AccessObject(
+            o, ttype, static_cast<int>(obj::RelKind::kConfiguration));
+        for (obj::ObjectId c : ctx_.graph->Components(o)) {
+          stack.push_back(c);
+        }
+      }
+      break;
+    }
+    case workload::QueryType::kDescendantVersions: {
+      for (obj::ObjectId d : ctx_.graph->Descendants(target)) {
+        if (ctx_.graph->IsLive(d)) {
+          co_await AccessObject(
+              d, ttype, static_cast<int>(obj::RelKind::kVersionHistory));
+        }
+      }
+      break;
+    }
+    case workload::QueryType::kAncestorVersions: {
+      for (obj::ObjectId a : ctx_.graph->Ancestors(target)) {
+        if (ctx_.graph->IsLive(a)) {
+          co_await AccessObject(
+              a, ttype, static_cast<int>(obj::RelKind::kVersionHistory));
+        }
+      }
+      break;
+    }
+    case workload::QueryType::kCorresponding: {
+      for (obj::ObjectId c : ctx_.graph->Correspondents(target)) {
+        if (ctx_.graph->IsLive(c)) {
+          co_await AccessObject(
+              c, ttype, static_cast<int>(obj::RelKind::kCorrespondence));
+        }
+      }
+      break;
+    }
+    case workload::QueryType::kObjectWrite:
+      OODB_CHECK(false);  // handled by WriteQuery
+      break;
+  }
+}
+
+sim::Task TxnPipeline::LogAndDirty(txlog::TxnId txn, store::PageId page,
+                                   uint32_t object_size) {
+  ++logical_writes_;
+  co_await ChargeCpu(ctx_.config.logical_op_instructions);
+  // The object may have been deleted by a concurrent transaction between
+  // target selection and this write; the write then degenerates to a log
+  // record with no page touch.
+  if (page == store::kInvalidPage) {
+    co_await ChargeLogFlushes(ctx_.log->LogWrite(txn, page, object_size));
+    co_return;
+  }
+  co_await FetchPage(page, /*pin=*/true);  // read-modify-write
+  ctx_.buffer->MarkDirty(page);
+  ctx_.buffer->Unpin(page);
+  co_await ChargeLogFlushes(ctx_.log->LogWrite(txn, page, object_size));
+}
+
+sim::Task TxnPipeline::WriteObject(txlog::TxnId txn, obj::ObjectId id) {
+  // Object-level write that tolerates concurrent deletion: resolves the
+  // page and size only if the object is still live and placed.
+  if (ctx_.graph->IsLive(id) && ctx_.storage->IsPlaced(id)) {
+    co_await LogAndDirty(txn, ctx_.storage->PageOf(id),
+                         ctx_.storage->SizeOf(id));
+  } else {
+    ++logical_writes_;
+    co_await ChargeCpu(ctx_.config.logical_op_instructions);
+    co_await ChargeLogFlushes(
+        ctx_.log->LogWrite(txn, store::kInvalidPage, 64));
+  }
+}
+
+sim::Task TxnPipeline::ChargeExamReads(
+    const cluster::PlacementReport& report) {
+  // Candidate pages examined on disk: demand reads charged to the writer,
+  // and the pages enter the buffer pool (they were just read).
+  for (store::PageId p : report.exam_reads) {
+    const auto fix = ctx_.buffer->Fix(p);
+    NotePrefetchEviction(fix);
+    if (!fix.hit) {
+      if (fix.evicted_dirty) {
+        co_await ctx_.io->Write(fix.evicted_page,
+                                io::IoCategory::kDirtyFlush);
+      }
+      co_await ctx_.io->Read(p, io::IoCategory::kClusterRead);
+      co_await ChargeCpu(ctx_.config.physical_io_instructions);
+    }
+  }
+}
+
+sim::Task TxnPipeline::ChargeSplit(txlog::TxnId txn,
+                                   const cluster::PlacementReport& report) {
+  co_await ChargeCpu(
+      ctx_.config.clustering.split == cluster::SplitPolicy::kExhaustive
+          ? ctx_.config.split_exhaustive_instructions
+          : ctx_.config.split_linear_instructions);
+  // The newly allocated page is flushed and the change logged
+  // (paper §5.1.2: one extra I/O plus one extra log record).
+  NotePrefetchEviction(ctx_.buffer->Fix(report.split_new_page));
+  ctx_.buffer->MarkDirty(report.split_new_page);
+  co_await ctx_.io->Write(report.split_new_page, io::IoCategory::kDataWrite);
+  co_await ChargeLogFlushes(ctx_.log->LogWrite(
+      txn, report.split_new_page, ctx_.config.page_size_bytes / 4));
+}
+
+sim::Task TxnPipeline::ChargePlacement(txlog::TxnId txn,
+                                       const cluster::PlacementReport& report,
+                                       obj::ObjectId placed) {
+  co_await ChargeExamReads(report);
+  if (report.split) co_await ChargeSplit(txn, report);
+  // The write of the placed object itself.
+  co_await LogAndDirty(txn, report.page, ctx_.storage->SizeOf(placed));
+}
+
+sim::Task TxnPipeline::ReclusterAfterStructureChange(txlog::TxnId txn,
+                                                     obj::ObjectId id) {
+  if (ctx_.config.clustering.pool == cluster::CandidatePool::kNoClustering) {
+    co_return;
+  }
+  if (!ctx_.graph->IsLive(id) || !ctx_.storage->IsPlaced(id)) co_return;
+  co_await ChargeCpu(ctx_.config.cluster_decision_instructions);
+  const auto report = ctx_.cluster->Recluster(id);
+  co_await ChargeExamReads(report);
+  if (report.split) co_await ChargeSplit(txn, report);
+  if (report.relocated) {
+    // Moving the object modifies both its old and its new page.
+    const uint32_t size = ctx_.storage->SizeOf(id);
+    co_await LogAndDirty(txn, report.page, size);
+    if (report.old_page != store::kInvalidPage &&
+        report.old_page != report.page) {
+      co_await LogAndDirty(txn, report.old_page, size);
+    }
+  }
+}
+
+sim::Task TxnPipeline::WriteQuery(const workload::TransactionSpec& spec,
+                                  txlog::TxnId txn) {
+  workload::DesignDatabase::Module& module = ctx_.db.modules[spec.module];
+  obj::ObjectId target = spec.target;
+  if (!ctx_.graph->IsLive(target)) co_return;
+
+  switch (spec.write_kind) {
+    case workload::WriteKind::kSimpleUpdate: {
+      // A "save edit": the target plus most of its immediate components
+      // are rewritten in one transaction (the paper's checkin invokes
+      // several updates). Co-located components then share before-imaged
+      // pages — the Fig 5.5 mechanism.
+      co_await WriteObject(txn, target);
+      int updated = 0;
+      for (obj::ObjectId c : ctx_.graph->Components(target)) {
+        if (updated >= 6) break;
+        if (!rng_.Bernoulli(0.7)) continue;
+        co_await WriteObject(txn, c);
+        ++updated;
+      }
+      break;
+    }
+    case workload::WriteKind::kStructureWrite: {
+      obj::ObjectId other = spec.other;
+      if (other == obj::kInvalidObject || !ctx_.graph->IsLive(other) ||
+          other == target) {
+        // Attachment end vanished: degrade to a simple update.
+        co_await WriteObject(txn, target);
+        break;
+      }
+      const obj::RelKind kind = rng_.Bernoulli(0.6)
+                                    ? obj::RelKind::kConfiguration
+                                    : obj::RelKind::kCorrespondence;
+      ctx_.graph->Relate(target, other, kind);
+      if (kind == obj::RelKind::kCorrespondence) {
+        module.corresponding.push_back(target);
+        module.corresponding.push_back(other);
+      } else if (std::find(module.composites.begin(),
+                           module.composites.end(),
+                           target) == module.composites.end()) {
+        module.composites.push_back(target);
+      }
+      co_await WriteObject(txn, target);
+      co_await WriteObject(txn, other);
+      // Both endpoints' structures changed: run-time reclustering.
+      co_await ReclusterAfterStructureChange(txn, target);
+      co_await ReclusterAfterStructureChange(txn, other);
+      break;
+    }
+    case workload::WriteKind::kInsertObject: {
+      const obj::DesignObject& parent = ctx_.graph->object(target);
+      const uint32_t size = std::max<uint32_t>(
+          32, static_cast<uint32_t>(
+                  rng_.Exponential(ctx_.config.database.mean_object_bytes)));
+      const obj::ObjectId child = ctx_.graph->Create(
+          parent.family, parent.version, ctx_.types.leaf,
+          std::min(size, ctx_.config.page_size_bytes / 4));
+      ctx_.graph->Relate(target, child, obj::RelKind::kConfiguration);
+      const auto report = ctx_.cluster->PlaceNew(child);
+      co_await ChargePlacement(txn, report, child);
+      module.objects.push_back(child);
+      break;
+    }
+    case workload::WriteKind::kDeriveVersion: {
+      const auto derived =
+          obj::DeriveVersion(*ctx_.graph, target, ctx_.inherit_model);
+      const auto report = ctx_.cluster->PlaceNew(derived.heir);
+      co_await ChargePlacement(txn, report, derived.heir);
+      module.objects.push_back(derived.heir);
+      module.versioned.push_back(target);
+      module.versioned.push_back(derived.heir);
+      break;
+    }
+    case workload::WriteKind::kDeleteObject: {
+      if (!ctx_.graph->Components(target).empty() ||
+          !ctx_.graph->Descendants(target).empty() ||
+          target == module.root) {
+        // Keep the catalogue navigable: only leaves are deleted.
+        co_await WriteObject(txn, target);
+        break;
+      }
+      co_await WriteObject(txn, target);
+      // Re-check after the awaits: a concurrent transaction may have
+      // deleted the object first.
+      if (ctx_.graph->IsLive(target) && ctx_.storage->IsPlaced(target)) {
+        OODB_CHECK(ctx_.storage->Erase(target).ok());
+        ctx_.graph->Remove(target);
+      }
+      break;
+    }
+  }
+}
+
+sim::Task TxnPipeline::ExecuteTransaction(
+    const workload::TransactionSpec& spec) {
+  const txlog::TxnId txn = next_txn_++;
+  const double start = ctx_.sim.now();
+  ctx_.trace.Record(obs::Subsystem::kCore, obs::TraceEventType::kTxnBegin,
+                    txn, static_cast<uint64_t>(spec.type));
+  ctx_.log->Begin(txn);
+  if (spec.type == workload::QueryType::kObjectWrite) {
+    co_await WriteQuery(spec, txn);
+  } else {
+    co_await ReadQuery(spec);
+  }
+  co_await ChargeLogFlushes(
+      ctx_.log->Commit(txn, ctx_.config.force_log_at_commit));
+  ctx_.trace.Record(obs::Subsystem::kCore, obs::TraceEventType::kTxnEnd,
+                    txn, static_cast<uint64_t>(spec.type), 0,
+                    ctx_.sim.now() - start);
+}
+
+void TxnPipeline::ResetMeasurementState() {
+  prefetched_unused_.clear();
+  logical_reads_ = 0;
+  logical_writes_ = 0;
+}
+
+}  // namespace oodb::core

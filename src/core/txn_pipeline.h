@@ -1,0 +1,125 @@
+#ifndef SEMCLUST_CORE_TXN_PIPELINE_H_
+#define SEMCLUST_CORE_TXN_PIPELINE_H_
+
+#include <coroutine>
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/server_context.h"
+#include "sim/process.h"
+#include "util/random.h"
+
+/// \file
+/// The coroutine transaction-execution layer: the read/write/recluster
+/// primitives that charge CPU, disk, and log costs against a wired
+/// ServerContext (paper §4.1's per-call cost model), plus the buffer-
+/// semantics hooks (context-sensitive boosts and prefetching, §2.2) and
+/// the prefetch-effectiveness bookkeeping. Holds the model's single
+/// random stream, so the draw sequence is exactly the monolithic
+/// model's. No measurement state lives here — the controller observes
+/// transactions from the outside.
+
+namespace oodb::core {
+
+class TxnPipeline {
+ public:
+  explicit TxnPipeline(ServerContext& context);
+
+  TxnPipeline(const TxnPipeline&) = delete;
+  TxnPipeline& operator=(const TxnPipeline&) = delete;
+
+  /// Runs one transaction end to end: begin, read or write body, commit
+  /// (with the configured log-force policy), trace records included.
+  sim::Task ExecuteTransaction(const workload::TransactionSpec& spec);
+
+  // Logical-operation counters (cumulative; reset at the measurement
+  // boundary by the controller).
+  uint64_t logical_reads() const { return logical_reads_; }
+  uint64_t logical_writes() const { return logical_writes_; }
+
+  /// Resets the logical counters and forgets warmup-era prefetches, so
+  /// the measured window keeps the invariant hits + wasted <= issued.
+  void ResetMeasurementState();
+
+ private:
+  // Read-side primitives.
+  sim::Task AccessObject(obj::ObjectId id, obj::TypeId from_type,
+                         int nav_kind);
+  /// Makes `page` resident, charging I/O. With `pin`, the page is pinned
+  /// before any suspension and stays pinned on return (caller unpins) —
+  /// required when the caller mutates the frame after the awaits.
+  sim::Task FetchPage(store::PageId page, bool pin = false);
+  sim::Task ReadQuery(const workload::TransactionSpec& spec);
+
+  // Write-side primitives.
+  sim::Task WriteQuery(const workload::TransactionSpec& spec,
+                       txlog::TxnId txn);
+  sim::Task LogAndDirty(txlog::TxnId txn, store::PageId page,
+                        uint32_t object_size);
+  /// Object-level write that tolerates concurrent deletion of `id`.
+  sim::Task WriteObject(txlog::TxnId txn, obj::ObjectId id);
+  sim::Task ChargeExamReads(const cluster::PlacementReport& report);
+  sim::Task ChargeSplit(txlog::TxnId txn,
+                        const cluster::PlacementReport& report);
+  sim::Task ChargePlacement(txlog::TxnId txn,
+                            const cluster::PlacementReport& report,
+                            obj::ObjectId placed);
+  sim::Task ReclusterAfterStructureChange(txlog::TxnId txn,
+                                          obj::ObjectId id);
+
+  sim::Task ChargeCpu(double instructions);
+  sim::Task ChargeLogFlushes(int flushes);
+
+  // Buffer-semantics hooks (boosts + prefetch) after an object access.
+  void PostAccess(obj::ObjectId id);
+  void StartPrefetch(store::PageId page);
+  void OnPrefetchComplete(store::PageId page);
+
+  /// Awaits completion of an in-flight prefetch of `page`.
+  class PrefetchJoin {
+   public:
+    PrefetchJoin(TxnPipeline& pipeline, store::PageId page)
+        : pipeline_(pipeline), page_(page) {}
+    bool await_ready() const {
+      return pipeline_.inflight_.find(page_) == pipeline_.inflight_.end();
+    }
+    void await_suspend(std::coroutine_handle<> h) {
+      pipeline_.inflight_[page_].push_back(h);
+    }
+    void await_resume() {}
+
+   private:
+    TxnPipeline& pipeline_;
+    store::PageId page_;
+  };
+
+  /// Prefetch-effectiveness bookkeeping around a Fix: if the eviction the
+  /// fix caused threw out a prefetched-but-never-referenced page, that
+  /// prefetch was wasted.
+  void NotePrefetchEviction(const buffer::BufferPool::FixResult& fix);
+  /// Records a demand access to `page`; a pending prefetch of it counts
+  /// as a prefetch hit.
+  void NotePrefetchDemand(store::PageId page);
+
+  ServerContext& ctx_;
+  Rng rng_;
+
+  txlog::TxnId next_txn_ = 1;
+  uint64_t logical_reads_ = 0;
+  uint64_t logical_writes_ = 0;
+
+  // In-flight prefetch reads: page -> waiting processes.
+  std::unordered_map<store::PageId, std::vector<std::coroutine_handle<>>>
+      inflight_;
+
+  // Pages brought in (or being brought in) by prefetch that no demand
+  // access has referenced yet: a later demand access scores a hit, an
+  // eviction first scores a waste.
+  std::unordered_set<store::PageId> prefetched_unused_;
+};
+
+}  // namespace oodb::core
+
+#endif  // SEMCLUST_CORE_TXN_PIPELINE_H_

@@ -4,8 +4,8 @@
 #include <cstdint>
 #include <vector>
 
-#include "core/engineering_db.h"
 #include "core/model_config.h"
+#include "core/run_result.h"
 #include "obs/metrics.h"
 #include "obs/time_series.h"
 

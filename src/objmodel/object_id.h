@@ -33,6 +33,12 @@ enum class RelKind : uint8_t {
 };
 inline constexpr int kNumRelKinds = 4;
 
+/// Every relationship kind, in enum order (for name registries and
+/// per-kind sweeps).
+inline constexpr RelKind kAllRelKinds[] = {
+    RelKind::kConfiguration, RelKind::kVersionHistory,
+    RelKind::kCorrespondence, RelKind::kInstanceInheritance};
+
 /// Short display name ("configuration", ...).
 const char* RelKindName(RelKind kind);
 

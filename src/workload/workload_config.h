@@ -24,6 +24,12 @@ enum class StructureDensity : uint8_t {
 
 const char* StructureDensityName(StructureDensity d);
 
+/// Every density level, in the paper's x-axis order. The experiment grids
+/// and the policy registry iterate this list.
+inline constexpr StructureDensity kAllStructureDensities[] = {
+    StructureDensity::kLow3, StructureDensity::kMed5,
+    StructureDensity::kHigh10};
+
 /// Inclusive configuration fan-out range for a density level.
 struct FanoutRange {
   int min_fanout = 1;

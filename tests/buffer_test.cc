@@ -228,8 +228,9 @@ INSTANTIATE_TEST_SUITE_P(Policies, AllPoliciesTest,
                          ::testing::Values(ReplacementPolicy::kLru,
                                            ReplacementPolicy::kRandom,
                                            ReplacementPolicy::kContextSensitive),
-                         [](const auto& info) {
-                           std::string name = ReplacementPolicyName(info.param);
+                         [](const auto& param_info) {
+                           std::string name =
+                               ReplacementPolicyName(param_info.param);
                            std::erase_if(name, [](char c) {
                              return !std::isalnum(static_cast<unsigned char>(c));
                            });

@@ -210,5 +210,76 @@ TEST(ExperimentTest, WithWorkloadPropagatesDensityToDatabase) {
   EXPECT_EQ(out.database.density, workload::StructureDensity::kHigh10);
 }
 
+TEST(ModelConfigTest, DefaultConfigsValidate) {
+  EXPECT_TRUE(ModelConfig{}.Validate().ok());
+  EXPECT_TRUE(ScaledConfig().Validate().ok());
+  EXPECT_TRUE(TestConfig().Validate().ok());
+  EXPECT_TRUE(PaperScaleConfig().Validate().ok());
+}
+
+TEST(ModelConfigTest, ValidateNamesTheOffendingField) {
+  const auto expect_invalid = [](const ModelConfig& cfg,
+                                 const std::string& field) {
+    const Status st = cfg.Validate();
+    EXPECT_FALSE(st.ok()) << field;
+    EXPECT_NE(st.message().find(field), std::string::npos) << st.message();
+  };
+
+  ModelConfig cfg = TestConfig();
+  cfg.num_users = 0;
+  expect_invalid(cfg, "num_users");
+
+  cfg = TestConfig();
+  cfg.num_disks = -1;
+  expect_invalid(cfg, "num_disks");
+
+  cfg = TestConfig();
+  cfg.database_bytes = 0;
+  expect_invalid(cfg, "database_bytes");
+
+  cfg = TestConfig();
+  cfg.page_size_bytes = 0;
+  expect_invalid(cfg, "page_size_bytes");
+
+  cfg = TestConfig();
+  cfg.buffer_pages = 7;
+  expect_invalid(cfg, "buffer_pages");
+
+  cfg = TestConfig();
+  cfg.measured_transactions = 0;
+  expect_invalid(cfg, "measured_transactions");
+
+  cfg = TestConfig();
+  cfg.warmup_transactions = -5;
+  expect_invalid(cfg, "warmup_transactions");
+
+  cfg = TestConfig();
+  cfg.measurement_epochs = 0;
+  expect_invalid(cfg, "measurement_epochs");
+
+  cfg = TestConfig();
+  cfg.rw_ratio_schedule = {10.0, 0.0};
+  expect_invalid(cfg, "rw_ratio_schedule[1]");
+}
+
+TEST(ModelConfigTest, ScaledBuffersClampsToEightPages) {
+  ModelConfig cfg = TestConfig();  // 2 MB: 100/131072 of 512 pages -> clamp
+  EXPECT_EQ(cfg.BufferSmall(), 8u);
+
+  // Degenerate sizes land on the same floor instead of dividing by zero.
+  cfg.page_size_bytes = 0;
+  EXPECT_EQ(cfg.ScaledBuffers(1000), 8u);
+  cfg = TestConfig();
+  cfg.database_bytes = 0;
+  EXPECT_EQ(cfg.ScaledBuffers(1000), 8u);
+
+  // At paper scale the levels come back close to the paper's own numbers
+  // (the ratio denominator is 131072 = 512 MB of 4 KB pages, the database
+  // is 500 MB, hence ~2% under).
+  ModelConfig paper = PaperScaleConfig();
+  EXPECT_NEAR(static_cast<double>(paper.ScaledBuffers(1000)), 1000.0, 25.0);
+  EXPECT_NEAR(static_cast<double>(paper.ScaledBuffers(100)), 100.0, 3.0);
+}
+
 }  // namespace
 }  // namespace oodb::core

@@ -89,8 +89,8 @@ INSTANTIATE_TEST_SUITE_P(
                       cluster::CandidatePool::kWithinBuffer,
                       cluster::CandidatePool::kIoLimit,
                       cluster::CandidatePool::kWithinDb),
-    [](const auto& info) {
-      return std::string(cluster::CandidatePoolName(info.param))
+    [](const auto& param_info) {
+      return std::string(cluster::CandidatePoolName(param_info.param))
           .substr(0, 20);
     });
 

@@ -1,0 +1,320 @@
+#include "gtest/gtest.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include "core/engineering_db.h"
+#include "core/experiment.h"
+#include "core/policy_registry.h"
+#include "core/scenario.h"
+#include "exec/experiment_runner.h"
+#include "util/json_reader.h"
+
+namespace oodb::core {
+namespace {
+
+// ---------------------------------------------------------------- JSON DOM
+
+TEST(JsonReaderTest, ParsesNestedDocument) {
+  const auto doc = JsonValue::Parse(
+      R"({"a": 1, "b": [true, null, "x\ny"], "c": {"d": 2.5}})");
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  ASSERT_TRUE(doc->is_object());
+  ASSERT_EQ(doc->members().size(), 3u);
+  // Members keep source order.
+  EXPECT_EQ(doc->members()[0].first, "a");
+  EXPECT_EQ(doc->members()[2].first, "c");
+  EXPECT_EQ(doc->Find("a")->number_value(), 1.0);
+  const JsonValue* b = doc->Find("b");
+  ASSERT_TRUE(b != nullptr && b->is_array());
+  ASSERT_EQ(b->items().size(), 3u);
+  EXPECT_TRUE(b->items()[0].bool_value());
+  EXPECT_TRUE(b->items()[1].is_null());
+  EXPECT_EQ(b->items()[2].string_value(), "x\ny");
+  EXPECT_EQ(doc->Find("c")->Find("d")->number_value(), 2.5);
+  EXPECT_EQ(doc->Find("missing"), nullptr);
+}
+
+TEST(JsonReaderTest, LargeIntegersSurviveViaSourceText) {
+  // 2^53 + 1 is not representable as a double; the uint view must be exact.
+  const auto doc = JsonValue::Parse("{\"seed\": 9007199254740993}");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->Find("seed")->uint_value(), 9007199254740993ull);
+  EXPECT_EQ(doc->Find("seed")->number_text(), "9007199254740993");
+}
+
+TEST(JsonReaderTest, ErrorsCarryByteOffsets) {
+  for (const char* bad : {"{", "[1,2] junk", "{\"a\" 1}", "tru", ""}) {
+    const auto doc = JsonValue::Parse(bad);
+    EXPECT_FALSE(doc.ok()) << bad;
+    EXPECT_NE(doc.status().message().find("offset"), std::string::npos)
+        << doc.status().ToString();
+  }
+}
+
+// --------------------------------------------------------- policy registry
+
+TEST(PolicyRegistryTest, EveryEnumValueResolvesByItsCanonicalName) {
+  const PolicyRegistry& reg = PolicyRegistry::Global();
+  using R = buffer::ReplacementPolicy;
+  for (R p : {R::kLru, R::kContextSensitive, R::kRandom}) {
+    EXPECT_EQ(reg.Replacement(buffer::ReplacementPolicyName(p)), p);
+  }
+  using P = buffer::PrefetchPolicy;
+  for (P p : {P::kNone, P::kWithinBuffer, P::kWithinDb}) {
+    EXPECT_EQ(reg.Prefetch(buffer::PrefetchPolicyName(p)), p);
+  }
+  using C = cluster::CandidatePool;
+  for (C p : {C::kNoClustering, C::kWithinBuffer, C::kIoLimit, C::kWithinDb}) {
+    EXPECT_EQ(reg.CandidatePool(cluster::CandidatePoolName(p)), p);
+  }
+  using S = cluster::SplitPolicy;
+  for (S p : {S::kNoSplit, S::kLinearGreedy, S::kExhaustive}) {
+    EXPECT_EQ(reg.Split(cluster::SplitPolicyName(p)), p);
+  }
+  using D = workload::StructureDensity;
+  for (D d : {D::kLow3, D::kMed5, D::kHigh10}) {
+    EXPECT_EQ(reg.Density(workload::StructureDensityName(d)), d);
+  }
+  using K = obj::RelKind;
+  for (K k : {K::kConfiguration, K::kVersionHistory, K::kCorrespondence,
+              K::kInstanceInheritance}) {
+    EXPECT_EQ(reg.Relationship(obj::RelKindName(k)), k);
+  }
+}
+
+TEST(PolicyRegistryTest, LookupsNormalizeCaseAndSeparators) {
+  const PolicyRegistry& reg = PolicyRegistry::Global();
+  EXPECT_EQ(reg.CandidatePool("cluster within buffer"),
+            cluster::CandidatePool::kWithinBuffer);
+  EXPECT_EQ(reg.CandidatePool("CLUSTER-WITHIN-BUFFER"),
+            cluster::CandidatePool::kWithinBuffer);
+  EXPECT_EQ(reg.Replacement("context"),
+            buffer::ReplacementPolicy::kContextSensitive);
+  EXPECT_EQ(reg.Prefetch("p_db"), buffer::PrefetchPolicy::kWithinDb);
+  EXPECT_EQ(reg.Split("linear"), cluster::SplitPolicy::kLinearGreedy);
+  EXPECT_EQ(reg.Density("HIGH"), workload::StructureDensity::kHigh10);
+  EXPECT_FALSE(reg.Split("bogus").has_value());
+  EXPECT_FALSE(reg.Replacement("").has_value());
+}
+
+TEST(PolicyRegistryTest, CanonicalNamesAreTheDisplayNames) {
+  const PolicyRegistry& reg = PolicyRegistry::Global();
+  EXPECT_EQ(reg.CanonicalNames(PolicyAxis::kReplacement).size(), 3u);
+  EXPECT_EQ(reg.CanonicalNames(PolicyAxis::kPrefetch).size(), 3u);
+  EXPECT_EQ(reg.CanonicalNames(PolicyAxis::kCandidatePool).size(), 4u);
+  EXPECT_EQ(reg.CanonicalNames(PolicyAxis::kSplit).size(), 3u);
+  EXPECT_EQ(reg.CanonicalNames(PolicyAxis::kDensity).size(), 3u);
+  EXPECT_EQ(reg.CanonicalNames(PolicyAxis::kRelKind).size(), 4u);
+  // Aliases never displace the canonical spelling.
+  EXPECT_EQ(reg.CanonicalNames(PolicyAxis::kReplacement)[0], "LRU");
+  EXPECT_EQ(reg.CanonicalNames(PolicyAxis::kCandidatePool)[0],
+            "No_Clustering");
+  EXPECT_NE(reg.KnownNames(PolicyAxis::kPrefetch).find("No_prefetch"),
+            std::string::npos);
+}
+
+// ----------------------------------------------------------------- scenario
+
+// The committed fig5_1 scenario, inlined (the file itself is exercised by
+// the CI smoke run; this keeps the unit test working-directory-agnostic).
+constexpr char kFig51Scenario[] = R"json({
+  "name": "fig5_1_fast",
+  "bench": "Figure 5.1",
+  "config": {
+    "buffer_level": "medium",
+    "warmup_transactions": 100,
+    "measured_transactions": 500,
+    "seed": 1
+  },
+  "sweep": {
+    "clustering": "figure5_1",
+    "workload": "standard_grid"
+  }
+})json";
+
+TEST(ScenarioTest, Fig51ExpandsToTheBenchGridInBenchOrder) {
+  const auto spec = ParseScenario(kFig51Scenario);
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  EXPECT_EQ(spec->bench, "Figure 5.1");
+  EXPECT_EQ(spec->base.buffer_pages, spec->base.BufferMedium());
+
+  const auto cells = spec->Expand();
+  const auto policies = ClusteringPolicyLevels();
+  const auto grid = StandardWorkloadGrid();
+  ASSERT_EQ(cells.size(), policies.size() * grid.size());
+
+  // Clustering-major, workload-minor — exactly RunClusteringGrid's batch
+  // order, with FillDefaultLabels' labels.
+  size_t i = 0;
+  for (const auto& policy : policies) {
+    for (const auto& w : grid) {
+      SCOPED_TRACE(cells[i].cell_label);
+      EXPECT_EQ(cells[i].policy, policy.Label());
+      EXPECT_EQ(cells[i].workload, w.Label());
+      EXPECT_EQ(cells[i].cell_label, policy.Label() + "/" + w.Label());
+      EXPECT_EQ(cells[i].config.clustering.pool, policy.pool);
+      EXPECT_EQ(cells[i].config.clustering.io_limit, policy.io_limit);
+      EXPECT_EQ(cells[i].config.workload.density, w.density);
+      EXPECT_EQ(cells[i].config.database.density, w.density);
+      EXPECT_EQ(cells[i].config.workload.read_write_ratio,
+                w.read_write_ratio);
+      EXPECT_EQ(cells[i].config.warmup_transactions, 100);
+      EXPECT_EQ(cells[i].config.measured_transactions, 500);
+      EXPECT_EQ(cells[i].config.seed, 1u);
+      ++i;
+    }
+  }
+  EXPECT_EQ(cells.front().cell_label, "No_Clustering/low3-5");
+  EXPECT_EQ(cells.back().cell_label, "No_limit/hi10-100");
+}
+
+TEST(ScenarioTest, ParseSerializeRoundTripIsStable) {
+  const auto first = ParseScenario(R"json({
+    "name": "roundtrip",
+    "description": "every axis populated",
+    "config": {
+      "buffer_pages": 64,
+      "replacement": "Context-sensitive",
+      "prefetch": "p_DB",
+      "warmup_transactions": 10,
+      "measured_transactions": 60,
+      "measurement_epochs": 2,
+      "rw_ratio_schedule": [5, 100],
+      "seed": 9007199254740993,
+      "workload": {"density": "hi10", "rw_ratio": 100},
+      "clustering": {"pool": "With_IO_limit", "io_limit": 4,
+                     "split": "Linear_Split", "use_hints": true,
+                     "hint_kind": "version-history", "hint_boost": 2.5}
+    },
+    "sweep": {
+      "clustering": ["No_Clustering", {"pool": "No_limit"}],
+      "workload": [{"density": "low3", "rw_ratio": 5}],
+      "replacement": ["LRU", "Random"],
+      "prefetch": ["No_prefetch"],
+      "buffer_pages": [64, "medium"]
+    }
+  })json");
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_EQ(first->base.seed, 9007199254740993ull);
+  EXPECT_EQ(first->base.replacement,
+            buffer::ReplacementPolicy::kContextSensitive);
+  EXPECT_EQ(first->base.clustering.split, cluster::SplitPolicy::kLinearGreedy);
+  EXPECT_TRUE(first->base.clustering.use_hints);
+  ASSERT_EQ(first->clustering.size(), 2u);
+  // Sweep entries inherit unset fields from the base clustering config.
+  EXPECT_EQ(first->clustering[1].pool, cluster::CandidatePool::kWithinDb);
+  EXPECT_EQ(first->clustering[1].split, cluster::SplitPolicy::kLinearGreedy);
+  ASSERT_EQ(first->buffer_pages.size(), 2u);
+  EXPECT_EQ(first->buffer_pages[1], first->base.BufferMedium());
+
+  const std::string json = first->ToJson();
+  const auto second = ParseScenario(json);
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_EQ(json, second->ToJson());
+
+  // Expansion order: replacement (outer) x prefetch x buffers x clustering
+  // x workload (inner); multi-level axes prefix the policy label.
+  const auto cells = first->Expand();
+  ASSERT_EQ(cells.size(), 2u * 1u * 2u * 2u * 1u);
+  EXPECT_EQ(cells.front().policy, "LRU_64buf_No_Clustering");
+  EXPECT_EQ(cells.back().policy,
+            "Random_" + std::to_string(first->base.BufferMedium()) +
+                "buf_No_limit");
+}
+
+TEST(ScenarioTest, ActionableErrors) {
+  const auto expect_error = [](const char* json, const std::string& needle) {
+    const auto spec = ParseScenario(json);
+    ASSERT_FALSE(spec.ok()) << json;
+    EXPECT_NE(spec.status().message().find(needle), std::string::npos)
+        << spec.status().ToString();
+  };
+  expect_error(R"({"name": "x", "bogus": 1})", "bogus");
+  expect_error(R"({"config": {}})", "\"name\" is required");
+  expect_error(R"({"name": "x", "config": {"replacement": "FIFO"}})",
+               "known: LRU, Context-sensitive, Random");
+  expect_error(R"({"name": "x", "config": {"warmup": 1}})",
+               "unknown key \"warmup\"");
+  expect_error(
+      R"({"name": "x", "config": {"buffer_pages": 64, "buffer_level": "medium"}})",
+      "not both");
+  expect_error(R"({"name": "x", "config": {"buffer_level": "huge"}})",
+               "small, medium, large");
+  expect_error(R"({"name": "x", "config": {"measured_transactions": 0}})",
+               "measured_transactions");
+  expect_error(R"({"name": "x", "sweep": {"buffer_pages": [4]}})",
+               "at least 8 frames");
+  expect_error(R"({"name": "x", "sweep": {"clustering": "figure9"}})",
+               "figure5_1");
+  expect_error(R"({"name": "x", "config": {"seed": "one"}})",
+               "config.seed");
+}
+
+TEST(ScenarioTest, LoadScenarioFileReadsAndReportsPath) {
+  const std::string path = testing::TempDir() + "/t.scenario.json";
+  {
+    std::ofstream out(path);
+    out << kFig51Scenario;
+  }
+  const auto spec = LoadScenarioFile(path);
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  EXPECT_EQ(spec->name, "fig5_1_fast");
+  std::remove(path.c_str());
+
+  const auto missing = LoadScenarioFile(path + ".nope");
+  EXPECT_FALSE(missing.ok());
+
+  {
+    std::ofstream out(path);
+    out << "{ not json";
+  }
+  const auto bad = LoadScenarioFile(path);
+  ASSERT_FALSE(bad.ok());
+  // Parse failures name the file.
+  EXPECT_NE(bad.status().message().find(path), std::string::npos)
+      << bad.status().ToString();
+  std::remove(path.c_str());
+}
+
+// The tentpole's behaviour-preservation check at unit scale: a scenario
+// cell run through the ExperimentRunner (the semclust_run path) produces
+// the identical RunResult as the facade driven directly with the same
+// derived seed (the legacy path).
+TEST(ScenarioTest, FacadeEquivalenceWithDirectModelRun) {
+  const auto spec = ParseScenario(R"json({
+    "name": "facade_equivalence",
+    "config": {
+      "database_bytes": 2097152,
+      "buffer_pages": 64,
+      "warmup_transactions": 50,
+      "measured_transactions": 300,
+      "seed": 7
+    }
+  })json");
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  const auto cells = spec->Expand();
+  ASSERT_EQ(cells.size(), 1u);
+
+  const exec::ExperimentRunner runner(1);
+  const auto outcomes = runner.Run({cells[0].config});
+  ASSERT_EQ(outcomes.size(), 1u);
+
+  ModelConfig direct = TestConfig();
+  direct.seed = exec::ExperimentRunner::CellSeed(7, 0);
+  direct.cell_index = 0;
+  EngineeringDbModel model(direct);
+  const RunResult expected = model.Run();
+
+  const RunResult& got = outcomes[0].result;
+  EXPECT_DOUBLE_EQ(got.response_time.Mean(), expected.response_time.Mean());
+  EXPECT_EQ(got.transactions, expected.transactions);
+  EXPECT_EQ(got.logical_reads, expected.logical_reads);
+  EXPECT_EQ(got.logical_writes, expected.logical_writes);
+  EXPECT_EQ(got.data_reads, expected.data_reads);
+  EXPECT_EQ(got.total_physical_ios(), expected.total_physical_ios());
+  EXPECT_EQ(got.buffer_hit_ratio, expected.buffer_hit_ratio);
+}
+
+}  // namespace
+}  // namespace oodb::core

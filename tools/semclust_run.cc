@@ -1,0 +1,172 @@
+// Runs declarative `.scenario.json` experiment files (core/scenario.h)
+// through the exec::ExperimentRunner worker pool and emits the standard
+// BenchReport JSONL — the same records the hand-written bench binaries
+// produce, so `bench_diff` can gate a scenario run against a committed
+// baseline byte-for-byte.
+//
+// Usage:
+//   semclust_run [options] <scenario.json>...
+//     --jobs N     worker threads (same as SEMCLUST_BENCH_JOBS=N)
+//     --json PATH  append one JSONL record per cell to PATH
+//                  (same as SEMCLUST_BENCH_JSON=PATH)
+//     --seed N     override the scenario's base seed
+//                  (same as SEMCLUST_BENCH_SEED=N)
+//     --dry-run    expand and list the cells without simulating
+//     --policies   list the registered policy names per axis and exit
+//
+// The SEMCLUST_BENCH_SEED and SEMCLUST_BENCH_SERIES_S environment knobs
+// are honoured exactly as the bench binaries honour them. Exit status: 0
+// on success, 2 on usage/parse errors.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/bench_report.h"
+#include "core/policy_registry.h"
+#include "core/scenario.h"
+#include "exec/experiment_runner.h"
+#include "util/table_printer.h"
+
+namespace {
+
+using oodb::core::PolicyAxis;
+using oodb::core::PolicyRegistry;
+
+double Now() {
+  using clock = std::chrono::steady_clock;
+  return std::chrono::duration<double>(clock::now().time_since_epoch())
+      .count();
+}
+
+void PrintUsage(std::FILE* to) {
+  std::fprintf(to,
+               "usage: semclust_run [--jobs N] [--json PATH] [--seed N] "
+               "[--dry-run] [--policies] <scenario.json>...\n");
+}
+
+void PrintPolicies() {
+  for (const PolicyAxis axis :
+       {PolicyAxis::kReplacement, PolicyAxis::kPrefetch,
+        PolicyAxis::kCandidatePool, PolicyAxis::kSplit, PolicyAxis::kDensity,
+        PolicyAxis::kRelKind}) {
+    std::printf("%-16s %s\n", oodb::core::PolicyAxisName(axis),
+                PolicyRegistry::Global().KnownNames(axis).c_str());
+  }
+}
+
+int RunScenario(const std::string& path, bool dry_run) {
+  auto spec_or = oodb::core::LoadScenarioFile(path);
+  if (!spec_or.ok()) {
+    std::fprintf(stderr, "semclust_run: %s\n",
+                 spec_or.status().ToString().c_str());
+    return 2;
+  }
+  oodb::core::ScenarioSpec spec = std::move(spec_or).value();
+
+  // The bench binaries read these knobs in BaseConfig(); a scenario run
+  // honours them the same way so CI can vary seed/telemetry without
+  // editing the committed file.
+  if (const char* seed = std::getenv("SEMCLUST_BENCH_SEED")) {
+    spec.base.seed =
+        static_cast<uint64_t>(std::strtoull(seed, nullptr, 10));
+  }
+  if (const char* interval = std::getenv("SEMCLUST_BENCH_SERIES_S")) {
+    spec.base.telemetry_interval_s = std::strtod(interval, nullptr);
+  }
+
+  const auto cells = spec.Expand();
+  std::printf("scenario %s -- %s: %zu cell(s)\n", spec.name.c_str(),
+              spec.bench.c_str(), cells.size());
+  if (!spec.description.empty()) {
+    std::printf("%s\n", spec.description.c_str());
+  }
+  if (dry_run) {
+    for (const auto& cell : cells) {
+      std::printf("  %s\n", cell.cell_label.c_str());
+    }
+    return 0;
+  }
+
+  oodb::core::BenchReport report(spec.bench);
+  std::vector<oodb::core::ModelConfig> configs;
+  configs.reserve(cells.size());
+  for (const auto& cell : cells) configs.push_back(cell.config);
+
+  const oodb::exec::ExperimentRunner runner;
+  const double start = Now();
+  const auto outcomes = runner.Run(std::move(configs));
+  const double wall = Now() - start;
+  std::fprintf(stderr, "[exec] %zu cells, jobs=%d, %.1f s wall\n",
+               cells.size(), runner.jobs(), wall);
+
+  oodb::TablePrinter table({"cell", "mean resp", "physical IOs"});
+  for (size_t i = 0; i < outcomes.size(); ++i) {
+    const auto& result = outcomes[i].result;
+    report.Record(cells[i].cell_label, cells[i].policy, cells[i].workload,
+                  result, outcomes[i].wall_s);
+    table.AddRow({cells[i].cell_label,
+                  oodb::FormatDouble(result.response_time.Mean() * 1000.0, 1) +
+                      " ms",
+                  std::to_string(result.total_physical_ios())});
+  }
+  std::ostringstream os;
+  table.Print(os);
+  std::fputs(os.str().c_str(), stdout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> paths;
+  bool dry_run = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      PrintUsage(stdout);
+      return 0;
+    }
+    if (arg == "--policies") {
+      PrintPolicies();
+      return 0;
+    }
+    if (arg == "--dry-run") {
+      dry_run = true;
+      continue;
+    }
+    if (arg == "--jobs" || arg == "--json" || arg == "--seed") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "semclust_run: %s needs a value\n", arg.c_str());
+        return 2;
+      }
+      // BenchReport and ExperimentRunner read their configuration from the
+      // environment at construction, so the flags just set the same knobs.
+      const char* var = arg == "--jobs"   ? "SEMCLUST_BENCH_JOBS"
+                        : arg == "--json" ? "SEMCLUST_BENCH_JSON"
+                                          : "SEMCLUST_BENCH_SEED";
+      ::setenv(var, argv[++i], 1);
+      continue;
+    }
+    if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "semclust_run: unknown option %s\n", arg.c_str());
+      PrintUsage(stderr);
+      return 2;
+    }
+    paths.push_back(arg);
+  }
+  if (paths.empty()) {
+    PrintUsage(stderr);
+    return 2;
+  }
+  for (const auto& path : paths) {
+    const int rc = RunScenario(path, dry_run);
+    if (rc != 0) return rc;
+  }
+  return 0;
+}
