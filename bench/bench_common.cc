@@ -18,7 +18,7 @@ double Now() {
 
 void FillDefaultLabels(CellSpec& cell) {
   if (cell.policy.empty()) cell.policy = cell.config.clustering.Label();
-  if (cell.workload.empty()) cell.workload = cell.config.workload.Label();
+  if (cell.workload.empty()) cell.workload = cell.config.WorkloadLabel();
   if (cell.cell_label.empty()) {
     cell.cell_label = cell.policy + "/" + cell.workload;
   }

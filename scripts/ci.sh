@@ -77,4 +77,28 @@ rm -f "${S1}" "${S4}"
 "${BUILD}/tools/bench_diff" "${J1}" "${S1}"
 "${BUILD}/tools/bench_diff" --baseline "${BASELINE}" --rtol 0.2 "${S1}"
 
-echo "ci: ok (tests passed, jobs=1 == jobs=4, scenario == bench, baseline within tolerance)"
+# OCB workload gate: the generic-benchmark scenario (src/ocb/) must be
+# bit-identical across job counts (exact diff) and stay within the same
+# 20% envelope against its committed baseline. This exercises the whole
+# second workload path — generator, OCB transaction set, scenario axis —
+# none of which the fig5.1 gates touch.
+OCB_SCENARIO="${ROOT}/bench/scenarios/ocb_small.scenario.json"
+OCB_BASELINE="${ROOT}/BENCH_ocb_small.jsonl"
+O1="${BUILD}/ocb_jobs1.json"
+O4="${BUILD}/ocb_jobs4.json"
+rm -f "${O1}" "${O4}"
+"${RUN}" --jobs 1 --json "${O1}" "${OCB_SCENARIO}" > "${BUILD}/ocb_jobs1.out"
+"${RUN}" --jobs 4 --json "${O4}" "${OCB_SCENARIO}" > "${BUILD}/ocb_jobs4.out"
+if ! diff "${BUILD}/ocb_jobs1.out" "${BUILD}/ocb_jobs4.out"; then
+  echo "FAIL: OCB scenario tables differ between job counts" >&2
+  exit 1
+fi
+"${BUILD}/tools/bench_diff" "${O1}" "${O4}"
+"${BUILD}/tools/bench_diff" --baseline "${OCB_BASELINE}" --rtol 0.2 "${O1}"
+
+# Ranking-transfer artifact: how the clustering-policy ordering compares
+# between the engineering workload (fig5.1) and the generic OCB graph.
+"${BUILD}/tools/ocb_compare" "${BASELINE}" "${O1}" \
+  | tee "${BUILD}/ocb_compare.out"
+
+echo "ci: ok (tests passed, jobs=1 == jobs=4, scenario == bench, OCT and OCB baselines within tolerance)"

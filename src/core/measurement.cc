@@ -85,7 +85,7 @@ void MeasurementController::OnTransactionDone(double response_s,
 }
 
 sim::Task MeasurementController::UserLoop(int user) {
-  workload::WorkloadGenerator& gen =
+  workload::TransactionSource& gen =
       *ctx_.generators[static_cast<size_t>(user)];
   Rng think_rng(ctx_.config.seed * 104729 + static_cast<uint64_t>(user));
   while (!done_) {
@@ -211,7 +211,7 @@ RunResult MeasurementController::Run() {
   if (ctx_.trace.enabled()) {
     obs::TraceCollector::Global().Collect(
         ctx_.config.cell_index,
-        ctx_.config.clustering.Label() + "/" + ctx_.config.workload.Label(),
+        ctx_.config.clustering.Label() + "/" + ctx_.config.WorkloadLabel(),
         ctx_.trace);
   }
   return result;

@@ -12,7 +12,15 @@ Status Invalid(const std::string& what) {
 
 }  // namespace
 
+std::string ModelConfig::WorkloadLabel() const {
+  return ocb.enabled ? ocb.Label(workload.read_write_ratio)
+                     : workload.Label();
+}
+
 Status ModelConfig::Validate() const {
+  if (const Status ocb_status = ocb.Validate(); !ocb_status.ok()) {
+    return ocb_status;
+  }
   if (database_bytes == 0) {
     return Invalid(
         "database_bytes is 0; the builder would create an empty database "

@@ -2,11 +2,13 @@
 #define SEMCLUST_CORE_MODEL_CONFIG_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "buffer/policy.h"
 #include "cluster/policy.h"
 #include "io/io_subsystem.h"
+#include "ocb/ocb_config.h"
 #include "util/status.h"
 #include "workload/db_builder.h"
 #include "workload/workload_config.h"
@@ -56,6 +58,13 @@ struct ModelConfig {
 
   // ---- Database generation knobs (beyond A and F). ----
   workload::DatabaseSpec database;
+
+  // ---- Alternate workload: the generic OCB benchmark (src/ocb/). ----
+  /// When `ocb.enabled`, the model builds the OCB object graph instead of
+  /// the engineering-design database and drives the OCB transaction set;
+  /// `workload.read_write_ratio` (G) still sets the target R/W ratio, and
+  /// all other Table 4.1 axes apply unchanged.
+  ocb::OcbConfig ocb;
 
   // ---- Cost model. ----
   io::DiskParams disk;
@@ -132,6 +141,10 @@ struct ModelConfig {
   /// config is a programming error there) and by the scenario loader
   /// (which propagates the status to the CLI).
   Status Validate() const;
+
+  /// Label of the configured workload cell: the engineering workload's
+  /// density/ratio label, or the OCB label when `ocb.enabled`.
+  std::string WorkloadLabel() const;
 };
 
 /// The paper's full-scale configuration (500 MB database, 1000 buffers).

@@ -105,6 +105,22 @@ void RegisterRelKinds(PolicyRegistry& reg) {
   }
 }
 
+void RegisterOcbLocalities(PolicyRegistry& reg) {
+  using ocb::RefLocality;
+  for (RefLocality l : ocb::kAllRefLocalities) {
+    reg.Register(PolicyAxis::kOcbLocality, ocb::RefLocalityName(l),
+                 static_cast<int>(l));
+  }
+  reg.Register(PolicyAxis::kOcbLocality, "uni",
+               static_cast<int>(RefLocality::kUniform));
+  reg.Register(PolicyAxis::kOcbLocality, "gauss",
+               static_cast<int>(RefLocality::kGaussian));
+  reg.Register(PolicyAxis::kOcbLocality, "normal",
+               static_cast<int>(RefLocality::kGaussian));
+  reg.Register(PolicyAxis::kOcbLocality, "zipfian",
+               static_cast<int>(RefLocality::kZipf));
+}
+
 }  // namespace
 
 const char* PolicyAxisName(PolicyAxis axis) {
@@ -121,6 +137,8 @@ const char* PolicyAxisName(PolicyAxis axis) {
       return "density";
     case PolicyAxis::kRelKind:
       return "relationship";
+    case PolicyAxis::kOcbLocality:
+      return "ocb locality";
   }
   return "unknown";
 }
@@ -132,6 +150,7 @@ PolicyRegistry::PolicyRegistry() {
   RegisterSplitPolicies(*this);
   RegisterDensities(*this);
   RegisterRelKinds(*this);
+  RegisterOcbLocalities(*this);
 }
 
 const PolicyRegistry& PolicyRegistry::Global() {
@@ -153,6 +172,8 @@ PolicyRegistry::AxisTable& PolicyRegistry::Table(PolicyAxis axis) {
       return density_;
     case PolicyAxis::kRelKind:
       return rel_kind_;
+    case PolicyAxis::kOcbLocality:
+      return ocb_locality_;
   }
   OODB_CHECK(false);
   return replacement_;  // unreachable
@@ -169,6 +190,7 @@ void PolicyRegistry::Register(PolicyAxis axis, std::string_view name,
   const bool inserted =
       table.by_name.emplace(Normalize(name), value).second;
   OODB_CHECK(inserted);  // duplicate policy name on one axis
+  table.registered.emplace_back(std::string(name), value);
   bool first_for_value = true;
   for (const auto& canonical : table.canonical) {
     if (table.by_name.at(Normalize(canonical)) == value) {
@@ -229,9 +251,33 @@ std::optional<obj::RelKind> PolicyRegistry::Relationship(
   return static_cast<obj::RelKind>(*v);
 }
 
+std::optional<ocb::RefLocality> PolicyRegistry::OcbLocality(
+    std::string_view name) const {
+  const auto v = Find(PolicyAxis::kOcbLocality, name);
+  if (!v) return std::nullopt;
+  return static_cast<ocb::RefLocality>(*v);
+}
+
 const std::vector<std::string>& PolicyRegistry::CanonicalNames(
     PolicyAxis axis) const {
   return Table(axis).canonical;
+}
+
+std::vector<PolicyRegistry::AxisEntry> PolicyRegistry::Entries(
+    PolicyAxis axis) const {
+  const AxisTable& table = Table(axis);
+  std::vector<AxisEntry> entries;
+  entries.reserve(table.canonical.size());
+  for (const std::string& canonical : table.canonical) {
+    AxisEntry entry;
+    entry.canonical = canonical;
+    const int value = table.by_name.at(Normalize(canonical));
+    for (const auto& [name, v] : table.registered) {
+      if (v == value && name != canonical) entry.aliases.push_back(name);
+    }
+    entries.push_back(std::move(entry));
+  }
+  return entries;
 }
 
 std::string PolicyRegistry::KnownNames(PolicyAxis axis) const {

@@ -10,6 +10,7 @@
 #include "buffer/policy.h"
 #include "cluster/policy.h"
 #include "objmodel/object_id.h"
+#include "ocb/ocb_config.h"
 #include "workload/workload_config.h"
 
 /// \file
@@ -34,9 +35,17 @@ enum class PolicyAxis {
   kSplit,        ///< cluster::SplitPolicy (I)
   kDensity,      ///< workload::StructureDensity (F)
   kRelKind,      ///< obj::RelKind (hint axes, J)
+  kOcbLocality,  ///< ocb::RefLocality (OCB reference-locality knob)
 };
 
 const char* PolicyAxisName(PolicyAxis axis);
+
+/// Every axis, in enum order (for `--list-policies`-style sweeps).
+inline constexpr PolicyAxis kAllPolicyAxes[] = {
+    PolicyAxis::kReplacement, PolicyAxis::kPrefetch,
+    PolicyAxis::kCandidatePool, PolicyAxis::kSplit,
+    PolicyAxis::kDensity, PolicyAxis::kRelKind,
+    PolicyAxis::kOcbLocality};
 
 /// Immutable after construction; lookups are case-insensitive and accept
 /// '-', '_' and ' ' interchangeably, so "Cluster_within_Buffer",
@@ -55,6 +64,7 @@ class PolicyRegistry {
   std::optional<workload::StructureDensity> Density(
       std::string_view name) const;
   std::optional<obj::RelKind> Relationship(std::string_view name) const;
+  std::optional<ocb::RefLocality> OcbLocality(std::string_view name) const;
 
   /// Canonical names of one axis, in registration (= enum) order — for
   /// error messages and discoverability (`semclust_run --policies`).
@@ -62,6 +72,17 @@ class PolicyRegistry {
 
   /// "a, b, c" — the canonical names joined for an error message.
   std::string KnownNames(PolicyAxis axis) const;
+
+  /// One level of an axis: its canonical name and every registered alias,
+  /// in registration order.
+  struct AxisEntry {
+    std::string canonical;
+    std::vector<std::string> aliases;
+  };
+
+  /// All levels of one axis with their aliases, in registration (= enum)
+  /// order — the full naming surface (`semclust_run --list-policies`).
+  std::vector<AxisEntry> Entries(PolicyAxis axis) const;
 
   /// Registers `value` under `name` on `axis`. The first registration of
   /// a value on an axis is its canonical name; later registrations are
@@ -76,6 +97,8 @@ class PolicyRegistry {
   struct AxisTable {
     std::map<std::string, int> by_name;  // normalized name -> value
     std::vector<std::string> canonical;  // first-registered names, in order
+    /// Every registration in order, original spelling (for Entries()).
+    std::vector<std::pair<std::string, int>> registered;
   };
   AxisTable& Table(PolicyAxis axis);
   const AxisTable& Table(PolicyAxis axis) const;
@@ -86,6 +109,7 @@ class PolicyRegistry {
   AxisTable split_;
   AxisTable density_;
   AxisTable rel_kind_;
+  AxisTable ocb_locality_;
 };
 
 }  // namespace oodb::core

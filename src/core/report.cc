@@ -16,7 +16,7 @@ std::string Ms(double seconds) { return FormatDouble(seconds * 1e3, 2); }
 void PrintRunReport(std::ostream& os, const ModelConfig& config,
                     const RunResult& result) {
   os << "== semclust run report ==\n";
-  os << "workload " << config.workload.Label() << ", clustering "
+  os << "workload " << config.WorkloadLabel() << ", clustering "
      << config.clustering.Label() << ", replacement "
      << buffer::ReplacementPolicyName(config.replacement) << ", prefetch "
      << buffer::PrefetchPolicyName(config.prefetch) << ", "

@@ -108,6 +108,15 @@ StatusOr<obj::RelKind> ResolveRelKind(const JsonValue& v,
   return *p;
 }
 
+StatusOr<ocb::RefLocality> ResolveOcbLocality(const JsonValue& v,
+                                              const std::string& key) {
+  auto name = AsString(v, key);
+  if (!name.ok()) return name.status();
+  const auto p = Reg().OcbLocality(*name);
+  if (!p) return UnknownName(key, PolicyAxis::kOcbLocality, *name);
+  return *p;
+}
+
 /// A clustering entry: a bare pool name, or an object overriding fields of
 /// `from` (so a split policy set in "config" carries into sweep levels).
 StatusOr<cluster::ClusterConfig> ParseClusterEntry(
@@ -154,25 +163,129 @@ StatusOr<cluster::ClusterConfig> ParseClusterEntry(
   return from;
 }
 
-/// A workload entry: an object overriding density / rw_ratio of `from`.
-StatusOr<workload::WorkloadConfig> ParseWorkloadEntry(
-    const JsonValue& v, workload::WorkloadConfig from,
-    const std::string& ctx) {
+/// A workload entry: an object overriding density / rw_ratio of `from`,
+/// plus the OCB section — `"kind": "ocb"` selects the generic benchmark
+/// and unlocks its knobs (setting an OCB knob without the kind is an
+/// error, so a typo can't silently leave the cell on the engineering
+/// workload).
+StatusOr<WorkloadEntry> ParseWorkloadEntry(const JsonValue& v,
+                                           WorkloadEntry from,
+                                           const std::string& ctx) {
   if (!v.is_object()) return TypeErr(ctx, "an object");
+  std::string kind;
+  std::string first_ocb_key;
   for (const auto& [key, value] : v.members()) {
     const std::string sub = ctx + "." + key;
-    if (key == "density") {
+    if (key == "kind") {
+      const auto s = AsString(value, sub);
+      if (!s.ok()) return s.status();
+      if (*s != "oct" && *s != "ocb") {
+        return Err("\"" + sub + "\": unknown workload kind \"" + *s +
+                   "\"; known: oct, ocb");
+      }
+      kind = *s;
+    } else if (key == "density") {
       const auto d = ResolveDensity(value, sub);
       if (!d.ok()) return d.status();
-      from.density = *d;
+      from.oct.density = *d;
     } else if (key == "rw_ratio") {
       const auto r = AsNumber(value, sub);
       if (!r.ok()) return r.status();
-      from.read_write_ratio = *r;
+      from.oct.read_write_ratio = *r;
+    } else if (key == "classes") {
+      const auto n = AsInt(value, sub);
+      if (!n.ok()) return n.status();
+      from.ocb.classes = *n;
+      if (first_ocb_key.empty()) first_ocb_key = key;
+    } else if (key == "hierarchy_depth") {
+      const auto n = AsInt(value, sub);
+      if (!n.ok()) return n.status();
+      from.ocb.hierarchy_depth = *n;
+      if (first_ocb_key.empty()) first_ocb_key = key;
+    } else if (key == "instances") {
+      const auto n = AsInt(value, sub);
+      if (!n.ok()) return n.status();
+      from.ocb.instances = *n;
+      if (first_ocb_key.empty()) first_ocb_key = key;
+    } else if (key == "refs_per_object") {
+      const auto n = AsInt(value, sub);
+      if (!n.ok()) return n.status();
+      from.ocb.refs_per_object = *n;
+      if (first_ocb_key.empty()) first_ocb_key = key;
+    } else if (key == "locality") {
+      const auto l = ResolveOcbLocality(value, sub);
+      if (!l.ok()) return l.status();
+      from.ocb.locality = *l;
+      if (first_ocb_key.empty()) first_ocb_key = key;
+    } else if (key == "zipf_theta") {
+      const auto r = AsNumber(value, sub);
+      if (!r.ok()) return r.status();
+      from.ocb.zipf_theta = *r;
+      if (first_ocb_key.empty()) first_ocb_key = key;
+    } else if (key == "gaussian_window") {
+      const auto r = AsNumber(value, sub);
+      if (!r.ok()) return r.status();
+      from.ocb.gaussian_window = *r;
+      if (first_ocb_key.empty()) first_ocb_key = key;
+    } else if (key == "base_object_bytes") {
+      const auto n = AsUint(value, sub);
+      if (!n.ok()) return n.status();
+      from.ocb.base_object_bytes = static_cast<uint32_t>(*n);
+      if (first_ocb_key.empty()) first_ocb_key = key;
+    } else if (key == "inheritance_fraction") {
+      const auto r = AsNumber(value, sub);
+      if (!r.ok()) return r.status();
+      from.ocb.inheritance_fraction = *r;
+      if (first_ocb_key.empty()) first_ocb_key = key;
+    } else if (key == "interleaved_read_probability") {
+      const auto r = AsNumber(value, sub);
+      if (!r.ok()) return r.status();
+      from.ocb.interleaved_read_probability = *r;
+      if (first_ocb_key.empty()) first_ocb_key = key;
+    } else if (key == "partitions") {
+      const auto n = AsInt(value, sub);
+      if (!n.ok()) return n.status();
+      from.ocb.partitions = *n;
+      if (first_ocb_key.empty()) first_ocb_key = key;
+    } else if (key == "set_lookup_size") {
+      const auto n = AsInt(value, sub);
+      if (!n.ok()) return n.status();
+      from.ocb.set_lookup_size = *n;
+      if (first_ocb_key.empty()) first_ocb_key = key;
+    } else if (key == "traversal_depth") {
+      const auto n = AsInt(value, sub);
+      if (!n.ok()) return n.status();
+      from.ocb.traversal_depth = *n;
+      if (first_ocb_key.empty()) first_ocb_key = key;
+    } else if (key == "read_mix") {
+      if (!value.is_array() || value.items().size() != from.ocb.read_mix.size()) {
+        return TypeErr(sub, "an array of 4 numbers (set lookup, simple, "
+                            "hierarchy, stochastic)");
+      }
+      for (size_t i = 0; i < from.ocb.read_mix.size(); ++i) {
+        const auto r =
+            AsNumber(value.items()[i], sub + "[" + std::to_string(i) + "]");
+        if (!r.ok()) return r.status();
+        from.ocb.read_mix[i] = *r;
+      }
+      if (first_ocb_key.empty()) first_ocb_key = key;
     } else {
       return Err(ctx + ": unknown key \"" + key +
-                 "\" (known: density, rw_ratio)");
+                 "\" (known: kind, density, rw_ratio, classes, "
+                 "hierarchy_depth, instances, refs_per_object, locality, "
+                 "zipf_theta, gaussian_window, base_object_bytes, "
+                 "inheritance_fraction, interleaved_read_probability, "
+                 "partitions, set_lookup_size, traversal_depth, read_mix)");
     }
+  }
+  if (kind == "ocb") {
+    from.ocb.enabled = true;
+  } else if (kind == "oct") {
+    from.ocb.enabled = false;
+  } else if (!first_ocb_key.empty() && !from.ocb.enabled) {
+    return Err(ctx + ": \"" + first_ocb_key +
+               "\" is an OCB knob; add \"kind\": \"ocb\" to select the OCB "
+               "workload");
   }
   return from;
 }
@@ -272,9 +385,11 @@ Status ParseConfigSection(const JsonValue& obj, ModelConfig& cfg) {
       OODB_RETURN_IF_ERROR(n.status());
       cfg.seed = *n;
     } else if (key == "workload") {
-      auto w = ParseWorkloadEntry(v, cfg.workload, ctx);
+      auto w = ParseWorkloadEntry(v, WorkloadEntry{cfg.workload, cfg.ocb},
+                                  ctx);
       OODB_RETURN_IF_ERROR(w.status());
-      cfg.workload = *w;
+      cfg.workload = w->oct;
+      cfg.ocb = w->ocb;
     } else if (key == "clustering") {
       auto c = ParseClusterEntry(v, cfg.clustering, ctx);
       OODB_RETURN_IF_ERROR(c.status());
@@ -328,11 +443,14 @@ Status ParseSweepSection(const JsonValue& obj, ScenarioSpec& spec) {
           return Err("\"" + ctx + "\": unknown shorthand \"" +
                      v.string_value() + "\"; known: standard_grid");
         }
-        spec.workloads = StandardWorkloadGrid();
+        for (const workload::WorkloadConfig& w : StandardWorkloadGrid()) {
+          spec.workloads.push_back(WorkloadEntry{w, spec.base.ocb});
+        }
       } else if (v.is_array()) {
         for (size_t i = 0; i < v.items().size(); ++i) {
-          auto w = ParseWorkloadEntry(v.items()[i], spec.base.workload,
-                                      ctx + "[" + std::to_string(i) + "]");
+          auto w = ParseWorkloadEntry(
+              v.items()[i], WorkloadEntry{spec.base.workload, spec.base.ocb},
+              ctx + "[" + std::to_string(i) + "]");
           OODB_RETURN_IF_ERROR(w.status());
           spec.workloads.push_back(*w);
         }
@@ -399,14 +517,40 @@ std::string ClusterJson(const cluster::ClusterConfig& c) {
   return o.str();
 }
 
-std::string WorkloadJson(const workload::WorkloadConfig& w) {
+std::string WorkloadJson(const WorkloadEntry& w) {
   JsonObjectWriter o;
-  o.Add("density", workload::StructureDensityName(w.density));
-  o.Add("rw_ratio", w.read_write_ratio);
+  if (w.ocb.enabled) {
+    o.Add("kind", "ocb");
+    o.Add("rw_ratio", w.oct.read_write_ratio);
+    o.Add("classes", w.ocb.classes);
+    o.Add("hierarchy_depth", w.ocb.hierarchy_depth);
+    o.Add("instances", w.ocb.instances);
+    o.Add("refs_per_object", w.ocb.refs_per_object);
+    o.Add("locality", ocb::RefLocalityName(w.ocb.locality));
+    o.Add("zipf_theta", w.ocb.zipf_theta);
+    o.Add("gaussian_window", w.ocb.gaussian_window);
+    o.Add("base_object_bytes", static_cast<uint64_t>(w.ocb.base_object_bytes));
+    o.Add("inheritance_fraction", w.ocb.inheritance_fraction);
+    o.Add("interleaved_read_probability",
+          w.ocb.interleaved_read_probability);
+    o.Add("partitions", w.ocb.partitions);
+    o.Add("set_lookup_size", w.ocb.set_lookup_size);
+    o.Add("traversal_depth", w.ocb.traversal_depth);
+    JsonArrayWriter mix;
+    for (const double m : w.ocb.read_mix) mix.Add(m);
+    o.AddRaw("read_mix", mix.str());
+  } else {
+    o.Add("density", workload::StructureDensityName(w.oct.density));
+    o.Add("rw_ratio", w.oct.read_write_ratio);
+  }
   return o.str();
 }
 
 }  // namespace
+
+std::string WorkloadEntry::Label() const {
+  return ocb.enabled ? ocb.Label(oct.read_write_ratio) : oct.Label();
+}
 
 std::vector<ScenarioCell> ScenarioSpec::Expand() const {
   using ReplacementAxis = std::vector<buffer::ReplacementPolicy>;
@@ -421,9 +565,10 @@ std::vector<ScenarioCell> ScenarioSpec::Expand() const {
   const std::vector<cluster::ClusterConfig> clus =
       clustering.empty() ? std::vector<cluster::ClusterConfig>{base.clustering}
                          : clustering;
-  const std::vector<workload::WorkloadConfig> works =
-      workloads.empty() ? std::vector<workload::WorkloadConfig>{base.workload}
-                        : workloads;
+  const std::vector<WorkloadEntry> works =
+      workloads.empty()
+          ? std::vector<WorkloadEntry>{WorkloadEntry{base.workload, base.ocb}}
+          : workloads;
 
   std::vector<ScenarioCell> cells;
   cells.reserve(reps.size() * prefs.size() * bufs.size() * clus.size() *
@@ -434,7 +579,8 @@ std::vector<ScenarioCell> ScenarioSpec::Expand() const {
         for (const auto& clu : clus) {
           for (const auto& work : works) {
             ScenarioCell cell;
-            cell.config = WithWorkload(base, work);
+            cell.config = WithWorkload(base, work.oct);
+            cell.config.ocb = work.ocb;
             cell.config.clustering = clu;
             cell.config.replacement = rep;
             cell.config.prefetch = pref;
@@ -459,7 +605,7 @@ std::vector<ScenarioCell> ScenarioSpec::Expand() const {
               policy += "_" + clu.Label();
             }
             cell.policy = std::move(policy);
-            cell.workload = work.Label();
+            cell.workload = work.Label();  // OCT or OCB label
             cell.cell_label = cell.policy + "/" + cell.workload;
             cells.push_back(std::move(cell));
           }
@@ -499,7 +645,7 @@ std::string ScenarioSpec::ToJson() const {
   cfg.Add("static_reorganize_after_build",
           base.static_reorganize_after_build);
   cfg.Add("seed", static_cast<uint64_t>(base.seed));
-  cfg.AddRaw("workload", WorkloadJson(base.workload));
+  cfg.AddRaw("workload", WorkloadJson(WorkloadEntry{base.workload, base.ocb}));
   cfg.AddRaw("clustering", ClusterJson(base.clustering));
   root.AddRaw("config", cfg.str());
 
@@ -513,7 +659,7 @@ std::string ScenarioSpec::ToJson() const {
   }
   if (!workloads.empty()) {
     JsonArrayWriter axis;
-    for (const auto& w : workloads) axis.AddRaw(WorkloadJson(w));
+    for (const WorkloadEntry& w : workloads) axis.AddRaw(WorkloadJson(w));
     sweep.AddRaw("workload", axis.str());
     any_axis = true;
   }
@@ -583,6 +729,13 @@ StatusOr<ScenarioSpec> ParseScenario(std::string_view json_text) {
 
   const Status valid = spec.base.Validate();
   if (!valid.ok()) return Err("config: " + valid.message());
+  for (size_t i = 0; i < spec.workloads.size(); ++i) {
+    const Status w = spec.workloads[i].ocb.Validate();
+    if (!w.ok()) {
+      return Err("sweep.workload[" + std::to_string(i) + "]: " +
+                 w.message());
+    }
+  }
   return spec;
 }
 

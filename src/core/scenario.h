@@ -34,6 +34,14 @@
 ///       "rw_ratio_schedule": [10, 100],
 ///       "static_reorganize_after_build": false, "seed": 1,
 ///       "workload": {"density": "med5", "rw_ratio": 10},
+///       // or the generic OCB workload (src/ocb/):
+///       // "workload": {"kind": "ocb", "rw_ratio": 10, "classes": 24,
+///       //              "instances": 4000, "refs_per_object": 3,
+///       //              "locality": "zipf", "zipf_theta": 0.8,
+///       //              "gaussian_window": 0.05, "base_object_bytes": 160,
+///       //              "inheritance_fraction": 0.3, "partitions": 16,
+///       //              "set_lookup_size": 8, "traversal_depth": 3,
+///       //              "read_mix": [0.25, 0.35, 0.2, 0.2]},
 ///       "clustering": {"pool": "No_Clustering", "io_limit": 2,
 ///                      "split": "No_Splitting", "use_hints": false,
 ///                      "hint_kind": "configuration", "hint_boost": 3}
@@ -62,6 +70,18 @@ struct ScenarioCell {
   std::string workload;
 };
 
+/// One level of the workload sweep axis: the engineering workload's
+/// density/ratio knobs plus the OCB section (`ocb.enabled` selects which
+/// workload the cell runs; the R/W ratio lives in `oct.read_write_ratio`
+/// either way).
+struct WorkloadEntry {
+  workload::WorkloadConfig oct;
+  ocb::OcbConfig ocb;
+
+  /// The cell's workload label (WorkloadConfig::Label or OcbConfig::Label).
+  std::string Label() const;
+};
+
 /// A parsed scenario: base config + sweep axes.
 struct ScenarioSpec {
   std::string name;
@@ -73,7 +93,7 @@ struct ScenarioSpec {
 
   // Sweep axes. An empty axis means "the base config's value".
   std::vector<cluster::ClusterConfig> clustering;
-  std::vector<workload::WorkloadConfig> workloads;
+  std::vector<WorkloadEntry> workloads;
   std::vector<buffer::ReplacementPolicy> replacement;
   std::vector<buffer::PrefetchPolicy> prefetch;
   std::vector<size_t> buffer_pages;

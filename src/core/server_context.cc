@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "cluster/static_clusterer.h"
+#include "ocb/ocb_workload.h"
 #include "util/check.h"
 #include "workload/db_builder.h"
 
@@ -21,7 +22,16 @@ ServerContext::ServerContext(ModelConfig model_config)
   }
   OODB_CHECK(valid.ok());
 
-  types = workload::RegisterCadTypes(lattice);
+  // Under OCB the schema is the generated class hierarchy; its facade
+  // types feed the execution model's insert path in place of the CAD set.
+  ocb::OcbSchema ocb_schema;
+  if (config.ocb.enabled) {
+    ocb_schema = ocb::RegisterOcbClasses(lattice, config.ocb,
+                                         config.seed ^ 0x0CB0CB);
+    types = ocb_schema.cad;
+  } else {
+    types = workload::RegisterCadTypes(lattice);
+  }
   graph = std::make_unique<obj::ObjectGraph>(&lattice);
   storage = std::make_unique<store::StorageManager>(
       config.page_size_bytes, config.append_fill_fraction);
@@ -39,15 +49,24 @@ ServerContext::ServerContext(ModelConfig model_config)
   cpu = std::make_unique<sim::Resource>(sim, "cpu", 1);
 
   // Build the database through the policy under test. The build is the
-  // accretion history of the repository, not part of the measured run.
-  workload::DatabaseSpec spec = config.database;
-  spec.target_bytes = config.database_bytes;
-  spec.density = config.workload.density;
-  spec.concurrent_streams = config.num_users;
-  spec.seed = config.seed ^ 0xDBDBDB;
-  workload::DbBuilder builder(graph.get(), cluster.get(), buffer.get(),
-                              spec);
-  db = builder.Build(types);
+  // accretion history of the repository (or the OCB bulk load), not part
+  // of the measured run.
+  if (config.ocb.enabled) {
+    ocb::OcbBuilder builder(graph.get(), cluster.get(), buffer.get(),
+                            config.ocb);
+    ocb_catalog = std::make_unique<ocb::OcbCatalog>(
+        builder.Build(ocb_schema, config.seed ^ 0xDBDBDB));
+    db = std::move(ocb_catalog->db);
+  } else {
+    workload::DatabaseSpec spec = config.database;
+    spec.target_bytes = config.database_bytes;
+    spec.density = config.workload.density;
+    spec.concurrent_streams = config.num_users;
+    spec.seed = config.seed ^ 0xDBDBDB;
+    workload::DbBuilder builder(graph.get(), cluster.get(), buffer.get(),
+                                spec);
+    db = builder.Build(types);
+  }
   OODB_CHECK(!db.modules.empty());
 
   if (config.static_reorganize_after_build) {
@@ -87,9 +106,16 @@ ServerContext::ServerContext(ModelConfig model_config)
       {0.05, 0.1, 0.2, 0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 60.0});
 
   for (int u = 0; u < config.num_users; ++u) {
-    generators.push_back(std::make_unique<workload::WorkloadGenerator>(
-        graph.get(), &db, config.workload,
-        config.seed * 7919 + static_cast<uint64_t>(u)));
+    const uint64_t user_seed =
+        config.seed * 7919 + static_cast<uint64_t>(u);
+    if (config.ocb.enabled) {
+      generators.push_back(std::make_unique<ocb::OcbGenerator>(
+          graph.get(), &db, ocb_catalog.get(), config.ocb,
+          config.workload.read_write_ratio, user_seed));
+    } else {
+      generators.push_back(std::make_unique<workload::WorkloadGenerator>(
+          graph.get(), &db, config.workload, user_seed));
+    }
   }
 }
 

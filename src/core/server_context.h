@@ -12,6 +12,7 @@
 #include "objmodel/inheritance.h"
 #include "objmodel/object_graph.h"
 #include "obs/metrics.h"
+#include "ocb/ocb_builder.h"
 #include "obs/placement_auditor.h"
 #include "obs/time_series.h"
 #include "obs/trace_sink.h"
@@ -19,6 +20,7 @@
 #include "sim/simulator.h"
 #include "storage/storage_manager.h"
 #include "txlog/log_manager.h"
+#include "workload/transaction_source.h"
 #include "workload/workload_gen.h"
 
 /// \file
@@ -77,7 +79,12 @@ class ServerContext {
   std::unique_ptr<txlog::LogManager> log;
   std::unique_ptr<sim::Resource> cpu;
   workload::DesignDatabase db;
-  std::vector<std::unique_ptr<workload::WorkloadGenerator>> generators;
+  /// Extents and inheritance entry points of the OCB graph; null unless
+  /// `config.ocb.enabled` (its DesignDatabase part is moved into `db`).
+  std::unique_ptr<ocb::OcbCatalog> ocb_catalog;
+  /// One transaction stream per user: WorkloadGenerator instances for the
+  /// engineering-design workload, OcbGenerator instances under OCB.
+  std::vector<std::unique_ptr<workload::TransactionSource>> generators;
   obj::InheritanceCostModel inherit_model;
 
   CoreMetricHandles handles;

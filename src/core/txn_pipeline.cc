@@ -225,6 +225,95 @@ sim::Task TxnPipeline::ReadQuery(const workload::TransactionSpec& spec) {
       }
       break;
     }
+    case workload::QueryType::kOcbSetLookup: {
+      // OCB set-oriented lookup: a selection over one class extent. The
+      // generator samples the qualifying instances; physically this is a
+      // batch of same-class object fetches with no structural navigation.
+      for (obj::ObjectId o : spec.targets) {
+        if (o != target && ctx_.graph->IsLive(o)) {
+          co_await AccessObject(o, ttype, -1);
+        }
+      }
+      break;
+    }
+    case workload::QueryType::kOcbSimpleTraversal: {
+      // OCB simple traversal: depth-first over the reference edges to a
+      // configured depth. References may form cycles (the generator draws
+      // targets freely), so guard with a visited set and a bound.
+      constexpr size_t kMaxTraversal = 512;
+      std::vector<std::pair<obj::ObjectId, int>> stack;
+      std::unordered_set<obj::ObjectId> visited{target};
+      if (spec.depth > 0) {
+        for (obj::ObjectId c : ctx_.graph->Components(target)) {
+          stack.emplace_back(c, 1);
+        }
+      }
+      while (!stack.empty() && visited.size() < kMaxTraversal) {
+        const auto [o, d] = stack.back();
+        stack.pop_back();
+        if (!ctx_.graph->IsLive(o) || !visited.insert(o).second) continue;
+        co_await AccessObject(
+            o, ttype, static_cast<int>(obj::RelKind::kConfiguration));
+        if (d < spec.depth) {
+          for (obj::ObjectId c : ctx_.graph->Components(o)) {
+            stack.emplace_back(c, d + 1);
+          }
+        }
+      }
+      break;
+    }
+    case workload::QueryType::kOcbHierarchyTraversal: {
+      // OCB hierarchy traversal: navigate the instance-inheritance edges
+      // (both towards sources and towards heirs) to a configured depth —
+      // the traversal that exercises exactly the semantics this paper's
+      // clustering exploits.
+      constexpr size_t kMaxTraversal = 512;
+      std::vector<std::pair<obj::ObjectId, int>> stack{{target, 0}};
+      std::unordered_set<obj::ObjectId> visited{target};
+      while (!stack.empty() && visited.size() < kMaxTraversal) {
+        const auto [o, d] = stack.back();
+        stack.pop_back();
+        if (d >= spec.depth) continue;
+        for (const obj::Edge& e : ctx_.graph->object(o).edges) {
+          if (e.kind != obj::RelKind::kInstanceInheritance) continue;
+          if (!ctx_.graph->IsLive(e.target)) continue;
+          if (!visited.insert(e.target).second) continue;
+          co_await AccessObject(
+              e.target, ttype,
+              static_cast<int>(obj::RelKind::kInstanceInheritance));
+          stack.emplace_back(e.target, d + 1);
+        }
+      }
+      break;
+    }
+    case workload::QueryType::kOcbStochasticTraversal: {
+      // OCB stochastic traversal: a random walk along references that
+      // backtracks out of dead ends, accessing up to `depth` objects
+      // beyond the root. Draws come from the pipeline's single stream, so
+      // the walk is deterministic per run.
+      std::vector<obj::ObjectId> path{target};
+      std::unordered_set<obj::ObjectId> visited{target};
+      int accessed = 0;
+      while (!path.empty() && accessed < spec.depth) {
+        std::vector<obj::ObjectId> next;
+        for (obj::ObjectId c : ctx_.graph->Components(path.back())) {
+          if (ctx_.graph->IsLive(c) && visited.find(c) == visited.end()) {
+            next.push_back(c);
+          }
+        }
+        if (next.empty()) {
+          path.pop_back();  // dead end: backtrack one step
+          continue;
+        }
+        const obj::ObjectId chosen = next[rng_.NextBelow(next.size())];
+        visited.insert(chosen);
+        co_await AccessObject(
+            chosen, ttype, static_cast<int>(obj::RelKind::kConfiguration));
+        path.push_back(chosen);
+        ++accessed;
+      }
+      break;
+    }
     case workload::QueryType::kObjectWrite:
       OODB_CHECK(false);  // handled by WriteQuery
       break;

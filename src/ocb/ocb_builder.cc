@@ -1,0 +1,265 @@
+#include "ocb/ocb_builder.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+namespace oodb::ocb {
+
+namespace {
+
+// FNV-1a over one 64-bit word.
+inline void MixU64(uint64_t& h, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xFF;
+    h *= 1099511628211ULL;
+  }
+}
+
+}  // namespace
+
+OcbSchema RegisterOcbClasses(obj::TypeLattice& lattice,
+                             const OcbConfig& config, uint64_t seed) {
+  OODB_CHECK_GE(config.classes, 2);
+  OODB_CHECK_GE(config.hierarchy_depth, 1);
+  SplitMix64 rng(seed);
+
+  OcbSchema schema;
+  schema.classes.reserve(config.classes);
+  schema.level_of.reserve(config.classes);
+  schema.super_of.reserve(config.classes);
+
+  for (int c = 0; c < config.classes; ++c) {
+    int super = -1;
+    int level = 0;
+    if (c > 0) {
+      // Attach under a uniformly chosen earlier class that still has room
+      // below it in the depth budget; the root always qualifies when
+      // hierarchy_depth >= 2, and a depth budget of 1 forces a flat
+      // single-root "tree" of sibling-free subclasses of nothing — so fall
+      // back to the root in that case.
+      std::vector<int> candidates;
+      for (int k = 0; k < c; ++k) {
+        if (schema.level_of[k] < config.hierarchy_depth - 1) {
+          candidates.push_back(k);
+        }
+      }
+      if (candidates.empty()) candidates.push_back(0);
+      super = candidates[rng.NextBelow(candidates.size())];
+      level = schema.level_of[super] + (config.hierarchy_depth > 1 ? 1 : 0);
+    }
+
+    const uint32_t base = std::max<uint32_t>(
+        24, static_cast<uint32_t>(static_cast<double>(config.base_object_bytes) *
+                                  (0.6 + 0.8 * rng.NextDouble())));
+    // OCB references are plain inter-object links, modelled as
+    // configuration edges; instance-inheritance links are the secondary
+    // structure. Version/correspondence semantics don't exist in OCB.
+    obj::TraversalProfile profile{};
+    profile[static_cast<int>(obj::RelKind::kConfiguration)] =
+        1.0 + 0.5 * rng.NextDouble();
+    profile[static_cast<int>(obj::RelKind::kVersionHistory)] = 0.05;
+    profile[static_cast<int>(obj::RelKind::kCorrespondence)] = 0.05;
+    profile[static_cast<int>(obj::RelKind::kInstanceInheritance)] =
+        0.2 + 0.4 * rng.NextDouble();
+
+    const obj::TypeId super_type =
+        super < 0 ? obj::kInvalidType : schema.classes[super];
+    schema.classes.push_back(lattice.DefineType(
+        "ocb.c" + std::to_string(c), super_type, base, profile));
+    schema.level_of.push_back(level);
+    schema.super_of.push_back(super);
+  }
+
+  // CAD-type facade for the execution model's insert path: the root plays
+  // "composite"; the two deepest classes play "leaf" and "alt".
+  int deepest = 1;
+  for (int c = 1; c < config.classes; ++c) {
+    if (schema.level_of[c] > schema.level_of[deepest]) deepest = c;
+  }
+  int second = deepest == 1 ? (config.classes > 2 ? 2 : 1) : 1;
+  for (int c = 1; c < config.classes; ++c) {
+    if (c != deepest && schema.level_of[c] > schema.level_of[second]) {
+      second = c;
+    }
+  }
+  schema.cad.composite = schema.classes[0];
+  schema.cad.leaf = schema.classes[deepest];
+  schema.cad.alt = schema.classes[second];
+  return schema;
+}
+
+uint64_t GraphDigest(const obj::ObjectGraph& graph) {
+  uint64_t h = 1469598103934665603ULL;  // FNV-1a offset basis
+  for (obj::ObjectId id = 0; id < graph.size(); ++id) {
+    if (!graph.IsLive(id)) continue;
+    const obj::DesignObject& o = graph.object(id);
+    MixU64(h, id);
+    MixU64(h, o.type);
+    MixU64(h, o.size_bytes);
+    for (const obj::Edge& e : o.edges) {
+      MixU64(h, e.target);
+      MixU64(h, (static_cast<uint64_t>(e.kind) << 8) |
+                    static_cast<uint64_t>(e.dir));
+    }
+  }
+  return h;
+}
+
+OcbBuilder::OcbBuilder(obj::ObjectGraph* graph,
+                       cluster::ClusterManager* cluster_mgr,
+                       buffer::BufferPool* buffer, OcbConfig config)
+    : graph_(graph), cluster_(cluster_mgr), buffer_(buffer), config_(config) {
+  OODB_CHECK(graph != nullptr);
+  OODB_CHECK(cluster_mgr != nullptr);
+  OODB_CHECK(config_.Validate().ok());
+}
+
+void OcbBuilder::Place(obj::ObjectId id, SplitMix64& load_rng) {
+  const auto report = cluster_->PlaceNew(id);
+  bytes_created_ += graph_->object(id).size_bytes;
+  if (buffer_ != nullptr) {
+    // Mirror the run-time write path's residency effects (see
+    // DbBuilder::Place).
+    for (store::PageId p : report.exam_reads) buffer_->Fix(p);
+    buffer_->Fix(report.page);
+    buffer_->MarkDirty(report.page);
+    if (report.split && report.split_new_page != store::kInvalidPage) {
+      buffer_->Fix(report.split_new_page);
+      buffer_->MarkDirty(report.split_new_page);
+    }
+  }
+  // Concurrent read traffic while the benchmark database is installed
+  // (pointless under No_Clustering, where placement ignores the buffer).
+  if (buffer_ != nullptr &&
+      cluster_->config().pool != cluster::CandidatePool::kNoClustering &&
+      load_rng.NextDouble() < config_.interleaved_read_probability) {
+    const size_t pages = cluster_->storage().page_count();
+    if (pages > 0) {
+      buffer_->Fix(static_cast<store::PageId>(load_rng.NextBelow(pages)));
+    }
+  }
+}
+
+OcbCatalog OcbBuilder::Build(const OcbSchema& schema, uint64_t seed) {
+  const size_t n = static_cast<size_t>(config_.instances);
+  const size_t num_classes = schema.classes.size();
+  OODB_CHECK_GE(n, num_classes);
+  bytes_created_ = 0;
+
+  // Per-purpose streams: adding a draw to one stage can never shift
+  // another stage's sequence.
+  SplitMix64 root_rng(seed);
+  SplitMix64 class_rng = root_rng.Fork();
+  SplitMix64 size_rng = root_rng.Fork();
+  SplitMix64 ref_rng = root_rng.Fork();
+  SplitMix64 inherit_rng = root_rng.Fork();
+  SplitMix64 load_rng = root_rng.Fork();
+
+  OcbCatalog catalog;
+  catalog.schema = schema;
+  catalog.extents.resize(num_classes);
+
+  // Phase 1: instances. The first `classes` objects cover each class once
+  // (no class may have an empty extent); the rest draw uniformly.
+  std::vector<obj::ObjectId> ids(n);
+  std::vector<size_t> class_of(n);
+  for (size_t i = 0; i < n; ++i) {
+    const size_t c =
+        i < num_classes ? i : class_rng.NextBelow(num_classes);
+    const obj::FamilyId family = graph_->NewFamily("ocb" + std::to_string(i));
+    const uint32_t base = graph_->lattice().info(schema.classes[c]).base_size_bytes;
+    const uint32_t size = static_cast<uint32_t>(std::clamp(
+        static_cast<double>(base) * (0.75 + 0.5 * size_rng.NextDouble()),
+        24.0, 1024.0));
+    ids[i] = graph_->Create(family, 0, schema.classes[c], size);
+    class_of[i] = c;
+    catalog.extents[c].push_back(ids[i]);
+  }
+
+  // Phase 2: references with the configured locality. Targets are drawn in
+  // creation-index space; gaussian offsets wrap around the extent.
+  for (size_t i = 0; i < n; ++i) {
+    for (int r = 0; r < config_.refs_per_object; ++r) {
+      size_t j = 0;
+      switch (config_.locality) {
+        case RefLocality::kUniform:
+          j = ref_rng.NextBelow(n);
+          break;
+        case RefLocality::kGaussian: {
+          const double offset = ref_rng.Gaussian(
+              0.0, config_.gaussian_window * static_cast<double>(n));
+          const int64_t raw =
+              static_cast<int64_t>(i) + std::llround(offset);
+          const int64_t m = static_cast<int64_t>(n);
+          j = static_cast<size_t>(((raw % m) + m) % m);
+          break;
+        }
+        case RefLocality::kZipf:
+          j = ref_rng.Zipf(n, config_.zipf_theta);
+          break;
+      }
+      if (j == i) j = (j + 1) % n;
+      graph_->Relate(ids[i], ids[j], obj::RelKind::kConfiguration);
+    }
+  }
+
+  // Phase 2b: instance-inheritance links from an earlier superclass
+  // instance to each (sampled) subclass instance. One draw per instance
+  // regardless of outcome keeps the stream stable.
+  std::vector<bool> has_heirs(n, false);
+  for (size_t i = 0; i < n; ++i) {
+    const double p = inherit_rng.NextDouble();
+    const int super = schema.super_of[class_of[i]];
+    if (super < 0 || p >= config_.inheritance_fraction) continue;
+    const std::vector<obj::ObjectId>& extent =
+        catalog.extents[static_cast<size_t>(super)];
+    // Extents are in creation order, so ids are ascending: candidates are
+    // the prefix of instances created before ids[i].
+    const size_t count = static_cast<size_t>(
+        std::lower_bound(extent.begin(), extent.end(), ids[i]) -
+        extent.begin());
+    if (count == 0) continue;
+    const obj::ObjectId source = extent[inherit_rng.NextBelow(count)];
+    graph_->Relate(source, ids[i], obj::RelKind::kInstanceInheritance);
+    // `source` is an earlier instance, so its creation index is < i.
+    has_heirs[source - ids[0]] = true;
+  }
+
+  // Phase 3: bulk-load through the clustering policy under test, in
+  // creation order (the full reference graph is visible to placement, as
+  // it is when installing a pre-existing benchmark database).
+  for (size_t i = 0; i < n; ++i) Place(ids[i], load_rng);
+
+  // Phase 4: partition catalogue (partition = "module" to the execution
+  // model's write path) and traversal entry points.
+  catalog.db.composite_type = schema.cad.composite;
+  catalog.db.leaf_type = schema.cad.leaf;
+  catalog.db.alt_type = schema.cad.alt;
+  const size_t parts = static_cast<size_t>(config_.partitions);
+  catalog.db.modules.resize(parts);
+  for (size_t p = 0; p < parts; ++p) {
+    const size_t begin = p * n / parts;
+    const size_t end = (p + 1) * n / parts;
+    workload::DesignDatabase::Module& m = catalog.db.modules[p];
+    m.root = ids[begin];
+    for (size_t i = begin; i < end; ++i) {
+      m.objects.push_back(ids[i]);
+      bool composite = false;
+      for (const obj::Edge& e : graph_->object(ids[i]).edges) {
+        if (e.kind == obj::RelKind::kConfiguration &&
+            e.dir == obj::Direction::kDown) {
+          composite = true;
+          break;
+        }
+      }
+      if (composite) m.composites.push_back(ids[i]);
+    }
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (has_heirs[i]) catalog.inheritance_roots.push_back(ids[i]);
+  }
+  return catalog;
+}
+
+}  // namespace oodb::ocb

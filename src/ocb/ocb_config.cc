@@ -1,0 +1,116 @@
+#include "ocb/ocb_config.h"
+
+#include <cstdio>
+
+namespace oodb::ocb {
+
+const char* RefLocalityName(RefLocality l) {
+  switch (l) {
+    case RefLocality::kUniform:
+      return "uniform";
+    case RefLocality::kGaussian:
+      return "gaussian";
+    case RefLocality::kZipf:
+      return "zipf";
+  }
+  return "unknown";
+}
+
+std::string OcbConfig::Label(double read_write_ratio) const {
+  // Same ratio formatting as WorkloadConfig::Label so OCT and OCB cells
+  // line up in reports.
+  char buf[48];
+  const char* loc;
+  switch (locality) {
+    case RefLocality::kUniform:
+      loc = "uni";
+      break;
+    case RefLocality::kGaussian:
+      loc = "gauss";
+      break;
+    case RefLocality::kZipf:
+      loc = "zipf";
+      break;
+    default:
+      loc = "unknown";
+      break;
+  }
+  if (read_write_ratio == static_cast<int>(read_write_ratio)) {
+    std::snprintf(buf, sizeof(buf), "ocb-%s%d-%d", loc, refs_per_object,
+                  static_cast<int>(read_write_ratio));
+  } else {
+    std::snprintf(buf, sizeof(buf), "ocb-%s%d-%.1f", loc, refs_per_object,
+                  read_write_ratio);
+  }
+  return buf;
+}
+
+Status OcbConfig::Validate() const {
+  if (!enabled) return Status::Ok();
+  if (classes < 2) {
+    return Status::InvalidArgument(
+        "ocb.classes must be >= 2 (need a root and at least one subclass "
+        "for inheritance edges)");
+  }
+  if (hierarchy_depth < 1) {
+    return Status::InvalidArgument("ocb.hierarchy_depth must be >= 1");
+  }
+  if (instances < classes) {
+    return Status::InvalidArgument(
+        "ocb.instances must be >= ocb.classes (every class needs a chance "
+        "at an extent)");
+  }
+  if (refs_per_object < 0) {
+    return Status::InvalidArgument("ocb.refs_per_object must be >= 0");
+  }
+  if (zipf_theta < 0.0 || zipf_theta >= 1.0) {
+    return Status::InvalidArgument("ocb.zipf_theta must be in [0, 1)");
+  }
+  if (gaussian_window <= 0.0 || gaussian_window > 1.0) {
+    return Status::InvalidArgument(
+        "ocb.gaussian_window must be in (0, 1] (a fraction of the "
+        "instance count)");
+  }
+  if (base_object_bytes < 24) {
+    return Status::InvalidArgument("ocb.base_object_bytes must be >= 24");
+  }
+  if (inheritance_fraction < 0.0 || inheritance_fraction > 1.0) {
+    return Status::InvalidArgument(
+        "ocb.inheritance_fraction must be in [0, 1]");
+  }
+  if (interleaved_read_probability < 0.0 ||
+      interleaved_read_probability > 1.0) {
+    return Status::InvalidArgument(
+        "ocb.interleaved_read_probability must be in [0, 1]");
+  }
+  if (partitions < 1) {
+    return Status::InvalidArgument("ocb.partitions must be >= 1");
+  }
+  if (partitions > instances) {
+    return Status::InvalidArgument(
+        "ocb.partitions must be <= ocb.instances (partitions are "
+        "non-empty creation-order chunks)");
+  }
+  if (set_lookup_size < 1) {
+    return Status::InvalidArgument("ocb.set_lookup_size must be >= 1");
+  }
+  if (traversal_depth < 0) {
+    return Status::InvalidArgument("ocb.traversal_depth must be >= 0");
+  }
+  double mix_sum = 0;
+  for (double w : read_mix) {
+    if (w < 0.0) {
+      return Status::InvalidArgument(
+          "ocb.read_mix weights must be non-negative");
+    }
+    mix_sum += w;
+  }
+  if (mix_sum <= 0.0) {
+    return Status::InvalidArgument(
+        "ocb.read_mix must have a positive sum (at least one read "
+        "operation enabled)");
+  }
+  return Status::Ok();
+}
+
+}  // namespace oodb::ocb

@@ -8,8 +8,9 @@ namespace {
 
 inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
 
-// SplitMix64, used for seeding the xoshiro state.
-inline uint64_t SplitMix64(uint64_t& x) {
+// The splitmix64 step, shared by the SplitMix64 stream class and the
+// xoshiro state seeding.
+inline uint64_t SplitMix64Step(uint64_t& x) {
   x += 0x9E3779B97F4A7C15ULL;
   uint64_t z = x;
   z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
@@ -17,11 +18,49 @@ inline uint64_t SplitMix64(uint64_t& x) {
   return z ^ (z >> 31);
 }
 
+// Lemire's unbiased bounded sampling over any uniform-u64 source.
+template <typename NextU64Fn>
+uint64_t LemireBelow(NextU64Fn&& next, uint64_t n) {
+  OODB_CHECK_GT(n, 0u);
+  uint64_t x = next();
+  __uint128_t m = static_cast<__uint128_t>(x) * n;
+  uint64_t l = static_cast<uint64_t>(m);
+  if (l < n) {
+    uint64_t t = -n % n;
+    while (l < t) {
+      x = next();
+      m = static_cast<__uint128_t>(x) * n;
+      l = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
+// Gray et al.'s inverse-CDF Zipf mapping for one uniform draw u in [0, 1)
+// ("Quickly generating billion-record synthetic databases"). Pure in
+// (u, n, theta), so every generator shares the same transform.
+uint64_t ZipfFromUniform(double u, uint64_t n, double theta) {
+  const double alpha = 1.0 / (1.0 - theta);
+  const double zetan = (std::pow(static_cast<double>(n), 1.0 - theta) - 1.0) /
+                           (1.0 - theta) +
+                       0.5;  // approximate zeta(n, theta)
+  const double eta =
+      (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+      (1.0 - (std::pow(2.0, 1.0 - theta) - 1.0) / (1.0 - theta) / zetan);
+  const double uz = u * zetan;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta)) return 1;
+  uint64_t v = static_cast<uint64_t>(
+      static_cast<double>(n) * std::pow(eta * u - eta + 1.0, alpha));
+  if (v >= n) v = n - 1;
+  return v;
+}
+
 }  // namespace
 
 Rng::Rng(uint64_t seed) {
   uint64_t x = seed;
-  for (auto& s : s_) s = SplitMix64(x);
+  for (auto& s : s_) s = SplitMix64Step(x);
 }
 
 uint64_t Rng::NextU64() {
@@ -42,20 +81,7 @@ double Rng::NextDouble() {
 }
 
 uint64_t Rng::NextBelow(uint64_t n) {
-  OODB_CHECK_GT(n, 0u);
-  // Lemire's unbiased bounded sampling.
-  uint64_t x = NextU64();
-  __uint128_t m = static_cast<__uint128_t>(x) * n;
-  uint64_t l = static_cast<uint64_t>(m);
-  if (l < n) {
-    uint64_t t = -n % n;
-    while (l < t) {
-      x = NextU64();
-      m = static_cast<__uint128_t>(x) * n;
-      l = static_cast<uint64_t>(m);
-    }
-  }
-  return static_cast<uint64_t>(m >> 64);
+  return LemireBelow([this] { return NextU64(); }, n);
 }
 
 int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
@@ -84,26 +110,55 @@ uint64_t Rng::Zipf(uint64_t n, double theta) {
   OODB_CHECK_GE(theta, 0.0);
   OODB_CHECK_LT(theta, 1.0);
   if (theta == 0.0) return NextBelow(n);
-  // Gray et al. "Quickly generating billion-record synthetic databases":
-  // inverse-CDF with the zeta approximations.
-  const double alpha = 1.0 / (1.0 - theta);
-  const double zetan = (std::pow(static_cast<double>(n), 1.0 - theta) - 1.0) /
-                           (1.0 - theta) +
-                       0.5;  // approximate zeta(n, theta)
-  const double eta =
-      (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
-      (1.0 - (std::pow(2.0, 1.0 - theta) - 1.0) / (1.0 - theta) / zetan);
-  const double u = NextDouble();
-  const double uz = u * zetan;
-  if (uz < 1.0) return 0;
-  if (uz < 1.0 + std::pow(0.5, theta)) return 1;
-  uint64_t v = static_cast<uint64_t>(
-      static_cast<double>(n) * std::pow(eta * u - eta + 1.0, alpha));
-  if (v >= n) v = n - 1;
-  return v;
+  return ZipfFromUniform(NextDouble(), n, theta);
 }
 
 Rng Rng::Fork() { return Rng(NextU64()); }
+
+uint64_t SplitMix64::Next() { return SplitMix64Step(state_); }
+
+double SplitMix64::NextDouble() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+uint64_t SplitMix64::NextBelow(uint64_t n) {
+  return LemireBelow([this] { return Next(); }, n);
+}
+
+int64_t SplitMix64::UniformInt(int64_t lo, int64_t hi) {
+  OODB_CHECK_LE(lo, hi);
+  return lo + static_cast<int64_t>(
+                  NextBelow(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+double SplitMix64::Gaussian(double mean, double stddev) {
+  OODB_CHECK_GE(stddev, 0.0);
+  if (has_spare_) {
+    has_spare_ = false;
+    return mean + stddev * spare_;
+  }
+  // Marsaglia's polar method: only sqrt and log, whose results are stable
+  // across libms in practice (unlike std::normal_distribution, whose draw
+  // *algorithm* differs between standard libraries).
+  double u, v, s;
+  do {
+    u = 2.0 * NextDouble() - 1.0;
+    v = 2.0 * NextDouble() - 1.0;
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double scale = std::sqrt(-2.0 * std::log(s) / s);
+  spare_ = v * scale;
+  has_spare_ = true;
+  return mean + stddev * u * scale;
+}
+
+uint64_t SplitMix64::Zipf(uint64_t n, double theta) {
+  OODB_CHECK_GT(n, 0u);
+  OODB_CHECK_GE(theta, 0.0);
+  OODB_CHECK_LT(theta, 1.0);
+  if (theta == 0.0) return NextBelow(n);
+  return ZipfFromUniform(NextDouble(), n, theta);
+}
 
 DiscreteDistribution::DiscreteDistribution(
     const std::vector<double>& weights) {

@@ -55,6 +55,50 @@ class Rng {
   uint64_t s_[4];
 };
 
+/// A single-word splitmix64 stream (Steele, Lea & Vigna). One 64-bit state
+/// word, sequential output, and — like Rng — bit-identical on every
+/// platform and standard library. Used where a *derivable* stream matters
+/// more than period length: per-purpose generation streams (the OCB
+/// database generator gives class assignment, sizes, and references each
+/// their own forked stream, so adding a draw to one stage can never shift
+/// another stage's sequence), and the distribution draws below, which are
+/// implemented directly on the raw stream instead of std::*_distribution
+/// (whose draw algorithms differ between standard libraries).
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  /// Next 64-bit value of the stream.
+  uint64_t Next();
+
+  /// Uniform double in [0, 1) (53 bits).
+  double NextDouble();
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  uint64_t NextBelow(uint64_t n);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Normally distributed value (Marsaglia's polar method; the second
+  /// value of each pair is cached). Requires stddev >= 0.
+  double Gaussian(double mean, double stddev);
+
+  /// Zipf-distributed integer in [0, n) with skew theta in [0, 1); same
+  /// Gray et al. inverse-CDF mapping as Rng::Zipf.
+  uint64_t Zipf(uint64_t n, double theta);
+
+  /// Derives an independent stream: the fork is seeded from the parent's
+  /// next output, so `Fork(); Fork()` yields two unrelated sequences and
+  /// the parent advances deterministically.
+  SplitMix64 Fork() { return SplitMix64(Next()); }
+
+ private:
+  uint64_t state_;
+  double spare_ = 0;
+  bool has_spare_ = false;
+};
+
 /// Samples indices 0..n-1 with the given non-negative weights, in O(1) per
 /// sample after O(n) setup (Walker's alias method). Used for choosing query
 /// types, tool mixes, and relationship kinds by frequency.

@@ -18,6 +18,14 @@ const char* QueryTypeName(QueryType q) {
       return "corresponding-objects";
     case QueryType::kObjectWrite:
       return "object-write";
+    case QueryType::kOcbSetLookup:
+      return "ocb-set-lookup";
+    case QueryType::kOcbSimpleTraversal:
+      return "ocb-simple-traversal";
+    case QueryType::kOcbHierarchyTraversal:
+      return "ocb-hierarchy-traversal";
+    case QueryType::kOcbStochasticTraversal:
+      return "ocb-stochastic-traversal";
   }
   return "unknown";
 }

@@ -2,17 +2,22 @@
 #define SEMCLUST_WORKLOAD_QUERY_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "objmodel/object_id.h"
 
 /// \file
-/// The seven engineering-design query types (paper §4.1). Every object read
-/// or write operation is a transaction; checkin/checkout are composites of
-/// these primitives.
+/// The seven engineering-design query types (paper §4.1) plus the four
+/// read operations of the OCB generic object benchmark (Darmont et al.).
+/// Every object read or write operation is a transaction; checkin/checkout
+/// are composites of these primitives.
 
 namespace oodb::workload {
 
 /// Query types assigned to transactions in the workload-definition phase.
+/// Types 0-6 are the paper's engineering-design set; types 7-10 are the
+/// OCB operation set (src/ocb/), appended so the indices of the original
+/// seven — and every statistic keyed on them — are unchanged.
 enum class QueryType : uint8_t {
   kSimpleLookup = 0,        ///< (1) simple object lookup by name
   kComponentRetrieval = 1,  ///< (2) retrieve the components of an object
@@ -21,8 +26,12 @@ enum class QueryType : uint8_t {
   kAncestorVersions = 4,    ///< (5) ancestor-version retrieval
   kCorresponding = 5,       ///< (6) corresponding-objects retrieval
   kObjectWrite = 6,         ///< (7) object insertion / deletion / update
+  kOcbSetLookup = 7,        ///< OCB: set-oriented lookup over one class
+  kOcbSimpleTraversal = 8,  ///< OCB: depth-first reference traversal
+  kOcbHierarchyTraversal = 9,   ///< OCB: traversal along inheritance edges
+  kOcbStochasticTraversal = 10, ///< OCB: random walk with backtracking
 };
-inline constexpr int kNumQueryTypes = 7;
+inline constexpr int kNumQueryTypes = 11;
 
 const char* QueryTypeName(QueryType q);
 
@@ -50,6 +59,12 @@ struct TransactionSpec {
   obj::ObjectId other = obj::kInvalidObject;
   /// Index of the design module the session operates on.
   size_t module = 0;
+  /// Additional targets beyond `target` (OCB set-oriented lookup); empty
+  /// for the engineering-design query types.
+  std::vector<obj::ObjectId> targets;
+  /// Traversal depth bound for the OCB traversal types (0 = just the
+  /// target object).
+  int depth = 0;
 };
 
 }  // namespace oodb::workload

@@ -1,0 +1,42 @@
+#ifndef SEMCLUST_WORKLOAD_TRANSACTION_SOURCE_H_
+#define SEMCLUST_WORKLOAD_TRANSACTION_SOURCE_H_
+
+#include <cstdint>
+
+#include "workload/query.h"
+
+/// \file
+/// The contract between a per-user transaction stream and the execution
+/// model. The engineering-design generator (workload_gen.h) and the OCB
+/// generator (src/ocb/) both implement it, so the measurement layer drives
+/// either workload through the same session loop.
+
+namespace oodb::workload {
+
+/// One user's stream of sessions and transactions.
+class TransactionSource {
+ public:
+  virtual ~TransactionSource() = default;
+
+  /// Starts a new session (picks its working set) and returns the session
+  /// length in transactions.
+  virtual int BeginSession() = 0;
+
+  /// Generates the next transaction of the current session.
+  virtual TransactionSpec NextTransaction() = 0;
+
+  /// Feedback from the execution model: logical reads/writes the last
+  /// transactions performed. Drives the source's R/W controller.
+  virtual void RecordOps(uint64_t logical_reads, uint64_t logical_writes) = 0;
+
+  /// Switches the target read/write ratio mid-run; the controller's
+  /// counters reset so the new phase converges to the new target.
+  virtual void SetTargetRatio(double ratio) = 0;
+
+  /// Achieved logical R/W ratio so far.
+  virtual double AchievedRatio() const = 0;
+};
+
+}  // namespace oodb::workload
+
+#endif  // SEMCLUST_WORKLOAD_TRANSACTION_SOURCE_H_

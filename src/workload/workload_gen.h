@@ -9,6 +9,7 @@
 #include "util/random.h"
 #include "workload/db_builder.h"
 #include "workload/query.h"
+#include "workload/transaction_source.h"
 #include "workload/workload_config.h"
 
 /// \file
@@ -23,7 +24,7 @@
 namespace oodb::workload {
 
 /// Produces TransactionSpecs for the execution model.
-class WorkloadGenerator {
+class WorkloadGenerator : public TransactionSource {
  public:
   /// `db` must outlive the generator and is updated externally as the
   /// model applies inserts/deletes.
@@ -32,20 +33,20 @@ class WorkloadGenerator {
 
   /// Starts a new session: picks the session's working set of modules by
   /// popularity and returns the session length (5-20 transactions).
-  int BeginSession();
+  int BeginSession() override;
 
   /// Generates the next transaction of the current session.
-  TransactionSpec NextTransaction();
+  TransactionSpec NextTransaction() override;
 
   /// Feedback from the execution model: how many logical reads/writes the
   /// last transactions performed. Drives the R/W controller.
-  void RecordOps(uint64_t logical_reads, uint64_t logical_writes);
+  void RecordOps(uint64_t logical_reads, uint64_t logical_writes) override;
 
   /// Switches the target read/write ratio mid-run (the paper's §3.3
   /// observation: phases of one application span R/W 0.52..170). The
   /// controller's counters reset so the new phase converges to the new
   /// target rather than paying off the old phase's balance.
-  void SetTargetRatio(double ratio);
+  void SetTargetRatio(double ratio) override;
 
   /// The primary module index of the current session.
   size_t current_module() const { return modules_.empty() ? 0 : modules_[0]; }
@@ -53,7 +54,7 @@ class WorkloadGenerator {
   const std::vector<size_t>& session_modules() const { return modules_; }
 
   /// Achieved logical R/W ratio so far.
-  double AchievedRatio() const;
+  double AchievedRatio() const override;
 
   const WorkloadConfig& config() const { return config_; }
 

@@ -249,6 +249,21 @@ TEST(ScenarioTest, ActionableErrors) {
                "figure5_1");
   expect_error(R"({"name": "x", "config": {"seed": "one"}})",
                "config.seed");
+  // OCB knobs are gated behind "kind": "ocb" so a typo can't silently
+  // switch a scenario onto the generic benchmark.
+  expect_error(
+      R"({"name": "x", "config": {"workload": {"instances": 500}}})",
+      "add \"kind\": \"ocb\"");
+  expect_error(
+      R"({"name": "x", "config": {"workload": {"kind": "osb"}}})",
+      "known: oct, ocb");
+  expect_error(
+      R"({"name": "x", "config":
+          {"workload": {"kind": "ocb", "locality": "pareto"}}})",
+      "uniform, gaussian, zipf");
+  expect_error(
+      R"({"name": "x", "config": {"workload": {"kind": "ocb", "classes": 1}}})",
+      "classes");
 }
 
 TEST(ScenarioTest, LoadScenarioFileReadsAndReportsPath) {

@@ -1,0 +1,175 @@
+// Compares clustering-policy rankings between two bench JSONL files —
+// typically an OCT (engineering-database) bench and the OCB grid — to
+// answer the transfer question: does the policy ordering the paper
+// derives on the CAD workload survive on a generic object graph?
+//
+// Usage:
+//   ocb_compare <a.jsonl> <b.jsonl>
+//
+// Each file is a SEMCLUST_BENCH_JSON output: one JSON record per cell
+// with "policy" and "mean_response_s" fields. Records are grouped by
+// policy and averaged across workload cells; policies are ranked by that
+// mean (rank 1 = fastest). The report prints the two rankings side by
+// side for the policies the files share, plus Spearman's rank
+// correlation over the shared set.
+//
+// Exit status: 0 on success (any correlation), 1 if the files share
+// fewer than two policies, 2 on IO/parse errors.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/json_reader.h"
+#include "util/table_printer.h"
+
+namespace {
+
+struct PolicyStat {
+  double sum = 0;
+  int cells = 0;
+  double Mean() const { return cells == 0 ? 0 : sum / cells; }
+};
+
+struct FileSummary {
+  std::string bench;  // "bench" field of the first record
+  /// policy name -> mean response across that policy's cells.
+  std::map<std::string, PolicyStat> policies;
+};
+
+bool LoadSummary(const std::string& path, FileSummary& out) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "ocb_compare: cannot open %s\n", path.c_str());
+    return false;
+  }
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    auto doc = oodb::JsonValue::Parse(line);
+    if (!doc.ok()) {
+      std::fprintf(stderr, "ocb_compare: %s:%d: %s\n", path.c_str(),
+                   line_no, doc.status().ToString().c_str());
+      return false;
+    }
+    const oodb::JsonValue* policy = doc->Find("policy");
+    const oodb::JsonValue* response = doc->Find("mean_response_s");
+    if (policy == nullptr || !policy->is_string() || response == nullptr ||
+        !response->is_number()) {
+      std::fprintf(stderr,
+                   "ocb_compare: %s:%d: record lacks string \"policy\" / "
+                   "numeric \"mean_response_s\"\n",
+                   path.c_str(), line_no);
+      return false;
+    }
+    if (const oodb::JsonValue* bench = doc->Find("bench");
+        out.bench.empty() && bench != nullptr && bench->is_string()) {
+      out.bench = bench->string_value();
+    }
+    PolicyStat& stat = out.policies[policy->string_value()];
+    stat.sum += response->number_value();
+    stat.cells += 1;
+  }
+  if (out.policies.empty()) {
+    std::fprintf(stderr, "ocb_compare: %s holds no records\n", path.c_str());
+    return false;
+  }
+  return true;
+}
+
+/// Rank of each policy by ascending mean response (1 = fastest), over the
+/// given subset.
+std::map<std::string, int> Ranks(const FileSummary& summary,
+                                 const std::vector<std::string>& subset) {
+  std::vector<std::string> order = subset;
+  std::sort(order.begin(), order.end(),
+            [&](const std::string& a, const std::string& b) {
+              return summary.policies.at(a).Mean() <
+                     summary.policies.at(b).Mean();
+            });
+  std::map<std::string, int> ranks;
+  for (size_t i = 0; i < order.size(); ++i) {
+    ranks[order[i]] = static_cast<int>(i) + 1;
+  }
+  return ranks;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 3) {
+    std::fprintf(stderr, "usage: ocb_compare <a.jsonl> <b.jsonl>\n");
+    return 2;
+  }
+  FileSummary a, b;
+  if (!LoadSummary(argv[1], a) || !LoadSummary(argv[2], b)) return 2;
+
+  std::vector<std::string> shared;
+  for (const auto& [policy, stat] : a.policies) {
+    if (b.policies.count(policy) != 0) shared.push_back(policy);
+  }
+  if (shared.size() < 2) {
+    std::fprintf(stderr,
+                 "ocb_compare: files share %zu polic%s; need at least 2 "
+                 "to compare rankings\n",
+                 shared.size(), shared.size() == 1 ? "y" : "ies");
+    return 1;
+  }
+
+  const std::string label_a = a.bench.empty() ? argv[1] : a.bench;
+  const std::string label_b = b.bench.empty() ? argv[2] : b.bench;
+  const auto ranks_a = Ranks(a, shared);
+  const auto ranks_b = Ranks(b, shared);
+
+  std::printf("policy ranking: %s vs %s (%zu shared policies; rank 1 = "
+              "fastest mean response)\n",
+              label_a.c_str(), label_b.c_str(), shared.size());
+
+  // Rows in A's ranking order, so agreement reads as a sorted second
+  // rank column.
+  std::vector<std::string> rows = shared;
+  std::sort(rows.begin(), rows.end(),
+            [&](const std::string& x, const std::string& y) {
+              return ranks_a.at(x) < ranks_a.at(y);
+            });
+  oodb::TablePrinter table({"policy", label_a + " mean", "rank",
+                            label_b + " mean", "rank", "shift"});
+  for (const auto& policy : rows) {
+    const int delta = ranks_b.at(policy) - ranks_a.at(policy);
+    std::string shift = delta == 0 ? "=" : (delta > 0 ? "+" : "") +
+                                               std::to_string(delta);
+    table.AddRow({policy,
+                  oodb::FormatDouble(a.policies.at(policy).Mean() * 1000.0,
+                                     1) + " ms",
+                  std::to_string(ranks_a.at(policy)),
+                  oodb::FormatDouble(b.policies.at(policy).Mean() * 1000.0,
+                                     1) + " ms",
+                  std::to_string(ranks_b.at(policy)), shift});
+  }
+  std::ostringstream os;
+  table.Print(os);
+  std::fputs(os.str().c_str(), stdout);
+
+  // Spearman's rank correlation: 1 = identical ordering, -1 = inverted.
+  // Ranks are distinct integers 1..n, so the closed form applies.
+  double d2 = 0;
+  for (const auto& policy : shared) {
+    const double d = ranks_a.at(policy) - ranks_b.at(policy);
+    d2 += d * d;
+  }
+  const double n = static_cast<double>(shared.size());
+  const double rho = 1.0 - 6.0 * d2 / (n * (n * n - 1.0));
+  std::printf("\nSpearman rank correlation: %.3f (%s)\n", rho,
+              rho >= 0.9   ? "rankings agree"
+              : rho >= 0.5 ? "rankings broadly agree"
+              : rho >= 0.0 ? "rankings diverge"
+                           : "rankings inverted");
+  return 0;
+}

@@ -12,7 +12,10 @@
 //     --seed N     override the scenario's base seed
 //                  (same as SEMCLUST_BENCH_SEED=N)
 //     --dry-run    expand and list the cells without simulating
-//     --policies   list the registered policy names per axis and exit
+//     --policies   list the canonical policy names per axis and exit
+//     --list-policies
+//                  list every policy axis with canonical names AND the
+//                  registered aliases each level accepts, and exit
 //
 // The SEMCLUST_BENCH_SEED and SEMCLUST_BENCH_SERIES_S environment knobs
 // are honoured exactly as the bench binaries honour them. Exit status: 0
@@ -47,16 +50,35 @@ double Now() {
 void PrintUsage(std::FILE* to) {
   std::fprintf(to,
                "usage: semclust_run [--jobs N] [--json PATH] [--seed N] "
-               "[--dry-run] [--policies] <scenario.json>...\n");
+               "[--dry-run] [--policies] [--list-policies] "
+               "<scenario.json>...\n");
 }
 
 void PrintPolicies() {
-  for (const PolicyAxis axis :
-       {PolicyAxis::kReplacement, PolicyAxis::kPrefetch,
-        PolicyAxis::kCandidatePool, PolicyAxis::kSplit, PolicyAxis::kDensity,
-        PolicyAxis::kRelKind}) {
+  for (const PolicyAxis axis : oodb::core::kAllPolicyAxes) {
     std::printf("%-16s %s\n", oodb::core::PolicyAxisName(axis),
                 PolicyRegistry::Global().KnownNames(axis).c_str());
+  }
+}
+
+// The full naming surface: one line per policy level with the canonical
+// spelling first and every registered alias after it, so scenario authors
+// can discover which strings a `.scenario.json` file will resolve.
+void PrintPolicyCatalog() {
+  for (const PolicyAxis axis : oodb::core::kAllPolicyAxes) {
+    std::printf("%s:\n", oodb::core::PolicyAxisName(axis));
+    for (const auto& entry : PolicyRegistry::Global().Entries(axis)) {
+      std::printf("  %-28s", entry.canonical.c_str());
+      if (!entry.aliases.empty()) {
+        std::string joined;
+        for (const auto& alias : entry.aliases) {
+          if (!joined.empty()) joined += ", ";
+          joined += alias;
+        }
+        std::printf(" (aliases: %s)", joined.c_str());
+      }
+      std::printf("\n");
+    }
   }
 }
 
@@ -134,6 +156,10 @@ int main(int argc, char** argv) {
     }
     if (arg == "--policies") {
       PrintPolicies();
+      return 0;
+    }
+    if (arg == "--list-policies") {
+      PrintPolicyCatalog();
       return 0;
     }
     if (arg == "--dry-run") {
