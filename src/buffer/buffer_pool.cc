@@ -90,11 +90,11 @@ void BufferPool::RecordAccess(FrameId f) {
 BufferPool::FixResult BufferPool::Fix(store::PageId page) {
   OODB_CHECK_NE(page, store::kInvalidPage);
   FixResult result;
-  auto it = frame_of_.find(page);
-  if (it != frame_of_.end()) {
+  const FrameId resident = FrameOf(page);
+  if (resident != kNoFrame) {
     ++hits_;
     result.hit = true;
-    RecordAccess(it->second);
+    RecordAccess(resident);
     return result;
   }
 
@@ -130,7 +130,8 @@ BufferPool::FixResult BufferPool::Fix(store::PageId page) {
                      static_cast<uint64_t>(cls), victim.dirty ? 1 : 0,
                      victim.priority);
     }
-    frame_of_.erase(victim.page);
+    frame_of_[victim.page] = kNoFrame;
+    --resident_;
     if (policy_ == ReplacementPolicy::kLru) LruUnlink(f);
   }
 
@@ -141,7 +142,14 @@ BufferPool::FixResult BufferPool::Fix(store::PageId page) {
   fr.pin_count = 0;
   fr.priority = 0;
   fr.heap_stamp = 0;
+  if (page >= frame_of_.size()) {
+    // Geometric growth: pages are allocated one at a time while the
+    // database builds, so growing to exactly page+1 would resize per page.
+    frame_of_.resize(std::max<size_t>(page + 1, frame_of_.size() * 2),
+                     kNoFrame);
+  }
   frame_of_[page] = f;
+  ++resident_;
   // RecordAccess links the frame into the policy structure (LruUnlink is a
   // no-op on a frame that is not yet linked).
   RecordAccess(f);
@@ -159,7 +167,7 @@ BufferPool::FrameId BufferPool::PickVictim() {
     case ReplacementPolicy::kContextSensitive: {
       // Pop entries until an unpinned live frame surfaces; pinned frames
       // are stashed (their stamps stay valid) and restored afterwards.
-      std::vector<HeapEntry> pinned_stash;
+      pinned_stash_.clear();
       FrameId victim = kNoFrame;
       while (!heap_.empty()) {
         HeapEntry e = heap_.top();
@@ -169,13 +177,13 @@ BufferPool::FrameId BufferPool::PickVictim() {
           continue;  // stale entry
         }
         if (fr.pin_count > 0) {
-          pinned_stash.push_back(e);
+          pinned_stash_.push_back(e);
           continue;
         }
         victim = e.frame;
         break;
       }
-      for (const HeapEntry& e : pinned_stash) heap_.push(e);
+      for (const HeapEntry& e : pinned_stash_) heap_.push(e);
       return victim;
     }
     case ReplacementPolicy::kRandom: {
@@ -196,28 +204,28 @@ BufferPool::FrameId BufferPool::PickVictim() {
 }
 
 bool BufferPool::Touch(store::PageId page) {
-  auto it = frame_of_.find(page);
-  if (it == frame_of_.end()) return false;
-  RecordAccess(it->second);
+  const FrameId f = FrameOf(page);
+  if (f == kNoFrame) return false;
+  RecordAccess(f);
   return true;
 }
 
 void BufferPool::Boost(store::PageId page, double weight) {
   OODB_CHECK_GT(weight, 0.0);
-  auto it = frame_of_.find(page);
-  if (it == frame_of_.end()) return;
+  const FrameId f = FrameOf(page);
+  if (f == kNoFrame) return;
   switch (policy_) {
     case ReplacementPolicy::kContextSensitive: {
       // Lift the frame above the current clock: it outlives plain-recency
       // pages proportionally to the relationship weight.
-      Frame& fr = frames_[it->second];
+      Frame& fr = frames_[f];
       const double base = std::max(fr.priority, access_clock_);
-      SetPriority(it->second, base + weight);
+      SetPriority(f, base + weight);
       fr.boosted = true;
       break;
     }
     case ReplacementPolicy::kLru:
-      RecordAccess(it->second);  // best LRU can do: treat as an access
+      RecordAccess(f);  // best LRU can do: treat as an access
       break;
     case ReplacementPolicy::kRandom:
       break;  // random replacement has no priority to adjust
@@ -225,39 +233,41 @@ void BufferPool::Boost(store::PageId page, double weight) {
 }
 
 void BufferPool::MarkDirty(store::PageId page) {
-  auto it = frame_of_.find(page);
-  OODB_CHECK(it != frame_of_.end());
-  frames_[it->second].dirty = true;
+  const FrameId f = FrameOf(page);
+  OODB_CHECK_NE(f, kNoFrame);
+  frames_[f].dirty = true;
 }
 
 void BufferPool::MarkClean(store::PageId page) {
-  auto it = frame_of_.find(page);
-  if (it == frame_of_.end()) return;
-  frames_[it->second].dirty = false;
+  const FrameId f = FrameOf(page);
+  if (f == kNoFrame) return;
+  frames_[f].dirty = false;
 }
 
 bool BufferPool::IsDirty(store::PageId page) const {
-  auto it = frame_of_.find(page);
-  return it != frame_of_.end() && frames_[it->second].dirty;
+  const FrameId f = FrameOf(page);
+  return f != kNoFrame && frames_[f].dirty;
 }
 
 void BufferPool::Pin(store::PageId page) {
-  auto it = frame_of_.find(page);
-  OODB_CHECK(it != frame_of_.end());
-  ++frames_[it->second].pin_count;
+  const FrameId f = FrameOf(page);
+  OODB_CHECK_NE(f, kNoFrame);
+  ++frames_[f].pin_count;
 }
 
 void BufferPool::Unpin(store::PageId page) {
-  auto it = frame_of_.find(page);
-  OODB_CHECK(it != frame_of_.end());
-  OODB_CHECK_GT(frames_[it->second].pin_count, 0u);
-  --frames_[it->second].pin_count;
+  const FrameId f = FrameOf(page);
+  OODB_CHECK_NE(f, kNoFrame);
+  OODB_CHECK_GT(frames_[f].pin_count, 0u);
+  --frames_[f].pin_count;
 }
 
 std::vector<store::PageId> BufferPool::ResidentPages() const {
   std::vector<store::PageId> pages;
-  pages.reserve(frame_of_.size());
-  for (const auto& [page, frame] : frame_of_) pages.push_back(page);
+  pages.reserve(resident_);
+  for (store::PageId p = 0; p < frame_of_.size(); ++p) {
+    if (frame_of_[p] != kNoFrame) pages.push_back(p);
+  }
   return pages;
 }
 

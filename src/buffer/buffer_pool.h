@@ -3,7 +3,6 @@
 
 #include <cstdint>
 #include <queue>
-#include <unordered_map>
 #include <vector>
 
 #include "buffer/policy.h"
@@ -65,7 +64,7 @@ class BufferPool {
   void MarkClean(store::PageId page);
 
   bool Contains(store::PageId page) const {
-    return frame_of_.find(page) != frame_of_.end();
+    return page < frame_of_.size() && frame_of_[page] != kNoFrame;
   }
   bool IsDirty(store::PageId page) const;
 
@@ -78,7 +77,7 @@ class BufferPool {
   std::vector<store::PageId> ResidentPages() const;
 
   size_t capacity() const { return capacity_; }
-  size_t resident_count() const { return frame_of_.size(); }
+  size_t resident_count() const { return resident_; }
   ReplacementPolicy policy() const { return policy_; }
 
   uint64_t accesses() const { return hits_ + misses_; }
@@ -134,9 +133,20 @@ class BufferPool {
   size_t capacity_;
   ReplacementPolicy policy_;
   Rng rng_;
+  /// Looks up the frame holding `page` (kNoFrame when not resident).
+  FrameId FrameOf(store::PageId page) const {
+    return page < frame_of_.size() ? frame_of_[page] : kNoFrame;
+  }
+
   std::vector<Frame> frames_;
   std::vector<FrameId> free_frames_;
-  std::unordered_map<store::PageId, FrameId> frame_of_;
+  // Dense PageId-indexed page directory (kNoFrame = not resident), grown on
+  // demand: Fix() is the hottest buffer entry point and the hash-map lookup
+  // plus its rehashes showed up directly in the simulation profile. Page
+  // ids are small and dense, so the direct-indexed table is both faster and
+  // smaller than the map it replaces.
+  std::vector<FrameId> frame_of_;
+  size_t resident_ = 0;
 
   // Context-sensitive state: access clock + lazy min-heap over priorities.
   double access_clock_ = 0;
@@ -148,6 +158,11 @@ class BufferPool {
   // LRU state.
   FrameId lru_head_ = kNoFrame;  // least recently used
   FrameId lru_tail_ = kNoFrame;  // most recently used
+
+  // PickVictim scratch: pinned entries popped while hunting for an
+  // unpinned frame, restored afterwards. Reused across calls to avoid a
+  // per-eviction allocation.
+  std::vector<HeapEntry> pinned_stash_;
 
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;

@@ -23,16 +23,53 @@ ClusterManager::ClusterManager(obj::ObjectGraph* graph,
 
 const std::vector<ClusterManager::Candidate>& ClusterManager::ScoreCandidates(
     obj::ObjectId id) const {
-  std::unordered_map<store::PageId, double>& scores = score_scratch_;
-  scores.clear();
-  for (const obj::Edge& e : graph_->object(id).edges) {
+  // Flat PageId-indexed accumulation. A page's first touch this call
+  // stores the weight; later touches add. Both the per-page addition
+  // sequence and the operand order match the former hash-map version
+  // (map's value-initialised 0.0 + w == w), so every score is
+  // bit-identical; the final sort's strict total order (score desc, page
+  // asc — pages unique) then yields the identical candidate list.
+  if (page_score_.size() < storage_->page_count()) {
+    // Geometric growth: page_count advances by one page at a time during
+    // the build, and this runs once per placement.
+    const size_t n =
+        std::max(storage_->page_count(), page_score_.size() * 2);
+    page_score_.resize(n, 0.0);
+    page_stamp_.resize(n, 0);
+  }
+  ++score_stamp_;
+  const uint32_t stamp = score_stamp_;
+  touched_pages_.clear();
+  const auto add_score = [&](store::PageId p, double w) {
+    if (page_stamp_[p] != stamp) {
+      page_stamp_[p] = stamp;
+      page_score_[p] = w;
+      touched_pages_.push_back(p);
+    } else {
+      page_score_[p] += w;
+    }
+  };
+
+  // Batched affinity lookup: `id`'s type is fixed for the whole scan, so
+  // the per-kind blended weights (plus the inheritance dereference factor)
+  // are resolved once instead of per edge. The hint boost stays per-edge
+  // to preserve the original multiplication order.
+  const obj::TypeId type = graph_->object(id).type;
+  double kind_weight[obj::kNumRelKinds];
+  for (const obj::RelKind kind : obj::kAllRelKinds) {
+    double w = affinity_->Weight(type, kind);
+    if (kind == obj::RelKind::kInstanceInheritance) w *= 1.5;
+    kind_weight[static_cast<size_t>(kind)] = w;
+  }
+
+  for (const obj::Edge e : graph_->edges(id)) {
     if (!graph_->IsLive(e.target)) continue;
     const store::PageId p = storage_->PageOf(e.target);
-    double w = affinity_->EdgeWeight(*graph_, id, e);
+    double w = kind_weight[static_cast<size_t>(e.kind)];
     if (config_.use_hints && e.kind == config_.hint_kind) {
       w *= config_.hint_boost;
     }
-    if (p != store::kInvalidPage) scores[p] += w;
+    if (p != store::kInvalidPage) add_score(p, w);
 
     // Configuration siblings are co-referenced with `id` whenever the
     // composite's components are retrieved, so their pages are candidates
@@ -46,15 +83,15 @@ const std::vector<ClusterManager::Candidate>& ClusterManager::ScoreCandidates(
           [&](obj::ObjectId sibling) {
             if (sibling == id || !graph_->IsLive(sibling)) return;
             const store::PageId sp = storage_->PageOf(sibling);
-            if (sp != store::kInvalidPage) scores[sp] += 0.5 * w;
+            if (sp != store::kInvalidPage) add_score(sp, 0.5 * w);
           });
     }
   }
   std::vector<Candidate>& candidates = candidates_scratch_;
   candidates.clear();
-  candidates.reserve(scores.size());
-  for (const auto& [page, score] : scores) {
-    candidates.push_back(Candidate{page, score});
+  candidates.reserve(touched_pages_.size());
+  for (const store::PageId page : touched_pages_) {
+    candidates.push_back(Candidate{page, page_score_[page]});
   }
   std::sort(candidates.begin(), candidates.end(),
             [](const Candidate& a, const Candidate& b) {

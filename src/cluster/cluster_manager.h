@@ -2,7 +2,6 @@
 #define SEMCLUST_CLUSTER_CLUSTER_MANAGER_H_
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "buffer/buffer_pool.h"
@@ -136,9 +135,15 @@ class ClusterManager {
   obs::TraceSink* trace_ = nullptr;
 
   // Scratch state reused across ScoreCandidates calls: placement runs once
-  // per object write, and a fresh map + vector per call dominated its
-  // profile. clear() keeps the map's buckets and the vector's capacity.
-  mutable std::unordered_map<store::PageId, double> score_scratch_;
+  // per object write, and a fresh hash map per call dominated its profile.
+  // Scores accumulate into a PageId-indexed flat array; a stamp per page
+  // ("touched by the current call") replaces clearing, and touched_pages_
+  // lists the candidates in first-touch order. MMseqs2's prefilter uses
+  // the same batched flat-accumulator shape for its k-mer hit scores.
+  mutable std::vector<double> page_score_;
+  mutable std::vector<uint32_t> page_stamp_;
+  mutable std::vector<store::PageId> touched_pages_;
+  mutable uint32_t score_stamp_ = 0;
   mutable std::vector<Candidate> candidates_scratch_;
 };
 

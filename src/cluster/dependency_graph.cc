@@ -33,7 +33,7 @@ DependencyGraph DependencyGraph::Build(const obj::ObjectGraph& graph,
   for (uint32_t i = 0; i < dep.nodes.size(); ++i) {
     const obj::ObjectId from = dep.nodes[i].object;
     if (!graph.IsLive(from)) continue;
-    for (const obj::Edge& e : graph.object(from).edges) {
+    for (const obj::Edge e : graph.edges(from)) {
       auto it = index.find(e.target);
       if (it == index.end()) continue;
       const uint32_t j = it->second;

@@ -52,7 +52,7 @@ std::vector<obj::ObjectId> StaticClusterer::ComputeOrder() const {
       if (visited[o]) continue;
       visited[o] = true;
       order.push_back(o);
-      for (const obj::Edge& e : graph_->object(o).edges) {
+      for (const obj::Edge e : graph_->edges(o)) {
         if (e.target >= n || visited[e.target]) continue;
         if (!graph_->IsLive(e.target) || !storage_->IsPlaced(e.target)) {
           continue;

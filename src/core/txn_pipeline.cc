@@ -103,7 +103,7 @@ void TxnPipeline::PostAccess(obj::ObjectId id) {
   if (ctx_.config.replacement ==
       buffer::ReplacementPolicy::kContextSensitive) {
     const obj::TypeId type = ctx_.graph->object(id).type;
-    for (const obj::Edge& e : ctx_.graph->object(id).edges) {
+    for (const obj::Edge e : ctx_.graph->edges(id)) {
       const store::PageId p = ctx_.storage->PageOf(e.target);
       if (p == store::kInvalidPage) continue;
       const double w = ctx_.affinity->Weight(type, e.kind);
@@ -147,7 +147,9 @@ sim::Task TxnPipeline::AccessObject(obj::ObjectId id, obj::TypeId from_type,
   // Dereference by-reference inherited attributes with some probability:
   // the heir's data partially lives with its inheritance source.
   if (rng_.Bernoulli(kInheritanceDerefProbability)) {
-    for (const obj::Edge& e : ctx_.graph->object(id).edges) {
+    // The loop ends at the first await (break after FetchPage), so the
+    // edge view is never touched after a suspension point.
+    for (const obj::Edge e : ctx_.graph->edges(id)) {
       if (e.kind == obj::RelKind::kInstanceInheritance &&
           e.dir == obj::Direction::kUp && ctx_.graph->IsLive(e.target)) {
         ++logical_reads_;
@@ -274,14 +276,23 @@ sim::Task TxnPipeline::ReadQuery(const workload::TransactionSpec& spec) {
         const auto [o, d] = stack.back();
         stack.pop_back();
         if (d >= spec.depth) continue;
-        for (const obj::Edge& e : ctx_.graph->object(o).edges) {
-          if (e.kind != obj::RelKind::kInstanceInheritance) continue;
-          if (!ctx_.graph->IsLive(e.target)) continue;
-          if (!visited.insert(e.target).second) continue;
+        // Snapshot the inheritance neighbours before awaiting: the loop
+        // suspends mid-iteration, and a concurrent writer mutating any
+        // object's edges would invalidate a live edge view. Frame-local
+        // (not a member): other transactions interleave at each await.
+        std::vector<obj::ObjectId> inheritance;
+        for (const obj::Edge e : ctx_.graph->edges(o)) {
+          if (e.kind == obj::RelKind::kInstanceInheritance) {
+            inheritance.push_back(e.target);
+          }
+        }
+        for (const obj::ObjectId t : inheritance) {
+          if (!ctx_.graph->IsLive(t)) continue;
+          if (!visited.insert(t).second) continue;
           co_await AccessObject(
-              e.target, ttype,
+              t, ttype,
               static_cast<int>(obj::RelKind::kInstanceInheritance));
-          stack.emplace_back(e.target, d + 1);
+          stack.emplace_back(t, d + 1);
         }
       }
       break;
@@ -296,11 +307,13 @@ sim::Task TxnPipeline::ReadQuery(const workload::TransactionSpec& spec) {
       int accessed = 0;
       while (!path.empty() && accessed < spec.depth) {
         std::vector<obj::ObjectId> next;
-        for (obj::ObjectId c : ctx_.graph->Components(path.back())) {
-          if (ctx_.graph->IsLive(c) && visited.find(c) == visited.end()) {
-            next.push_back(c);
-          }
-        }
+        ctx_.graph->ForEachNeighbor(
+            path.back(), obj::RelKind::kConfiguration, obj::Direction::kDown,
+            [&](obj::ObjectId c) {
+              if (ctx_.graph->IsLive(c) && visited.find(c) == visited.end()) {
+                next.push_back(c);
+              }
+            });
         if (next.empty()) {
           path.pop_back();  // dead end: backtrack one step
           continue;
@@ -488,8 +501,10 @@ sim::Task TxnPipeline::WriteQuery(const workload::TransactionSpec& spec,
       break;
     }
     case workload::WriteKind::kDeleteObject: {
-      if (!ctx_.graph->Components(target).empty() ||
-          !ctx_.graph->Descendants(target).empty() ||
+      if (ctx_.graph->HasNeighbor(target, obj::RelKind::kConfiguration,
+                                  obj::Direction::kDown) ||
+          ctx_.graph->HasNeighbor(target, obj::RelKind::kVersionHistory,
+                                  obj::Direction::kDown) ||
           target == module.root) {
         // Keep the catalogue navigable: only leaves are deleted.
         co_await WriteObject(txn, target);

@@ -56,7 +56,9 @@ DerivationResult DeriveVersion(ObjectGraph& graph, ObjectId parent,
   }
 
   // Default inheritance of correspondence relationships: the heir
-  // corresponds to everything its parent corresponded to.
+  // corresponds to everything its parent corresponded to. The materialised
+  // snapshot is required: Relate() below mutates the edge arenas, which
+  // would invalidate a live EdgeView over the parent's edges.
   for (ObjectId other : graph.Correspondents(parent)) {
     graph.Relate(heir, other, RelKind::kCorrespondence);
     ++result.correspondences_inherited;

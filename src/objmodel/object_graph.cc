@@ -20,7 +20,8 @@ ObjectId ObjectGraph::Create(FamilyId family, uint16_t version, TypeId type,
   o.version = version;
   o.type = type;
   o.size_bytes = size_bytes;
-  objects_.push_back(std::move(o));
+  objects_.push_back(o);
+  runs_.push_back(EdgeRun{});
   const auto id = static_cast<ObjectId>(objects_.size() - 1);
   family_members_[family].push_back(id);
   ++live_count_;
@@ -29,16 +30,39 @@ ObjectId ObjectGraph::Create(FamilyId family, uint16_t version, TypeId type,
 
 void ObjectGraph::AddEdge(ObjectId obj, ObjectId target, RelKind kind,
                           Direction dir) {
-  objects_[obj].edges.push_back(Edge{target, kind, dir});
+  EdgeRun& r = runs_[obj];
+  if (r.count == r.capacity) {
+    // Grow by relocating the run to the arena tail (doubling capacity).
+    const uint32_t new_cap = r.capacity == 0 ? 4 : 2 * r.capacity;
+    const auto new_offset = static_cast<uint32_t>(edge_target_.size());
+    edge_target_.resize(edge_target_.size() + new_cap);
+    edge_meta_.resize(edge_meta_.size() + new_cap);
+    std::copy_n(edge_target_.begin() + r.offset, r.count,
+                edge_target_.begin() + new_offset);
+    std::copy_n(edge_meta_.begin() + r.offset, r.count,
+                edge_meta_.begin() + new_offset);
+    r.offset = new_offset;
+    r.capacity = new_cap;
+  }
+  edge_target_[r.offset + r.count] = target;
+  edge_meta_[r.offset + r.count] = PackMeta(kind, dir);
+  ++r.count;
 }
 
 void ObjectGraph::RemoveEdge(ObjectId obj, ObjectId target, RelKind kind,
                              Direction dir) {
-  auto& edges = objects_[obj].edges;
-  auto it = std::find(edges.begin(), edges.end(), Edge{target, kind, dir});
-  if (it != edges.end()) {
-    *it = edges.back();
-    edges.pop_back();
+  EdgeRun& r = runs_[obj];
+  const uint8_t want = PackMeta(kind, dir);
+  for (uint32_t i = 0; i < r.count; ++i) {
+    if (edge_target_[r.offset + i] == target &&
+        edge_meta_[r.offset + i] == want) {
+      // Swap-with-last, matching the former vector implementation's order
+      // semantics exactly.
+      edge_target_[r.offset + i] = edge_target_[r.offset + r.count - 1];
+      edge_meta_[r.offset + i] = edge_meta_[r.offset + r.count - 1];
+      --r.count;
+      return;
+    }
   }
 }
 
@@ -68,15 +92,21 @@ void ObjectGraph::Unrelate(ObjectId from, ObjectId to, RelKind kind) {
 void ObjectGraph::Remove(ObjectId id) {
   OODB_CHECK(IsLive(id));
   DesignObject& o = objects_[id];
-  // Detach the mirror edge held by each neighbour.
-  for (const Edge& e : o.edges) {
+  EdgeRun& r = runs_[id];
+  // Detach the mirror edge held by each neighbour. RemoveEdge never
+  // touches `id`'s own run (Relate forbids self-edges), so iterating the
+  // run while detaching is safe.
+  for (uint32_t i = 0; i < r.count; ++i) {
+    const uint8_t meta = edge_meta_[r.offset + i];
+    const auto kind = static_cast<RelKind>(meta & 0x3);
+    const auto dir = static_cast<Direction>(meta >> 2);
     const Direction mirror_dir =
-        e.kind == RelKind::kCorrespondence
+        kind == RelKind::kCorrespondence
             ? Direction::kDown
-            : (e.dir == Direction::kDown ? Direction::kUp : Direction::kDown);
-    RemoveEdge(e.target, id, e.kind, mirror_dir);
+            : (dir == Direction::kDown ? Direction::kUp : Direction::kDown);
+    RemoveEdge(edge_target_[r.offset + i], id, kind, mirror_dir);
   }
-  o.edges.clear();
+  r.count = 0;
   o.deleted = true;
   auto& members = family_members_[o.family];
   members.erase(std::remove(members.begin(), members.end(), id),

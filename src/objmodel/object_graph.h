@@ -14,10 +14,19 @@
 /// structural relationships of the Version Data Model. Relationships are
 /// first-class: the storage and buffering layers navigate them directly,
 /// which is exactly the semantics the paper exploits.
+///
+/// Edges are stored struct-of-arrays in two shared arenas (targets and
+/// packed kind+direction bytes) with one {offset, count, capacity} run per
+/// object, so affinity scans and neighbour walks touch contiguous memory
+/// instead of chasing one heap-allocated std::vector<Edge> per object
+/// (DESIGN.md §12). Append and swap-with-last removal reproduce the edge
+/// order of the former per-object vectors exactly, which keeps every
+/// downstream iteration — and therefore simulation output — bit-identical.
 
 namespace oodb::obj {
 
-/// One directed structural link incident to an object.
+/// One directed structural link incident to an object (materialised view;
+/// storage is columnar).
 struct Edge {
   ObjectId target = kInvalidObject;
   RelKind kind = RelKind::kConfiguration;
@@ -26,7 +35,8 @@ struct Edge {
   friend bool operator==(const Edge&, const Edge&) = default;
 };
 
-/// A design object instance.
+/// A design object instance. Edge storage lives in the owning graph's
+/// arenas; see ObjectGraph::edges().
 struct DesignObject {
   FamilyId family = kInvalidFamily;
   uint16_t version = 0;
@@ -35,7 +45,6 @@ struct DesignObject {
   /// inheritance engine).
   uint32_t size_bytes = 0;
   bool deleted = false;
-  std::vector<Edge> edges;
 };
 
 /// Owns all design objects and their structural links.
@@ -46,6 +55,54 @@ struct DesignObject {
 /// ancestor->descendant, instance inheritance points source->heir.
 class ObjectGraph {
  public:
+  /// Lightweight random-access view of one object's edges, yielding Edge
+  /// by value from the columnar arenas. Invalidated by any edge mutation
+  /// on the graph (like the former per-object vector, whose iterators a
+  /// reallocation invalidated).
+  class EdgeView {
+   public:
+    class Iterator {
+     public:
+      using value_type = Edge;
+      using difference_type = ptrdiff_t;
+
+      Iterator(const ObjectId* target, const uint8_t* meta)
+          : target_(target), meta_(meta) {}
+      Edge operator*() const {
+        return Edge{*target_, static_cast<RelKind>(*meta_ & 0x3),
+                    static_cast<Direction>(*meta_ >> 2)};
+      }
+      Iterator& operator++() {
+        ++target_;
+        ++meta_;
+        return *this;
+      }
+      friend bool operator==(const Iterator&, const Iterator&) = default;
+
+     private:
+      const ObjectId* target_;
+      const uint8_t* meta_;
+    };
+
+    EdgeView(const ObjectId* target, const uint8_t* meta, size_t count)
+        : target_(target), meta_(meta), count_(count) {}
+
+    size_t size() const { return count_; }
+    bool empty() const { return count_ == 0; }
+    Edge operator[](size_t i) const {
+      OODB_CHECK_LT(i, count_);
+      return Edge{target_[i], static_cast<RelKind>(meta_[i] & 0x3),
+                  static_cast<Direction>(meta_[i] >> 2)};
+    }
+    Iterator begin() const { return Iterator(target_, meta_); }
+    Iterator end() const { return Iterator(target_ + count_, meta_ + count_); }
+
+   private:
+    const ObjectId* target_;
+    const uint8_t* meta_;
+    size_t count_;
+  };
+
   explicit ObjectGraph(const TypeLattice* lattice) : lattice_(lattice) {}
 
   ObjectGraph(const ObjectGraph&) = delete;
@@ -80,6 +137,21 @@ class ObjectGraph {
     return id < objects_.size() && !objects_[id].deleted;
   }
 
+  /// The object's edges, in insertion order (modulo swap-with-last
+  /// removal). The view dangles across edge mutations.
+  EdgeView edges(ObjectId id) const {
+    OODB_CHECK_LT(id, runs_.size());
+    const EdgeRun& r = runs_[id];
+    return EdgeView(edge_target_.data() + r.offset,
+                    edge_meta_.data() + r.offset, r.count);
+  }
+
+  /// Number of edges incident to `id` (any kind/direction).
+  size_t EdgeCount(ObjectId id) const {
+    OODB_CHECK_LT(id, runs_.size());
+    return runs_[id].count;
+  }
+
   /// External name triple, e.g. "ALU[2].layout".
   VersionedName NameOf(ObjectId id) const;
 
@@ -90,9 +162,27 @@ class ObjectGraph {
   template <typename Fn>
   void ForEachNeighbor(ObjectId id, RelKind kind, Direction dir,
                        Fn&& fn) const {
-    for (const Edge& e : object(id).edges) {
-      if (e.kind == kind && e.dir == dir) fn(e.target);
+    OODB_CHECK_LT(id, runs_.size());
+    const EdgeRun r = runs_[id];
+    const uint8_t want = PackMeta(kind, dir);
+    const uint8_t* meta = edge_meta_.data() + r.offset;
+    const ObjectId* target = edge_target_.data() + r.offset;
+    for (uint32_t i = 0; i < r.count; ++i) {
+      if (meta[i] == want) fn(target[i]);
     }
+  }
+
+  /// True if `id` has at least one `kind`/`dir` neighbour. Allocation-free
+  /// replacement for `Neighbors(...).empty()`.
+  bool HasNeighbor(ObjectId id, RelKind kind, Direction dir) const {
+    OODB_CHECK_LT(id, runs_.size());
+    const EdgeRun r = runs_[id];
+    const uint8_t want = PackMeta(kind, dir);
+    const uint8_t* meta = edge_meta_.data() + r.offset;
+    for (uint32_t i = 0; i < r.count; ++i) {
+      if (meta[i] == want) return true;
+    }
+    return false;
   }
 
   /// Collected neighbour list (allocates; prefer ForEachNeighbor in hot
@@ -104,7 +194,10 @@ class ObjectGraph {
   /// of kind or direction.
   template <typename Fn>
   void ForEachRelated(ObjectId id, Fn&& fn) const {
-    for (const Edge& e : object(id).edges) fn(e.target);
+    OODB_CHECK_LT(id, runs_.size());
+    const EdgeRun r = runs_[id];
+    const ObjectId* target = edge_target_.data() + r.offset;
+    for (uint32_t i = 0; i < r.count; ++i) fn(target[i]);
   }
 
   // Navigation shorthands mirroring the paper's vocabulary.
@@ -145,12 +238,30 @@ class ObjectGraph {
   size_t family_count() const { return family_names_.size(); }
 
  private:
+  /// One object's slice of the edge arenas.
+  struct EdgeRun {
+    uint32_t offset = 0;
+    uint32_t count = 0;
+    uint32_t capacity = 0;
+  };
+
+  static uint8_t PackMeta(RelKind kind, Direction dir) {
+    return static_cast<uint8_t>(static_cast<uint8_t>(kind) |
+                                (static_cast<uint8_t>(dir) << 2));
+  }
+
   void AddEdge(ObjectId obj, ObjectId target, RelKind kind, Direction dir);
   void RemoveEdge(ObjectId obj, ObjectId target, RelKind kind,
                   Direction dir);
 
   const TypeLattice* lattice_;
   std::vector<DesignObject> objects_;
+  /// Columnar edge storage: runs_[id] slices the parallel arenas. Runs
+  /// grow by doubling, relocating to the arena tail; abandoned slices are
+  /// bounded by the usual geometric-growth constant factor.
+  std::vector<EdgeRun> runs_;
+  std::vector<ObjectId> edge_target_;
+  std::vector<uint8_t> edge_meta_;
   std::vector<std::string> family_names_;
   std::vector<std::vector<ObjectId>> family_members_;
   size_t live_count_ = 0;

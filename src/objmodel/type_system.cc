@@ -43,8 +43,15 @@ bool TypeLattice::IsSubtypeOf(TypeId type, TypeId ancestor) const {
   return false;
 }
 
-std::vector<AttributeDef> TypeLattice::ResolveAttributes(TypeId type) const {
+const std::vector<AttributeDef>& TypeLattice::ResolveAttributes(
+    TypeId type) const {
   OODB_CHECK_LT(type, types_.size());
+  if (resolved_valid_.size() < types_.size()) {
+    resolved_valid_.resize(types_.size(), 0);
+    resolved_cache_.resize(types_.size());
+  }
+  if (resolved_valid_[type]) return resolved_cache_[type];
+
   // Collect the supertype chain root-first so nearer definitions override.
   std::vector<TypeId> chain;
   for (TypeId t = type; t != kInvalidType; t = types_[t].supertype) {
@@ -65,7 +72,9 @@ std::vector<AttributeDef> TypeLattice::ResolveAttributes(TypeId type) const {
       }
     }
   }
-  return resolved;
+  resolved_cache_[type] = std::move(resolved);
+  resolved_valid_[type] = 1;
+  return resolved_cache_[type];
 }
 
 uint32_t TypeLattice::InstanceSize(TypeId type) const {

@@ -75,8 +75,10 @@ class TypeLattice {
 
   /// All attributes visible on instances of `type`: local attributes plus
   /// those inherited from supertypes. A local attribute with the same name
-  /// as an inherited one overrides it (nearest definition wins).
-  std::vector<AttributeDef> ResolveAttributes(TypeId type) const;
+  /// as an inherited one overrides it (nearest definition wins). The
+  /// returned reference stays valid for the lattice's lifetime (resolution
+  /// is memoized per type; supertype chains are immutable once defined).
+  const std::vector<AttributeDef>& ResolveAttributes(TypeId type) const;
 
   /// Instance size if every attribute is stored by copy: base size plus the
   /// sizes of all resolved attributes (including inherited definitions —
@@ -90,6 +92,14 @@ class TypeLattice {
 
  private:
   std::vector<TypeInfo> types_;
+
+  // Memoized ResolveAttributes results, one slot per type, filled lazily.
+  // Safe to cache forever: DefineType only appends, and a type's supertype
+  // chain (hence its resolution) is fixed at definition time. Version
+  // derivation resolves the attribute list on every DeriveVersion call, so
+  // the repeated chain walk showed up in the database-build profile.
+  mutable std::vector<std::vector<AttributeDef>> resolved_cache_;
+  mutable std::vector<uint8_t> resolved_valid_;
 };
 
 }  // namespace oodb::obj

@@ -49,7 +49,7 @@ void StructureValidator::CheckEdges(std::vector<Violation>& out,
   const auto n = static_cast<ObjectId>(graph_->size());
   for (ObjectId id = 0; id < n && out.size() < max; ++id) {
     if (!graph_->IsLive(id)) continue;
-    for (const Edge& e : graph_->object(id).edges) {
+    for (const Edge e : graph_->edges(id)) {
       if (out.size() >= max) break;
       if (e.target == id) {
         out.push_back(Violation{ViolationKind::kSelfLoop, id, id, e.kind});
@@ -68,7 +68,7 @@ void StructureValidator::CheckEdges(std::vector<Violation>& out,
               : (e.dir == Direction::kDown ? Direction::kUp
                                            : Direction::kDown);
       bool mirrored = false;
-      for (const Edge& m : graph_->object(e.target).edges) {
+      for (const Edge m : graph_->edges(e.target)) {
         if (m.target == id && m.kind == e.kind && m.dir == mirror_dir) {
           mirrored = true;
           break;
@@ -99,10 +99,10 @@ void StructureValidator::CheckConfigurationAcyclic(
     colour[root] = kGray;
     while (!stack.empty() && out.size() < max) {
       Frame& frame = stack.back();
-      const auto& edges = graph_->object(frame.node).edges;
+      const auto edges = graph_->edges(frame.node);
       bool descended = false;
       while (frame.edge_index < edges.size()) {
-        const Edge& e = edges[frame.edge_index++];
+        const Edge e = edges[frame.edge_index++];
         if (e.kind != RelKind::kConfiguration || e.dir != Direction::kDown) {
           continue;
         }
@@ -134,7 +134,7 @@ void StructureValidator::CheckVersionChains(std::vector<Violation>& out,
   for (ObjectId id = 0; id < n && out.size() < max; ++id) {
     if (!graph_->IsLive(id)) continue;
     const DesignObject& o = graph_->object(id);
-    for (const Edge& e : graph_->object(id).edges) {
+    for (const Edge e : graph_->edges(id)) {
       if (out.size() >= max) break;
       if (e.kind != RelKind::kVersionHistory || e.dir != Direction::kDown) {
         continue;

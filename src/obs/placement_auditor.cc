@@ -1,8 +1,6 @@
 #include "obs/placement_auditor.h"
 
 #include <algorithm>
-#include <map>
-#include <unordered_set>
 #include <vector>
 
 #include "util/json_writer.h"
@@ -84,11 +82,15 @@ PlacementSample PlacementAuditor::Sample() const {
   const store::StorageManager& storage = *storage_;
 
   // ---- edges, per-type extents, and configuration roots in one pass ----
-  struct TypeExtent {
-    uint64_t bytes = 0;
-    std::unordered_set<store::PageId> pages;
-  };
-  std::map<obj::TypeId, TypeExtent> extents;
+  // Types and pages are dense ids, so per-type byte totals and
+  // distinct-page counts live in flat arrays with a types-by-pages seen
+  // matrix instead of a map of hash sets (the audit runs once per cell but
+  // over every object; hashing dominated the old implementation).
+  const size_t type_count = graph.lattice().size();
+  const size_t page_count = storage.page_count();
+  std::vector<uint64_t> type_bytes(type_count, 0);
+  std::vector<uint64_t> type_pages(type_count, 0);
+  std::vector<uint8_t> type_page_seen(type_count * page_count, 0);
   std::vector<obj::ObjectId> config_roots;
 
   const auto num_objects = static_cast<obj::ObjectId>(graph.size());
@@ -99,13 +101,16 @@ PlacementSample PlacementAuditor::Sample() const {
     const store::PageId my_page = storage.PageOf(id);
     if (my_page != store::kInvalidPage) {
       ++s.placed_objects;
-      TypeExtent& extent = extents[o.type];
-      extent.bytes += storage.SizeOf(id);
-      extent.pages.insert(my_page);
+      type_bytes[o.type] += storage.SizeOf(id);
+      uint8_t& seen = type_page_seen[o.type * page_count + my_page];
+      if (seen == 0) {
+        seen = 1;
+        ++type_pages[o.type];
+      }
     }
     bool has_down_config = false;
     bool has_up_config = false;
-    for (const obj::Edge& e : o.edges) {
+    for (const obj::Edge e : graph.edges(id)) {
       if (e.kind == obj::RelKind::kConfiguration) {
         (e.dir == obj::Direction::kDown ? has_down_config : has_up_config) =
             true;
@@ -145,12 +150,15 @@ PlacementSample PlacementAuditor::Sample() const {
   }
 
   // ---- per-type fragmentation ----
+  // Ascending TypeId, matching the former std::map iteration order, so the
+  // floating-point sum is bit-identical.
   const uint64_t capacity = storage.page_size_bytes();
   double frag_sum = 0;
-  for (const auto& [type, extent] : extents) {
+  for (size_t type = 0; type < type_count; ++type) {
+    if (type_bytes[type] == 0) continue;  // no placed instances
     const uint64_t min_pages =
-        std::max<uint64_t>(1, (extent.bytes + capacity - 1) / capacity);
-    frag_sum += static_cast<double>(extent.pages.size()) /
+        std::max<uint64_t>(1, (type_bytes[type] + capacity - 1) / capacity);
+    frag_sum += static_cast<double>(type_pages[type]) /
                 static_cast<double>(min_pages);
     ++s.types_audited;
   }
@@ -160,25 +168,39 @@ PlacementSample PlacementAuditor::Sample() const {
   }
 
   // ---- pages per configuration ----
+  // Stamped membership arrays replace per-root hash sets: a mark equal to
+  // the current walk number means "seen by this root's walk", so there is
+  // nothing to clear between roots. Traversal order and counts match the
+  // hash-set implementation exactly.
   double config_pages_sum = 0;
   std::vector<obj::ObjectId> stack;
+  std::vector<uint32_t> object_mark(graph.size(), 0);
+  std::vector<uint32_t> page_mark(page_count, 0);
+  uint32_t walk = 0;
   for (const obj::ObjectId root : config_roots) {
-    std::unordered_set<obj::ObjectId> visited{root};
-    std::unordered_set<store::PageId> config_pages;
+    ++walk;
+    object_mark[root] = walk;
+    size_t visited = 1;
+    size_t distinct_pages = 0;
     stack.assign(1, root);
-    while (!stack.empty() && visited.size() < kMaxConfigurationWalk) {
+    while (!stack.empty() && visited < kMaxConfigurationWalk) {
       const obj::ObjectId o = stack.back();
       stack.pop_back();
       const store::PageId p = storage.PageOf(o);
-      if (p != store::kInvalidPage) config_pages.insert(p);
+      if (p != store::kInvalidPage && page_mark[p] != walk) {
+        page_mark[p] = walk;
+        ++distinct_pages;
+      }
       graph.ForEachNeighbor(o, obj::RelKind::kConfiguration,
                             obj::Direction::kDown, [&](obj::ObjectId c) {
-                              if (graph.IsLive(c) && visited.insert(c).second) {
+                              if (graph.IsLive(c) && object_mark[c] != walk) {
+                                object_mark[c] = walk;
+                                ++visited;
                                 stack.push_back(c);
                               }
                             });
     }
-    config_pages_sum += static_cast<double>(config_pages.size());
+    config_pages_sum += static_cast<double>(distinct_pages);
     ++s.configurations;
   }
   if (s.configurations > 0) {

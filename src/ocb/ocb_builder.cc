@@ -97,7 +97,7 @@ uint64_t GraphDigest(const obj::ObjectGraph& graph) {
     MixU64(h, id);
     MixU64(h, o.type);
     MixU64(h, o.size_bytes);
-    for (const obj::Edge& e : o.edges) {
+    for (const obj::Edge e : graph.edges(id)) {
       MixU64(h, e.target);
       MixU64(h, (static_cast<uint64_t>(e.kind) << 8) |
                     static_cast<uint64_t>(e.dir));
@@ -245,14 +245,8 @@ OcbCatalog OcbBuilder::Build(const OcbSchema& schema, uint64_t seed) {
     m.root = ids[begin];
     for (size_t i = begin; i < end; ++i) {
       m.objects.push_back(ids[i]);
-      bool composite = false;
-      for (const obj::Edge& e : graph_->object(ids[i]).edges) {
-        if (e.kind == obj::RelKind::kConfiguration &&
-            e.dir == obj::Direction::kDown) {
-          composite = true;
-          break;
-        }
-      }
+      const bool composite = graph_->HasNeighbor(
+          ids[i], obj::RelKind::kConfiguration, obj::Direction::kDown);
       if (composite) m.composites.push_back(ids[i]);
     }
   }

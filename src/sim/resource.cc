@@ -38,21 +38,35 @@ void Resource::StartIfPossible() {
     waiters_.pop_front();
     TouchStats();
     ++busy_;
-    sim_.Schedule(w.service_time, [this, w = std::move(w)]() mutable {
-      TouchStats();
-      --busy_;
-      ++completions_;
-      residence_.Add(sim_.now() - w.enqueue_time);
-      // Free the server before resuming: the resumed process may request
-      // this resource again.
-      StartIfPossible();
-      if (w.handle) {
-        w.handle.resume();
-      }
-      if (w.on_complete) {
-        w.on_complete();
-      }
-    });
+    uint32_t slot;
+    if (free_service_slots_.empty()) {
+      in_service_.push_back(std::move(w));
+      slot = static_cast<uint32_t>(in_service_.size() - 1);
+    } else {
+      slot = free_service_slots_.back();
+      free_service_slots_.pop_back();
+      in_service_[slot] = std::move(w);
+    }
+    const SimTime service_time = in_service_[slot].service_time;
+    sim_.Schedule(service_time, [this, slot] { Complete(slot); });
+  }
+}
+
+void Resource::Complete(uint32_t slot) {
+  Waiter w = std::move(in_service_[slot]);
+  free_service_slots_.push_back(slot);
+  TouchStats();
+  --busy_;
+  ++completions_;
+  residence_.Add(sim_.now() - w.enqueue_time);
+  // Free the server before resuming: the resumed process may request
+  // this resource again.
+  StartIfPossible();
+  if (w.handle) {
+    w.handle.resume();
+  }
+  if (w.on_complete) {
+    w.on_complete();
   }
 }
 

@@ -76,6 +76,8 @@ class Resource {
 
   void Enqueue(Waiter w);
   void StartIfPossible();
+  /// Completion of the request parked in in_service_[slot].
+  void Complete(uint32_t slot);
   void TouchStats();
 
   Simulator& sim_;
@@ -84,6 +86,11 @@ class Resource {
   int busy_ = 0;
   uint64_t completions_ = 0;
   std::deque<Waiter> waiters_;
+  /// Requests currently holding a server, parked in a slab so the
+  /// completion event's closure is just {this, slot} — small enough for
+  /// the kernel's inline callback storage (no per-I/O heap allocation).
+  std::vector<Waiter> in_service_;
+  std::vector<uint32_t> free_service_slots_;
   StreamingStats residence_;
   TimeWeightedStats busy_stats_;
   TimeWeightedStats queue_stats_;

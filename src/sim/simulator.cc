@@ -1,5 +1,6 @@
 #include "sim/simulator.h"
 
+#include <algorithm>
 #include <utility>
 
 namespace oodb::sim {
@@ -11,32 +12,39 @@ void Simulator::Schedule(SimTime delay, Callback cb) {
 
 void Simulator::ScheduleAt(SimTime t, Callback cb) {
   OODB_CHECK_GE(t, now_);
-  queue_.push(Event{t, next_seq_++, std::move(cb)});
+  calendar_.Push(t, next_seq_++, AllocSlot(std::move(cb)));
 }
 
-void Simulator::Dispatch(Event& e) {
+uint32_t Simulator::AllocSlot(Callback cb) {
+  if (free_slots_.empty()) {
+    slots_.push_back(std::move(cb));
+    return static_cast<uint32_t>(slots_.size() - 1);
+  }
+  const uint32_t slot = free_slots_.back();
+  free_slots_.pop_back();
+  slots_[slot] = std::move(cb);
+  return slot;
+}
+
+void Simulator::DispatchNext() {
+  const EventCalendar::Entry e = calendar_.PopMin();
   now_ = e.time;
   ++events_processed_;
-  // Move the callback out before running it: the callback may schedule new
-  // events, which can reallocate the queue's underlying storage.
-  Callback cb = std::move(e.cb);
+  // Move the callback out of the slab before running it: the callback may
+  // schedule new events, which can grow (reallocate) the slab.
+  Callback cb = std::move(slots_[e.payload]);
+  free_slots_.push_back(e.payload);
   cb();
 }
 
 void Simulator::Run() {
-  while (!queue_.empty()) {
-    Event e = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
-    Dispatch(e);
-  }
+  while (!calendar_.empty()) DispatchNext();
 }
 
 uint64_t Simulator::RunUntil(SimTime t) {
   uint64_t n = 0;
-  while (!queue_.empty() && queue_.top().time <= t) {
-    Event e = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
-    Dispatch(e);
+  while (!calendar_.empty() && calendar_.Min().time <= t) {
+    DispatchNext();
     ++n;
   }
   now_ = std::max(now_, t);
@@ -45,10 +53,8 @@ uint64_t Simulator::RunUntil(SimTime t) {
 
 uint64_t Simulator::Step(uint64_t max_events) {
   uint64_t n = 0;
-  while (n < max_events && !queue_.empty()) {
-    Event e = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
-    Dispatch(e);
+  while (n < max_events && !calendar_.empty()) {
+    DispatchNext();
     ++n;
   }
   return n;

@@ -2,10 +2,10 @@
 #define SEMCLUST_SIM_SIMULATOR_H_
 
 #include <cstdint>
-#include <functional>
-#include <queue>
 #include <vector>
 
+#include "sim/event_calendar.h"
+#include "sim/small_callback.h"
 #include "util/check.h"
 
 /// \file
@@ -13,6 +13,11 @@
 /// This is the foundation of the PAWS-replacement used by the engineering
 /// database model (DESIGN.md §2). Events at equal times fire in scheduling
 /// order, so runs are fully deterministic.
+///
+/// The calendar is a Brown-style bucketed queue (EventCalendar) holding
+/// (time, seq, slot) triples; callbacks live in a slot slab so calendar
+/// entries stay 24 bytes and scheduling performs no heap allocation for
+/// the small closures the kernel and model actually use (DESIGN.md §12).
 
 namespace oodb::sim {
 
@@ -22,7 +27,7 @@ using SimTime = double;
 /// The event calendar and clock. Single-threaded; not thread-safe.
 class Simulator {
  public:
-  using Callback = std::function<void()>;
+  using Callback = SmallCallback;
 
   Simulator() = default;
   Simulator(const Simulator&) = delete;
@@ -56,27 +61,23 @@ class Simulator {
   uint64_t events_scheduled() const { return next_seq_; }
 
   /// True when no events are pending.
-  bool Empty() const { return queue_.empty(); }
+  bool Empty() const { return calendar_.empty(); }
 
  private:
-  struct Event {
-    SimTime time;
-    uint64_t seq;  // tie-breaker: FIFO among equal times
-    Callback cb;
-  };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
-    }
-  };
+  /// Pops the least (time, seq) event, advances the clock, and runs its
+  /// callback (which may schedule further events).
+  void DispatchNext();
 
-  void Dispatch(Event& e);
+  uint32_t AllocSlot(Callback cb);
 
   SimTime now_ = 0;
   uint64_t next_seq_ = 0;
   uint64_t events_processed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  EventCalendar calendar_;
+  /// Callback slab indexed by EventCalendar payload; free_slots_ recycles
+  /// indices so the slab stays as small as the peak pending-event count.
+  std::vector<Callback> slots_;
+  std::vector<uint32_t> free_slots_;
 };
 
 }  // namespace oodb::sim

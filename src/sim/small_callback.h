@@ -1,0 +1,117 @@
+#ifndef SEMCLUST_SIM_SMALL_CALLBACK_H_
+#define SEMCLUST_SIM_SMALL_CALLBACK_H_
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+/// \file
+/// A move-only `void()` callable with inline storage, replacing
+/// `std::function<void()>` on the event-calendar hot path. Every simulation
+/// event used to heap-allocate its closure through std::function; the
+/// closures the kernel actually schedules are small (a coroutine handle, a
+/// {this, slot} pair), so a 48-byte inline buffer absorbs all of them and
+/// scheduling touches no allocator. Oversized callables still work through
+/// a heap fallback, so this is a pure optimisation, not a size limit.
+
+namespace oodb::sim {
+
+/// Move-only type-erased `void()` callable with small-buffer optimisation.
+class SmallCallback {
+ public:
+  /// Inline storage size. Sized for the kernel's own closures (coroutine
+  /// resumption, resource completion) with headroom for model callbacks.
+  static constexpr size_t kInlineBytes = 48;
+
+  SmallCallback() = default;
+  SmallCallback(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F,
+            typename D = std::decay_t<F>,
+            typename = std::enable_if_t<
+                !std::is_same_v<D, SmallCallback> &&
+                std::is_invocable_r_v<void, D&>>>
+  SmallCallback(F&& f) {  // NOLINT(google-explicit-constructor)
+    if constexpr (sizeof(D) <= kInlineBytes &&
+                  alignof(D) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<D>) {
+      ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
+      vtable_ = &kInlineVTable<D>;
+    } else {
+      ::new (static_cast<void*>(buf_)) D*(new D(std::forward<F>(f)));
+      vtable_ = &kHeapVTable<D>;
+    }
+  }
+
+  SmallCallback(SmallCallback&& other) noexcept { MoveFrom(other); }
+
+  SmallCallback& operator=(SmallCallback&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      MoveFrom(other);
+    }
+    return *this;
+  }
+
+  SmallCallback& operator=(std::nullptr_t) {
+    Reset();
+    return *this;
+  }
+
+  SmallCallback(const SmallCallback&) = delete;
+  SmallCallback& operator=(const SmallCallback&) = delete;
+
+  ~SmallCallback() { Reset(); }
+
+  explicit operator bool() const { return vtable_ != nullptr; }
+
+  void operator()() { vtable_->invoke(buf_); }
+
+ private:
+  struct VTable {
+    void (*invoke)(void* self);
+    /// Move-constructs `dst` from `self` and destroys `self`.
+    void (*relocate)(void* self, void* dst);
+    void (*destroy)(void* self);
+  };
+
+  template <typename D>
+  static constexpr VTable kInlineVTable = {
+      [](void* p) { (*std::launder(static_cast<D*>(p)))(); },
+      [](void* p, void* dst) {
+        D* src = std::launder(static_cast<D*>(p));
+        ::new (dst) D(std::move(*src));
+        src->~D();
+      },
+      [](void* p) { std::launder(static_cast<D*>(p))->~D(); }};
+
+  template <typename D>
+  static constexpr VTable kHeapVTable = {
+      [](void* p) { (**std::launder(static_cast<D**>(p)))(); },
+      [](void* p, void* dst) {
+        ::new (dst) D*(*std::launder(static_cast<D**>(p)));
+      },
+      [](void* p) { delete *std::launder(static_cast<D**>(p)); }};
+
+  void MoveFrom(SmallCallback& other) noexcept {
+    if (other.vtable_ != nullptr) {
+      other.vtable_->relocate(other.buf_, buf_);
+      vtable_ = std::exchange(other.vtable_, nullptr);
+    }
+  }
+
+  void Reset() {
+    if (vtable_ != nullptr) {
+      vtable_->destroy(buf_);
+      vtable_ = nullptr;
+    }
+  }
+
+  const VTable* vtable_ = nullptr;
+  alignas(std::max_align_t) unsigned char buf_[kInlineBytes];
+};
+
+}  // namespace oodb::sim
+
+#endif  // SEMCLUST_SIM_SMALL_CALLBACK_H_

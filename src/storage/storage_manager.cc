@@ -21,7 +21,12 @@ PageId StorageManager::AllocatePage() {
 
 void StorageManager::EnsureDirectory(obj::ObjectId id) {
   if (id >= object_page_.size()) {
-    object_page_.resize(static_cast<size_t>(id) + 1, kInvalidPage);
+    // Geometric growth: ids arrive one at a time during database build, and
+    // growing by exactly one element made every placement pay a resize call.
+    const size_t n = std::max(static_cast<size_t>(id) + 1,
+                              object_page_.size() * 2);
+    object_page_.resize(n, kInvalidPage);
+    object_size_.resize(n, 0);
   }
 }
 
@@ -39,6 +44,7 @@ Status StorageManager::Place(obj::ObjectId id, uint32_t size_bytes,
     return Status::ResourceExhausted("page full");
   }
   object_page_[id] = page;
+  object_size_[id] = size_bytes;
   used_bytes_ += size_bytes;
   return Status::Ok();
 }
@@ -85,6 +91,7 @@ Status StorageManager::Erase(obj::ObjectId id) {
   const uint32_t size = SizeOf(id);
   OODB_CHECK(pages_[from].Remove(id));
   object_page_[id] = kInvalidPage;
+  object_size_[id] = 0;
   used_bytes_ -= size;
   return Status::Ok();
 }
@@ -99,6 +106,7 @@ Status StorageManager::ResizeInPlace(obj::ObjectId id,
   if (!pages_[p].ResizeObject(id, new_size_bytes)) {
     return Status::ResourceExhausted("page cannot absorb growth");
   }
+  object_size_[id] = new_size_bytes;
   used_bytes_ += new_size_bytes;
   used_bytes_ -= old_size;
   return Status::Ok();
@@ -112,11 +120,7 @@ PageId StorageManager::PageOf(obj::ObjectId id) const {
 uint32_t StorageManager::SizeOf(obj::ObjectId id) const {
   const PageId p = PageOf(id);
   OODB_CHECK_NE(p, kInvalidPage);
-  for (const Slot& s : pages_[p].slots()) {
-    if (s.object == id) return s.size_bytes;
-  }
-  OODB_CHECK(false);  // directory says placed but page disagrees
-  return 0;
+  return object_size_[id];
 }
 
 double StorageManager::MeanOccupancy() const {

@@ -86,7 +86,12 @@ class StorageManager {
   uint32_t page_size_;
   uint32_t append_fill_limit_;
   std::vector<Page> pages_;
-  std::vector<PageId> object_page_;  // indexed by ObjectId
+  // Parallel ObjectId-indexed directories (grown geometrically together).
+  // The size column makes SizeOf O(1): the placement auditor asks for every
+  // placed object's size once per sample, and the former page-slot scan was
+  // the single hottest line of the whole simulation profile.
+  std::vector<PageId> object_page_;
+  std::vector<uint32_t> object_size_;
   PageId append_page_ = kInvalidPage;
   uint64_t used_bytes_ = 0;
 };

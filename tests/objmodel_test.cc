@@ -1,7 +1,10 @@
+#include <vector>
+
 #include "gtest/gtest.h"
 #include "objmodel/inheritance.h"
 #include "objmodel/object_graph.h"
 #include "objmodel/type_system.h"
+#include "util/random.h"
 
 namespace oodb::obj {
 namespace {
@@ -267,6 +270,106 @@ TEST_F(DeriveVersionTest, ChainOfDerivationsIncrementsVersions) {
   for (int i = 0; i < 3; ++i) v = DeriveVersion(graph_, v, model_).heir;
   EXPECT_EQ(graph_.NameOf(v).ToString(), "ALU[4].layout");
   EXPECT_EQ(graph_.LatestVersion(alu, layout_), v);
+}
+
+// ---------------------------------------------------------------------------
+// CSR edge-arena golden digests.
+//
+// A deterministic 4000-step create/relate/unrelate/remove churn, digested
+// at three checkpoints. The expected values were computed with the
+// pre-CSR std::vector<Edge>-per-object implementation, so they pin down
+// that the struct-of-arrays arena layout preserves object identity, edge
+// order (append order with swap-with-last removal), and live accounting
+// bit-for-bit across growth relocations and arena reuse.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void MixU64(uint64_t& h, uint64_t v) {
+  // FNV-1a over the value's bytes, low byte first.
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xFF;
+    h *= 1099511628211ULL;
+  }
+}
+
+uint64_t GraphDigest(const ObjectGraph& graph) {
+  uint64_t h = 1469598103934665603ULL;
+  for (ObjectId id = 0; id < graph.size(); ++id) {
+    if (!graph.IsLive(id)) continue;
+    const DesignObject& o = graph.object(id);
+    MixU64(h, id);
+    MixU64(h, o.type);
+    MixU64(h, o.size_bytes);
+    for (const Edge e : graph.edges(id)) {
+      MixU64(h, e.target);
+      MixU64(h, (static_cast<uint64_t>(e.kind) << 8) |
+                    static_cast<uint64_t>(e.dir));
+    }
+  }
+  return h;
+}
+
+}  // namespace
+
+TEST(EdgeArenaGoldenTest, ChurnDigestsMatchPreCsrImplementation) {
+  TypeLattice lattice;
+  const TypeId root =
+      lattice.DefineType("root", kInvalidType, 48, {4.0, 2.0, 1.0, 0.5});
+  const TypeId leaf =
+      lattice.DefineType("leaf", root, 32, {3.0, 1.0, 0.7, 0.2});
+  ObjectGraph graph(&lattice);
+  Rng rng(20260809);
+  const FamilyId fam = graph.NewFamily("golden");
+
+  struct Op {
+    ObjectId a = kInvalidObject;
+    ObjectId b = kInvalidObject;
+    RelKind kind = RelKind::kConfiguration;
+  };
+  std::vector<ObjectId> live;
+  std::vector<Op> related;
+  for (int step = 0; step < 4000; ++step) {
+    const double roll = rng.UniformDouble(0.0, 1.0);
+    if (live.size() < 2 || roll < 0.45) {
+      const ObjectId id = graph.Create(
+          fam, static_cast<uint16_t>(step % 7),
+          rng.Bernoulli(0.5) ? root : leaf,
+          32 + static_cast<uint32_t>(rng.NextBelow(400)));
+      live.push_back(id);
+    } else if (roll < 0.85) {
+      const ObjectId a = live[rng.NextBelow(live.size())];
+      const ObjectId b = live[rng.NextBelow(live.size())];
+      if (a != b) {
+        const auto kind = static_cast<RelKind>(rng.NextBelow(4));
+        graph.Relate(a, b, kind);
+        related.push_back(Op{a, b, kind});
+      }
+    } else if (roll < 0.95 && !related.empty()) {
+      const size_t i = rng.NextBelow(related.size());
+      const Op op = related[i];
+      if (graph.IsLive(op.a) && graph.IsLive(op.b)) {
+        graph.Unrelate(op.a, op.b, op.kind);
+      }
+      related[i] = related.back();
+      related.pop_back();
+    } else {
+      const size_t i = rng.NextBelow(live.size());
+      graph.Remove(live[i]);
+      live[i] = live.back();
+      live.pop_back();
+    }
+    if (step == 999) {
+      EXPECT_EQ(GraphDigest(graph), 0x6db95d0b397325ceULL);
+      EXPECT_EQ(graph.live_count(), 381u);
+    } else if (step == 2499) {
+      EXPECT_EQ(GraphDigest(graph), 0x2813c62681a88e8dULL);
+      EXPECT_EQ(graph.live_count(), 949u);
+    } else if (step == 3999) {
+      EXPECT_EQ(GraphDigest(graph), 0xa7f62fc1b89df197ULL);
+      EXPECT_EQ(graph.live_count(), 1571u);
+    }
+  }
 }
 
 }  // namespace

@@ -1,9 +1,16 @@
+#include <algorithm>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <utility>
 #include <vector>
 
 #include "gtest/gtest.h"
+#include "sim/event_calendar.h"
 #include "sim/process.h"
 #include "sim/resource.h"
 #include "sim/simulator.h"
+#include "util/random.h"
 
 namespace oodb::sim {
 namespace {
@@ -69,6 +76,206 @@ TEST(SimulatorTest, CountsProcessedEvents) {
   for (int i = 0; i < 7; ++i) sim.Schedule(1.0, [] {});
   sim.Run();
   EXPECT_EQ(sim.events_processed(), 7u);
+}
+
+// --------------------------------------------------------- event calendar
+
+TEST(EventCalendarTest, PopsInTimeThenSeqOrder) {
+  EventCalendar cal;
+  Rng rng(7);
+  std::vector<EventCalendar::Entry> expect;
+  for (uint32_t i = 0; i < 500; ++i) {
+    // Quantised times force collisions, exercising the seq tie-break.
+    const double t = 0.5 * static_cast<double>(rng.NextBelow(100));
+    cal.Push(t, i, i);
+    expect.push_back(EventCalendar::Entry{t, i, i});
+  }
+  std::sort(expect.begin(), expect.end(),
+            [](const EventCalendar::Entry& a, const EventCalendar::Entry& b) {
+              if (a.time != b.time) return a.time < b.time;
+              return a.seq < b.seq;
+            });
+  for (const EventCalendar::Entry& want : expect) {
+    ASSERT_FALSE(cal.empty());
+    EXPECT_EQ(cal.Min().payload, want.payload);
+    const EventCalendar::Entry got = cal.PopMin();
+    EXPECT_EQ(got.time, want.time);
+    EXPECT_EQ(got.seq, want.seq);
+    EXPECT_EQ(got.payload, want.payload);
+  }
+  EXPECT_TRUE(cal.empty());
+}
+
+TEST(EventCalendarTest, EarlierPushRewindsCursor) {
+  EventCalendar cal;
+  cal.Push(1000.0, 0, 0);
+  EXPECT_EQ(cal.Min().payload, 0u);  // cursor now points far ahead
+  cal.Push(1.0, 1, 1);               // lands behind the cursor: rewind
+  EXPECT_EQ(cal.Min().payload, 1u);
+  EXPECT_EQ(cal.PopMin().payload, 1u);
+  EXPECT_EQ(cal.PopMin().payload, 0u);
+  EXPECT_TRUE(cal.empty());
+}
+
+TEST(EventCalendarTest, GrowsAndShrinksWithPopulation) {
+  EventCalendar cal;
+  const size_t cold = cal.bucket_count();
+  for (uint32_t i = 0; i < 4096; ++i) {
+    cal.Push(0.1 * static_cast<double>(i % 97), i, i);
+  }
+  EXPECT_GT(cal.bucket_count(), cold);
+  double prev_time = -1.0;
+  uint64_t prev_seq = 0;
+  while (!cal.empty()) {
+    const EventCalendar::Entry e = cal.PopMin();
+    ASSERT_TRUE(e.time > prev_time ||
+                (e.time == prev_time && e.seq > prev_seq));
+    prev_time = e.time;
+    prev_seq = e.seq;
+  }
+  EXPECT_EQ(cal.bucket_count(), cold);  // shrank back once drained
+}
+
+TEST(EventCalendarTest, SparseFarFutureEventsAreFound) {
+  // Events many laps ahead of the cursor: exercises the direct-search
+  // fallback after a fruitless full-lap scan.
+  EventCalendar cal;
+  cal.Push(0.5, 0, 0);
+  cal.Push(1e7, 1, 1);
+  cal.Push(1e9, 2, 2);
+  EXPECT_EQ(cal.PopMin().payload, 0u);
+  EXPECT_EQ(cal.PopMin().payload, 1u);
+  EXPECT_EQ(cal.PopMin().payload, 2u);
+}
+
+// The calendar-backed Simulator must dispatch exactly like the textbook
+// priority-queue-of-(time, seq) kernel it replaced: same event order, same
+// clock values, same counters. Both systems run one deterministic
+// pre-generated plan: event `tag` spawns children with delays
+// `child_delays[tag]`, tags handed out in scheduling order.
+struct RefEvent {
+  double time;
+  uint64_t seq;
+  int tag;
+  bool operator>(const RefEvent& o) const {
+    if (time != o.time) return time > o.time;
+    return seq > o.seq;
+  }
+};
+
+TEST(EventCalendarTest, SimulatorMatchesReferencePriorityQueue) {
+  constexpr int kMaxEvents = 5000;
+  constexpr int kInitial = 64;
+  Rng rng(20260809);
+  std::vector<std::vector<double>> child_delays(kMaxEvents);
+  for (auto& delays : child_delays) {
+    const size_t n = rng.NextBelow(3);
+    for (size_t i = 0; i < n; ++i) {
+      // Quantised delays force equal-time collisions; the occasional long
+      // delay forces calendar resizes and sparse-tail searches.
+      double d = 0.25 * static_cast<double>(1 + rng.NextBelow(16));
+      if (rng.NextBelow(20) == 0) d += 500.0;
+      delays.push_back(d);
+    }
+  }
+  std::vector<double> initial_times;
+  for (int i = 0; i < kInitial; ++i) {
+    initial_times.push_back(0.5 * static_cast<double>(rng.NextBelow(40)));
+  }
+
+  // System under test: the Simulator and its calendar queue.
+  std::vector<std::pair<double, int>> sim_order;
+  Simulator sim;
+  int next_tag = 0;
+  std::function<void(int)> fire = [&](int tag) {
+    sim_order.emplace_back(sim.now(), tag);
+    for (double d : child_delays[tag]) {
+      if (next_tag >= kMaxEvents) break;
+      const int child = next_tag++;
+      sim.Schedule(d, [&fire, child] { fire(child); });
+    }
+  };
+  for (double t : initial_times) {
+    const int tag = next_tag++;
+    sim.ScheduleAt(t, [&fire, tag] { fire(tag); });
+  }
+  sim.Run();
+
+  // Reference: plain min-heap on (time, seq).
+  std::vector<std::pair<double, int>> ref_order;
+  std::priority_queue<RefEvent, std::vector<RefEvent>, std::greater<RefEvent>>
+      pq;
+  uint64_t ref_seq = 0;
+  uint64_t ref_processed = 0;
+  int ref_next_tag = 0;
+  for (double t : initial_times) {
+    pq.push(RefEvent{t, ref_seq++, ref_next_tag++});
+  }
+  while (!pq.empty()) {
+    const RefEvent e = pq.top();
+    pq.pop();
+    ++ref_processed;
+    ref_order.emplace_back(e.time, e.tag);
+    for (double d : child_delays[e.tag]) {
+      if (ref_next_tag >= kMaxEvents) break;
+      pq.push(RefEvent{e.time + d, ref_seq++, ref_next_tag++});
+    }
+  }
+
+  ASSERT_EQ(sim_order.size(), ref_order.size());
+  for (size_t i = 0; i < ref_order.size(); ++i) {
+    EXPECT_EQ(sim_order[i].first, ref_order[i].first) << "event " << i;
+    EXPECT_EQ(sim_order[i].second, ref_order[i].second) << "event " << i;
+  }
+  EXPECT_EQ(sim.events_processed(), ref_processed);
+  EXPECT_EQ(sim.events_scheduled(), ref_seq);
+}
+
+// --------------------------------------------------------- small callback
+
+TEST(SmallCallbackTest, InlineLambdaInvokes) {
+  int calls = 0;
+  SmallCallback cb([&calls] { ++calls; });
+  EXPECT_TRUE(static_cast<bool>(cb));
+  cb();
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(SmallCallbackTest, MoveTransfersOwnership) {
+  int calls = 0;
+  SmallCallback a([&calls] { ++calls; });
+  SmallCallback b = std::move(a);
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+  b();
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(SmallCallbackTest, LargeCaptureFallsBackToHeap) {
+  // Capture larger than the inline buffer: must still work (heap path).
+  struct Big {
+    char fill[128] = {};
+    int* counter = nullptr;
+  };
+  int calls = 0;
+  Big big;
+  big.counter = &calls;
+  SmallCallback cb([big] { ++*big.counter; });
+  SmallCallback moved = std::move(cb);
+  moved();
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(SmallCallbackTest, DestroysCaptureExactlyOnce) {
+  auto token = std::make_shared<int>(42);
+  std::weak_ptr<int> watch = token;
+  {
+    SmallCallback cb([token] { (void)*token; });
+    token.reset();
+    EXPECT_FALSE(watch.expired());  // callback keeps the capture alive
+    SmallCallback moved = std::move(cb);
+    EXPECT_FALSE(watch.expired());
+  }
+  EXPECT_TRUE(watch.expired());  // destroyed with the callback, once
 }
 
 // ---------------------------------------------------------------- process
