@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_integrity"
+  "../bench/bench_ablation_integrity.pdb"
+  "CMakeFiles/bench_ablation_integrity.dir/bench_ablation_integrity.cc.o"
+  "CMakeFiles/bench_ablation_integrity.dir/bench_ablation_integrity.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_integrity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

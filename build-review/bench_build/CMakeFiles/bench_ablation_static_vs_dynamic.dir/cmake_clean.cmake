@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_static_vs_dynamic"
+  "../bench/bench_ablation_static_vs_dynamic.pdb"
+  "CMakeFiles/bench_ablation_static_vs_dynamic.dir/bench_ablation_static_vs_dynamic.cc.o"
+  "CMakeFiles/bench_ablation_static_vs_dynamic.dir/bench_ablation_static_vs_dynamic.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_static_vs_dynamic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_10_split_cost"
+  "../bench/bench_fig5_10_split_cost.pdb"
+  "CMakeFiles/bench_fig5_10_split_cost.dir/bench_fig5_10_split_cost.cc.o"
+  "CMakeFiles/bench_fig5_10_split_cost.dir/bench_fig5_10_split_cost.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_10_split_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

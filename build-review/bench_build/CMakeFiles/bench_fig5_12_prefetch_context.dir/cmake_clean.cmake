@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_12_prefetch_context"
+  "../bench/bench_fig5_12_prefetch_context.pdb"
+  "CMakeFiles/bench_fig5_12_prefetch_context.dir/bench_fig5_12_prefetch_context.cc.o"
+  "CMakeFiles/bench_fig5_12_prefetch_context.dir/bench_fig5_12_prefetch_context.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_12_prefetch_context.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_13_prefetch_lru"
+  "../bench/bench_fig5_13_prefetch_lru.pdb"
+  "CMakeFiles/bench_fig5_13_prefetch_lru.dir/bench_fig5_13_prefetch_lru.cc.o"
+  "CMakeFiles/bench_fig5_13_prefetch_lru.dir/bench_fig5_13_prefetch_lru.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_13_prefetch_lru.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

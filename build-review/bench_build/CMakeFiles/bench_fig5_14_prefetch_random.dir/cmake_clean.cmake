@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_14_prefetch_random"
+  "../bench/bench_fig5_14_prefetch_random.pdb"
+  "CMakeFiles/bench_fig5_14_prefetch_random.dir/bench_fig5_14_prefetch_random.cc.o"
+  "CMakeFiles/bench_fig5_14_prefetch_random.dir/bench_fig5_14_prefetch_random.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_14_prefetch_random.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

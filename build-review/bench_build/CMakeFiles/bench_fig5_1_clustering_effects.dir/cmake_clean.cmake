@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_1_clustering_effects"
+  "../bench/bench_fig5_1_clustering_effects.pdb"
+  "CMakeFiles/bench_fig5_1_clustering_effects.dir/bench_fig5_1_clustering_effects.cc.o"
+  "CMakeFiles/bench_fig5_1_clustering_effects.dir/bench_fig5_1_clustering_effects.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_1_clustering_effects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

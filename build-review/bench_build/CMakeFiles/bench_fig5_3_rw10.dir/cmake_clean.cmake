@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_3_rw10"
+  "../bench/bench_fig5_3_rw10.pdb"
+  "CMakeFiles/bench_fig5_3_rw10.dir/bench_fig5_3_rw10.cc.o"
+  "CMakeFiles/bench_fig5_3_rw10.dir/bench_fig5_3_rw10.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_3_rw10.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_4_rw100"
+  "../bench/bench_fig5_4_rw100.pdb"
+  "CMakeFiles/bench_fig5_4_rw100.dir/bench_fig5_4_rw100.cc.o"
+  "CMakeFiles/bench_fig5_4_rw100.dir/bench_fig5_4_rw100.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_4_rw100.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

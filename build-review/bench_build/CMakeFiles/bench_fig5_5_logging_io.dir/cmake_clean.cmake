@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_5_logging_io"
+  "../bench/bench_fig5_5_logging_io.pdb"
+  "CMakeFiles/bench_fig5_5_logging_io.dir/bench_fig5_5_logging_io.cc.o"
+  "CMakeFiles/bench_fig5_5_logging_io.dir/bench_fig5_5_logging_io.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_5_logging_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_8_high_density"
+  "../bench/bench_fig5_8_high_density.pdb"
+  "CMakeFiles/bench_fig5_8_high_density.dir/bench_fig5_8_high_density.cc.o"
+  "CMakeFiles/bench_fig5_8_high_density.dir/bench_fig5_8_high_density.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_8_high_density.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_9_page_splitting"
+  "../bench/bench_fig5_9_page_splitting.pdb"
+  "CMakeFiles/bench_fig5_9_page_splitting.dir/bench_fig5_9_page_splitting.cc.o"
+  "CMakeFiles/bench_fig5_9_page_splitting.dir/bench_fig5_9_page_splitting.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_9_page_splitting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

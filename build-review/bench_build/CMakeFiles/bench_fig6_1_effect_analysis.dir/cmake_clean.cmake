@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6_1_effect_analysis"
+  "../bench/bench_fig6_1_effect_analysis.pdb"
+  "CMakeFiles/bench_fig6_1_effect_analysis.dir/bench_fig6_1_effect_analysis.cc.o"
+  "CMakeFiles/bench_fig6_1_effect_analysis.dir/bench_fig6_1_effect_analysis.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_1_effect_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6_2_interactions"
+  "../bench/bench_fig6_2_interactions.pdb"
+  "CMakeFiles/bench_fig6_2_interactions.dir/bench_fig6_2_interactions.cc.o"
+  "CMakeFiles/bench_fig6_2_interactions.dir/bench_fig6_2_interactions.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_2_interactions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

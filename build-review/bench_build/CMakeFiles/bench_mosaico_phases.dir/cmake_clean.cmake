@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_mosaico_phases"
+  "../bench/bench_mosaico_phases.pdb"
+  "CMakeFiles/bench_mosaico_phases.dir/bench_mosaico_phases.cc.o"
+  "CMakeFiles/bench_mosaico_phases.dir/bench_mosaico_phases.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mosaico_phases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

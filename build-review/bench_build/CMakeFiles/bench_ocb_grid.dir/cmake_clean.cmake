@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ocb_grid"
+  "../bench/bench_ocb_grid.pdb"
+  "CMakeFiles/bench_ocb_grid.dir/bench_ocb_grid.cc.o"
+  "CMakeFiles/bench_ocb_grid.dir/bench_ocb_grid.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ocb_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table4_1_parameters"
+  "../bench/bench_table4_1_parameters.pdb"
+  "CMakeFiles/bench_table4_1_parameters.dir/bench_table4_1_parameters.cc.o"
+  "CMakeFiles/bench_table4_1_parameters.dir/bench_table4_1_parameters.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_1_parameters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

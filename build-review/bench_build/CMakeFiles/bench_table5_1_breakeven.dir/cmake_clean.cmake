@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table5_1_breakeven"
+  "../bench/bench_table5_1_breakeven.pdb"
+  "CMakeFiles/bench_table5_1_breakeven.dir/bench_table5_1_breakeven.cc.o"
+  "CMakeFiles/bench_table5_1_breakeven.dir/bench_table5_1_breakeven.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_1_breakeven.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

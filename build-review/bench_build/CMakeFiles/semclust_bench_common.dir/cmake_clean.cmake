@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semclust_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/semclust_bench_common.dir/bench_common.cc.o.d"
+  "CMakeFiles/semclust_bench_common.dir/bench_prefetch_common.cc.o"
+  "CMakeFiles/semclust_bench_common.dir/bench_prefetch_common.cc.o.d"
+  "libsemclust_bench_common.a"
+  "libsemclust_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semclust_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cad_design_browser.dir/cad_design_browser.cpp.o"
+  "CMakeFiles/cad_design_browser.dir/cad_design_browser.cpp.o.d"
+  "cad_design_browser"
+  "cad_design_browser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cad_design_browser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/factorial_screening.dir/factorial_screening.cpp.o"
+  "CMakeFiles/factorial_screening.dir/factorial_screening.cpp.o.d"
+  "factorial_screening"
+  "factorial_screening.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/factorial_screening.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

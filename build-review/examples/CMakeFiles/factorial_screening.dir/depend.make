@@ -1,0 +1,2 @@
+# Empty dependencies file for factorial_screening.
+# This may be replaced when dependencies are built.

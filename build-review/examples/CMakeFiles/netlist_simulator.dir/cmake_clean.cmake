@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netlist_simulator.dir/netlist_simulator.cpp.o"
+  "CMakeFiles/netlist_simulator.dir/netlist_simulator.cpp.o.d"
+  "netlist_simulator"
+  "netlist_simulator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netlist_simulator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oct_trace_analysis.dir/oct_trace_analysis.cpp.o"
+  "CMakeFiles/oct_trace_analysis.dir/oct_trace_analysis.cpp.o.d"
+  "oct_trace_analysis"
+  "oct_trace_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oct_trace_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

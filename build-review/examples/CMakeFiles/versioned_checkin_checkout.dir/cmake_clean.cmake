@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/versioned_checkin_checkout.dir/versioned_checkin_checkout.cpp.o"
+  "CMakeFiles/versioned_checkin_checkout.dir/versioned_checkin_checkout.cpp.o.d"
+  "versioned_checkin_checkout"
+  "versioned_checkin_checkout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/versioned_checkin_checkout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semclust_analysis.dir/factorial.cc.o"
+  "CMakeFiles/semclust_analysis.dir/factorial.cc.o.d"
+  "CMakeFiles/semclust_analysis.dir/fractional.cc.o"
+  "CMakeFiles/semclust_analysis.dir/fractional.cc.o.d"
+  "libsemclust_analysis.a"
+  "libsemclust_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semclust_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

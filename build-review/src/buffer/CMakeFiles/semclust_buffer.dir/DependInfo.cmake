@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/buffer/buffer_pool.cc" "src/buffer/CMakeFiles/semclust_buffer.dir/buffer_pool.cc.o" "gcc" "src/buffer/CMakeFiles/semclust_buffer.dir/buffer_pool.cc.o.d"
+  "/root/repo/src/buffer/prefetcher.cc" "src/buffer/CMakeFiles/semclust_buffer.dir/prefetcher.cc.o" "gcc" "src/buffer/CMakeFiles/semclust_buffer.dir/prefetcher.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/obs/CMakeFiles/semclust_obs.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/storage/CMakeFiles/semclust_storage.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/objmodel/CMakeFiles/semclust_objmodel.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/util/CMakeFiles/semclust_util.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/sim/CMakeFiles/semclust_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semclust_buffer.dir/buffer_pool.cc.o"
+  "CMakeFiles/semclust_buffer.dir/buffer_pool.cc.o.d"
+  "CMakeFiles/semclust_buffer.dir/prefetcher.cc.o"
+  "CMakeFiles/semclust_buffer.dir/prefetcher.cc.o.d"
+  "libsemclust_buffer.a"
+  "libsemclust_buffer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semclust_buffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/affinity.cc" "src/cluster/CMakeFiles/semclust_cluster.dir/affinity.cc.o" "gcc" "src/cluster/CMakeFiles/semclust_cluster.dir/affinity.cc.o.d"
+  "/root/repo/src/cluster/cluster_manager.cc" "src/cluster/CMakeFiles/semclust_cluster.dir/cluster_manager.cc.o" "gcc" "src/cluster/CMakeFiles/semclust_cluster.dir/cluster_manager.cc.o.d"
+  "/root/repo/src/cluster/dependency_graph.cc" "src/cluster/CMakeFiles/semclust_cluster.dir/dependency_graph.cc.o" "gcc" "src/cluster/CMakeFiles/semclust_cluster.dir/dependency_graph.cc.o.d"
+  "/root/repo/src/cluster/page_splitter.cc" "src/cluster/CMakeFiles/semclust_cluster.dir/page_splitter.cc.o" "gcc" "src/cluster/CMakeFiles/semclust_cluster.dir/page_splitter.cc.o.d"
+  "/root/repo/src/cluster/policy.cc" "src/cluster/CMakeFiles/semclust_cluster.dir/policy.cc.o" "gcc" "src/cluster/CMakeFiles/semclust_cluster.dir/policy.cc.o.d"
+  "/root/repo/src/cluster/static_clusterer.cc" "src/cluster/CMakeFiles/semclust_cluster.dir/static_clusterer.cc.o" "gcc" "src/cluster/CMakeFiles/semclust_cluster.dir/static_clusterer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/buffer/CMakeFiles/semclust_buffer.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/storage/CMakeFiles/semclust_storage.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/objmodel/CMakeFiles/semclust_objmodel.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/util/CMakeFiles/semclust_util.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/semclust_obs.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/sim/CMakeFiles/semclust_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semclust_cluster.dir/affinity.cc.o"
+  "CMakeFiles/semclust_cluster.dir/affinity.cc.o.d"
+  "CMakeFiles/semclust_cluster.dir/cluster_manager.cc.o"
+  "CMakeFiles/semclust_cluster.dir/cluster_manager.cc.o.d"
+  "CMakeFiles/semclust_cluster.dir/dependency_graph.cc.o"
+  "CMakeFiles/semclust_cluster.dir/dependency_graph.cc.o.d"
+  "CMakeFiles/semclust_cluster.dir/page_splitter.cc.o"
+  "CMakeFiles/semclust_cluster.dir/page_splitter.cc.o.d"
+  "CMakeFiles/semclust_cluster.dir/policy.cc.o"
+  "CMakeFiles/semclust_cluster.dir/policy.cc.o.d"
+  "CMakeFiles/semclust_cluster.dir/static_clusterer.cc.o"
+  "CMakeFiles/semclust_cluster.dir/static_clusterer.cc.o.d"
+  "libsemclust_cluster.a"
+  "libsemclust_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semclust_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/bench_report.cc" "src/core/CMakeFiles/semclust_core.dir/bench_report.cc.o" "gcc" "src/core/CMakeFiles/semclust_core.dir/bench_report.cc.o.d"
+  "/root/repo/src/core/engineering_db.cc" "src/core/CMakeFiles/semclust_core.dir/engineering_db.cc.o" "gcc" "src/core/CMakeFiles/semclust_core.dir/engineering_db.cc.o.d"
+  "/root/repo/src/core/experiment.cc" "src/core/CMakeFiles/semclust_core.dir/experiment.cc.o" "gcc" "src/core/CMakeFiles/semclust_core.dir/experiment.cc.o.d"
+  "/root/repo/src/core/measurement.cc" "src/core/CMakeFiles/semclust_core.dir/measurement.cc.o" "gcc" "src/core/CMakeFiles/semclust_core.dir/measurement.cc.o.d"
+  "/root/repo/src/core/model_config.cc" "src/core/CMakeFiles/semclust_core.dir/model_config.cc.o" "gcc" "src/core/CMakeFiles/semclust_core.dir/model_config.cc.o.d"
+  "/root/repo/src/core/policy_registry.cc" "src/core/CMakeFiles/semclust_core.dir/policy_registry.cc.o" "gcc" "src/core/CMakeFiles/semclust_core.dir/policy_registry.cc.o.d"
+  "/root/repo/src/core/report.cc" "src/core/CMakeFiles/semclust_core.dir/report.cc.o" "gcc" "src/core/CMakeFiles/semclust_core.dir/report.cc.o.d"
+  "/root/repo/src/core/scenario.cc" "src/core/CMakeFiles/semclust_core.dir/scenario.cc.o" "gcc" "src/core/CMakeFiles/semclust_core.dir/scenario.cc.o.d"
+  "/root/repo/src/core/server_context.cc" "src/core/CMakeFiles/semclust_core.dir/server_context.cc.o" "gcc" "src/core/CMakeFiles/semclust_core.dir/server_context.cc.o.d"
+  "/root/repo/src/core/txn_pipeline.cc" "src/core/CMakeFiles/semclust_core.dir/txn_pipeline.cc.o" "gcc" "src/core/CMakeFiles/semclust_core.dir/txn_pipeline.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/ocb/CMakeFiles/semclust_ocb.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/workload/CMakeFiles/semclust_workload.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/cluster/CMakeFiles/semclust_cluster.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/buffer/CMakeFiles/semclust_buffer.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/txlog/CMakeFiles/semclust_txlog.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/io/CMakeFiles/semclust_io.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/semclust_obs.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/sim/CMakeFiles/semclust_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/storage/CMakeFiles/semclust_storage.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/objmodel/CMakeFiles/semclust_objmodel.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/util/CMakeFiles/semclust_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

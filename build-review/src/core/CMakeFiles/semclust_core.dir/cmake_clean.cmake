@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semclust_core.dir/bench_report.cc.o"
+  "CMakeFiles/semclust_core.dir/bench_report.cc.o.d"
+  "CMakeFiles/semclust_core.dir/engineering_db.cc.o"
+  "CMakeFiles/semclust_core.dir/engineering_db.cc.o.d"
+  "CMakeFiles/semclust_core.dir/experiment.cc.o"
+  "CMakeFiles/semclust_core.dir/experiment.cc.o.d"
+  "CMakeFiles/semclust_core.dir/measurement.cc.o"
+  "CMakeFiles/semclust_core.dir/measurement.cc.o.d"
+  "CMakeFiles/semclust_core.dir/model_config.cc.o"
+  "CMakeFiles/semclust_core.dir/model_config.cc.o.d"
+  "CMakeFiles/semclust_core.dir/policy_registry.cc.o"
+  "CMakeFiles/semclust_core.dir/policy_registry.cc.o.d"
+  "CMakeFiles/semclust_core.dir/report.cc.o"
+  "CMakeFiles/semclust_core.dir/report.cc.o.d"
+  "CMakeFiles/semclust_core.dir/scenario.cc.o"
+  "CMakeFiles/semclust_core.dir/scenario.cc.o.d"
+  "CMakeFiles/semclust_core.dir/server_context.cc.o"
+  "CMakeFiles/semclust_core.dir/server_context.cc.o.d"
+  "CMakeFiles/semclust_core.dir/txn_pipeline.cc.o"
+  "CMakeFiles/semclust_core.dir/txn_pipeline.cc.o.d"
+  "libsemclust_core.a"
+  "libsemclust_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semclust_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

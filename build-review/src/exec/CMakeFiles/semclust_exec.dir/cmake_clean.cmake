@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semclust_exec.dir/experiment_runner.cc.o"
+  "CMakeFiles/semclust_exec.dir/experiment_runner.cc.o.d"
+  "CMakeFiles/semclust_exec.dir/thread_pool.cc.o"
+  "CMakeFiles/semclust_exec.dir/thread_pool.cc.o.d"
+  "libsemclust_exec.a"
+  "libsemclust_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semclust_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semclust_io.dir/io_subsystem.cc.o"
+  "CMakeFiles/semclust_io.dir/io_subsystem.cc.o.d"
+  "libsemclust_io.a"
+  "libsemclust_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semclust_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/objmodel/inheritance.cc" "src/objmodel/CMakeFiles/semclust_objmodel.dir/inheritance.cc.o" "gcc" "src/objmodel/CMakeFiles/semclust_objmodel.dir/inheritance.cc.o.d"
+  "/root/repo/src/objmodel/object_graph.cc" "src/objmodel/CMakeFiles/semclust_objmodel.dir/object_graph.cc.o" "gcc" "src/objmodel/CMakeFiles/semclust_objmodel.dir/object_graph.cc.o.d"
+  "/root/repo/src/objmodel/object_id.cc" "src/objmodel/CMakeFiles/semclust_objmodel.dir/object_id.cc.o" "gcc" "src/objmodel/CMakeFiles/semclust_objmodel.dir/object_id.cc.o.d"
+  "/root/repo/src/objmodel/type_system.cc" "src/objmodel/CMakeFiles/semclust_objmodel.dir/type_system.cc.o" "gcc" "src/objmodel/CMakeFiles/semclust_objmodel.dir/type_system.cc.o.d"
+  "/root/repo/src/objmodel/validator.cc" "src/objmodel/CMakeFiles/semclust_objmodel.dir/validator.cc.o" "gcc" "src/objmodel/CMakeFiles/semclust_objmodel.dir/validator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/util/CMakeFiles/semclust_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semclust_objmodel.dir/inheritance.cc.o"
+  "CMakeFiles/semclust_objmodel.dir/inheritance.cc.o.d"
+  "CMakeFiles/semclust_objmodel.dir/object_graph.cc.o"
+  "CMakeFiles/semclust_objmodel.dir/object_graph.cc.o.d"
+  "CMakeFiles/semclust_objmodel.dir/object_id.cc.o"
+  "CMakeFiles/semclust_objmodel.dir/object_id.cc.o.d"
+  "CMakeFiles/semclust_objmodel.dir/type_system.cc.o"
+  "CMakeFiles/semclust_objmodel.dir/type_system.cc.o.d"
+  "CMakeFiles/semclust_objmodel.dir/validator.cc.o"
+  "CMakeFiles/semclust_objmodel.dir/validator.cc.o.d"
+  "libsemclust_objmodel.a"
+  "libsemclust_objmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semclust_objmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

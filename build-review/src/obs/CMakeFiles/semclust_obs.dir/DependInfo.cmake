@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/obs/metrics.cc" "src/obs/CMakeFiles/semclust_obs.dir/metrics.cc.o" "gcc" "src/obs/CMakeFiles/semclust_obs.dir/metrics.cc.o.d"
+  "/root/repo/src/obs/placement_auditor.cc" "src/obs/CMakeFiles/semclust_obs.dir/placement_auditor.cc.o" "gcc" "src/obs/CMakeFiles/semclust_obs.dir/placement_auditor.cc.o.d"
+  "/root/repo/src/obs/time_series.cc" "src/obs/CMakeFiles/semclust_obs.dir/time_series.cc.o" "gcc" "src/obs/CMakeFiles/semclust_obs.dir/time_series.cc.o.d"
+  "/root/repo/src/obs/trace_sink.cc" "src/obs/CMakeFiles/semclust_obs.dir/trace_sink.cc.o" "gcc" "src/obs/CMakeFiles/semclust_obs.dir/trace_sink.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/sim/CMakeFiles/semclust_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/storage/CMakeFiles/semclust_storage.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/objmodel/CMakeFiles/semclust_objmodel.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/util/CMakeFiles/semclust_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

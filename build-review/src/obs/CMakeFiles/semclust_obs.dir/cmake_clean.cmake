@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semclust_obs.dir/metrics.cc.o"
+  "CMakeFiles/semclust_obs.dir/metrics.cc.o.d"
+  "CMakeFiles/semclust_obs.dir/placement_auditor.cc.o"
+  "CMakeFiles/semclust_obs.dir/placement_auditor.cc.o.d"
+  "CMakeFiles/semclust_obs.dir/time_series.cc.o"
+  "CMakeFiles/semclust_obs.dir/time_series.cc.o.d"
+  "CMakeFiles/semclust_obs.dir/trace_sink.cc.o"
+  "CMakeFiles/semclust_obs.dir/trace_sink.cc.o.d"
+  "libsemclust_obs.a"
+  "libsemclust_obs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semclust_obs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semclust_ocb.dir/ocb_builder.cc.o"
+  "CMakeFiles/semclust_ocb.dir/ocb_builder.cc.o.d"
+  "CMakeFiles/semclust_ocb.dir/ocb_config.cc.o"
+  "CMakeFiles/semclust_ocb.dir/ocb_config.cc.o.d"
+  "CMakeFiles/semclust_ocb.dir/ocb_workload.cc.o"
+  "CMakeFiles/semclust_ocb.dir/ocb_workload.cc.o.d"
+  "libsemclust_ocb.a"
+  "libsemclust_ocb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semclust_ocb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

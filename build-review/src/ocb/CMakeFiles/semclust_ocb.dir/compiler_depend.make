@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for semclust_ocb.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/oct/oct_model.cc" "src/oct/CMakeFiles/semclust_oct.dir/oct_model.cc.o" "gcc" "src/oct/CMakeFiles/semclust_oct.dir/oct_model.cc.o.d"
+  "/root/repo/src/oct/oct_tools.cc" "src/oct/CMakeFiles/semclust_oct.dir/oct_tools.cc.o" "gcc" "src/oct/CMakeFiles/semclust_oct.dir/oct_tools.cc.o.d"
+  "/root/repo/src/oct/trace.cc" "src/oct/CMakeFiles/semclust_oct.dir/trace.cc.o" "gcc" "src/oct/CMakeFiles/semclust_oct.dir/trace.cc.o.d"
+  "/root/repo/src/oct/trace_analyzer.cc" "src/oct/CMakeFiles/semclust_oct.dir/trace_analyzer.cc.o" "gcc" "src/oct/CMakeFiles/semclust_oct.dir/trace_analyzer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/util/CMakeFiles/semclust_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

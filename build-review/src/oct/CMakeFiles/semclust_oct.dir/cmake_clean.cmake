@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semclust_oct.dir/oct_model.cc.o"
+  "CMakeFiles/semclust_oct.dir/oct_model.cc.o.d"
+  "CMakeFiles/semclust_oct.dir/oct_tools.cc.o"
+  "CMakeFiles/semclust_oct.dir/oct_tools.cc.o.d"
+  "CMakeFiles/semclust_oct.dir/trace.cc.o"
+  "CMakeFiles/semclust_oct.dir/trace.cc.o.d"
+  "CMakeFiles/semclust_oct.dir/trace_analyzer.cc.o"
+  "CMakeFiles/semclust_oct.dir/trace_analyzer.cc.o.d"
+  "libsemclust_oct.a"
+  "libsemclust_oct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semclust_oct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

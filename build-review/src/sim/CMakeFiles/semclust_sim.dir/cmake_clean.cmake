@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semclust_sim.dir/event_calendar.cc.o"
+  "CMakeFiles/semclust_sim.dir/event_calendar.cc.o.d"
+  "CMakeFiles/semclust_sim.dir/resource.cc.o"
+  "CMakeFiles/semclust_sim.dir/resource.cc.o.d"
+  "CMakeFiles/semclust_sim.dir/simulator.cc.o"
+  "CMakeFiles/semclust_sim.dir/simulator.cc.o.d"
+  "libsemclust_sim.a"
+  "libsemclust_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semclust_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

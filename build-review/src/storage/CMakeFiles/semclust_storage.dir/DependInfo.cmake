@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/page.cc" "src/storage/CMakeFiles/semclust_storage.dir/page.cc.o" "gcc" "src/storage/CMakeFiles/semclust_storage.dir/page.cc.o.d"
+  "/root/repo/src/storage/storage_manager.cc" "src/storage/CMakeFiles/semclust_storage.dir/storage_manager.cc.o" "gcc" "src/storage/CMakeFiles/semclust_storage.dir/storage_manager.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/objmodel/CMakeFiles/semclust_objmodel.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/util/CMakeFiles/semclust_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

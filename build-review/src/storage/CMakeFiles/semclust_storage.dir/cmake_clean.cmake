@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semclust_storage.dir/page.cc.o"
+  "CMakeFiles/semclust_storage.dir/page.cc.o.d"
+  "CMakeFiles/semclust_storage.dir/storage_manager.cc.o"
+  "CMakeFiles/semclust_storage.dir/storage_manager.cc.o.d"
+  "libsemclust_storage.a"
+  "libsemclust_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semclust_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

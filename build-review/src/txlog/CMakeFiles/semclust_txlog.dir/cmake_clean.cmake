@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semclust_txlog.dir/log_manager.cc.o"
+  "CMakeFiles/semclust_txlog.dir/log_manager.cc.o.d"
+  "CMakeFiles/semclust_txlog.dir/recovery.cc.o"
+  "CMakeFiles/semclust_txlog.dir/recovery.cc.o.d"
+  "libsemclust_txlog.a"
+  "libsemclust_txlog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semclust_txlog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsemclust_txlog.a"
+)

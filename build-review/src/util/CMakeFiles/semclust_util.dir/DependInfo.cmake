@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/json_reader.cc" "src/util/CMakeFiles/semclust_util.dir/json_reader.cc.o" "gcc" "src/util/CMakeFiles/semclust_util.dir/json_reader.cc.o.d"
+  "/root/repo/src/util/json_writer.cc" "src/util/CMakeFiles/semclust_util.dir/json_writer.cc.o" "gcc" "src/util/CMakeFiles/semclust_util.dir/json_writer.cc.o.d"
+  "/root/repo/src/util/random.cc" "src/util/CMakeFiles/semclust_util.dir/random.cc.o" "gcc" "src/util/CMakeFiles/semclust_util.dir/random.cc.o.d"
+  "/root/repo/src/util/stats.cc" "src/util/CMakeFiles/semclust_util.dir/stats.cc.o" "gcc" "src/util/CMakeFiles/semclust_util.dir/stats.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/util/CMakeFiles/semclust_util.dir/status.cc.o" "gcc" "src/util/CMakeFiles/semclust_util.dir/status.cc.o.d"
+  "/root/repo/src/util/table_printer.cc" "src/util/CMakeFiles/semclust_util.dir/table_printer.cc.o" "gcc" "src/util/CMakeFiles/semclust_util.dir/table_printer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semclust_util.dir/json_reader.cc.o"
+  "CMakeFiles/semclust_util.dir/json_reader.cc.o.d"
+  "CMakeFiles/semclust_util.dir/json_writer.cc.o"
+  "CMakeFiles/semclust_util.dir/json_writer.cc.o.d"
+  "CMakeFiles/semclust_util.dir/random.cc.o"
+  "CMakeFiles/semclust_util.dir/random.cc.o.d"
+  "CMakeFiles/semclust_util.dir/stats.cc.o"
+  "CMakeFiles/semclust_util.dir/stats.cc.o.d"
+  "CMakeFiles/semclust_util.dir/status.cc.o"
+  "CMakeFiles/semclust_util.dir/status.cc.o.d"
+  "CMakeFiles/semclust_util.dir/table_printer.cc.o"
+  "CMakeFiles/semclust_util.dir/table_printer.cc.o.d"
+  "libsemclust_util.a"
+  "libsemclust_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semclust_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

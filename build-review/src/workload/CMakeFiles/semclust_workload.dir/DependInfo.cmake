@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/db_builder.cc" "src/workload/CMakeFiles/semclust_workload.dir/db_builder.cc.o" "gcc" "src/workload/CMakeFiles/semclust_workload.dir/db_builder.cc.o.d"
+  "/root/repo/src/workload/query.cc" "src/workload/CMakeFiles/semclust_workload.dir/query.cc.o" "gcc" "src/workload/CMakeFiles/semclust_workload.dir/query.cc.o.d"
+  "/root/repo/src/workload/workload_config.cc" "src/workload/CMakeFiles/semclust_workload.dir/workload_config.cc.o" "gcc" "src/workload/CMakeFiles/semclust_workload.dir/workload_config.cc.o.d"
+  "/root/repo/src/workload/workload_gen.cc" "src/workload/CMakeFiles/semclust_workload.dir/workload_gen.cc.o" "gcc" "src/workload/CMakeFiles/semclust_workload.dir/workload_gen.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/cluster/CMakeFiles/semclust_cluster.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/buffer/CMakeFiles/semclust_buffer.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/objmodel/CMakeFiles/semclust_objmodel.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/util/CMakeFiles/semclust_util.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/semclust_obs.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/sim/CMakeFiles/semclust_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/storage/CMakeFiles/semclust_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

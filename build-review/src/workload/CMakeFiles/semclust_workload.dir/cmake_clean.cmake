@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semclust_workload.dir/db_builder.cc.o"
+  "CMakeFiles/semclust_workload.dir/db_builder.cc.o.d"
+  "CMakeFiles/semclust_workload.dir/query.cc.o"
+  "CMakeFiles/semclust_workload.dir/query.cc.o.d"
+  "CMakeFiles/semclust_workload.dir/workload_config.cc.o"
+  "CMakeFiles/semclust_workload.dir/workload_config.cc.o.d"
+  "CMakeFiles/semclust_workload.dir/workload_gen.cc.o"
+  "CMakeFiles/semclust_workload.dir/workload_gen.cc.o.d"
+  "libsemclust_workload.a"
+  "libsemclust_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semclust_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

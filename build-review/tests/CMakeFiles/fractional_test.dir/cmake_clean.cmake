@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fractional_test.dir/fractional_test.cc.o"
+  "CMakeFiles/fractional_test.dir/fractional_test.cc.o.d"
+  "fractional_test"
+  "fractional_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fractional_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

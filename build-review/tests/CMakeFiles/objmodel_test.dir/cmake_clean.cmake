@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/objmodel_test.dir/objmodel_test.cc.o"
+  "CMakeFiles/objmodel_test.dir/objmodel_test.cc.o.d"
+  "objmodel_test"
+  "objmodel_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/objmodel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ocb_test.dir/ocb_test.cc.o"
+  "CMakeFiles/ocb_test.dir/ocb_test.cc.o.d"
+  "ocb_test"
+  "ocb_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ocb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

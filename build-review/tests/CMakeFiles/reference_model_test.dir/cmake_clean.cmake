@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reference_model_test.dir/reference_model_test.cc.o"
+  "CMakeFiles/reference_model_test.dir/reference_model_test.cc.o.d"
+  "reference_model_test"
+  "reference_model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reference_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

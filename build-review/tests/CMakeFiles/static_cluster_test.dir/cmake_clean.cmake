@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/static_cluster_test.dir/static_cluster_test.cc.o"
+  "CMakeFiles/static_cluster_test.dir/static_cluster_test.cc.o.d"
+  "static_cluster_test"
+  "static_cluster_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/static_cluster_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

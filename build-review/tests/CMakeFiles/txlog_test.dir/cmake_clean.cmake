@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/txlog_test.dir/txlog_test.cc.o"
+  "CMakeFiles/txlog_test.dir/txlog_test.cc.o.d"
+  "txlog_test"
+  "txlog_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/txlog_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

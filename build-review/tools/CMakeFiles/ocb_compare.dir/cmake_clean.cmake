@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ocb_compare.dir/ocb_compare.cc.o"
+  "CMakeFiles/ocb_compare.dir/ocb_compare.cc.o.d"
+  "ocb_compare"
+  "ocb_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ocb_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

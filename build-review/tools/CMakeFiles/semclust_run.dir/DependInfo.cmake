@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/semclust_run.cc" "tools/CMakeFiles/semclust_run.dir/semclust_run.cc.o" "gcc" "tools/CMakeFiles/semclust_run.dir/semclust_run.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/exec/CMakeFiles/semclust_exec.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/core/CMakeFiles/semclust_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/ocb/CMakeFiles/semclust_ocb.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/workload/CMakeFiles/semclust_workload.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/cluster/CMakeFiles/semclust_cluster.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/buffer/CMakeFiles/semclust_buffer.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/txlog/CMakeFiles/semclust_txlog.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/io/CMakeFiles/semclust_io.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/semclust_obs.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/sim/CMakeFiles/semclust_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/storage/CMakeFiles/semclust_storage.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/objmodel/CMakeFiles/semclust_objmodel.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/util/CMakeFiles/semclust_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semclust_run.dir/semclust_run.cc.o"
+  "CMakeFiles/semclust_run.dir/semclust_run.cc.o.d"
+  "semclust_run"
+  "semclust_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semclust_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

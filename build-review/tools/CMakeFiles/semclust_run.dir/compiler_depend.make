@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for semclust_run.
+# This may be replaced when dependencies are built.

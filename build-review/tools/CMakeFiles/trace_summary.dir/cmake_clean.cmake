@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_summary.dir/trace_summary.cc.o"
+  "CMakeFiles/trace_summary.dir/trace_summary.cc.o.d"
+  "trace_summary"
+  "trace_summary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_summary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
