@@ -111,9 +111,45 @@ fi
 "${BUILD}/tools/bench_diff" "${O1}" "${O4}"
 "${BUILD}/tools/bench_diff" --baseline "${OCB_BASELINE}" --rtol 0.2 "${O1}"
 
-# Ranking-transfer artifact: how the clustering-policy ordering compares
-# between the engineering workload (fig5.1) and the generic OCB graph.
-"${BUILD}/tools/ocb_compare" "${BASELINE}" "${O1}" \
-  | tee "${BUILD}/ocb_compare.out"
+# Policy-surface smoke: the dynamic re-clustering axis must be
+# registered and discoverable (canonical names and aliases).
+"${RUN}" --list-policies > "${BUILD}/policies.out"
+for needle in DSTC OPCF dstc_dynamic opportunistic; do
+  if ! grep -q "${needle}" "${BUILD}/policies.out"; then
+    echo "FAIL: --list-policies does not advertise ${needle}" >&2
+    exit 1
+  fi
+done
 
-echo "ci: ok (tests passed, jobs=1 == jobs=4, scenario == bench, OCT and OCB baselines within tolerance)"
+# Structural-churn gate (src/dyn/): the churn scenario sweeps the frozen
+# static placement against DSTC and OPCF. Exact determinism across job
+# counts (reorganisation happens on the virtual clock, so thread count
+# must not leak into any sample), plus a 20% envelope against the
+# committed baseline.
+CHURN_SCENARIO="${ROOT}/bench/scenarios/ocb_churn.scenario.json"
+CHURN_BASELINE="${ROOT}/BENCH_ocb_churn.jsonl"
+C1="${BUILD}/churn_jobs1.json"
+C4="${BUILD}/churn_jobs4.json"
+rm -f "${C1}" "${C4}"
+"${RUN}" --jobs 1 --json "${C1}" "${CHURN_SCENARIO}" \
+  > "${BUILD}/churn_jobs1.out"
+"${RUN}" --jobs 4 --json "${C4}" "${CHURN_SCENARIO}" \
+  > "${BUILD}/churn_jobs4.out"
+if ! diff "${BUILD}/churn_jobs1.out" "${BUILD}/churn_jobs4.out"; then
+  echo "FAIL: churn scenario tables differ between job counts" >&2
+  exit 1
+fi
+"${BUILD}/tools/bench_diff" "${C1}" "${C4}"
+"${BUILD}/tools/bench_diff" --baseline "${CHURN_BASELINE}" --rtol 0.2 "${C1}"
+
+# Ranking-transfer artifacts: how the clustering-policy ordering compares
+# between the engineering workload (fig5.1) and the generic OCB graph,
+# plus the churn sweep's static-vs-DSTC-vs-OPCF ordering against its
+# committed baseline (a rank inversion under tolerance-passing drift
+# still shows up here), archived as JSON next to the determinism gates.
+"${BUILD}/tools/ocb_compare" --json "${BUILD}/ocb_rankings.json" \
+  "${BASELINE}" "${O1}" | tee "${BUILD}/ocb_compare.out"
+"${BUILD}/tools/ocb_compare" --json "${BUILD}/churn_rankings.json" \
+  "${CHURN_BASELINE}" "${C1}" | tee "${BUILD}/churn_compare.out"
+
+echo "ci: ok (tests passed, jobs=1 == jobs=4, scenario == bench, OCT/OCB/churn baselines within tolerance, dyn policies registered)"

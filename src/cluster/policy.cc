@@ -29,10 +29,10 @@ const char* SplitPolicyName(SplitPolicy p) {
 }
 
 std::string ClusterConfig::Label() const {
-  if (pool == CandidatePool::kIoLimit) {
-    return std::to_string(io_limit) + "_IO_limit";
-  }
-  return CandidatePoolName(pool);
+  std::string base = pool == CandidatePool::kIoLimit
+                         ? std::to_string(io_limit) + "_IO_limit"
+                         : CandidatePoolName(pool);
+  return base + dynamic.LabelSuffix();
 }
 
 }  // namespace oodb::cluster

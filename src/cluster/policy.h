@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <string>
 
+#include "dyn/dyn_config.h"
 #include "objmodel/object_id.h"
 
 /// \file
@@ -73,8 +74,14 @@ struct ClusterConfig {
   /// stream.
   bool fresh_page_on_overflow = true;
 
+  /// Dynamic re-clustering policy layered on top of write-time placement
+  /// (src/dyn/: DSTC / OPCF). Inert by default; rides the clustering sweep
+  /// axis so scenarios and grids cover it declaratively.
+  dyn::DynConfig dynamic{};
+
   /// "Cluster_within_Buffer", "2_IO_limit", "No_limit", ... as the paper
-  /// labels its x-axes.
+  /// labels its x-axes, plus a "+DSTC" / "+OPCF" suffix when a dynamic
+  /// re-clustering policy is layered on.
   std::string Label() const;
 };
 

@@ -154,6 +154,15 @@ void MeasurementController::SyncComponentMetrics() {
               ctx_.io->MeanUtilization());
   metrics.Set(metrics.Gauge("cpu.utilization"), ctx_.cpu->Utilization());
   metrics.Set(metrics.Gauge("sim.duration_s"), ctx_.sim.now());
+  if (ctx_.dyn_policy) {
+    // Whole-run cumulative deferral bookkeeping lives in the policy (it is
+    // not reset at the measurement boundary: a deferral window straddling
+    // the boundary must not lose its opening edge).
+    metrics.SetCounter(ctx_.dyn_handles.deferral_events,
+                       ctx_.dyn_policy->deferral_events());
+    metrics.Set(ctx_.dyn_handles.deferral_time_s,
+                ctx_.dyn_policy->deferral_time_s());
+  }
 }
 
 RunResult MeasurementController::Run() {

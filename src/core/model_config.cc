@@ -21,6 +21,10 @@ Status ModelConfig::Validate() const {
   if (const Status ocb_status = ocb.Validate(); !ocb_status.ok()) {
     return ocb_status;
   }
+  if (const Status dyn_status = clustering.dynamic.Validate();
+      !dyn_status.ok()) {
+    return Invalid(dyn_status.message());
+  }
   if (database_bytes == 0) {
     return Invalid(
         "database_bytes is 0; the builder would create an empty database "

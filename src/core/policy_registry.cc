@@ -121,6 +121,24 @@ void RegisterOcbLocalities(PolicyRegistry& reg) {
                static_cast<int>(RefLocality::kZipf));
 }
 
+void RegisterDynamicPolicies(PolicyRegistry& reg) {
+  using dyn::PolicyKind;
+  for (PolicyKind p : dyn::kAllPolicyKinds) {
+    reg.Register(PolicyAxis::kDynamic, dyn::PolicyKindName(p),
+                 static_cast<int>(p));
+  }
+  reg.Register(PolicyAxis::kDynamic, "none",
+               static_cast<int>(PolicyKind::kNone));
+  reg.Register(PolicyAxis::kDynamic, "off",
+               static_cast<int>(PolicyKind::kNone));
+  reg.Register(PolicyAxis::kDynamic, "static",
+               static_cast<int>(PolicyKind::kNone));
+  reg.Register(PolicyAxis::kDynamic, "dstc_dynamic",
+               static_cast<int>(PolicyKind::kDstc));
+  reg.Register(PolicyAxis::kDynamic, "opportunistic",
+               static_cast<int>(PolicyKind::kOpcf));
+}
+
 }  // namespace
 
 const char* PolicyAxisName(PolicyAxis axis) {
@@ -139,6 +157,8 @@ const char* PolicyAxisName(PolicyAxis axis) {
       return "relationship";
     case PolicyAxis::kOcbLocality:
       return "ocb locality";
+    case PolicyAxis::kDynamic:
+      return "dynamic clustering";
   }
   return "unknown";
 }
@@ -151,6 +171,7 @@ PolicyRegistry::PolicyRegistry() {
   RegisterDensities(*this);
   RegisterRelKinds(*this);
   RegisterOcbLocalities(*this);
+  RegisterDynamicPolicies(*this);
 }
 
 const PolicyRegistry& PolicyRegistry::Global() {
@@ -174,6 +195,8 @@ PolicyRegistry::AxisTable& PolicyRegistry::Table(PolicyAxis axis) {
       return rel_kind_;
     case PolicyAxis::kOcbLocality:
       return ocb_locality_;
+    case PolicyAxis::kDynamic:
+      return dynamic_;
   }
   OODB_CHECK(false);
   return replacement_;  // unreachable
@@ -256,6 +279,13 @@ std::optional<ocb::RefLocality> PolicyRegistry::OcbLocality(
   const auto v = Find(PolicyAxis::kOcbLocality, name);
   if (!v) return std::nullopt;
   return static_cast<ocb::RefLocality>(*v);
+}
+
+std::optional<dyn::PolicyKind> PolicyRegistry::Dynamic(
+    std::string_view name) const {
+  const auto v = Find(PolicyAxis::kDynamic, name);
+  if (!v) return std::nullopt;
+  return static_cast<dyn::PolicyKind>(*v);
 }
 
 const std::vector<std::string>& PolicyRegistry::CanonicalNames(

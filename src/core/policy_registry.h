@@ -9,6 +9,7 @@
 
 #include "buffer/policy.h"
 #include "cluster/policy.h"
+#include "dyn/dyn_config.h"
 #include "objmodel/object_id.h"
 #include "ocb/ocb_config.h"
 #include "workload/workload_config.h"
@@ -36,6 +37,7 @@ enum class PolicyAxis {
   kDensity,      ///< workload::StructureDensity (F)
   kRelKind,      ///< obj::RelKind (hint axes, J)
   kOcbLocality,  ///< ocb::RefLocality (OCB reference-locality knob)
+  kDynamic,      ///< dyn::PolicyKind (dynamic re-clustering: DSTC / OPCF)
 };
 
 const char* PolicyAxisName(PolicyAxis axis);
@@ -45,7 +47,7 @@ inline constexpr PolicyAxis kAllPolicyAxes[] = {
     PolicyAxis::kReplacement, PolicyAxis::kPrefetch,
     PolicyAxis::kCandidatePool, PolicyAxis::kSplit,
     PolicyAxis::kDensity, PolicyAxis::kRelKind,
-    PolicyAxis::kOcbLocality};
+    PolicyAxis::kOcbLocality, PolicyAxis::kDynamic};
 
 /// Immutable after construction; lookups are case-insensitive and accept
 /// '-', '_' and ' ' interchangeably, so "Cluster_within_Buffer",
@@ -65,6 +67,7 @@ class PolicyRegistry {
       std::string_view name) const;
   std::optional<obj::RelKind> Relationship(std::string_view name) const;
   std::optional<ocb::RefLocality> OcbLocality(std::string_view name) const;
+  std::optional<dyn::PolicyKind> Dynamic(std::string_view name) const;
 
   /// Canonical names of one axis, in registration (= enum) order — for
   /// error messages and discoverability (`semclust_run --policies`).
@@ -110,6 +113,7 @@ class PolicyRegistry {
   AxisTable density_;
   AxisTable rel_kind_;
   AxisTable ocb_locality_;
+  AxisTable dynamic_;
 };
 
 }  // namespace oodb::core

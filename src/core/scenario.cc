@@ -117,6 +117,15 @@ StatusOr<ocb::RefLocality> ResolveOcbLocality(const JsonValue& v,
   return *p;
 }
 
+StatusOr<dyn::PolicyKind> ResolveDynamic(const JsonValue& v,
+                                         const std::string& key) {
+  auto name = AsString(v, key);
+  if (!name.ok()) return name.status();
+  const auto p = Reg().Dynamic(*name);
+  if (!p) return UnknownName(key, PolicyAxis::kDynamic, *name);
+  return *p;
+}
+
 /// A clustering entry: a bare pool name, or an object overriding fields of
 /// `from` (so a split policy set in "config" carries into sweep levels).
 StatusOr<cluster::ClusterConfig> ParseClusterEntry(
@@ -128,6 +137,10 @@ StatusOr<cluster::ClusterConfig> ParseClusterEntry(
     return from;
   }
   if (!v.is_object()) return TypeErr(ctx, "a pool name or an object");
+  // Dynamic re-clustering knobs only make sense under a DSTC/OPCF policy;
+  // setting one without "dynamic" is an error (same guard as OCB knobs
+  // without "kind": "ocb"), so a typo can't silently leave the cell static.
+  std::string first_dyn_key;
   for (const auto& [key, value] : v.members()) {
     const std::string sub = ctx + "." + key;
     if (key == "pool") {
@@ -154,11 +167,68 @@ StatusOr<cluster::ClusterConfig> ParseClusterEntry(
       const auto boost = AsNumber(value, sub);
       if (!boost.ok()) return boost.status();
       from.hint_boost = *boost;
+    } else if (key == "dynamic") {
+      const auto p = ResolveDynamic(value, sub);
+      if (!p.ok()) return p.status();
+      from.dynamic.policy = *p;
+    } else if (key == "dyn_observation_period") {
+      const auto n = AsInt(value, sub);
+      if (!n.ok()) return n.status();
+      from.dynamic.observation_period = *n;
+      if (first_dyn_key.empty()) first_dyn_key = key;
+    } else if (key == "dyn_heat_decay") {
+      const auto r = AsNumber(value, sub);
+      if (!r.ok()) return r.status();
+      from.dynamic.heat_decay = *r;
+      if (first_dyn_key.empty()) first_dyn_key = key;
+    } else if (key == "dyn_max_tracked_objects") {
+      const auto n = AsInt(value, sub);
+      if (!n.ok()) return n.status();
+      from.dynamic.max_tracked_objects = *n;
+      if (first_dyn_key.empty()) first_dyn_key = key;
+    } else if (key == "dyn_max_tracked_links") {
+      const auto n = AsInt(value, sub);
+      if (!n.ok()) return n.status();
+      from.dynamic.max_tracked_links = *n;
+      if (first_dyn_key.empty()) first_dyn_key = key;
+    } else if (key == "dyn_trigger_threshold") {
+      const auto r = AsNumber(value, sub);
+      if (!r.ok()) return r.status();
+      from.dynamic.trigger_threshold = *r;
+      if (first_dyn_key.empty()) first_dyn_key = key;
+    } else if (key == "dyn_unit_size") {
+      const auto n = AsInt(value, sub);
+      if (!n.ok()) return n.status();
+      from.dynamic.max_unit_size = *n;
+      if (first_dyn_key.empty()) first_dyn_key = key;
+    } else if (key == "dyn_max_moves") {
+      const auto n = AsInt(value, sub);
+      if (!n.ok()) return n.status();
+      from.dynamic.max_moves_per_txn = *n;
+      if (first_dyn_key.empty()) first_dyn_key = key;
+    } else if (key == "opcf_watermark") {
+      const auto r = AsNumber(value, sub);
+      if (!r.ok()) return r.status();
+      from.dynamic.opcf_queue_watermark = *r;
+      if (first_dyn_key.empty()) first_dyn_key = key;
+    } else if (key == "opcf_batch") {
+      const auto n = AsInt(value, sub);
+      if (!n.ok()) return n.status();
+      from.dynamic.opcf_batch = *n;
+      if (first_dyn_key.empty()) first_dyn_key = key;
     } else {
       return Err(ctx + ": unknown key \"" + key +
                  "\" (known: pool, io_limit, split, use_hints, hint_kind, "
-                 "hint_boost)");
+                 "hint_boost, dynamic, dyn_observation_period, "
+                 "dyn_heat_decay, dyn_max_tracked_objects, "
+                 "dyn_max_tracked_links, dyn_trigger_threshold, "
+                 "dyn_unit_size, dyn_max_moves, opcf_watermark, opcf_batch)");
     }
+  }
+  if (!first_dyn_key.empty() && !from.dynamic.enabled()) {
+    return Err(ctx + ": \"" + first_dyn_key +
+               "\" is a dynamic re-clustering knob; add \"dynamic\": "
+               "\"DSTC\" or \"OPCF\" to enable the policy");
   }
   return from;
 }
@@ -269,13 +339,30 @@ StatusOr<WorkloadEntry> ParseWorkloadEntry(const JsonValue& v,
         from.ocb.read_mix[i] = *r;
       }
       if (first_ocb_key.empty()) first_ocb_key = key;
+    } else if (key == "churn_probability") {
+      const auto r = AsNumber(value, sub);
+      if (!r.ok()) return r.status();
+      from.ocb.churn_probability = *r;
+      if (first_ocb_key.empty()) first_ocb_key = key;
+    } else if (key == "churn_burst_length") {
+      const auto n = AsInt(value, sub);
+      if (!n.ok()) return n.status();
+      from.ocb.churn_burst_length = *n;
+      if (first_ocb_key.empty()) first_ocb_key = key;
+    } else if (key == "churn_cross_partition") {
+      const auto r = AsNumber(value, sub);
+      if (!r.ok()) return r.status();
+      from.ocb.churn_cross_partition = *r;
+      if (first_ocb_key.empty()) first_ocb_key = key;
     } else {
       return Err(ctx + ": unknown key \"" + key +
                  "\" (known: kind, density, rw_ratio, classes, "
                  "hierarchy_depth, instances, refs_per_object, locality, "
                  "zipf_theta, gaussian_window, base_object_bytes, "
                  "inheritance_fraction, interleaved_read_probability, "
-                 "partitions, set_lookup_size, traversal_depth, read_mix)");
+                 "partitions, set_lookup_size, traversal_depth, read_mix, "
+                 "churn_probability, churn_burst_length, "
+                 "churn_cross_partition)");
     }
   }
   if (kind == "ocb") {
@@ -514,6 +601,18 @@ std::string ClusterJson(const cluster::ClusterConfig& c) {
   o.Add("use_hints", c.use_hints);
   o.Add("hint_kind", obj::RelKindName(c.hint_kind));
   o.Add("hint_boost", c.hint_boost);
+  o.Add("dynamic", dyn::PolicyKindName(c.dynamic.policy));
+  if (c.dynamic.enabled()) {
+    o.Add("dyn_observation_period", c.dynamic.observation_period);
+    o.Add("dyn_heat_decay", c.dynamic.heat_decay);
+    o.Add("dyn_max_tracked_objects", c.dynamic.max_tracked_objects);
+    o.Add("dyn_max_tracked_links", c.dynamic.max_tracked_links);
+    o.Add("dyn_trigger_threshold", c.dynamic.trigger_threshold);
+    o.Add("dyn_unit_size", c.dynamic.max_unit_size);
+    o.Add("dyn_max_moves", c.dynamic.max_moves_per_txn);
+    o.Add("opcf_watermark", c.dynamic.opcf_queue_watermark);
+    o.Add("opcf_batch", c.dynamic.opcf_batch);
+  }
   return o.str();
 }
 
@@ -539,6 +638,11 @@ std::string WorkloadJson(const WorkloadEntry& w) {
     JsonArrayWriter mix;
     for (const double m : w.ocb.read_mix) mix.Add(m);
     o.AddRaw("read_mix", mix.str());
+    if (w.ocb.churn_enabled()) {
+      o.Add("churn_probability", w.ocb.churn_probability);
+      o.Add("churn_burst_length", w.ocb.churn_burst_length);
+      o.Add("churn_cross_partition", w.ocb.churn_cross_partition);
+    }
   } else {
     o.Add("density", workload::StructureDensityName(w.oct.density));
     o.Add("rw_ratio", w.oct.read_write_ratio);

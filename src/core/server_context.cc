@@ -105,6 +105,24 @@ ServerContext::ServerContext(ModelConfig model_config)
       "core.response_s",
       {0.05, 0.1, 0.2, 0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 60.0});
 
+  // Dynamic re-clustering (src/dyn/): built — and its metrics registered —
+  // only when enabled, after the core handles so the pre-existing snapshot
+  // layout is untouched in every static-policy run.
+  if (config.clustering.dynamic.enabled()) {
+    dyn_tracker =
+        std::make_unique<dyn::AccessTracker>(config.clustering.dynamic);
+    dyn_policy = dyn::MakeReclusterPolicy(config.clustering.dynamic);
+    dyn_reorganizer =
+        std::make_unique<dyn::Reorganizer>(graph.get(), storage.get());
+    dyn_handles.triggers = metrics.Counter("dyn.triggers");
+    dyn_handles.units = metrics.Counter("dyn.units");
+    dyn_handles.objects_moved = metrics.Counter("dyn.objects_moved");
+    dyn_handles.reorg_reads = metrics.Counter("dyn.reorg_reads");
+    dyn_handles.deferral_events = metrics.Counter("dyn.deferral_events");
+    dyn_handles.deferral_time_s = metrics.Gauge("dyn.deferral_time_s");
+    dyn_handles.queue_depth_peak = metrics.Gauge("dyn.queue_depth_peak");
+  }
+
   for (int u = 0; u < config.num_users; ++u) {
     const uint64_t user_seed =
         config.seed * 7919 + static_cast<uint64_t>(u);

@@ -8,6 +8,9 @@
 #include "buffer/prefetcher.h"
 #include "cluster/cluster_manager.h"
 #include "core/model_config.h"
+#include "dyn/access_tracker.h"
+#include "dyn/recluster_policy.h"
+#include "dyn/reorganizer.h"
 #include "io/io_subsystem.h"
 #include "objmodel/inheritance.h"
 #include "objmodel/object_graph.h"
@@ -43,6 +46,19 @@ struct CoreMetricHandles {
   obs::CounterHandle prefetch_hits;
   obs::CounterHandle prefetch_wasted;
   obs::HistogramHandle response_s;
+};
+
+/// Metric handles of the dynamic re-clustering subsystem, registered only
+/// when a DSTC/OPCF policy is enabled — a disabled run registers nothing,
+/// keeping its snapshot layout (and every committed baseline) unchanged.
+struct DynMetricHandles {
+  obs::CounterHandle triggers;        ///< consolidations that produced units
+  obs::CounterHandle units;           ///< clustering units enqueued
+  obs::CounterHandle objects_moved;   ///< objects relocated by reorgs
+  obs::CounterHandle reorg_reads;     ///< page reads charged to reorgs
+  obs::CounterHandle deferral_events; ///< OPCF watermark-crossing deferrals
+  obs::GaugeHandle deferral_time_s;   ///< total simulated deferral time
+  obs::GaugeHandle queue_depth_peak;  ///< deepest disk queue seen at drains
 };
 
 /// One fully wired (but not yet running) simulated server. Members are
@@ -87,7 +103,15 @@ class ServerContext {
   std::vector<std::unique_ptr<workload::TransactionSource>> generators;
   obj::InheritanceCostModel inherit_model;
 
+  /// Dynamic re-clustering machinery (src/dyn/); all null unless
+  /// `config.clustering.dynamic` enables a policy, in which case the run
+  /// is byte-identical to a build without the subsystem.
+  std::unique_ptr<dyn::AccessTracker> dyn_tracker;
+  std::unique_ptr<dyn::ReclusterPolicy> dyn_policy;
+  std::unique_ptr<dyn::Reorganizer> dyn_reorganizer;
+
   CoreMetricHandles handles;
+  DynMetricHandles dyn_handles;
 };
 
 }  // namespace oodb::core

@@ -133,6 +133,7 @@ void TxnPipeline::PostAccess(obj::ObjectId id) {
 sim::Task TxnPipeline::AccessObject(obj::ObjectId id, obj::TypeId from_type,
                                     int nav_kind) {
   ++logical_reads_;
+  if (ctx_.dyn_tracker) ctx_.dyn_tracker->Observe(id);
   co_await ChargeCpu(ctx_.config.logical_op_instructions);
   if (nav_kind >= 0) {
     ctx_.affinity->RecordTraversal(from_type,
@@ -166,6 +167,7 @@ sim::Task TxnPipeline::AccessObject(obj::ObjectId id, obj::TypeId from_type,
 sim::Task TxnPipeline::ReadQuery(const workload::TransactionSpec& spec) {
   const obj::ObjectId target = spec.target;
   if (!ctx_.graph->IsLive(target)) co_return;
+  if (ctx_.dyn_tracker) ctx_.dyn_tracker->BeginTransaction(target);
   const obj::TypeId ttype = ctx_.graph->object(target).type;
   co_await AccessObject(target, ttype, -1);
 
@@ -519,6 +521,95 @@ sim::Task TxnPipeline::WriteQuery(const workload::TransactionSpec& spec,
       }
       break;
     }
+    case workload::WriteKind::kChurnDelete: {
+      // Structural churn (OCB): delete the target outright, interior
+      // objects included — ObjectGraph::Remove detaches every mirror
+      // edge, so only the module root is off limits. This is what makes
+      // static placements fragment over churn epochs.
+      if (target == module.root) {
+        co_await WriteObject(txn, target);
+        break;
+      }
+      co_await WriteObject(txn, target);
+      if (ctx_.graph->IsLive(target) && ctx_.storage->IsPlaced(target)) {
+        OODB_CHECK(ctx_.storage->Erase(target).ok());
+        ctx_.graph->Remove(target);
+      }
+      break;
+    }
+  }
+}
+
+sim::Task TxnPipeline::MaybeReorganize(txlog::TxnId txn) {
+  dyn::AccessTracker& tracker = *ctx_.dyn_tracker;
+  dyn::ReclusterPolicy& policy = *ctx_.dyn_policy;
+  const double depth = ctx_.io->MaxQueueDepth();
+  if (depth > ctx_.metrics.value(ctx_.dyn_handles.queue_depth_peak)) {
+    ctx_.metrics.Set(ctx_.dyn_handles.queue_depth_peak, depth);
+  }
+
+  if (tracker.ConsolidationDue()) {
+    std::vector<dyn::ClusterUnit> units = tracker.Consolidate();
+    if (!units.empty()) {
+      ctx_.metrics.Add(ctx_.dyn_handles.triggers);
+      ctx_.metrics.Add(ctx_.dyn_handles.units,
+                       static_cast<uint64_t>(units.size()));
+      ctx_.trace.Record(obs::Subsystem::kCluster,
+                        obs::TraceEventType::kDynTrigger, units.size(),
+                        tracker.tracked_objects(), policy.pending(), depth);
+      policy.Enqueue(std::move(units), ctx_.sim.now());
+    }
+  }
+
+  std::vector<dyn::ClusterUnit> batch = policy.Drain(ctx_.sim.now(), depth);
+  if (batch.empty()) co_return;
+
+  int budget = ctx_.config.clustering.dynamic.max_moves_per_txn;
+  for (size_t i = 0; i < batch.size(); ++i) {
+    dyn::ClusterUnit& unit = batch[i];
+    if (budget <= 0) {
+      // Out of per-transaction budget: the remaining units stay pending
+      // and drain on later transactions.
+      policy.Enqueue({std::make_move_iterator(batch.begin() + i),
+                      std::make_move_iterator(batch.end())},
+                     ctx_.sim.now());
+      break;
+    }
+    co_await ChargeCpu(ctx_.config.cluster_decision_instructions);
+    const dyn::ReorgResult result =
+        ctx_.dyn_reorganizer->Reorganize(unit, budget);
+    if (result.moves.empty()) continue;
+    budget -= static_cast<int>(result.moves.size());
+    ctx_.metrics.Add(ctx_.dyn_handles.objects_moved,
+                     static_cast<uint64_t>(result.moves.size()));
+    // Every touched page is made resident (charged as a clustering read on
+    // a miss, mirroring exam reads) and dirtied; the relocations reach
+    // disk through the ordinary dirty-flush path.
+    for (const store::PageId page : result.pages_touched) {
+      const auto fix = ctx_.buffer->Fix(page);
+      NotePrefetchEviction(fix);
+      ctx_.buffer->Pin(page);
+      if (!fix.hit) {
+        co_await ChargeCpu(ctx_.config.physical_io_instructions);
+        if (fix.evicted_dirty) {
+          co_await ctx_.io->Write(fix.evicted_page,
+                                  io::IoCategory::kDirtyFlush);
+          co_await ChargeCpu(ctx_.config.physical_io_instructions);
+        }
+        co_await ctx_.io->Read(page, io::IoCategory::kClusterRead);
+        ctx_.metrics.Add(ctx_.dyn_handles.reorg_reads);
+      }
+      ctx_.buffer->MarkDirty(page);
+      ctx_.buffer->Unpin(page);
+    }
+    for (const dyn::ReorgMove& mv : result.moves) {
+      co_await ChargeLogFlushes(
+          ctx_.log->LogWrite(txn, mv.to, mv.size_bytes));
+    }
+    ctx_.trace.Record(obs::Subsystem::kCluster,
+                      obs::TraceEventType::kDynReorg, unit.anchor,
+                      result.moves.size(), result.pages_touched.size(),
+                      unit.heat);
   }
 }
 
@@ -534,6 +625,7 @@ sim::Task TxnPipeline::ExecuteTransaction(
   } else {
     co_await ReadQuery(spec);
   }
+  if (ctx_.dyn_policy) co_await MaybeReorganize(txn);
   co_await ChargeLogFlushes(
       ctx_.log->Commit(txn, ctx_.config.force_log_at_commit));
   ctx_.trace.Record(obs::Subsystem::kCore, obs::TraceEventType::kTxnEnd,

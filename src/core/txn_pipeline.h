@@ -68,6 +68,13 @@ class TxnPipeline {
                             obj::ObjectId placed);
   sim::Task ReclusterAfterStructureChange(txlog::TxnId txn,
                                           obj::ObjectId id);
+  /// Dynamic re-clustering drain (src/dyn/), run at the end of every
+  /// transaction before its commit: consolidates the access tracker when
+  /// its observation period elapses, asks the DSTC/OPCF policy which
+  /// clustering units may execute now, and charges every touched page and
+  /// log record to this transaction on the virtual clock. Only called
+  /// when a dynamic policy is enabled.
+  sim::Task MaybeReorganize(txlog::TxnId txn);
 
   sim::Task ChargeCpu(double instructions);
   sim::Task ChargeLogFlushes(int flushes);

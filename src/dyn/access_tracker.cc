@@ -1,0 +1,102 @@
+#include "dyn/access_tracker.h"
+
+#include <algorithm>
+#include <set>
+
+namespace oodb::dyn {
+
+void AccessTracker::BeginTransaction(obj::ObjectId root) {
+  current_root_ = root;
+  ++txns_in_period_;
+}
+
+void AccessTracker::Observe(obj::ObjectId id) {
+  if (id == obj::kInvalidObject) return;
+  ++observed_refs_;
+
+  auto it = heat_.find(id);
+  if (it != heat_.end()) {
+    it->second += 1.0;
+  } else if (heat_.size() < static_cast<size_t>(config_.max_tracked_objects)) {
+    heat_.emplace(id, 1.0);
+  } else {
+    ++dropped_objects_;
+    return;  // untracked objects also don't create links
+  }
+
+  if (current_root_ == obj::kInvalidObject || current_root_ == id) return;
+  if (!heat_.contains(current_root_)) return;
+  const uint64_t key = LinkKey(current_root_, id);
+  auto lit = links_.find(key);
+  if (lit != links_.end()) {
+    lit->second += 1.0;
+  } else if (links_.size() < static_cast<size_t>(config_.max_tracked_links)) {
+    links_.emplace(key, 1.0);
+  } else {
+    ++dropped_links_;
+  }
+}
+
+std::vector<ClusterUnit> AccessTracker::Consolidate() {
+  // Anchor candidates: heat >= threshold, ordered by (heat desc, id asc) so
+  // the hottest objects claim their co-access partners first.
+  std::vector<std::pair<double, obj::ObjectId>> anchors;
+  for (const auto& [id, h] : heat_) {
+    if (h >= config_.trigger_threshold) anchors.emplace_back(h, id);
+  }
+  std::sort(anchors.begin(), anchors.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second < b.second;
+  });
+
+  // Per-object partner lists from the link table (both endpoints).
+  std::map<obj::ObjectId, std::vector<std::pair<double, obj::ObjectId>>>
+      partners;
+  for (const auto& [key, w] : links_) {
+    const auto a = static_cast<obj::ObjectId>(key >> 32);
+    const auto b = static_cast<obj::ObjectId>(key & 0xFFFFFFFFu);
+    partners[a].emplace_back(w, b);
+    partners[b].emplace_back(w, a);
+  }
+
+  std::vector<ClusterUnit> units;
+  std::set<obj::ObjectId> absorbed;
+  for (const auto& [h, anchor] : anchors) {
+    if (absorbed.contains(anchor)) continue;
+    auto pit = partners.find(anchor);
+    if (pit == partners.end()) continue;  // hot but never co-accessed
+    auto& list = pit->second;
+    std::sort(list.begin(), list.end(), [](const auto& a, const auto& b) {
+      if (a.first != b.first) return a.first > b.first;
+      return a.second < b.second;
+    });
+    ClusterUnit unit;
+    unit.anchor = anchor;
+    unit.heat = h;
+    for (const auto& [w, id] : list) {
+      if (static_cast<int>(unit.members.size()) >= config_.max_unit_size)
+        break;
+      if (absorbed.contains(id)) continue;
+      unit.members.push_back(id);
+    }
+    if (unit.members.empty()) continue;
+    absorbed.insert(anchor);
+    for (obj::ObjectId m : unit.members) absorbed.insert(m);
+    units.push_back(std::move(unit));
+  }
+
+  // Decay + prune: the observation window forgets, bounding both tables to
+  // the recently-hot working set.
+  for (auto it = heat_.begin(); it != heat_.end();) {
+    it->second *= config_.heat_decay;
+    it = it->second < 0.5 ? heat_.erase(it) : std::next(it);
+  }
+  for (auto it = links_.begin(); it != links_.end();) {
+    it->second *= config_.heat_decay;
+    it = it->second < 0.5 ? links_.erase(it) : std::next(it);
+  }
+  txns_in_period_ = 0;
+  return units;
+}
+
+}  // namespace oodb::dyn

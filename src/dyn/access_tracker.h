@@ -1,0 +1,84 @@
+#ifndef SEMCLUST_DYN_ACCESS_TRACKER_H_
+#define SEMCLUST_DYN_ACCESS_TRACKER_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "dyn/dyn_config.h"
+#include "objmodel/object_id.h"
+
+/// \file
+/// DSTC-style access statistics (Bullat & Schneider): the tracker observes
+/// the object reference sequence from the transaction pipeline's read path
+/// and maintains bounded per-object heat and per-link co-access weights.
+/// At the end of each observation period the raw statistics are
+/// consolidated into clustering units — an anchor object plus the
+/// co-accessed members worth placing on its page.
+///
+/// Determinism: both tables are std::map (ordered by key), every tie is
+/// broken by ObjectId, and no randomness or wall-clock input is used, so a
+/// given reference sequence always produces the same units. Memory is
+/// bounded by max_tracked_objects / max_tracked_links; arrivals while the
+/// tables are full are counted in dropped_*() rather than evicting
+/// (evicting would make hot-set membership depend on arrival order noise;
+/// decay at consolidation is the eviction mechanism).
+
+namespace oodb::dyn {
+
+/// One consolidated clustering unit: `members` are worth co-locating with
+/// `anchor`, ordered by descending co-access weight.
+struct ClusterUnit {
+  obj::ObjectId anchor = obj::kInvalidObject;
+  double heat = 0.0;
+  std::vector<obj::ObjectId> members;
+};
+
+class AccessTracker {
+ public:
+  explicit AccessTracker(const DynConfig& config) : config_(config) {}
+
+  /// Marks the root of the transaction now executing; subsequent Observe
+  /// calls record co-access links against it. Also advances the
+  /// observation-period clock.
+  void BeginTransaction(obj::ObjectId root);
+
+  /// Records one logical object reference.
+  void Observe(obj::ObjectId id);
+
+  /// True once observation_period transactions have been observed since
+  /// the last consolidation.
+  bool ConsolidationDue() const {
+    return txns_in_period_ >= config_.observation_period;
+  }
+
+  /// Builds clustering units from the current statistics (anchors are
+  /// objects whose heat reached trigger_threshold, by descending heat),
+  /// then decays and prunes both tables and resets the period clock.
+  std::vector<ClusterUnit> Consolidate();
+
+  size_t tracked_objects() const { return heat_.size(); }
+  size_t tracked_links() const { return links_.size(); }
+  uint64_t dropped_objects() const { return dropped_objects_; }
+  uint64_t dropped_links() const { return dropped_links_; }
+  uint64_t observed_refs() const { return observed_refs_; }
+
+ private:
+  static uint64_t LinkKey(obj::ObjectId a, obj::ObjectId b) {
+    if (a > b) std::swap(a, b);
+    return (static_cast<uint64_t>(a) << 32) | b;
+  }
+
+  DynConfig config_;
+  obj::ObjectId current_root_ = obj::kInvalidObject;
+  std::map<obj::ObjectId, double> heat_;
+  std::map<uint64_t, double> links_;
+  int txns_in_period_ = 0;
+  uint64_t observed_refs_ = 0;
+  uint64_t dropped_objects_ = 0;
+  uint64_t dropped_links_ = 0;
+};
+
+}  // namespace oodb::dyn
+
+#endif  // SEMCLUST_DYN_ACCESS_TRACKER_H_

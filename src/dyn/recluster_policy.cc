@@ -1,0 +1,71 @@
+#include "dyn/recluster_policy.h"
+
+#include <algorithm>
+
+namespace oodb::dyn {
+
+void ReclusterPolicy::Enqueue(std::vector<ClusterUnit> units, double /*now*/) {
+  for (auto& u : units) {
+    // Insertion keeps the queue hottest-first; ties break on anchor id so
+    // the order never depends on arrival interleaving.
+    auto pos = std::lower_bound(
+        queue_.begin(), queue_.end(), u,
+        [](const ClusterUnit& a, const ClusterUnit& b) {
+          if (a.heat != b.heat) return a.heat > b.heat;
+          return a.anchor < b.anchor;
+        });
+    queue_.insert(pos, std::move(u));
+  }
+}
+
+std::vector<ClusterUnit> DstcPolicy::Drain(double /*now*/,
+                                           double /*queue_depth*/) {
+  std::vector<ClusterUnit> out(std::make_move_iterator(queue_.begin()),
+                               std::make_move_iterator(queue_.end()));
+  queue_.clear();
+  return out;
+}
+
+std::vector<ClusterUnit> OpcfPolicy::Drain(double now, double queue_depth) {
+  if (queue_.empty()) {
+    // Nothing to defer; close any open deferral window.
+    if (deferring_) {
+      deferral_s_ += now - defer_start_;
+      deferring_ = false;
+    }
+    return {};
+  }
+  if (queue_depth > watermark_) {
+    if (!deferring_) {
+      deferring_ = true;
+      defer_start_ = now;
+      ++deferral_events_;
+    }
+    return {};
+  }
+  if (deferring_) {
+    deferral_s_ += now - defer_start_;
+    deferring_ = false;
+  }
+  std::vector<ClusterUnit> out;
+  for (int i = 0; i < batch_ && !queue_.empty(); ++i) {
+    out.push_back(std::move(queue_.front()));
+    queue_.pop_front();
+  }
+  return out;
+}
+
+std::unique_ptr<ReclusterPolicy> MakeReclusterPolicy(const DynConfig& config) {
+  switch (config.policy) {
+    case PolicyKind::kNone:
+      return nullptr;
+    case PolicyKind::kDstc:
+      return std::make_unique<DstcPolicy>();
+    case PolicyKind::kOpcf:
+      return std::make_unique<OpcfPolicy>(config.opcf_queue_watermark,
+                                          config.opcf_batch);
+  }
+  return nullptr;
+}
+
+}  // namespace oodb::dyn

@@ -1,0 +1,77 @@
+#ifndef SEMCLUST_DYN_RECLUSTER_POLICY_H_
+#define SEMCLUST_DYN_RECLUSTER_POLICY_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "dyn/access_tracker.h"
+#include "dyn/dyn_config.h"
+
+/// \file
+/// When does a triggered clustering unit actually get reorganised?
+///
+///  - DstcPolicy: immediately — every consolidation's units are drained in
+///    full by the triggering transaction (Bullat & Schneider's behaviour;
+///    reorganisation cost lands on foreground response times).
+///  - OpcfPolicy: opportunistically — units queue while the deepest disk
+///    queue exceeds a watermark, and drain in small prioritised (hottest
+///    first) batches once the I/O subsystem has slack. Deferral time and
+///    transitions are accounted so the benefit is measurable.
+
+namespace oodb::dyn {
+
+/// Decides when enqueued clustering units may be reorganised.
+class ReclusterPolicy {
+ public:
+  virtual ~ReclusterPolicy() = default;
+
+  virtual const char* name() const = 0;
+
+  /// Hands a consolidation's units to the policy. `now` is simulated time.
+  void Enqueue(std::vector<ClusterUnit> units, double now);
+
+  /// Returns the units the caller should reorganise now. `queue_depth` is
+  /// the deepest simulated disk queue (queued + in service).
+  virtual std::vector<ClusterUnit> Drain(double now, double queue_depth) = 0;
+
+  size_t pending() const { return queue_.size(); }
+  double deferral_time_s() const { return deferral_s_; }
+  uint64_t deferral_events() const { return deferral_events_; }
+
+ protected:
+  /// Pending units, kept sorted hottest-first (ties by anchor id) so a
+  /// prioritised partial drain is a pop from the front.
+  std::deque<ClusterUnit> queue_;
+  double deferral_s_ = 0.0;
+  uint64_t deferral_events_ = 0;
+};
+
+class DstcPolicy final : public ReclusterPolicy {
+ public:
+  const char* name() const override { return "DSTC"; }
+  std::vector<ClusterUnit> Drain(double now, double queue_depth) override;
+};
+
+class OpcfPolicy final : public ReclusterPolicy {
+ public:
+  OpcfPolicy(double queue_watermark, int batch)
+      : watermark_(queue_watermark), batch_(batch) {}
+
+  const char* name() const override { return "OPCF"; }
+  std::vector<ClusterUnit> Drain(double now, double queue_depth) override;
+
+ private:
+  double watermark_;
+  int batch_;
+  bool deferring_ = false;
+  double defer_start_ = 0.0;
+};
+
+/// nullptr when `config.policy == kNone`.
+std::unique_ptr<ReclusterPolicy> MakeReclusterPolicy(const DynConfig& config);
+
+}  // namespace oodb::dyn
+
+#endif  // SEMCLUST_DYN_RECLUSTER_POLICY_H_

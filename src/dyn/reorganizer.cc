@@ -1,0 +1,44 @@
+#include "dyn/reorganizer.h"
+
+#include <algorithm>
+
+namespace oodb::dyn {
+
+ReorgResult Reorganizer::Reorganize(const ClusterUnit& unit, int max_moves) {
+  ReorgResult result;
+  if (unit.anchor == obj::kInvalidObject || !graph_->IsLive(unit.anchor) ||
+      !storage_->IsPlaced(unit.anchor)) {
+    return result;  // the anchor died between trigger and drain
+  }
+  store::PageId target = storage_->PageOf(unit.anchor);
+  for (obj::ObjectId m : unit.members) {
+    if (static_cast<int>(result.moves.size()) >= max_moves) break;
+    if (!graph_->IsLive(m) || !storage_->IsPlaced(m)) continue;
+    const store::PageId from = storage_->PageOf(m);
+    if (from == target) continue;  // already co-located
+    const uint32_t size = storage_->SizeOf(m);
+    if (!storage_->page(target).Fits(size)) {
+      // The anchor's page is full: continue packing the unit's tail onto a
+      // fresh page — members keep each other company even off the anchor.
+      target = storage_->AllocatePage();
+      if (!storage_->page(target).Fits(size)) continue;  // oversized object
+    }
+    if (!storage_->Relocate(m, target).ok()) continue;
+    result.moves.push_back(ReorgMove{m, from, target, size});
+    ++objects_moved_;
+  }
+  if (!result.moves.empty()) {
+    ++units_executed_;
+    for (const ReorgMove& mv : result.moves) {
+      result.pages_touched.push_back(mv.from);
+      result.pages_touched.push_back(mv.to);
+    }
+    std::sort(result.pages_touched.begin(), result.pages_touched.end());
+    result.pages_touched.erase(
+        std::unique(result.pages_touched.begin(), result.pages_touched.end()),
+        result.pages_touched.end());
+  }
+  return result;
+}
+
+}  // namespace oodb::dyn

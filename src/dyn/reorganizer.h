@@ -1,0 +1,57 @@
+#ifndef SEMCLUST_DYN_REORGANIZER_H_
+#define SEMCLUST_DYN_REORGANIZER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "dyn/access_tracker.h"
+#include "objmodel/object_graph.h"
+#include "storage/storage_manager.h"
+
+/// \file
+/// Executes a clustering unit: packs the unit's members onto the anchor's
+/// page (or fresh overflow pages) through StorageManager::Relocate — the
+/// same placement primitive the ClusterManager's write path uses. The
+/// Reorganizer itself is pure state mutation; the caller (TxnPipeline)
+/// charges page reads, log writes, and CPU for every touched page on the
+/// virtual clock so re-clustering cost shows up in response times.
+
+namespace oodb::dyn {
+
+struct ReorgMove {
+  obj::ObjectId object = obj::kInvalidObject;
+  store::PageId from = store::kInvalidPage;
+  store::PageId to = store::kInvalidPage;
+  uint32_t size_bytes = 0;
+};
+
+struct ReorgResult {
+  std::vector<ReorgMove> moves;
+  /// Every page whose contents changed (sources + destinations), sorted,
+  /// deduplicated — the caller fetches and dirties each one.
+  std::vector<store::PageId> pages_touched;
+};
+
+class Reorganizer {
+ public:
+  Reorganizer(const obj::ObjectGraph* graph, store::StorageManager* storage)
+      : graph_(graph), storage_(storage) {}
+
+  /// Moves up to `max_moves` of the unit's members next to its anchor.
+  /// Members that are dead, unplaced, or already co-located are skipped;
+  /// when the anchor's page fills, packing continues on a fresh page.
+  ReorgResult Reorganize(const ClusterUnit& unit, int max_moves);
+
+  uint64_t objects_moved() const { return objects_moved_; }
+  uint64_t units_executed() const { return units_executed_; }
+
+ private:
+  const obj::ObjectGraph* graph_;
+  store::StorageManager* storage_;
+  uint64_t objects_moved_ = 0;
+  uint64_t units_executed_ = 0;
+};
+
+}  // namespace oodb::dyn
+
+#endif  // SEMCLUST_DYN_REORGANIZER_H_

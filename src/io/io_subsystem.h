@@ -91,6 +91,18 @@ class IoSubsystem {
   /// Mean utilisation across disks.
   double MeanUtilization() const;
 
+  /// Deepest instantaneous disk queue (waiters + requests in service) —
+  /// OPCF's congestion signal for deferring page reorganisation.
+  double MaxQueueDepth() const {
+    size_t deepest = 0;
+    for (const auto& d : disks_) {
+      const size_t depth =
+          d->queue_length() + static_cast<size_t>(d->busy());
+      if (depth > deepest) deepest = depth;
+    }
+    return static_cast<double>(deepest);
+  }
+
   int num_disks() const { return static_cast<int>(disks_.size()); }
   const sim::Resource& disk(int i) const { return *disks_[i]; }
 

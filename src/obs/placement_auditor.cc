@@ -19,6 +19,7 @@ void PlacementSample::MergeFrom(const PlacementSample& other) {
   live_objects += other.live_objects;
   placed_objects += other.placed_objects;
   pages += other.pages;
+  empty_pages += other.empty_pages;
   for (size_t k = 0; k < by_kind.size(); ++k) {
     by_kind[k].edges += other.by_kind[k].edges;
     by_kind[k].colocated += other.by_kind[k].colocated;
@@ -63,6 +64,7 @@ std::string PlacementSample::ToJson() const {
       .Add("placed_objects", placed_objects)
       .Add("pages", pages)
       .Add("nonempty_pages", nonempty_pages)
+      .Add("empty_pages", empty_pages)
       .Add("edges", edges)
       .Add("colocated", colocated)
       .Add("colocated_fraction", ColocatedFraction())
@@ -136,7 +138,13 @@ PlacementSample PlacementAuditor::Sample() const {
   double fill_sum = 0;
   for (store::PageId p = 0; p < storage.page_count(); ++p) {
     const store::Page& page = storage.page(p);
-    if (page.object_count() == 0) continue;
+    if (page.object_count() == 0) {
+      // Churn deletes can drain a page completely; it stays allocated but
+      // must not enter the occupancy mean (a zero-page mean would divide
+      // by zero when churn empties the whole store).
+      ++s.empty_pages;
+      continue;
+    }
     ++s.nonempty_pages;
     const double fill = static_cast<double>(page.used_bytes()) /
                         static_cast<double>(page.capacity_bytes());

@@ -46,6 +46,11 @@ struct PlacementSample {
   uint64_t placed_objects = 0;
   uint64_t pages = 0;           ///< pages ever allocated
   uint64_t nonempty_pages = 0;  ///< pages holding at least one object
+  /// Pages allocated but currently holding no objects — the page-death
+  /// signal of structural churn (deletes can drain a page completely; the
+  /// occupancy and fragmentation means below always exclude such pages,
+  /// so a churned placement never yields NaN ratios).
+  uint64_t empty_pages = 0;
 
   // ---- structural locality ----
   /// Per-kind co-location, indexed by obj::RelKind. An edge counts once

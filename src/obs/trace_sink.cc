@@ -33,6 +33,8 @@ const EventMeta& MetaOf(TraceEventType t) {
       {"prefetch-group", "kind", "pages", nullptr, nullptr},
       {"log-flush", "bytes", "records", nullptr, nullptr},
       {"evict", "page", "class", "dirty", "priority"},
+      {"dyn-trigger", "units", "tracked", "pending", "queue_depth"},
+      {"dyn-reorg", "anchor", "moved", "pages", "heat"},
   };
   return kMeta[static_cast<size_t>(t)];
 }

@@ -55,6 +55,10 @@ enum class TraceEventType : uint8_t {
   kPrefetchGroup,   ///< a: relationship kind, b: group size in pages
   kLogFlush,        ///< a: bytes flushed, b: records in buffer
   kEviction,        ///< a: page, b: priority class, c: dirty, v: priority
+  kDynTrigger,      ///< a: units enqueued, b: tracked objects, c: pending,
+                    ///< v: queue depth at the trigger
+  kDynReorg,        ///< a: anchor object, b: objects moved, c: pages
+                    ///< touched, v: anchor heat
 };
 const char* TraceEventTypeName(TraceEventType t);
 

@@ -42,7 +42,9 @@ std::string OcbConfig::Label(double read_write_ratio) const {
     std::snprintf(buf, sizeof(buf), "ocb-%s%d-%.1f", loc, refs_per_object,
                   read_write_ratio);
   }
-  return buf;
+  std::string label = buf;
+  if (churn_enabled()) label += "-churn";
+  return label;
 }
 
 Status OcbConfig::Validate() const {
@@ -109,6 +111,17 @@ Status OcbConfig::Validate() const {
     return Status::InvalidArgument(
         "ocb.read_mix must have a positive sum (at least one read "
         "operation enabled)");
+  }
+  if (churn_probability < 0.0 || churn_probability > 1.0) {
+    return Status::InvalidArgument(
+        "ocb.churn_probability must be in [0, 1]");
+  }
+  if (churn_burst_length < 1) {
+    return Status::InvalidArgument("ocb.churn_burst_length must be >= 1");
+  }
+  if (churn_cross_partition < 0.0 || churn_cross_partition > 1.0) {
+    return Status::InvalidArgument(
+        "ocb.churn_cross_partition must be in [0, 1]");
   }
   return Status::Ok();
 }

@@ -82,6 +82,20 @@ struct OcbConfig {
   /// {set lookup, simple traversal, hierarchy traversal, stochastic}.
   std::array<double, 4> read_mix = {0.25, 0.35, 0.20, 0.20};
 
+  // -- Structural-churn phase (ages the placement over time). --
+  /// Probability that a write transaction opens a churn burst (0 disables
+  /// churn entirely; the generator then draws no churn randomness at all,
+  /// keeping pre-churn runs byte-identical).
+  double churn_probability = 0.0;
+  /// Writes per churn burst, cycling delete -> insert -> re-reference.
+  int churn_burst_length = 6;
+  /// Probability that a churn re-reference links across partitions (the
+  /// co-location ager: cross-partition edges start un-co-located and pull
+  /// future traversals off the original placement).
+  double churn_cross_partition = 0.9;
+
+  bool churn_enabled() const { return enabled && churn_probability > 0.0; }
+
   /// Workload-cell label, e.g. "ocb-zipf3-10" (locality, refs/object,
   /// read/write ratio) — the OCB counterpart of WorkloadConfig::Label().
   std::string Label(double read_write_ratio) const;

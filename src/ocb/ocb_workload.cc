@@ -154,6 +154,16 @@ workload::TransactionSpec OcbGenerator::MakeRead() {
 }
 
 workload::TransactionSpec OcbGenerator::MakeWrite() {
+  if (config_.churn_enabled()) {
+    if (churn_remaining_ == 0 &&
+        rng_.Bernoulli(config_.churn_probability)) {
+      churn_remaining_ = config_.churn_burst_length;
+    }
+    if (churn_remaining_ > 0) {
+      --churn_remaining_;
+      return MakeChurnWrite();
+    }
+  }
   workload::DesignDatabase::Module& m = db_->modules[partition_];
   workload::TransactionSpec spec;
   spec.module = partition_;
@@ -184,7 +194,51 @@ workload::TransactionSpec OcbGenerator::MakeWrite() {
       break;
     case workload::WriteKind::kDeriveVersion:
     case workload::WriteKind::kDeleteObject:
+    case workload::WriteKind::kChurnDelete:  // never mix-sampled; -Wswitch
       spec.target = PickFrom(m.objects);
+      break;
+  }
+  if (spec.target == obj::kInvalidObject) {
+    spec.write_kind = workload::WriteKind::kInsertObject;
+    spec.target = m.root;
+  }
+  return spec;
+}
+
+workload::TransactionSpec OcbGenerator::MakeChurnWrite() {
+  workload::DesignDatabase::Module& m = db_->modules[partition_];
+  workload::TransactionSpec spec;
+  spec.module = partition_;
+  spec.type = workload::QueryType::kObjectWrite;
+
+  // The burst cycles delete -> insert -> re-reference: deletes punch holes
+  // into mature pages, inserts land in unrelated ones, and cross-partition
+  // re-references redirect future traversals away from the original
+  // placement — together they age co-location the way the dynamic-policy
+  // literature's churn phases do.
+  switch (churn_step_++ % 3) {
+    case 0:
+      spec.write_kind = workload::WriteKind::kChurnDelete;
+      spec.target = PickFrom(m.objects);
+      break;
+    case 1:
+      spec.write_kind = workload::WriteKind::kInsertObject;
+      spec.target = PickFrom(m.composites);
+      break;
+    default:
+      spec.write_kind = workload::WriteKind::kStructureWrite;
+      spec.target = PickFrom(m.objects);
+      if (db_->modules.size() > 1 &&
+          rng_.Bernoulli(config_.churn_cross_partition)) {
+        size_t other = rng_.NextBelow(db_->modules.size());
+        if (other == partition_) {
+          other = (other + 1) % db_->modules.size();
+        }
+        spec.other = PickFrom(db_->modules[other].objects);
+      } else {
+        spec.other = PickFrom(m.objects);
+      }
+      if (spec.other == spec.target) spec.other = obj::kInvalidObject;
       break;
   }
   if (spec.target == obj::kInvalidObject) {

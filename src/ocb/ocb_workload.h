@@ -44,6 +44,7 @@ class OcbGenerator : public workload::TransactionSource {
   obj::ObjectId PickFrom(const std::vector<obj::ObjectId>& list);
   workload::TransactionSpec MakeRead();
   workload::TransactionSpec MakeWrite();
+  workload::TransactionSpec MakeChurnWrite();
 
   const obj::ObjectGraph* graph_;
   workload::DesignDatabase* db_;
@@ -57,6 +58,11 @@ class OcbGenerator : public workload::TransactionSource {
   size_t partition_ = 0;            // partition of the txn being built
   uint64_t ops_read_ = 0;
   uint64_t ops_written_ = 0;
+  // Structural-churn burst state (OcbConfig churn knobs). All churn
+  // randomness is drawn only when churn is enabled, so pre-churn runs see
+  // an unchanged RNG sequence.
+  int churn_remaining_ = 0;   // writes left in the open burst
+  uint64_t churn_step_ = 0;   // cycles delete -> insert -> re-reference
 };
 
 }  // namespace oodb::ocb

@@ -42,6 +42,8 @@ const char* WriteKindName(WriteKind k) {
       return "derive-version";
     case WriteKind::kDeleteObject:
       return "delete-object";
+    case WriteKind::kChurnDelete:
+      return "churn-delete";
   }
   return "unknown";
 }

@@ -45,7 +45,14 @@ enum class WriteKind : uint8_t {
   kInsertObject = 2,   ///< create a new object (component or version)
   kDeriveVersion = 3,  ///< checkin-style version derivation
   kDeleteObject = 4,   ///< remove an object
+  /// Structural churn (OCB churn phase only): delete the target outright,
+  /// even mid-structure — the graph detaches its relationship mirrors and
+  /// its page space is reclaimed. Never mix-sampled, so it sits outside
+  /// kNumWriteKinds and the write-mix arrays are unchanged.
+  kChurnDelete = 5,
 };
+/// Mix-sampled kinds only (the write_mix array length); kChurnDelete is
+/// emitted directly by the OCB churn state machine.
 inline constexpr int kNumWriteKinds = 5;
 
 const char* WriteKindName(WriteKind k);

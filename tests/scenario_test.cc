@@ -7,6 +7,7 @@
 #include "core/experiment.h"
 #include "core/policy_registry.h"
 #include "core/scenario.h"
+#include "dyn/dyn_config.h"
 #include "exec/experiment_runner.h"
 #include "util/json_reader.h"
 
@@ -264,6 +265,77 @@ TEST(ScenarioTest, ActionableErrors) {
   expect_error(
       R"({"name": "x", "config": {"workload": {"kind": "ocb", "classes": 1}}})",
       "classes");
+  // Dynamic re-clustering knobs are gated the same way: tuning a dyn_*
+  // knob with the policy still off is a silent no-op, so it's an error.
+  expect_error(
+      R"({"name": "x", "config":
+          {"clustering": {"dyn_observation_period": 64}}})",
+      "is a dynamic re-clustering knob");
+  expect_error(
+      R"({"name": "x", "config": {"clustering": {"dynamic": "DBSCAN"}}})",
+      "DSTC");
+}
+
+TEST(ScenarioTest, DynamicKnobsRoundTripAndExpand) {
+  const auto first = ParseScenario(R"json({
+    "name": "dyn_roundtrip",
+    "config": {
+      "buffer_pages": 64,
+      "warmup_transactions": 10,
+      "measured_transactions": 60,
+      "seed": 5,
+      "clustering": {"pool": "No_Clustering", "dynamic": "OPCF",
+                     "dyn_observation_period": 64,
+                     "dyn_trigger_threshold": 4.0,
+                     "dyn_unit_size": 8,
+                     "opcf_watermark": 1.5, "opcf_batch": 2}
+    },
+    "sweep": {
+      "clustering": [{"pool": "No_Clustering", "dynamic": "off"},
+                     {"pool": "No_Clustering", "dynamic": "dstc_dynamic"}]
+    }
+  })json");
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_EQ(first->base.clustering.dynamic.policy, dyn::PolicyKind::kOpcf);
+  EXPECT_EQ(first->base.clustering.dynamic.observation_period, 64);
+  EXPECT_DOUBLE_EQ(first->base.clustering.dynamic.trigger_threshold, 4.0);
+  EXPECT_EQ(first->base.clustering.dynamic.max_unit_size, 8);
+  EXPECT_DOUBLE_EQ(first->base.clustering.dynamic.opcf_queue_watermark, 1.5);
+  EXPECT_EQ(first->base.clustering.dynamic.opcf_batch, 2);
+
+  const std::string json = first->ToJson();
+  const auto second = ParseScenario(json);
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_EQ(json, second->ToJson());
+
+  // Sweep entries inherit the base's dyn tuning; the policy kind is the
+  // per-entry override ("off" disables, "dstc_dynamic" is the registry
+  // alias for DSTC) and lands in the cell label via LabelSuffix.
+  ASSERT_EQ(first->clustering.size(), 2u);
+  EXPECT_EQ(first->clustering[0].dynamic.policy, dyn::PolicyKind::kNone);
+  EXPECT_EQ(first->clustering[1].dynamic.policy, dyn::PolicyKind::kDstc);
+  EXPECT_EQ(first->clustering[1].dynamic.observation_period, 64);
+  const auto cells = first->Expand();
+  ASSERT_EQ(cells.size(), 2u);
+  EXPECT_EQ(cells[0].policy, "No_Clustering");
+  EXPECT_EQ(cells[1].policy, "No_Clustering+DSTC");
+}
+
+TEST(PolicyRegistryTest, DynamicAxisResolvesCanonicalNamesAndAliases) {
+  const PolicyRegistry& reg = PolicyRegistry::Global();
+  using D = dyn::PolicyKind;
+  for (D p : {D::kNone, D::kDstc, D::kOpcf}) {
+    EXPECT_EQ(reg.Dynamic(dyn::PolicyKindName(p)), p);
+  }
+  EXPECT_EQ(reg.Dynamic("none"), D::kNone);
+  EXPECT_EQ(reg.Dynamic("off"), D::kNone);
+  EXPECT_EQ(reg.Dynamic("static"), D::kNone);
+  EXPECT_EQ(reg.Dynamic("dstc"), D::kDstc);
+  EXPECT_EQ(reg.Dynamic("opcf"), D::kOpcf);
+  EXPECT_EQ(reg.Dynamic("opportunistic"), D::kOpcf);
+  EXPECT_FALSE(reg.Dynamic("bogus").has_value());
+  EXPECT_EQ(reg.CanonicalNames(PolicyAxis::kDynamic).size(), 3u);
+  EXPECT_EQ(reg.CanonicalNames(PolicyAxis::kDynamic)[0], "No_Dynamic");
 }
 
 TEST(ScenarioTest, LoadScenarioFileReadsAndReportsPath) {

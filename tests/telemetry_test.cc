@@ -1,3 +1,4 @@
+#include <cmath>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -6,8 +7,11 @@
 
 #include "core/bench_report.h"
 #include "core/engineering_db.h"
+#include "core/experiment.h"
 #include "core/model_config.h"
+#include "dyn/dyn_config.h"
 #include "exec/experiment_runner.h"
+#include "ocb/ocb_config.h"
 #include "obs/metrics.h"
 #include "obs/placement_auditor.h"
 #include "obs/time_series.h"
@@ -237,6 +241,78 @@ TEST_F(PlacementAuditorTest, DeletedObjectsAreExcluded) {
   EXPECT_EQ(s.ColocatedFraction(), std::nullopt);
 }
 
+TEST_F(PlacementAuditorTest, ChurnEmptiedPagesKeepRatiosFinite) {
+  // Structural churn can delete every object off a page; the page stays
+  // allocated. The auditor must report it via empty_pages and keep every
+  // mean finite (the NaN regression this guards: mean over zero non-empty
+  // pages).
+  const obj::ObjectId a = graph_.Create(fam_, 0, t_, 40);
+  const obj::ObjectId b = graph_.Create(fam_, 1, t_, 40);
+  const obj::ObjectId c = graph_.Create(fam_, 2, t_, 40);
+  const store::PageId p0 = store_.AllocatePage();
+  const store::PageId p1 = store_.AllocatePage();
+  ASSERT_TRUE(store_.Place(a, 40, p0).ok());
+  ASSERT_TRUE(store_.Place(b, 40, p0).ok());
+  ASSERT_TRUE(store_.Place(c, 40, p1).ok());
+  graph_.Relate(a, b, obj::RelKind::kConfiguration);
+
+  // Churn empties p1.
+  graph_.Remove(c);
+  ASSERT_TRUE(store_.Erase(c).ok());
+
+  const obs::PlacementAuditor auditor(&graph_, &store_);
+  obs::PlacementSample s = auditor.Sample();
+  EXPECT_EQ(s.pages, 2u);
+  EXPECT_EQ(s.nonempty_pages, 1u);
+  EXPECT_EQ(s.empty_pages, 1u);
+  EXPECT_TRUE(std::isfinite(s.mean_occupancy));
+  EXPECT_DOUBLE_EQ(s.mean_occupancy, 0.8);  // p1 excluded from the mean
+  EXPECT_TRUE(std::isfinite(s.mean_type_fragmentation));
+
+  // Extreme: churn empties the whole store. Every ratio degrades to a
+  // well-defined zero / nullopt, never NaN, and the JSON stays parseable.
+  graph_.Remove(a);
+  graph_.Remove(b);
+  ASSERT_TRUE(store_.Erase(a).ok());
+  ASSERT_TRUE(store_.Erase(b).ok());
+  s = auditor.Sample();
+  EXPECT_EQ(s.live_objects, 0u);
+  EXPECT_EQ(s.nonempty_pages, 0u);
+  EXPECT_EQ(s.empty_pages, 2u);
+  EXPECT_DOUBLE_EQ(s.mean_occupancy, 0.0);
+  EXPECT_DOUBLE_EQ(s.mean_type_fragmentation, 0.0);
+  EXPECT_EQ(s.ColocatedFraction(), std::nullopt);
+  const std::string json = s.ToJson();
+  EXPECT_EQ(json.find("nan"), std::string::npos) << json;
+  EXPECT_EQ(json.find("inf"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"empty_pages\":2"), std::string::npos) << json;
+}
+
+TEST(PlacementSampleTest, MergeOfEmptySamplesStaysFinite) {
+  // Cross-cell folds can merge samples from cells whose placement churned
+  // down to nothing; the re-weighted means must not divide by zero.
+  obs::PlacementSample empty_a, empty_b;
+  empty_a.pages = 2;
+  empty_a.empty_pages = 2;
+  empty_a.MergeFrom(empty_b);
+  EXPECT_DOUBLE_EQ(empty_a.mean_occupancy, 0.0);
+  EXPECT_DOUBLE_EQ(empty_a.mean_type_fragmentation, 0.0);
+  EXPECT_EQ(empty_a.empty_pages, 2u);
+  EXPECT_EQ(empty_a.ColocatedFraction(), std::nullopt);
+
+  // Empty folded into populated leaves the populated means untouched.
+  obs::PlacementSample full;
+  full.nonempty_pages = 4;
+  full.mean_occupancy = 0.75;
+  full.types_audited = 2;
+  full.mean_type_fragmentation = 1.5;
+  full.MergeFrom(empty_a);
+  EXPECT_DOUBLE_EQ(full.mean_occupancy, 0.75);
+  EXPECT_DOUBLE_EQ(full.mean_type_fragmentation, 1.5);
+  EXPECT_EQ(full.empty_pages, 2u);
+  EXPECT_EQ(full.ToJson().find("nan"), std::string::npos);
+}
+
 TEST(PlacementSampleTest, MergeReweightsMeansByPopulation) {
   obs::PlacementSample x;
   x.nonempty_pages = 1;
@@ -350,6 +426,97 @@ TEST(ModelTelemetryTest, SeriesBitIdenticalAcrossJobCounts) {
   const core::BenchRecord r4 = core::BenchReport::FromResult(
       "cell", "p", "w", o4[0].result, /*elapsed_wall_s=*/0);
   EXPECT_EQ(report.ToJsonLine(r1), report.ToJsonLine(r4));
+}
+
+// ------------------------------------------- dynamic re-clustering churn
+
+/// A small OCB database under structural churn with DSTC reorganisation on
+/// — the workload where mid-run object moves and page births/deaths stress
+/// the sampler and auditor the hardest.
+core::ModelConfig ChurnDynConfig() {
+  core::ModelConfig cfg = core::TestConfig();
+  ocb::OcbConfig ocb;
+  ocb.enabled = true;
+  ocb.classes = 8;
+  ocb.hierarchy_depth = 3;
+  ocb.instances = 600;
+  ocb.refs_per_object = 3;
+  ocb.partitions = 6;
+  ocb.set_lookup_size = 4;
+  ocb.traversal_depth = 2;
+  ocb.churn_probability = 0.5;
+  ocb.churn_burst_length = 6;
+  cfg.ocb = ocb;
+  cfg.warmup_transactions = 40;
+  cfg.measured_transactions = 360;
+  cfg.workload.read_write_ratio = 4.0;
+  cfg.clustering.dynamic.policy = dyn::PolicyKind::kDstc;
+  cfg.clustering.dynamic.observation_period = 32;
+  cfg.clustering.dynamic.trigger_threshold = 2.0;
+  return cfg;
+}
+
+TEST(ModelTelemetryTest, EpochDeltasPartitionTxnsExactlyAcrossReorgBurst) {
+  // Reorganisation bursts interleave extra I/O and object moves with the
+  // measured transactions; epoch windows must still partition the measured
+  // phase exactly — no transaction double-counted or lost at a boundary
+  // that lands mid-burst.
+  core::ModelConfig cfg = ChurnDynConfig();
+  cfg.measurement_epochs = 4;
+  const core::RunResult r = core::RunCell(cfg);
+
+  // The dyn subsystem actually fired (otherwise this test guards nothing).
+  ASSERT_GT(r.metrics.counter("dyn.triggers").value_or(0), 0u);
+  ASSERT_GT(r.metrics.counter("dyn.objects_moved").value_or(0), 0u);
+
+  ASSERT_EQ(r.series.samples.size(), 4u);
+  uint64_t txns = 0;
+  uint64_t moved = 0;
+  for (size_t i = 0; i < r.series.samples.size(); ++i) {
+    const obs::TimeSeriesSample& s = r.series.samples[i];
+    EXPECT_TRUE(s.epoch_boundary);
+    EXPECT_EQ(s.epoch, static_cast<uint32_t>(i));
+    ASSERT_TRUE(s.counter_delta("core.txns").has_value());
+    EXPECT_EQ(*s.counter_delta("core.txns"), r.response_epochs[i].count());
+    txns += *s.counter_delta("core.txns");
+    // Move counts are per-window flows too: they sum to the run total.
+    moved += s.counter_delta("dyn.objects_moved").value_or(0);
+    ASSERT_TRUE(s.placement.has_value());
+    EXPECT_GT(s.placement->live_objects, 0u);
+  }
+  EXPECT_EQ(txns, static_cast<uint64_t>(cfg.measured_transactions));
+  EXPECT_EQ(moved, *r.metrics.counter("dyn.objects_moved"));
+}
+
+TEST(ModelTelemetryTest, ChurnWithDynPolicyBitIdenticalAcrossJobCounts) {
+  std::vector<core::ModelConfig> cells;
+  {
+    core::ModelConfig cfg = ChurnDynConfig();  // DSTC
+    cfg.measurement_epochs = 2;
+    cells.push_back(cfg);
+  }
+  {
+    core::ModelConfig cfg = ChurnDynConfig();
+    cfg.measurement_epochs = 2;
+    cfg.clustering.dynamic.policy = dyn::PolicyKind::kOpcf;
+    cfg.clustering.dynamic.opcf_queue_watermark = 0.0;
+    cells.push_back(cfg);
+  }
+  const auto o1 = exec::ExperimentRunner(1).Run(cells);
+  const auto o4 = exec::ExperimentRunner(4).Run(cells);
+  ASSERT_EQ(o1.size(), o4.size());
+  for (size_t i = 0; i < o1.size(); ++i) {
+    SCOPED_TRACE(i);
+    EXPECT_EQ(o1[i].result.response_time.Mean(),
+              o4[i].result.response_time.Mean());
+    EXPECT_EQ(o1[i].result.logical_reads, o4[i].result.logical_reads);
+    EXPECT_EQ(o1[i].result.total_physical_ios(),
+              o4[i].result.total_physical_ios());
+    // Telemetry (including placement audits of the churned store) and the
+    // dyn metric block match byte-for-byte.
+    EXPECT_EQ(o1[i].result.series.ToJson(), o4[i].result.series.ToJson());
+    EXPECT_EQ(o1[i].result.metrics.ToJson(), o4[i].result.metrics.ToJson());
+  }
 }
 
 TEST(ModelTelemetryTest, BenchRecordEmbedsSeriesAndPercentiles) {

@@ -4,7 +4,7 @@
 // derives on the CAD workload survive on a generic object graph?
 //
 // Usage:
-//   ocb_compare <a.jsonl> <b.jsonl>
+//   ocb_compare [--json PATH] <a.jsonl> <b.jsonl>
 //
 // Each file is a SEMCLUST_BENCH_JSON output: one JSON record per cell
 // with "policy" and "mean_response_s" fields. Records are grouped by
@@ -12,6 +12,11 @@
 // mean (rank 1 = fastest). The report prints the two rankings side by
 // side for the policies the files share, plus Spearman's rank
 // correlation over the shared set.
+//
+// --json PATH additionally writes a machine-readable artifact: each
+// file's full ranking (every policy, including ones the other file
+// lacks), the shared-set rank pairs, and the Spearman rho — the shape
+// scripts/ci.sh archives next to the determinism gates.
 //
 // Exit status: 0 on success (any correlation), 1 if the files share
 // fewer than two policies, 2 on IO/parse errors.
@@ -26,6 +31,7 @@
 #include <vector>
 
 #include "util/json_reader.h"
+#include "util/json_writer.h"
 #include "util/table_printer.h"
 
 namespace {
@@ -101,15 +107,56 @@ std::map<std::string, int> Ranks(const FileSummary& summary,
   return ranks;
 }
 
+/// One file's half of the JSON artifact: every policy it ranked (the full
+/// set, not just the shared one), rank 1 = fastest mean response.
+std::string FileJson(const std::string& path, const std::string& label,
+                     const FileSummary& summary) {
+  std::vector<std::string> all;
+  for (const auto& [policy, stat] : summary.policies) all.push_back(policy);
+  const auto ranks = Ranks(summary, all);
+  std::vector<std::string> order = all;
+  std::sort(order.begin(), order.end(),
+            [&](const std::string& x, const std::string& y) {
+              return ranks.at(x) < ranks.at(y);
+            });
+  oodb::JsonArrayWriter ranking;
+  for (const auto& policy : order) {
+    const PolicyStat& stat = summary.policies.at(policy);
+    oodb::JsonObjectWriter row;
+    row.Add("policy", policy)
+        .Add("rank", ranks.at(policy))
+        .Add("mean_response_s", stat.Mean())
+        .Add("cells", stat.cells);
+    ranking.AddRaw(row.str());
+  }
+  oodb::JsonObjectWriter out;
+  out.Add("path", path).Add("label", label).AddRaw("ranking", ranking.str());
+  return out.str();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc != 3) {
-    std::fprintf(stderr, "usage: ocb_compare <a.jsonl> <b.jsonl>\n");
+  std::string json_path;
+  std::vector<const char*> files;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--json") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "ocb_compare: --json needs a path\n");
+        return 2;
+      }
+      json_path = argv[++i];
+    } else {
+      files.push_back(argv[i]);
+    }
+  }
+  if (files.size() != 2) {
+    std::fprintf(stderr,
+                 "usage: ocb_compare [--json PATH] <a.jsonl> <b.jsonl>\n");
     return 2;
   }
   FileSummary a, b;
-  if (!LoadSummary(argv[1], a) || !LoadSummary(argv[2], b)) return 2;
+  if (!LoadSummary(files[0], a) || !LoadSummary(files[1], b)) return 2;
 
   std::vector<std::string> shared;
   for (const auto& [policy, stat] : a.policies) {
@@ -123,8 +170,8 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  const std::string label_a = a.bench.empty() ? argv[1] : a.bench;
-  const std::string label_b = b.bench.empty() ? argv[2] : b.bench;
+  const std::string label_a = a.bench.empty() ? files[0] : a.bench;
+  const std::string label_b = b.bench.empty() ? files[1] : b.bench;
   const auto ranks_a = Ranks(a, shared);
   const auto ranks_b = Ranks(b, shared);
 
@@ -166,10 +213,35 @@ int main(int argc, char** argv) {
   }
   const double n = static_cast<double>(shared.size());
   const double rho = 1.0 - 6.0 * d2 / (n * (n * n - 1.0));
-  std::printf("\nSpearman rank correlation: %.3f (%s)\n", rho,
-              rho >= 0.9   ? "rankings agree"
-              : rho >= 0.5 ? "rankings broadly agree"
-              : rho >= 0.0 ? "rankings diverge"
-                           : "rankings inverted");
+  const char* verdict = rho >= 0.9   ? "rankings agree"
+                        : rho >= 0.5 ? "rankings broadly agree"
+                        : rho >= 0.0 ? "rankings diverge"
+                                     : "rankings inverted";
+  std::printf("\nSpearman rank correlation: %.3f (%s)\n", rho, verdict);
+
+  if (!json_path.empty()) {
+    oodb::JsonArrayWriter shared_rows;
+    for (const auto& policy : rows) {
+      oodb::JsonObjectWriter row;
+      row.Add("policy", policy)
+          .Add("rank_a", ranks_a.at(policy))
+          .Add("rank_b", ranks_b.at(policy))
+          .Add("shift", ranks_b.at(policy) - ranks_a.at(policy));
+      shared_rows.AddRaw(row.str());
+    }
+    oodb::JsonObjectWriter doc;
+    doc.AddRaw("a", FileJson(files[0], label_a, a))
+        .AddRaw("b", FileJson(files[1], label_b, b))
+        .AddRaw("shared", shared_rows.str())
+        .Add("spearman_rho", rho)
+        .Add("verdict", verdict);
+    std::ofstream out(json_path, std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "ocb_compare: cannot write %s\n",
+                   json_path.c_str());
+      return 2;
+    }
+    out << doc.str() << "\n";
+  }
   return 0;
 }
