@@ -44,6 +44,10 @@ core::ModelConfig BaseConfig() {
   if (const char* interval = std::getenv("SEMCLUST_BENCH_SERIES_S")) {
     cfg.telemetry_interval_s = std::strtod(interval, nullptr);
   }
+  // Span profiler (DESIGN.md §14), same knob semclust_run honours.
+  if (const char* spans = std::getenv("SEMCLUST_SPANS")) {
+    cfg.profile_spans = spans[0] != '\0' && spans[0] != '0';
+  }
   return cfg;
 }
 

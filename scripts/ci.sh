@@ -92,6 +92,37 @@ rm -f "${S1}" "${S4}"
 "${BUILD}/tools/bench_diff" "${J1}" "${S1}"
 "${BUILD}/tools/bench_diff" --baseline "${BASELINE}" --rtol 0 "${S1}"
 
+# Span-profiler gates (DESIGN.md §14). With profiling on, the same
+# scenario must (a) stay byte-identical across job counts (only
+# elapsed_wall_s, host wall-clock, is stripped), (b) pass the
+# zero-tolerance additivity audit — every (cell, kind) breakdown row's
+# eight phase totals sum exactly to response_ticks — and (c) still match
+# the committed baseline exactly on every simulated field, proving the
+# profiler observes without perturbing. The slow-transaction exemplar
+# trace is written alongside for the artifact upload.
+SP1="${BUILD}/span_jobs1.json"
+SP4="${BUILD}/span_jobs4.json"
+rm -f "${SP1}" "${SP4}" "${BUILD}/span_trace.json"
+SEMCLUST_SPANS=1 SEMCLUST_TRACE="${BUILD}/span_trace.json" \
+  "${RUN}" --jobs 1 --json "${SP1}" "${SCENARIO}" \
+  > "${BUILD}/span_jobs1.out"
+SEMCLUST_SPANS=1 \
+  "${RUN}" --jobs 4 --json "${SP4}" "${SCENARIO}" \
+  > "${BUILD}/span_jobs4.out"
+if ! diff <(strip_wall "${SP1}") <(strip_wall "${SP4}"); then
+  echo "FAIL: span-profiled scenario differs between job counts" >&2
+  exit 1
+fi
+"${BUILD}/tools/span_report" --check "${SP1}"
+"${BUILD}/tools/span_report" "${SP1}" | tee "${BUILD}/span_report.out"
+"${BUILD}/tools/bench_diff" --baseline "${BASELINE}" --rtol 0 "${SP1}"
+if ! grep -q '"cat":"spans"' "${BUILD}/span_trace.json"; then
+  echo "FAIL: exemplar trace has no span events" >&2
+  exit 1
+fi
+"${BUILD}/tools/trace_summary" "${BUILD}/span_trace.json" \
+  > "${BUILD}/span_trace_summary.out"
+
 # OCB workload gate: the generic-benchmark scenario (src/ocb/) must be
 # bit-identical across job counts (exact diff) and stay within the same
 # 20% envelope against its committed baseline. This exercises the whole

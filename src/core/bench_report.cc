@@ -46,6 +46,24 @@ std::string BenchReport::ToJsonLine(const BenchRecord& record) const {
   if (!record.series.empty()) {
     json.AddRaw("series", record.series.ToJson());
   }
+  if (!record.breakdown.empty()) {
+    // One flat object per transaction kind: integer tick totals keyed by
+    // phase name, so tools/span_report (and jq) read them without
+    // positional decoding.
+    JsonObjectWriter breakdown;
+    for (const obs::SpanKindBreakdown& b : record.breakdown) {
+      JsonObjectWriter kind;
+      kind.Add("txns", b.txns).Add("response_ticks", b.response_ticks);
+      for (int p = 0; p < obs::kNumSpanPhases; ++p) {
+        kind.Add(std::string(obs::SpanPhaseName(
+                     static_cast<obs::SpanPhase>(p))) +
+                     "_ticks",
+                 b.phase_ticks[static_cast<size_t>(p)]);
+      }
+      breakdown.AddRaw(b.kind, kind.str());
+    }
+    json.AddRaw("breakdown", breakdown.str());
+  }
   return json.str();
 }
 
@@ -92,7 +110,11 @@ BenchRecord BenchReport::FromResult(const std::string& cell_label,
                                   r.metrics.counter("core.prefetch.issued"));
   r.page_splits = result.cluster_stats.splits;
   if (const obs::HistogramSnapshot* rt =
-          r.metrics.histogram("core.response_s")) {
+          r.metrics.histogram("core.response_s");
+      rt != nullptr && rt->count > 0) {
+    // count-guarded: an empty histogram's Quantile is 0.0 by contract,
+    // but these fields stay null so the JSONL keeps rendering "no
+    // transactions" as null (committed baselines depend on it).
     r.response_p50_s = rt->Quantile(0.50);
     r.response_p95_s = rt->Quantile(0.95);
     r.response_p99_s = rt->Quantile(0.99);
@@ -102,6 +124,7 @@ BenchRecord BenchReport::FromResult(const std::string& cell_label,
     r.response_epochs.emplace_back(epoch.count(), epoch.Mean());
   }
   r.series = result.series;
+  r.breakdown = result.span_breakdown;
   if (r.metrics.empty()) {
     // SEMCLUST_METRICS=0: derive what the RunResult itself carries.
     const uint64_t exams = result.cluster_stats.exam_reads;

@@ -54,6 +54,11 @@ struct BenchRecord {
   /// The cell's simulated-time telemetry (omitted from the JSON when
   /// empty): metric deltas + placement audits per sample.
   obs::TimeSeries series;
+
+  /// Per-kind response-time phase breakdown (DESIGN.md §14): exact
+  /// integer-tick totals per transaction kind. Empty — and omitted from
+  /// the JSON — unless the run had `profile_spans` on.
+  std::vector<obs::SpanKindBreakdown> breakdown;
 };
 
 /// Appends records for one bench binary to $SEMCLUST_BENCH_JSON.

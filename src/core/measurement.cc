@@ -28,6 +28,11 @@ void MeasurementController::ResetMeasurementCounters() {
   ctx_.log->ResetCounters();
   ctx_.cluster->ResetStats();
   ctx_.metrics.ResetValues();
+  // Warmup-era span records (totals and the exemplar reservoir) are
+  // forgotten with the same semantics as the I/O counters: in-flight
+  // transactions straddling the boundary fold fully into the measured
+  // window when they finish.
+  if (ctx_.spans) ctx_.spans->Reset();
   // Pages prefetched during warmup were counted against the warmup issue
   // counter that was just reset; forgetting them keeps the measured-window
   // invariant hits + wasted <= issued.
@@ -217,6 +222,12 @@ RunResult MeasurementController::Run() {
   SyncComponentMetrics();
   result.metrics = ctx_.metrics.Snapshot();
   result.series = ctx_.sampler.series();
+  if (ctx_.spans) {
+    result.span_breakdown = ctx_.spans->Breakdown();
+    // Exemplar span trees ride the ordinary trace path: replayed into the
+    // ring at their historical timestamps before the cell is collected.
+    if (ctx_.trace.enabled()) ctx_.spans->ExportExemplars(ctx_.trace);
+  }
   if (ctx_.trace.enabled()) {
     obs::TraceCollector::Global().Collect(
         ctx_.config.cell_index,

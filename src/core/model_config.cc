@@ -68,6 +68,11 @@ Status ModelConfig::Validate() const {
                    "; the measured phase is split into >= 1 epochs "
                    "(1 disables the per-epoch breakdown)");
   }
+  if (span_exemplars < 0) {
+    return Invalid("span_exemplars is " + std::to_string(span_exemplars) +
+                   "; the slow-transaction reservoir size must be >= 0 "
+                   "(0 disables exemplar capture)");
+  }
   for (size_t i = 0; i < rw_ratio_schedule.size(); ++i) {
     if (!(rw_ratio_schedule[i] > 0)) {
       return Invalid("rw_ratio_schedule[" + std::to_string(i) + "] is " +

@@ -107,6 +107,17 @@ struct ModelConfig {
   /// (the paper's quiesce-and-reorganise alternative to run-time
   /// clustering).
   bool static_reorganize_after_build = false;
+  /// Build the per-transaction span profiler (DESIGN.md §14): every tick
+  /// of response time is attributed to an additive phase taxonomy,
+  /// per-(kind, phase) metrics are registered, RunResult carries a
+  /// breakdown, and bench JSONL gains a "breakdown" section. Off by
+  /// default: a disabled run constructs nothing and is bit-identical to
+  /// a build without the profiler.
+  bool profile_spans = false;
+  /// Slow-transaction exemplar reservoir size per cell (full span trees,
+  /// exported through the trace path). Only meaningful with
+  /// `profile_spans`; 0 disables exemplar capture.
+  int span_exemplars = 3;
   uint64_t seed = 1;
   /// Position of this cell within its batch (stamped by
   /// exec::ExperimentRunner). Purely observational: it becomes the pid of

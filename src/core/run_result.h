@@ -7,6 +7,7 @@
 
 #include "cluster/cluster_manager.h"
 #include "obs/metrics.h"
+#include "obs/span_profiler.h"
 #include "obs/time_series.h"
 #include "util/stats.h"
 #include "workload/query.h"
@@ -71,6 +72,10 @@ struct RunResult {
   /// placement-quality audits per sample (DESIGN.md §9). Always has at
   /// least the final epoch-boundary sample.
   obs::TimeSeries series;
+
+  /// Exact per-kind response-time phase breakdown over the measured phase
+  /// (DESIGN.md §14). Empty unless `config.profile_spans`.
+  std::vector<obs::SpanKindBreakdown> span_breakdown;
 
   uint64_t total_physical_ios() const {
     return data_reads + dirty_flushes + log_flush_ios + cluster_exam_reads +

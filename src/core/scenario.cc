@@ -391,6 +391,7 @@ Status ParseConfigSection(const JsonValue& obj, ModelConfig& cfg) {
   if (!obj.is_object()) return TypeErr("config", "an object");
   std::string buffer_level;
   bool buffer_pages_set = false;
+  bool span_exemplars_set = false;
   for (const auto& [key, v] : obj.members()) {
     const std::string ctx = "config." + key;
     if (key == "database_bytes") {
@@ -467,6 +468,15 @@ Status ParseConfigSection(const JsonValue& obj, ModelConfig& cfg) {
       const auto b = AsBool(v, ctx);
       OODB_RETURN_IF_ERROR(b.status());
       cfg.static_reorganize_after_build = *b;
+    } else if (key == "profile_spans") {
+      const auto b = AsBool(v, ctx);
+      OODB_RETURN_IF_ERROR(b.status());
+      cfg.profile_spans = *b;
+    } else if (key == "span_exemplars") {
+      const auto n = AsInt(v, ctx);
+      OODB_RETURN_IF_ERROR(n.status());
+      cfg.span_exemplars = *n;
+      span_exemplars_set = true;
     } else if (key == "seed") {
       const auto n = AsUint(v, ctx);
       OODB_RETURN_IF_ERROR(n.status());
@@ -499,6 +509,13 @@ Status ParseConfigSection(const JsonValue& obj, ModelConfig& cfg) {
         ResolveBufferLevel(cfg, buffer_level, "config.buffer_level");
     OODB_RETURN_IF_ERROR(pages.status());
     cfg.buffer_pages = *pages;
+  }
+  // Checked after the loop: JSON key order is arbitrary, so the gate must
+  // not depend on which of the two keys parses first.
+  if (span_exemplars_set && !cfg.profile_spans) {
+    return Err(
+        "config: \"span_exemplars\" has no effect without "
+        "\"profile_spans\": true");
   }
   return Status::Ok();
 }
@@ -748,6 +765,10 @@ std::string ScenarioSpec::ToJson() const {
   }
   cfg.Add("static_reorganize_after_build",
           base.static_reorganize_after_build);
+  cfg.Add("profile_spans", base.profile_spans);
+  // Mirrors the parse-side gate: span_exemplars only round-trips when the
+  // profiler is on.
+  if (base.profile_spans) cfg.Add("span_exemplars", base.span_exemplars);
   cfg.Add("seed", static_cast<uint64_t>(base.seed));
   cfg.AddRaw("workload", WorkloadJson(WorkloadEntry{base.workload, base.ocb}));
   cfg.AddRaw("clustering", ClusterJson(base.clustering));

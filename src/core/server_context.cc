@@ -123,6 +123,20 @@ ServerContext::ServerContext(ModelConfig model_config)
     dyn_handles.queue_depth_peak = metrics.Gauge("dyn.queue_depth_peak");
   }
 
+  // The span profiler registers its (kind, phase) metric grid after the
+  // dyn handles, so every previously committed snapshot layout is
+  // untouched when profiling is off.
+  if (config.profile_spans) {
+    std::vector<std::string> kinds;
+    kinds.reserve(workload::kNumQueryTypes);
+    for (int q = 0; q < workload::kNumQueryTypes; ++q) {
+      kinds.emplace_back(
+          workload::QueryTypeName(static_cast<workload::QueryType>(q)));
+    }
+    spans = std::make_unique<obs::SpanProfiler>(&metrics, std::move(kinds),
+                                                config.span_exemplars);
+  }
+
   for (int u = 0; u < config.num_users; ++u) {
     const uint64_t user_seed =
         config.seed * 7919 + static_cast<uint64_t>(u);

@@ -17,6 +17,7 @@
 #include "obs/metrics.h"
 #include "ocb/ocb_builder.h"
 #include "obs/placement_auditor.h"
+#include "obs/span_profiler.h"
 #include "obs/time_series.h"
 #include "obs/trace_sink.h"
 #include "sim/resource.h"
@@ -109,6 +110,11 @@ class ServerContext {
   std::unique_ptr<dyn::AccessTracker> dyn_tracker;
   std::unique_ptr<dyn::ReclusterPolicy> dyn_policy;
   std::unique_ptr<dyn::Reorganizer> dyn_reorganizer;
+
+  /// Per-transaction critical-path profiler (DESIGN.md §14); null unless
+  /// `config.profile_spans`, in which case a run is bit-identical to a
+  /// build without the subsystem.
+  std::unique_ptr<obs::SpanProfiler> spans;
 
   CoreMetricHandles handles;
   DynMetricHandles dyn_handles;

@@ -22,14 +22,32 @@ constexpr double kInheritanceDerefProbability = 0.5;
 TxnPipeline::TxnPipeline(ServerContext& context)
     : ctx_(context), rng_(context.config.seed) {}
 
-sim::Task TxnPipeline::ChargeCpu(double instructions) {
+sim::Task TxnPipeline::ChargeCpu(double instructions,
+                                 obs::SpanRecorder* prof) {
+  const double t0 = ctx_.sim.now();
   co_await ctx_.cpu->Use(instructions / (ctx_.config.cpu_mips * 1e6));
+  if (prof != nullptr) {
+    // The CPU resource resumed us synchronously from its Complete, so its
+    // last-completed timestamps are this request's: split the interval
+    // into queueing wait and service at the dispatch time.
+    prof->RecordQueued(obs::SpanPhase::kCpuWait,
+                       obs::SpanPhase::kCpuService, t0,
+                       ctx_.cpu->last_start_time(), ctx_.sim.now());
+  }
 }
 
-sim::Task TxnPipeline::ChargeLogFlushes(int flushes) {
+sim::Task TxnPipeline::ChargeLogFlushes(int flushes,
+                                        obs::SpanRecorder* prof) {
   for (int i = 0; i < flushes; ++i) {
+    // The log stripe round-robins over the disks inside FlushLog, so the
+    // caller cannot name the disk to split wait from service; the whole
+    // interval is log-force wait.
+    const double t0 = ctx_.sim.now();
     co_await ctx_.io->FlushLog();
-    co_await ChargeCpu(ctx_.config.physical_io_instructions);
+    if (prof != nullptr) {
+      prof->RecordSpan(obs::SpanPhase::kLogForceWait, t0, ctx_.sim.now());
+    }
+    co_await ChargeCpu(ctx_.config.physical_io_instructions, prof);
   }
 }
 
@@ -49,13 +67,19 @@ void TxnPipeline::NotePrefetchDemand(store::PageId page) {
                     obs::TraceEventType::kPrefetchHit, page);
 }
 
-sim::Task TxnPipeline::FetchPage(store::PageId page, bool pin) {
+sim::Task TxnPipeline::FetchPage(store::PageId page,
+                                 obs::SpanRecorder* prof, bool pin) {
   OODB_CHECK_NE(page, store::kInvalidPage);
   NotePrefetchDemand(page);
   if (inflight_.find(page) != inflight_.end()) {
     // A prefetch for this page is on the disk: join it rather than issuing
     // a duplicate read.
+    const double t0 = ctx_.sim.now();
     co_await PrefetchJoin(*this, page);
+    if (prof != nullptr) {
+      prof->RecordSpan(obs::SpanPhase::kPrefetchOverlap, t0,
+                       ctx_.sim.now());
+    }
   }
   const auto fix = ctx_.buffer->Fix(page);
   NotePrefetchEviction(fix);
@@ -63,13 +87,25 @@ sim::Task TxnPipeline::FetchPage(store::PageId page, bool pin) {
   // the frame while this one waits on the disk.
   if (pin) ctx_.buffer->Pin(page);
   if (fix.hit) co_return;
-  co_await ChargeCpu(ctx_.config.physical_io_instructions);
+  co_await ChargeCpu(ctx_.config.physical_io_instructions, prof);
   if (fix.evicted_dirty) {
     // Worst case (paper §4.1): flush the dirty page before the read.
+    // The flush is a cost of fixing a frame, not of this page's read:
+    // the whole interval is buffer-fix wait.
+    const double t0 = ctx_.sim.now();
     co_await ctx_.io->Write(fix.evicted_page, io::IoCategory::kDirtyFlush);
-    co_await ChargeCpu(ctx_.config.physical_io_instructions);
+    if (prof != nullptr) {
+      prof->RecordSpan(obs::SpanPhase::kBufferFixWait, t0, ctx_.sim.now());
+    }
+    co_await ChargeCpu(ctx_.config.physical_io_instructions, prof);
   }
+  const double t0 = ctx_.sim.now();
   co_await ctx_.io->Read(page, io::IoCategory::kDataRead);
+  if (prof != nullptr) {
+    const sim::Resource& d = ctx_.io->disk(ctx_.io->DiskOf(page));
+    prof->RecordQueued(obs::SpanPhase::kIoWait, obs::SpanPhase::kIoService,
+                       t0, d.last_start_time(), ctx_.sim.now());
+  }
 }
 
 void TxnPipeline::StartPrefetch(store::PageId page) {
@@ -131,17 +167,18 @@ void TxnPipeline::PostAccess(obj::ObjectId id) {
 }
 
 sim::Task TxnPipeline::AccessObject(obj::ObjectId id, obj::TypeId from_type,
-                                    int nav_kind) {
+                                    int nav_kind,
+                                    obs::SpanRecorder* prof) {
   ++logical_reads_;
   if (ctx_.dyn_tracker) ctx_.dyn_tracker->Observe(id);
-  co_await ChargeCpu(ctx_.config.logical_op_instructions);
+  co_await ChargeCpu(ctx_.config.logical_op_instructions, prof);
   if (nav_kind >= 0) {
     ctx_.affinity->RecordTraversal(from_type,
                                    static_cast<obj::RelKind>(nav_kind));
   }
   const store::PageId page = ctx_.storage->PageOf(id);
   if (page != store::kInvalidPage) {
-    co_await FetchPage(page);
+    co_await FetchPage(page, prof);
   }
   PostAccess(id);
 
@@ -157,19 +194,20 @@ sim::Task TxnPipeline::AccessObject(obj::ObjectId id, obj::TypeId from_type,
         ctx_.affinity->RecordTraversal(ctx_.graph->object(id).type,
                                        obj::RelKind::kInstanceInheritance);
         const store::PageId sp = ctx_.storage->PageOf(e.target);
-        if (sp != store::kInvalidPage) co_await FetchPage(sp);
+        if (sp != store::kInvalidPage) co_await FetchPage(sp, prof);
         break;  // one dereference is representative
       }
     }
   }
 }
 
-sim::Task TxnPipeline::ReadQuery(const workload::TransactionSpec& spec) {
+sim::Task TxnPipeline::ReadQuery(const workload::TransactionSpec& spec,
+                                 obs::SpanRecorder* prof) {
   const obj::ObjectId target = spec.target;
   if (!ctx_.graph->IsLive(target)) co_return;
   if (ctx_.dyn_tracker) ctx_.dyn_tracker->BeginTransaction(target);
   const obj::TypeId ttype = ctx_.graph->object(target).type;
-  co_await AccessObject(target, ttype, -1);
+  co_await AccessObject(target, ttype, -1, prof);
 
   switch (spec.type) {
     case workload::QueryType::kSimpleLookup:
@@ -178,7 +216,7 @@ sim::Task TxnPipeline::ReadQuery(const workload::TransactionSpec& spec) {
       for (obj::ObjectId c : ctx_.graph->Components(target)) {
         if (ctx_.graph->IsLive(c)) {
           co_await AccessObject(
-              c, ttype, static_cast<int>(obj::RelKind::kConfiguration));
+              c, ttype, static_cast<int>(obj::RelKind::kConfiguration), prof);
         }
       }
       break;
@@ -195,7 +233,7 @@ sim::Task TxnPipeline::ReadQuery(const workload::TransactionSpec& spec) {
         stack.pop_back();
         if (!ctx_.graph->IsLive(o) || !visited.insert(o).second) continue;
         co_await AccessObject(
-            o, ttype, static_cast<int>(obj::RelKind::kConfiguration));
+            o, ttype, static_cast<int>(obj::RelKind::kConfiguration), prof);
         for (obj::ObjectId c : ctx_.graph->Components(o)) {
           stack.push_back(c);
         }
@@ -206,7 +244,7 @@ sim::Task TxnPipeline::ReadQuery(const workload::TransactionSpec& spec) {
       for (obj::ObjectId d : ctx_.graph->Descendants(target)) {
         if (ctx_.graph->IsLive(d)) {
           co_await AccessObject(
-              d, ttype, static_cast<int>(obj::RelKind::kVersionHistory));
+              d, ttype, static_cast<int>(obj::RelKind::kVersionHistory), prof);
         }
       }
       break;
@@ -215,7 +253,7 @@ sim::Task TxnPipeline::ReadQuery(const workload::TransactionSpec& spec) {
       for (obj::ObjectId a : ctx_.graph->Ancestors(target)) {
         if (ctx_.graph->IsLive(a)) {
           co_await AccessObject(
-              a, ttype, static_cast<int>(obj::RelKind::kVersionHistory));
+              a, ttype, static_cast<int>(obj::RelKind::kVersionHistory), prof);
         }
       }
       break;
@@ -224,7 +262,7 @@ sim::Task TxnPipeline::ReadQuery(const workload::TransactionSpec& spec) {
       for (obj::ObjectId c : ctx_.graph->Correspondents(target)) {
         if (ctx_.graph->IsLive(c)) {
           co_await AccessObject(
-              c, ttype, static_cast<int>(obj::RelKind::kCorrespondence));
+              c, ttype, static_cast<int>(obj::RelKind::kCorrespondence), prof);
         }
       }
       break;
@@ -235,7 +273,7 @@ sim::Task TxnPipeline::ReadQuery(const workload::TransactionSpec& spec) {
       // batch of same-class object fetches with no structural navigation.
       for (obj::ObjectId o : spec.targets) {
         if (o != target && ctx_.graph->IsLive(o)) {
-          co_await AccessObject(o, ttype, -1);
+          co_await AccessObject(o, ttype, -1, prof);
         }
       }
       break;
@@ -257,7 +295,7 @@ sim::Task TxnPipeline::ReadQuery(const workload::TransactionSpec& spec) {
         stack.pop_back();
         if (!ctx_.graph->IsLive(o) || !visited.insert(o).second) continue;
         co_await AccessObject(
-            o, ttype, static_cast<int>(obj::RelKind::kConfiguration));
+            o, ttype, static_cast<int>(obj::RelKind::kConfiguration), prof);
         if (d < spec.depth) {
           for (obj::ObjectId c : ctx_.graph->Components(o)) {
             stack.emplace_back(c, d + 1);
@@ -293,7 +331,7 @@ sim::Task TxnPipeline::ReadQuery(const workload::TransactionSpec& spec) {
           if (!visited.insert(t).second) continue;
           co_await AccessObject(
               t, ttype,
-              static_cast<int>(obj::RelKind::kInstanceInheritance));
+              static_cast<int>(obj::RelKind::kInstanceInheritance), prof);
           stack.emplace_back(t, d + 1);
         }
       }
@@ -323,7 +361,7 @@ sim::Task TxnPipeline::ReadQuery(const workload::TransactionSpec& spec) {
         const obj::ObjectId chosen = next[rng_.NextBelow(next.size())];
         visited.insert(chosen);
         co_await AccessObject(
-            chosen, ttype, static_cast<int>(obj::RelKind::kConfiguration));
+            chosen, ttype, static_cast<int>(obj::RelKind::kConfiguration), prof);
         path.push_back(chosen);
         ++accessed;
       }
@@ -336,38 +374,42 @@ sim::Task TxnPipeline::ReadQuery(const workload::TransactionSpec& spec) {
 }
 
 sim::Task TxnPipeline::LogAndDirty(txlog::TxnId txn, store::PageId page,
-                                   uint32_t object_size) {
+                                   uint32_t object_size,
+                                   obs::SpanRecorder* prof) {
   ++logical_writes_;
-  co_await ChargeCpu(ctx_.config.logical_op_instructions);
+  co_await ChargeCpu(ctx_.config.logical_op_instructions, prof);
   // The object may have been deleted by a concurrent transaction between
   // target selection and this write; the write then degenerates to a log
   // record with no page touch.
   if (page == store::kInvalidPage) {
-    co_await ChargeLogFlushes(ctx_.log->LogWrite(txn, page, object_size));
+    co_await ChargeLogFlushes(ctx_.log->LogWrite(txn, page, object_size),
+                              prof);
     co_return;
   }
-  co_await FetchPage(page, /*pin=*/true);  // read-modify-write
+  co_await FetchPage(page, prof, /*pin=*/true);  // read-modify-write
   ctx_.buffer->MarkDirty(page);
   ctx_.buffer->Unpin(page);
-  co_await ChargeLogFlushes(ctx_.log->LogWrite(txn, page, object_size));
+  co_await ChargeLogFlushes(ctx_.log->LogWrite(txn, page, object_size),
+                            prof);
 }
 
-sim::Task TxnPipeline::WriteObject(txlog::TxnId txn, obj::ObjectId id) {
+sim::Task TxnPipeline::WriteObject(txlog::TxnId txn, obj::ObjectId id,
+                                   obs::SpanRecorder* prof) {
   // Object-level write that tolerates concurrent deletion: resolves the
   // page and size only if the object is still live and placed.
   if (ctx_.graph->IsLive(id) && ctx_.storage->IsPlaced(id)) {
     co_await LogAndDirty(txn, ctx_.storage->PageOf(id),
-                         ctx_.storage->SizeOf(id));
+                         ctx_.storage->SizeOf(id), prof);
   } else {
     ++logical_writes_;
-    co_await ChargeCpu(ctx_.config.logical_op_instructions);
+    co_await ChargeCpu(ctx_.config.logical_op_instructions, prof);
     co_await ChargeLogFlushes(
-        ctx_.log->LogWrite(txn, store::kInvalidPage, 64));
+        ctx_.log->LogWrite(txn, store::kInvalidPage, 64), prof);
   }
 }
 
 sim::Task TxnPipeline::ChargeExamReads(
-    const cluster::PlacementReport& report) {
+    const cluster::PlacementReport& report, obs::SpanRecorder* prof) {
   // Candidate pages examined on disk: demand reads charged to the writer,
   // and the pages enter the buffer pool (they were just read).
   for (store::PageId p : report.exam_reads) {
@@ -375,62 +417,89 @@ sim::Task TxnPipeline::ChargeExamReads(
     NotePrefetchEviction(fix);
     if (!fix.hit) {
       if (fix.evicted_dirty) {
+        const double t0 = ctx_.sim.now();
         co_await ctx_.io->Write(fix.evicted_page,
                                 io::IoCategory::kDirtyFlush);
+        if (prof != nullptr) {
+          prof->RecordSpan(obs::SpanPhase::kBufferFixWait, t0,
+                           ctx_.sim.now());
+        }
       }
+      const double t0 = ctx_.sim.now();
       co_await ctx_.io->Read(p, io::IoCategory::kClusterRead);
-      co_await ChargeCpu(ctx_.config.physical_io_instructions);
+      if (prof != nullptr) {
+        const sim::Resource& d = ctx_.io->disk(ctx_.io->DiskOf(p));
+        prof->RecordQueued(obs::SpanPhase::kIoWait,
+                           obs::SpanPhase::kIoService, t0,
+                           d.last_start_time(), ctx_.sim.now());
+      }
+      co_await ChargeCpu(ctx_.config.physical_io_instructions, prof);
     }
   }
 }
 
 sim::Task TxnPipeline::ChargeSplit(txlog::TxnId txn,
-                                   const cluster::PlacementReport& report) {
+                                   const cluster::PlacementReport& report,
+                                   obs::SpanRecorder* prof) {
   co_await ChargeCpu(
       ctx_.config.clustering.split == cluster::SplitPolicy::kExhaustive
           ? ctx_.config.split_exhaustive_instructions
-          : ctx_.config.split_linear_instructions);
+          : ctx_.config.split_linear_instructions,
+      prof);
   // The newly allocated page is flushed and the change logged
   // (paper §5.1.2: one extra I/O plus one extra log record).
   NotePrefetchEviction(ctx_.buffer->Fix(report.split_new_page));
   ctx_.buffer->MarkDirty(report.split_new_page);
+  const double t0 = ctx_.sim.now();
   co_await ctx_.io->Write(report.split_new_page, io::IoCategory::kDataWrite);
-  co_await ChargeLogFlushes(ctx_.log->LogWrite(
-      txn, report.split_new_page, ctx_.config.page_size_bytes / 4));
+  if (prof != nullptr) {
+    const sim::Resource& d =
+        ctx_.io->disk(ctx_.io->DiskOf(report.split_new_page));
+    prof->RecordQueued(obs::SpanPhase::kIoWait, obs::SpanPhase::kIoService,
+                       t0, d.last_start_time(), ctx_.sim.now());
+  }
+  co_await ChargeLogFlushes(
+      ctx_.log->LogWrite(txn, report.split_new_page,
+                         ctx_.config.page_size_bytes / 4),
+      prof);
 }
 
 sim::Task TxnPipeline::ChargePlacement(txlog::TxnId txn,
                                        const cluster::PlacementReport& report,
-                                       obj::ObjectId placed) {
-  co_await ChargeExamReads(report);
-  if (report.split) co_await ChargeSplit(txn, report);
+                                       obj::ObjectId placed,
+                                       obs::SpanRecorder* prof) {
+  co_await ChargeExamReads(report, prof);
+  if (report.split) co_await ChargeSplit(txn, report, prof);
   // The write of the placed object itself.
-  co_await LogAndDirty(txn, report.page, ctx_.storage->SizeOf(placed));
+  co_await LogAndDirty(txn, report.page, ctx_.storage->SizeOf(placed),
+                       prof);
 }
 
 sim::Task TxnPipeline::ReclusterAfterStructureChange(txlog::TxnId txn,
-                                                     obj::ObjectId id) {
+                                                     obj::ObjectId id,
+                                                     obs::SpanRecorder* prof) {
   if (ctx_.config.clustering.pool == cluster::CandidatePool::kNoClustering) {
     co_return;
   }
   if (!ctx_.graph->IsLive(id) || !ctx_.storage->IsPlaced(id)) co_return;
-  co_await ChargeCpu(ctx_.config.cluster_decision_instructions);
+  co_await ChargeCpu(ctx_.config.cluster_decision_instructions, prof);
   const auto report = ctx_.cluster->Recluster(id);
-  co_await ChargeExamReads(report);
-  if (report.split) co_await ChargeSplit(txn, report);
+  co_await ChargeExamReads(report, prof);
+  if (report.split) co_await ChargeSplit(txn, report, prof);
   if (report.relocated) {
     // Moving the object modifies both its old and its new page.
     const uint32_t size = ctx_.storage->SizeOf(id);
-    co_await LogAndDirty(txn, report.page, size);
+    co_await LogAndDirty(txn, report.page, size, prof);
     if (report.old_page != store::kInvalidPage &&
         report.old_page != report.page) {
-      co_await LogAndDirty(txn, report.old_page, size);
+      co_await LogAndDirty(txn, report.old_page, size, prof);
     }
   }
 }
 
 sim::Task TxnPipeline::WriteQuery(const workload::TransactionSpec& spec,
-                                  txlog::TxnId txn) {
+                                  txlog::TxnId txn,
+                                  obs::SpanRecorder* prof) {
   workload::DesignDatabase::Module& module = ctx_.db.modules[spec.module];
   obj::ObjectId target = spec.target;
   if (!ctx_.graph->IsLive(target)) co_return;
@@ -441,12 +510,12 @@ sim::Task TxnPipeline::WriteQuery(const workload::TransactionSpec& spec,
       // are rewritten in one transaction (the paper's checkin invokes
       // several updates). Co-located components then share before-imaged
       // pages — the Fig 5.5 mechanism.
-      co_await WriteObject(txn, target);
+      co_await WriteObject(txn, target, prof);
       int updated = 0;
       for (obj::ObjectId c : ctx_.graph->Components(target)) {
         if (updated >= 6) break;
         if (!rng_.Bernoulli(0.7)) continue;
-        co_await WriteObject(txn, c);
+        co_await WriteObject(txn, c, prof);
         ++updated;
       }
       break;
@@ -456,7 +525,7 @@ sim::Task TxnPipeline::WriteQuery(const workload::TransactionSpec& spec,
       if (other == obj::kInvalidObject || !ctx_.graph->IsLive(other) ||
           other == target) {
         // Attachment end vanished: degrade to a simple update.
-        co_await WriteObject(txn, target);
+        co_await WriteObject(txn, target, prof);
         break;
       }
       const obj::RelKind kind = rng_.Bernoulli(0.6)
@@ -471,11 +540,11 @@ sim::Task TxnPipeline::WriteQuery(const workload::TransactionSpec& spec,
                            target) == module.composites.end()) {
         module.composites.push_back(target);
       }
-      co_await WriteObject(txn, target);
-      co_await WriteObject(txn, other);
+      co_await WriteObject(txn, target, prof);
+      co_await WriteObject(txn, other, prof);
       // Both endpoints' structures changed: run-time reclustering.
-      co_await ReclusterAfterStructureChange(txn, target);
-      co_await ReclusterAfterStructureChange(txn, other);
+      co_await ReclusterAfterStructureChange(txn, target, prof);
+      co_await ReclusterAfterStructureChange(txn, other, prof);
       break;
     }
     case workload::WriteKind::kInsertObject: {
@@ -488,7 +557,7 @@ sim::Task TxnPipeline::WriteQuery(const workload::TransactionSpec& spec,
           std::min(size, ctx_.config.page_size_bytes / 4));
       ctx_.graph->Relate(target, child, obj::RelKind::kConfiguration);
       const auto report = ctx_.cluster->PlaceNew(child);
-      co_await ChargePlacement(txn, report, child);
+      co_await ChargePlacement(txn, report, child, prof);
       module.objects.push_back(child);
       break;
     }
@@ -496,7 +565,7 @@ sim::Task TxnPipeline::WriteQuery(const workload::TransactionSpec& spec,
       const auto derived =
           obj::DeriveVersion(*ctx_.graph, target, ctx_.inherit_model);
       const auto report = ctx_.cluster->PlaceNew(derived.heir);
-      co_await ChargePlacement(txn, report, derived.heir);
+      co_await ChargePlacement(txn, report, derived.heir, prof);
       module.objects.push_back(derived.heir);
       module.versioned.push_back(target);
       module.versioned.push_back(derived.heir);
@@ -509,10 +578,10 @@ sim::Task TxnPipeline::WriteQuery(const workload::TransactionSpec& spec,
                                   obj::Direction::kDown) ||
           target == module.root) {
         // Keep the catalogue navigable: only leaves are deleted.
-        co_await WriteObject(txn, target);
+        co_await WriteObject(txn, target, prof);
         break;
       }
-      co_await WriteObject(txn, target);
+      co_await WriteObject(txn, target, prof);
       // Re-check after the awaits: a concurrent transaction may have
       // deleted the object first.
       if (ctx_.graph->IsLive(target) && ctx_.storage->IsPlaced(target)) {
@@ -527,10 +596,10 @@ sim::Task TxnPipeline::WriteQuery(const workload::TransactionSpec& spec,
       // edge, so only the module root is off limits. This is what makes
       // static placements fragment over churn epochs.
       if (target == module.root) {
-        co_await WriteObject(txn, target);
+        co_await WriteObject(txn, target, prof);
         break;
       }
-      co_await WriteObject(txn, target);
+      co_await WriteObject(txn, target, prof);
       if (ctx_.graph->IsLive(target) && ctx_.storage->IsPlaced(target)) {
         OODB_CHECK(ctx_.storage->Erase(target).ok());
         ctx_.graph->Remove(target);
@@ -540,7 +609,8 @@ sim::Task TxnPipeline::WriteQuery(const workload::TransactionSpec& spec,
   }
 }
 
-sim::Task TxnPipeline::MaybeReorganize(txlog::TxnId txn) {
+sim::Task TxnPipeline::MaybeReorganize(txlog::TxnId txn,
+                                       obs::SpanRecorder* prof) {
   dyn::AccessTracker& tracker = *ctx_.dyn_tracker;
   dyn::ReclusterPolicy& policy = *ctx_.dyn_policy;
   const double depth = ctx_.io->MaxQueueDepth();
@@ -575,7 +645,7 @@ sim::Task TxnPipeline::MaybeReorganize(txlog::TxnId txn) {
                      ctx_.sim.now());
       break;
     }
-    co_await ChargeCpu(ctx_.config.cluster_decision_instructions);
+    co_await ChargeCpu(ctx_.config.cluster_decision_instructions, prof);
     const dyn::ReorgResult result =
         ctx_.dyn_reorganizer->Reorganize(unit, budget);
     if (result.moves.empty()) continue;
@@ -590,13 +660,27 @@ sim::Task TxnPipeline::MaybeReorganize(txlog::TxnId txn) {
       NotePrefetchEviction(fix);
       ctx_.buffer->Pin(page);
       if (!fix.hit) {
-        co_await ChargeCpu(ctx_.config.physical_io_instructions);
+        co_await ChargeCpu(ctx_.config.physical_io_instructions, prof);
         if (fix.evicted_dirty) {
+          // Phases here are nominal: the recorder's dyn scope is set for
+          // the whole drain, so every tick lands in kDynRecluster.
+          const double tf = ctx_.sim.now();
           co_await ctx_.io->Write(fix.evicted_page,
                                   io::IoCategory::kDirtyFlush);
-          co_await ChargeCpu(ctx_.config.physical_io_instructions);
+          if (prof != nullptr) {
+            prof->RecordSpan(obs::SpanPhase::kBufferFixWait, tf,
+                             ctx_.sim.now());
+          }
+          co_await ChargeCpu(ctx_.config.physical_io_instructions, prof);
         }
+        const double t0 = ctx_.sim.now();
         co_await ctx_.io->Read(page, io::IoCategory::kClusterRead);
+        if (prof != nullptr) {
+          const sim::Resource& d = ctx_.io->disk(ctx_.io->DiskOf(page));
+          prof->RecordQueued(obs::SpanPhase::kIoWait,
+                             obs::SpanPhase::kIoService, t0,
+                             d.last_start_time(), ctx_.sim.now());
+        }
         ctx_.metrics.Add(ctx_.dyn_handles.reorg_reads);
       }
       ctx_.buffer->MarkDirty(page);
@@ -604,7 +688,7 @@ sim::Task TxnPipeline::MaybeReorganize(txlog::TxnId txn) {
     }
     for (const dyn::ReorgMove& mv : result.moves) {
       co_await ChargeLogFlushes(
-          ctx_.log->LogWrite(txn, mv.to, mv.size_bytes));
+          ctx_.log->LogWrite(txn, mv.to, mv.size_bytes), prof);
     }
     ctx_.trace.Record(obs::Subsystem::kCluster,
                       obs::TraceEventType::kDynReorg, unit.anchor,
@@ -617,17 +701,41 @@ sim::Task TxnPipeline::ExecuteTransaction(
     const workload::TransactionSpec& spec) {
   const txlog::TxnId txn = next_txn_++;
   const double start = ctx_.sim.now();
+  // The recorder lives in this coroutine's frame: transactions interleave
+  // at every await, so per-transaction recording state cannot be a
+  // pipeline member. Disabled (null profiler) it allocates nothing and
+  // every call through `prof` is skipped.
+  obs::SpanRecorder recorder(ctx_.spans.get(), txn,
+                             static_cast<int>(spec.type), start);
+  obs::SpanRecorder* prof = recorder.enabled() ? &recorder : nullptr;
   ctx_.trace.Record(obs::Subsystem::kCore, obs::TraceEventType::kTxnBegin,
                     txn, static_cast<uint64_t>(spec.type));
   ctx_.log->Begin(txn);
+  if (prof != nullptr) prof->BeginScope(obs::SpanScope::kQuery, start);
   if (spec.type == workload::QueryType::kObjectWrite) {
-    co_await WriteQuery(spec, txn);
+    co_await WriteQuery(spec, txn, prof);
   } else {
-    co_await ReadQuery(spec);
+    co_await ReadQuery(spec, prof);
   }
-  if (ctx_.dyn_policy) co_await MaybeReorganize(txn);
+  if (prof != nullptr) prof->EndScope(ctx_.sim.now());
+  if (ctx_.dyn_policy) {
+    if (prof != nullptr) {
+      prof->BeginScope(obs::SpanScope::kReorg, ctx_.sim.now());
+      prof->set_dyn_scope(true);
+    }
+    co_await MaybeReorganize(txn, prof);
+    if (prof != nullptr) {
+      prof->set_dyn_scope(false);
+      prof->EndScope(ctx_.sim.now());
+    }
+  }
+  if (prof != nullptr) {
+    prof->BeginScope(obs::SpanScope::kCommit, ctx_.sim.now());
+  }
   co_await ChargeLogFlushes(
-      ctx_.log->Commit(txn, ctx_.config.force_log_at_commit));
+      ctx_.log->Commit(txn, ctx_.config.force_log_at_commit), prof);
+  if (prof != nullptr) prof->EndScope(ctx_.sim.now());
+  recorder.Finish(ctx_.sim.now());
   ctx_.trace.Record(obs::Subsystem::kCore, obs::TraceEventType::kTxnEnd,
                     txn, static_cast<uint64_t>(spec.type), 0,
                     ctx_.sim.now() - start);

@@ -44,40 +44,53 @@ class TxnPipeline {
   void ResetMeasurementState();
 
  private:
+  // Every primitive below takes the running transaction's span recorder
+  // (`prof`, null when profiling is off) and attributes the simulated
+  // time of each of its awaits to one phase of the additive taxonomy
+  // (DESIGN.md §14). The recorder lives in ExecuteTransaction's coroutine
+  // frame — transactions interleave at every await, so it cannot be
+  // pipeline state — and is threaded down by pointer.
+
   // Read-side primitives.
   sim::Task AccessObject(obj::ObjectId id, obj::TypeId from_type,
-                         int nav_kind);
+                         int nav_kind, obs::SpanRecorder* prof);
   /// Makes `page` resident, charging I/O. With `pin`, the page is pinned
   /// before any suspension and stays pinned on return (caller unpins) —
   /// required when the caller mutates the frame after the awaits.
-  sim::Task FetchPage(store::PageId page, bool pin = false);
-  sim::Task ReadQuery(const workload::TransactionSpec& spec);
+  sim::Task FetchPage(store::PageId page, obs::SpanRecorder* prof,
+                      bool pin = false);
+  sim::Task ReadQuery(const workload::TransactionSpec& spec,
+                      obs::SpanRecorder* prof);
 
   // Write-side primitives.
   sim::Task WriteQuery(const workload::TransactionSpec& spec,
-                       txlog::TxnId txn);
+                       txlog::TxnId txn, obs::SpanRecorder* prof);
   sim::Task LogAndDirty(txlog::TxnId txn, store::PageId page,
-                        uint32_t object_size);
+                        uint32_t object_size, obs::SpanRecorder* prof);
   /// Object-level write that tolerates concurrent deletion of `id`.
-  sim::Task WriteObject(txlog::TxnId txn, obj::ObjectId id);
-  sim::Task ChargeExamReads(const cluster::PlacementReport& report);
+  sim::Task WriteObject(txlog::TxnId txn, obj::ObjectId id,
+                        obs::SpanRecorder* prof);
+  sim::Task ChargeExamReads(const cluster::PlacementReport& report,
+                            obs::SpanRecorder* prof);
   sim::Task ChargeSplit(txlog::TxnId txn,
-                        const cluster::PlacementReport& report);
+                        const cluster::PlacementReport& report,
+                        obs::SpanRecorder* prof);
   sim::Task ChargePlacement(txlog::TxnId txn,
                             const cluster::PlacementReport& report,
-                            obj::ObjectId placed);
+                            obj::ObjectId placed, obs::SpanRecorder* prof);
   sim::Task ReclusterAfterStructureChange(txlog::TxnId txn,
-                                          obj::ObjectId id);
+                                          obj::ObjectId id,
+                                          obs::SpanRecorder* prof);
   /// Dynamic re-clustering drain (src/dyn/), run at the end of every
   /// transaction before its commit: consolidates the access tracker when
   /// its observation period elapses, asks the DSTC/OPCF policy which
   /// clustering units may execute now, and charges every touched page and
   /// log record to this transaction on the virtual clock. Only called
   /// when a dynamic policy is enabled.
-  sim::Task MaybeReorganize(txlog::TxnId txn);
+  sim::Task MaybeReorganize(txlog::TxnId txn, obs::SpanRecorder* prof);
 
-  sim::Task ChargeCpu(double instructions);
-  sim::Task ChargeLogFlushes(int flushes);
+  sim::Task ChargeCpu(double instructions, obs::SpanRecorder* prof);
+  sim::Task ChargeLogFlushes(int flushes, obs::SpanRecorder* prof);
 
   // Buffer-semantics hooks (boosts + prefetch) after an object access.
   void PostAccess(obj::ObjectId id);

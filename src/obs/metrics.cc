@@ -74,8 +74,8 @@ void MetricsSnapshot::MergeFrom(const MetricsSnapshot& other) {
   }
 }
 
-std::optional<double> HistogramSnapshot::Quantile(double q) const {
-  if (count == 0 || bounds.empty()) return std::nullopt;
+double HistogramSnapshot::Quantile(double q) const {
+  if (count == 0 || bounds.empty()) return 0.0;
   if (q < 0) q = 0;
   if (q > 1) q = 1;
   // Smallest rank whose cumulative count covers q of the mass.

@@ -60,8 +60,10 @@ struct HistogramSnapshot {
   /// Quantile estimate for `q` in [0, 1] by linear interpolation inside
   /// the covering bucket. Assumes non-negative observations (bucket 0
   /// spans [0, bounds[0]]); mass in the overflow bucket is clamped to the
-  /// last finite bound. nullopt when the histogram is empty.
-  std::optional<double> Quantile(double q) const;
+  /// last finite bound. An empty histogram returns 0.0 (never an
+  /// interpolation over garbage); consumers that must distinguish "no
+  /// samples" from "all samples at 0" null-guard on `count == 0`.
+  double Quantile(double q) const;
 };
 
 /// A registry's full state, detached from the registry: plain data, safe

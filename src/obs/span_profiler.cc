@@ -1,0 +1,280 @@
+#include "obs/span_profiler.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/check.h"
+
+namespace oodb::obs {
+
+namespace {
+
+/// Per-transaction per-phase seconds histogram bounds. Phases of a
+/// transaction range from sub-millisecond CPU slices to multi-second
+/// I/O storms under contention.
+const std::vector<double>& PhaseHistogramBounds() {
+  static const std::vector<double> kBounds = {0.001, 0.005, 0.02, 0.1,
+                                              0.5,   2.0,   10.0};
+  return kBounds;
+}
+
+}  // namespace
+
+const char* SpanPhaseName(SpanPhase p) {
+  switch (p) {
+    case SpanPhase::kCpuService:
+      return "cpu_service";
+    case SpanPhase::kCpuWait:
+      return "cpu_wait";
+    case SpanPhase::kIoService:
+      return "io_service";
+    case SpanPhase::kIoWait:
+      return "io_wait";
+    case SpanPhase::kBufferFixWait:
+      return "buffer_fix_wait";
+    case SpanPhase::kLogForceWait:
+      return "log_force_wait";
+    case SpanPhase::kPrefetchOverlap:
+      return "prefetch_overlap";
+    case SpanPhase::kDynRecluster:
+      return "dyn_recluster";
+  }
+  return "unknown";
+}
+
+const char* SpanScopeName(SpanScope s) {
+  switch (s) {
+    case SpanScope::kTxn:
+      return "txn";
+    case SpanScope::kQuery:
+      return "query";
+    case SpanScope::kCommit:
+      return "commit";
+    case SpanScope::kReorg:
+      return "reorg";
+  }
+  return "unknown";
+}
+
+const char* SpanCodeName(uint64_t code) {
+  if (code >= kSpanScopeCodeBase) {
+    return SpanScopeName(
+        static_cast<SpanScope>(code - kSpanScopeCodeBase));
+  }
+  return SpanPhaseName(static_cast<SpanPhase>(code));
+}
+
+// ---------------------------------------------------------------------------
+// SpanRecorder
+// ---------------------------------------------------------------------------
+
+SpanRecorder::SpanRecorder(SpanProfiler* profiler, uint64_t txn, int kind,
+                           double begin_s)
+    : profiler_(profiler) {
+  if (profiler_ == nullptr) return;  // disabled: no allocations either
+  record_.txn = txn;
+  record_.kind = kind;
+  record_.begin_ticks = ToTicks(begin_s);
+  record_.nodes.push_back(SpanNode{
+      record_.begin_ticks, record_.begin_ticks,
+      static_cast<uint8_t>(kSpanScopeCodeBase +
+                           static_cast<uint64_t>(SpanScope::kTxn)),
+      /*is_scope=*/true});
+  open_scopes_.push_back(0);
+}
+
+void SpanRecorder::AddLeaf(SpanPhase phase, Ticks begin, Ticks end) {
+  if (dyn_scope_) phase = SpanPhase::kDynRecluster;
+  const Ticks d = end - begin;
+  if (d <= 0) return;  // zero-duration awaits carry no time to attribute
+  record_.phase_ticks[static_cast<size_t>(phase)] +=
+      static_cast<uint64_t>(d);
+  if (record_.nodes.size() >= kMaxNodes) {
+    record_.truncated = true;
+    return;
+  }
+  record_.nodes.push_back(
+      SpanNode{begin, end, static_cast<uint8_t>(phase), false});
+}
+
+void SpanRecorder::RecordSpan(SpanPhase phase, double begin_s,
+                              double end_s) {
+  if (profiler_ == nullptr) return;
+  AddLeaf(phase, ToTicks(begin_s), ToTicks(end_s));
+}
+
+void SpanRecorder::RecordQueued(SpanPhase wait, SpanPhase service,
+                                double begin_s, double start_s,
+                                double end_s) {
+  if (profiler_ == nullptr) return;
+  const Ticks begin = ToTicks(begin_s);
+  const Ticks start = ToTicks(start_s);
+  const Ticks end = ToTicks(end_s);
+  // enqueue <= dispatch <= completion, and ToTicks is monotone, so the
+  // split partitions [begin, end) exactly.
+  OODB_CHECK_GE(start, begin);
+  OODB_CHECK_GE(end, start);
+  AddLeaf(wait, begin, start);
+  AddLeaf(service, start, end);
+}
+
+void SpanRecorder::BeginScope(SpanScope scope, double begin_s) {
+  if (profiler_ == nullptr) return;
+  if (record_.nodes.size() >= kMaxNodes) {
+    record_.truncated = true;
+    return;
+  }
+  const Ticks t = ToTicks(begin_s);
+  open_scopes_.push_back(record_.nodes.size());
+  record_.nodes.push_back(SpanNode{
+      t, t,
+      static_cast<uint8_t>(kSpanScopeCodeBase +
+                           static_cast<uint64_t>(scope)),
+      /*is_scope=*/true});
+}
+
+void SpanRecorder::EndScope(double end_s) {
+  if (profiler_ == nullptr) return;
+  // The matching BeginScope may have been swallowed by the node cap; the
+  // root txn scope (index 0) is closed by Finish, never here.
+  if (open_scopes_.size() <= 1) return;
+  record_.nodes[open_scopes_.back()].end = ToTicks(end_s);
+  open_scopes_.pop_back();
+}
+
+void SpanRecorder::Finish(double end_s) {
+  if (profiler_ == nullptr) return;
+  const Ticks end = ToTicks(end_s);
+  record_.response_ticks = end - record_.begin_ticks;
+  record_.nodes[0].end = end;
+  profiler_->EndTxn(std::move(record_));
+  profiler_ = nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// SpanProfiler
+// ---------------------------------------------------------------------------
+
+SpanProfiler::SpanProfiler(MetricsRegistry* metrics,
+                           std::vector<std::string> kind_names,
+                           int exemplars)
+    : metrics_(metrics),
+      kind_names_(std::move(kind_names)),
+      exemplar_capacity_(exemplars < 0 ? 0 : exemplars) {
+  OODB_CHECK(!kind_names_.empty());
+  totals_.resize(kind_names_.size());
+  // Eager registration for every (kind, phase): the registry layout is
+  // part of the snapshot contract, so it must not depend on which kinds
+  // a particular cell's workload happens to draw.
+  txns_handles_.reserve(kind_names_.size());
+  response_handles_.reserve(kind_names_.size());
+  phase_handles_.reserve(kind_names_.size() * kNumSpanPhases);
+  phase_histograms_.reserve(kind_names_.size() * kNumSpanPhases);
+  for (const std::string& kind : kind_names_) {
+    const std::string base = "span." + kind;
+    txns_handles_.push_back(metrics_->Counter(base + ".txns"));
+    response_handles_.push_back(
+        metrics_->Counter(base + ".response_ticks"));
+    for (int p = 0; p < kNumSpanPhases; ++p) {
+      const char* phase = SpanPhaseName(static_cast<SpanPhase>(p));
+      phase_handles_.push_back(
+          metrics_->Counter(base + "." + phase + "_ticks"));
+      phase_histograms_.push_back(metrics_->Histogram(
+          base + "." + phase + "_s", PhaseHistogramBounds()));
+    }
+  }
+  exemplars_.reserve(static_cast<size_t>(exemplar_capacity_));
+}
+
+void SpanProfiler::EndTxn(TxnSpanRecord record) {
+  OODB_CHECK_GE(record.kind, 0);
+  OODB_CHECK_LT(record.kind, num_kinds());
+  if (observer_) observer_(record);
+  const auto k = static_cast<size_t>(record.kind);
+  KindTotals& t = totals_[k];
+  ++t.txns;
+  t.response_ticks += static_cast<uint64_t>(record.response_ticks);
+  metrics_->Add(txns_handles_[k]);
+  metrics_->Add(response_handles_[k],
+                static_cast<uint64_t>(record.response_ticks));
+  for (int p = 0; p < kNumSpanPhases; ++p) {
+    const uint64_t ticks = record.phase_ticks[static_cast<size_t>(p)];
+    t.phase_ticks[static_cast<size_t>(p)] += ticks;
+    const size_t slot = k * kNumSpanPhases + static_cast<size_t>(p);
+    metrics_->Add(phase_handles_[slot], ticks);
+    metrics_->Observe(phase_histograms_[slot],
+                      static_cast<double>(ticks) * 1e-9);
+  }
+  ++transactions_;
+
+  // Deterministic top-K by (response_ticks desc, arrival asc): a new
+  // record only displaces the current minimum if strictly slower, so
+  // ties keep the earlier transaction regardless of job count.
+  if (exemplar_capacity_ == 0) return;
+  record.nodes.shrink_to_fit();
+  if (exemplars_.size() < static_cast<size_t>(exemplar_capacity_)) {
+    exemplars_.push_back(std::move(record));
+    return;
+  }
+  size_t min_at = 0;
+  for (size_t i = 1; i < exemplars_.size(); ++i) {
+    const TxnSpanRecord& a = exemplars_[i];
+    const TxnSpanRecord& m = exemplars_[min_at];
+    // Among equally-slow candidates, the latest arrival is displaced
+    // first, so the retained set prefers earlier transactions.
+    if (a.response_ticks < m.response_ticks ||
+        (a.response_ticks == m.response_ticks && a.txn > m.txn)) {
+      min_at = i;
+    }
+  }
+  if (record.response_ticks > exemplars_[min_at].response_ticks) {
+    exemplars_[min_at] = std::move(record);
+  }
+}
+
+void SpanProfiler::Reset() {
+  std::fill(totals_.begin(), totals_.end(), KindTotals{});
+  exemplars_.clear();
+  transactions_ = 0;
+}
+
+std::vector<SpanKindBreakdown> SpanProfiler::Breakdown() const {
+  std::vector<SpanKindBreakdown> out;
+  for (size_t k = 0; k < totals_.size(); ++k) {
+    if (totals_[k].txns == 0) continue;
+    SpanKindBreakdown b;
+    b.kind = kind_names_[k];
+    b.txns = totals_[k].txns;
+    b.response_ticks = totals_[k].response_ticks;
+    b.phase_ticks = totals_[k].phase_ticks;
+    out.push_back(std::move(b));
+  }
+  return out;
+}
+
+std::vector<const TxnSpanRecord*> SpanProfiler::SortedExemplars() const {
+  std::vector<const TxnSpanRecord*> out;
+  out.reserve(exemplars_.size());
+  for (const TxnSpanRecord& e : exemplars_) out.push_back(&e);
+  std::sort(out.begin(), out.end(),
+            [](const TxnSpanRecord* a, const TxnSpanRecord* b) {
+              if (a->response_ticks != b->response_ticks) {
+                return a->response_ticks > b->response_ticks;
+              }
+              return a->txn < b->txn;
+            });
+  return out;
+}
+
+void SpanProfiler::ExportExemplars(TraceSink& sink) const {
+  for (const TxnSpanRecord* e : SortedExemplars()) {
+    for (const SpanNode& n : e->nodes) {
+      sink.RecordAt(static_cast<double>(n.begin) * 1e-9,
+                    Subsystem::kSpans, TraceEventType::kSpan, e->txn,
+                    n.code, static_cast<uint64_t>(e->kind),
+                    static_cast<double>(n.end - n.begin) * 1e-9);
+    }
+  }
+}
+
+}  // namespace oodb::obs

@@ -1,0 +1,261 @@
+#ifndef SEMCLUST_OBS_SPAN_PROFILER_H_
+#define SEMCLUST_OBS_SPAN_PROFILER_H_
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace_sink.h"
+
+/// \file
+/// The per-transaction critical-path profiler (DESIGN.md §14): a span
+/// tree on the **virtual** clock that attributes every tick of a
+/// transaction's response time to one phase of an exact, additive
+/// taxonomy — CPU service, CPU queue wait, I/O service, I/O queue wait,
+/// buffer-fix wait (dirty-victim flushes inside a fix), log-force wait,
+/// prefetch overlap, and dynamic-reclustering overhead.
+///
+/// The additivity argument: within a transaction coroutine, simulated
+/// time only advances while the coroutine is suspended at a leaf await
+/// (a Resource::Use, an IoSubsystem Read/Write/FlushLog, a PrefetchJoin);
+/// all code between awaits runs synchronously at a frozen clock, so the
+/// timestamp a leaf interval ends at is bit-identical to the timestamp
+/// the next one begins at. Quantising those *absolute* timestamps to
+/// integer nanosecond ticks and differencing the integers therefore
+/// telescopes exactly:
+///
+///   sum over leaves of (ToTicks(end) - ToTicks(begin))
+///     == ToTicks(txn end) - ToTicks(txn begin)
+///
+/// with no floating-point residue — the invariant the span_test property
+/// test enforces per transaction. The wait/service split inside one leaf
+/// interval uses the resource's dispatch timestamp (enqueue <= start <=
+/// complete, and ToTicks is monotone), so the split partitions the
+/// interval exactly too.
+///
+/// One SpanProfiler per simulation cell, built only when
+/// `ModelConfig::profile_spans` is set; a disabled run constructs
+/// nothing, registers nothing, and draws nothing, so its output is
+/// bit-identical to a build without the subsystem. Enabled runs are
+/// deterministic at any job count: all state is per-cell and folded in
+/// submission order.
+
+namespace oodb::obs {
+
+/// Integer virtual time: 1 tick = 1 simulated nanosecond. Simulated
+/// timestamps are < 10^5 s, so ticks stay far below 2^53 and the
+/// double -> tick quantisation is exact and platform-stable.
+using Ticks = int64_t;
+
+inline Ticks ToTicks(double seconds) {
+  return static_cast<Ticks>(std::llround(seconds * 1e9));
+}
+
+/// The additive phase taxonomy. Every tick of response time lands in
+/// exactly one phase.
+enum class SpanPhase : uint8_t {
+  kCpuService = 0,   ///< instructions executing on the CPU server
+  kCpuWait,          ///< queued behind other users for the CPU
+  kIoService,        ///< a synchronous data/cluster/split I/O in service
+  kIoWait,           ///< that I/O queued behind other disk requests
+  kBufferFixWait,    ///< dirty-victim flush blocking a buffer fix
+  kLogForceWait,     ///< synchronous log flush (queue + service)
+  kPrefetchOverlap,  ///< joined an in-flight prefetch of a wanted page
+  kDynRecluster,     ///< dynamic-reclustering drain (src/dyn/) overhead
+};
+inline constexpr int kNumSpanPhases = 8;
+
+/// Snake-case phase label ("cpu_service", ...), used for metric names,
+/// the bench-JSONL "breakdown" keys, and the exported span names.
+const char* SpanPhaseName(SpanPhase p);
+
+/// Scope (non-leaf) nodes of an exemplar's span tree.
+enum class SpanScope : uint8_t {
+  kTxn = 0,    ///< the whole transaction
+  kQuery,      ///< the read/write body
+  kCommit,     ///< commit-time log forcing
+  kReorg,      ///< the dynamic-reclustering drain
+};
+inline constexpr int kNumSpanScopes = 4;
+const char* SpanScopeName(SpanScope s);
+
+/// Code space shared by leaf and scope nodes in exported kSpan trace
+/// events: leaves are the SpanPhase value, scopes are offset by this.
+inline constexpr uint64_t kSpanScopeCodeBase = 100;
+
+/// Display name of a span-node code (phase or scope) — the exported
+/// Chrome-trace event name for kSpan events.
+const char* SpanCodeName(uint64_t code);
+
+/// One node of a recorded span tree: a leaf phase interval or a scope.
+struct SpanNode {
+  Ticks begin = 0;
+  Ticks end = 0;
+  uint8_t code = 0;      ///< SpanPhase, or kSpanScopeCodeBase + SpanScope
+  bool is_scope = false;
+};
+
+/// Everything recorded for one finished transaction.
+struct TxnSpanRecord {
+  uint64_t txn = 0;       ///< pipeline transaction id
+  int kind = 0;           ///< workload::QueryType as an int
+  Ticks begin_ticks = 0;
+  Ticks response_ticks = 0;
+  std::array<uint64_t, kNumSpanPhases> phase_ticks{};
+  /// The span tree, begin-ordered (leaves and scopes interleaved);
+  /// truncated past SpanRecorder::kMaxNodes.
+  std::vector<SpanNode> nodes;
+  bool truncated = false;
+
+  uint64_t PhaseSum() const {
+    uint64_t sum = 0;
+    for (const uint64_t t : phase_ticks) sum += t;
+    return sum;
+  }
+};
+
+/// Exact per-(cell, txn-kind) totals, carried in core::RunResult and
+/// rendered as the bench-JSONL "breakdown" section. Counts are integer
+/// ticks, so merging across cells is exact.
+struct SpanKindBreakdown {
+  std::string kind;  ///< workload::QueryTypeName label
+  uint64_t txns = 0;
+  uint64_t response_ticks = 0;
+  std::array<uint64_t, kNumSpanPhases> phase_ticks{};
+};
+
+class SpanProfiler;
+
+/// Per-transaction recording state. Lives in the transaction coroutine's
+/// own frame (NEVER in the pipeline: transactions interleave at every
+/// await, so shared "current span" state would be corrupted) and is
+/// threaded by pointer through the pipeline primitives. A
+/// default-constructed recorder is disabled and every call no-ops.
+class SpanRecorder {
+ public:
+  /// Exemplar span trees keep at most this many nodes; further leaves
+  /// still accumulate phase ticks but are not materialised.
+  static constexpr size_t kMaxNodes = 4096;
+
+  SpanRecorder() = default;  // disabled
+  SpanRecorder(SpanProfiler* profiler, uint64_t txn, int kind,
+               double begin_s);
+
+  SpanRecorder(const SpanRecorder&) = delete;
+  SpanRecorder& operator=(const SpanRecorder&) = delete;
+
+  bool enabled() const { return profiler_ != nullptr; }
+
+  /// Attributes [begin_s, end_s) to `phase` (the whole interval — used
+  /// for log forces, buffer-fix flushes, and prefetch joins).
+  void RecordSpan(SpanPhase phase, double begin_s, double end_s);
+
+  /// Attributes a queued-resource interval, split at the dispatch
+  /// timestamp: [begin_s, start_s) to `wait`, [start_s, end_s) to
+  /// `service`. `start_s` comes from the resource's last-completed
+  /// request (sim::Resource::last_start_time()).
+  void RecordQueued(SpanPhase wait, SpanPhase service, double begin_s,
+                    double start_s, double end_s);
+
+  /// Scope markers for the exemplar tree (no tick attribution).
+  void BeginScope(SpanScope scope, double begin_s);
+  void EndScope(double end_s);
+
+  /// While set, every recorded tick lands in kDynRecluster regardless of
+  /// the leaf phase — the reclustering drain's CPU, I/O, and log costs
+  /// are reorganisation overhead, not transaction work.
+  void set_dyn_scope(bool on) { dyn_scope_ = on; }
+  bool dyn_scope() const { return dyn_scope_; }
+
+  /// Closes the record at `end_s` and folds it into the profiler
+  /// (metrics, per-kind totals, the exemplar reservoir). Must be called
+  /// exactly once on an enabled recorder.
+  void Finish(double end_s);
+
+ private:
+  void AddLeaf(SpanPhase phase, Ticks begin, Ticks end);
+
+  SpanProfiler* profiler_ = nullptr;
+  TxnSpanRecord record_;
+  std::vector<size_t> open_scopes_;
+  bool dyn_scope_ = false;
+};
+
+/// Per-cell aggregation: exact per-kind phase totals, per-(kind, phase)
+/// seconds histograms in the MetricsRegistry, and a deterministic top-K
+/// slowest-transaction exemplar reservoir. Registration happens eagerly
+/// for every kind and phase at construction so the snapshot layout is
+/// identical across cells and job counts.
+class SpanProfiler {
+ public:
+  /// `kind_names` labels the transaction kinds (workload::QueryTypeName
+  /// order); `exemplars` bounds the slow-transaction reservoir.
+  SpanProfiler(MetricsRegistry* metrics,
+               std::vector<std::string> kind_names, int exemplars);
+
+  SpanProfiler(const SpanProfiler&) = delete;
+  SpanProfiler& operator=(const SpanProfiler&) = delete;
+
+  int num_kinds() const { return static_cast<int>(kind_names_.size()); }
+  int exemplar_capacity() const { return exemplar_capacity_; }
+
+  /// Folds one finished transaction in (called by SpanRecorder::Finish).
+  void EndTxn(TxnSpanRecord record);
+
+  /// Forgets warmup-era transactions: totals and the reservoir reset at
+  /// the measurement boundary (registry values are reset by the
+  /// controller's MetricsRegistry::ResetValues call).
+  void Reset();
+
+  /// Exact per-kind totals over transactions finished since Reset();
+  /// kinds with no transactions are omitted.
+  std::vector<SpanKindBreakdown> Breakdown() const;
+
+  /// The retained slowest transactions, ordered slowest-first with ties
+  /// broken towards the earlier transaction — deterministic at any job
+  /// count.
+  std::vector<const TxnSpanRecord*> SortedExemplars() const;
+
+  /// Emits every exemplar's span tree as kSpan events (Chrome "X"
+  /// complete events on the "spans" track) stamped with the historical
+  /// simulated timestamps.
+  void ExportExemplars(TraceSink& sink) const;
+
+  /// Test hook: called with every finished transaction's record (before
+  /// it is folded), letting property tests assert per-transaction
+  /// additivity without retaining every record.
+  void set_txn_observer(std::function<void(const TxnSpanRecord&)> observer) {
+    observer_ = std::move(observer);
+  }
+
+  uint64_t transactions() const { return transactions_; }
+
+ private:
+  struct KindTotals {
+    uint64_t txns = 0;
+    uint64_t response_ticks = 0;
+    std::array<uint64_t, kNumSpanPhases> phase_ticks{};
+  };
+
+  MetricsRegistry* metrics_;
+  std::vector<std::string> kind_names_;
+  int exemplar_capacity_;
+  uint64_t transactions_ = 0;
+
+  std::vector<KindTotals> totals_;                     // per kind
+  std::vector<CounterHandle> txns_handles_;            // per kind
+  std::vector<CounterHandle> response_handles_;        // per kind
+  std::vector<CounterHandle> phase_handles_;           // kind * phase
+  std::vector<HistogramHandle> phase_histograms_;      // kind * phase
+
+  std::vector<TxnSpanRecord> exemplars_;
+  std::function<void(const TxnSpanRecord&)> observer_;
+};
+
+}  // namespace oodb::obs
+
+#endif  // SEMCLUST_OBS_SPAN_PROFILER_H_

@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <fstream>
 
+#include "obs/span_profiler.h"
 #include "util/json_writer.h"
 
 namespace oodb::obs {
@@ -35,6 +36,7 @@ const EventMeta& MetaOf(TraceEventType t) {
       {"evict", "page", "class", "dirty", "priority"},
       {"dyn-trigger", "units", "tracked", "pending", "queue_depth"},
       {"dyn-reorg", "anchor", "moved", "pages", "heat"},
+      {"span", "txn", "code", "query", "dur_s"},
   };
   return kMeta[static_cast<size_t>(t)];
 }
@@ -66,6 +68,8 @@ const char* SubsystemName(Subsystem s) {
       return "io";
     case Subsystem::kTxlog:
       return "txlog";
+    case Subsystem::kSpans:
+      return "spans";
   }
   return "unknown";
 }
@@ -173,6 +177,24 @@ std::string TraceCollector::ChromeTraceJson() const {
     }
     for (const TraceEvent& e : cell.events) {
       const EventMeta& meta = MetaOf(e.type);
+      if (e.type == TraceEventType::kSpan) {
+        // Span-tree nodes are "X" complete events: ts is the node's
+        // begin, dur its length, and the name is the phase or scope
+        // label itself, so viewers nest them into flame graphs.
+        JsonObjectWriter args;
+        args.Add("txn", e.a).Add("query", e.c);
+        JsonObjectWriter line;
+        line.Add("name", SpanCodeName(e.b))
+            .Add("cat", SubsystemName(e.subsystem))
+            .Add("ph", "X")
+            .Add("ts", e.sim_time_s * 1e6)  // simulated microseconds
+            .Add("dur", e.v * 1e6)
+            .Add("pid", pid)
+            .Add("tid", static_cast<int>(e.subsystem))
+            .AddRaw("args", args.str());
+        emit(line.str());
+        continue;
+      }
       JsonObjectWriter args;
       if (meta.a != nullptr) args.Add(meta.a, e.a);
       if (meta.b != nullptr) args.Add(meta.b, e.b);

@@ -36,8 +36,9 @@ enum class Subsystem : uint8_t {
   kCluster,
   kIo,
   kTxlog,
+  kSpans,  ///< exemplar span trees from the span profiler
 };
-inline constexpr int kNumSubsystems = 6;
+inline constexpr int kNumSubsystems = 7;
 const char* SubsystemName(Subsystem s);
 
 /// Every event kind the runtime records.
@@ -59,6 +60,9 @@ enum class TraceEventType : uint8_t {
                     ///< v: queue depth at the trigger
   kDynReorg,        ///< a: anchor object, b: objects moved, c: pages
                     ///< touched, v: anchor heat
+  kSpan,            ///< a: txn id, b: span code (obs::SpanCodeName),
+                    ///< c: query type, v: duration seconds; exported as
+                    ///< a Chrome "X" complete event, not an instant
 };
 const char* TraceEventTypeName(TraceEventType t);
 
@@ -100,9 +104,20 @@ class TraceSink {
 
   void Record(Subsystem subsystem, TraceEventType type, uint64_t a = 0,
               uint64_t b = 0, uint64_t c = 0, double v = 0) {
+    RecordAt(clock_ != nullptr ? clock_->now() : 0.0, subsystem, type, a,
+             b, c, v);
+  }
+
+  /// Record with an explicit simulated timestamp — for events replayed
+  /// after the fact, like the span profiler's end-of-run exemplar export
+  /// (their historical begin times, not the clock's now, are the ts the
+  /// trace viewer must sort them by).
+  void RecordAt(double sim_time_s, Subsystem subsystem,
+                TraceEventType type, uint64_t a = 0, uint64_t b = 0,
+                uint64_t c = 0, double v = 0) {
     if (capacity_ == 0) return;
     TraceEvent& e = ring_[recorded_ % capacity_];
-    e.sim_time_s = clock_ != nullptr ? clock_->now() : 0.0;
+    e.sim_time_s = sim_time_s;
     e.v = v;
     e.a = a;
     e.b = b;

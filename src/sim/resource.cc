@@ -10,13 +10,14 @@ Resource::Resource(Simulator& sim, std::string name, int servers)
 }
 
 void Resource::UseAwaiter::await_suspend(std::coroutine_handle<> h) {
-  res_.Enqueue(Waiter{service_time_, res_.sim_.now(), h, nullptr});
+  res_.Enqueue(Waiter{service_time_, res_.sim_.now(), 0, h, nullptr});
 }
 
 void Resource::UseDetached(SimTime service_time,
                            Simulator::Callback on_complete) {
   OODB_CHECK_GE(service_time, 0.0);
-  Enqueue(Waiter{service_time, sim_.now(), nullptr, std::move(on_complete)});
+  Enqueue(
+      Waiter{service_time, sim_.now(), 0, nullptr, std::move(on_complete)});
 }
 
 void Resource::Enqueue(Waiter w) {
@@ -47,6 +48,7 @@ void Resource::StartIfPossible() {
       free_service_slots_.pop_back();
       in_service_[slot] = std::move(w);
     }
+    in_service_[slot].start_time = sim_.now();
     const SimTime service_time = in_service_[slot].service_time;
     sim_.Schedule(service_time, [this, slot] { Complete(slot); });
   }
@@ -55,6 +57,8 @@ void Resource::StartIfPossible() {
 void Resource::Complete(uint32_t slot) {
   Waiter w = std::move(in_service_[slot]);
   free_service_slots_.push_back(slot);
+  last_enqueue_ = w.enqueue_time;
+  last_start_ = w.start_time;
   TouchStats();
   --busy_;
   ++completions_;

@@ -59,6 +59,13 @@ class Resource {
 
   /// Completed requests.
   uint64_t completions() const { return completions_; }
+  /// Enqueue / dispatch timestamps of the most recently *completed*
+  /// request. A process resumed by Complete reads these before any other
+  /// event can run (resumption is synchronous inside Complete), giving
+  /// the span profiler the exact wait/service split of the await it just
+  /// finished: wait = [enqueue, start), service = [start, now).
+  SimTime last_enqueue_time() const { return last_enqueue_; }
+  SimTime last_start_time() const { return last_start_; }
   /// Residence time (queueing + service) per request.
   const StreamingStats& residence_time() const { return residence_; }
   /// Time-weighted fraction of servers busy, in [0, 1].
@@ -70,6 +77,7 @@ class Resource {
   struct Waiter {
     SimTime service_time;
     SimTime enqueue_time;
+    SimTime start_time = 0;               // set when dispatched to a server
     std::coroutine_handle<> handle;       // null for detached requests
     Simulator::Callback on_complete;      // may be null
   };
@@ -85,6 +93,8 @@ class Resource {
   int servers_;
   int busy_ = 0;
   uint64_t completions_ = 0;
+  SimTime last_enqueue_ = 0;
+  SimTime last_start_ = 0;
   std::deque<Waiter> waiters_;
   /// Requests currently holding a server, parked in a slab so the
   /// completion event's closure is just {this, slot} — small enough for

@@ -144,12 +144,12 @@ TEST(MetricsTest, QuantileInterpolatesWithinBuckets) {
   const HistogramSnapshot* hs = snap.histogram("h");
   ASSERT_NE(hs, nullptr);
   // Bucket masses: [2, 0, 1, 0] over bounds [0..1], (1..2], (2..4].
-  EXPECT_DOUBLE_EQ(*hs->Quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(hs->Quantile(0.0), 0.0);
   // target = 1.5 of 2 in bucket 0: 0 + 1 * (1.5 / 2).
-  EXPECT_DOUBLE_EQ(*hs->Quantile(0.5), 0.75);
+  EXPECT_DOUBLE_EQ(hs->Quantile(0.5), 0.75);
   // target = 3 lands at the top of bucket 2.
-  EXPECT_DOUBLE_EQ(*hs->Quantile(1.0), 4.0);
-  EXPECT_DOUBLE_EQ(*hs->Quantile(2.0), 4.0);  // clamped q
+  EXPECT_DOUBLE_EQ(hs->Quantile(1.0), 4.0);
+  EXPECT_DOUBLE_EQ(hs->Quantile(2.0), 4.0);  // clamped q
 }
 
 TEST(MetricsTest, QuantileClampsOverflowMassToLastBound) {
@@ -159,14 +159,19 @@ TEST(MetricsTest, QuantileClampsOverflowMassToLastBound) {
   const MetricsSnapshot snap = reg.Snapshot();
   const HistogramSnapshot* hs = snap.histogram("h");
   ASSERT_NE(hs, nullptr);
-  EXPECT_DOUBLE_EQ(*hs->Quantile(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(hs->Quantile(0.5), 2.0);
 }
 
-TEST(MetricsTest, QuantileOfEmptyHistogramIsNull) {
+TEST(MetricsTest, QuantileOfEmptyHistogramIsZero) {
   MetricsRegistry reg(/*enabled=*/true);
   reg.Histogram("h", {1.0});
   const MetricsSnapshot snap = reg.Snapshot();
-  EXPECT_EQ(snap.histogram("h")->Quantile(0.5), std::nullopt);
+  const HistogramSnapshot* hs = snap.histogram("h");
+  ASSERT_NE(hs, nullptr);
+  // No interpolation over garbage: empty histograms answer 0.0, and the
+  // count field is the "no samples" signal consumers null-guard on.
+  EXPECT_EQ(hs->count, 0u);
+  EXPECT_DOUBLE_EQ(hs->Quantile(0.5), 0.0);
 }
 
 TEST(MetricsTest, RatioIsNullSafe) {

@@ -321,6 +321,45 @@ TEST(ScenarioTest, DynamicKnobsRoundTripAndExpand) {
   EXPECT_EQ(cells[1].policy, "No_Clustering+DSTC");
 }
 
+TEST(ScenarioTest, SpanProfilerKnobsRoundTripAndGate) {
+  const auto first = ParseScenario(R"json({
+    "name": "span_roundtrip",
+    "config": {
+      "buffer_pages": 64,
+      "warmup_transactions": 10,
+      "measured_transactions": 60,
+      "seed": 5,
+      "profile_spans": true,
+      "span_exemplars": 7,
+      "clustering": {"pool": "No_Clustering"}
+    }
+  })json");
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_TRUE(first->base.profile_spans);
+  EXPECT_EQ(first->base.span_exemplars, 7);
+  const std::string json = first->ToJson();
+  const auto second = ParseScenario(json);
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_EQ(json, second->ToJson());
+
+  // span_exemplars without profile_spans is an authoring mistake, not a
+  // silent no-op; the gate must not depend on key order (it is checked
+  // after the whole config section is parsed).
+  const auto bad = ParseScenario(R"json({
+    "name": "span_bad",
+    "config": {
+      "buffer_pages": 64,
+      "warmup_transactions": 10,
+      "measured_transactions": 60,
+      "span_exemplars": 7,
+      "clustering": {"pool": "No_Clustering"}
+    }
+  })json");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("profile_spans"), std::string::npos)
+      << bad.status().ToString();
+}
+
 TEST(PolicyRegistryTest, DynamicAxisResolvesCanonicalNamesAndAliases) {
   const PolicyRegistry& reg = PolicyRegistry::Global();
   using D = dyn::PolicyKind;

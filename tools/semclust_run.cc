@@ -11,6 +11,10 @@
 //                  (same as SEMCLUST_BENCH_JSON=PATH)
 //     --seed N     override the scenario's base seed
 //                  (same as SEMCLUST_BENCH_SEED=N)
+//     --metrics-out PATH
+//                  write the final merged MetricsSnapshot of each
+//                  scenario as a standalone JSON file (truncating;
+//                  deterministic at any job count)
 //     --dry-run    expand and list the cells without simulating
 //     --policies   list the canonical policy names per axis and exit
 //     --list-policies
@@ -18,13 +22,16 @@
 //                  registered aliases each level accepts, and exit
 //
 // The SEMCLUST_BENCH_SEED and SEMCLUST_BENCH_SERIES_S environment knobs
-// are honoured exactly as the bench binaries honour them. Exit status: 0
-// on success, 2 on usage/parse errors.
+// are honoured exactly as the bench binaries honour them, and
+// SEMCLUST_SPANS=1 turns on the per-transaction span profiler
+// (config.profile_spans) without editing the committed scenario. Exit
+// status: 0 on success, 2 on usage/parse errors.
 
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <sstream>
 #include <string>
 #include <utility>
@@ -50,8 +57,8 @@ double Now() {
 void PrintUsage(std::FILE* to) {
   std::fprintf(to,
                "usage: semclust_run [--jobs N] [--json PATH] [--seed N] "
-               "[--dry-run] [--policies] [--list-policies] "
-               "<scenario.json>...\n");
+               "[--metrics-out PATH] [--dry-run] [--policies] "
+               "[--list-policies] <scenario.json>...\n");
 }
 
 void PrintPolicies() {
@@ -82,7 +89,8 @@ void PrintPolicyCatalog() {
   }
 }
 
-int RunScenario(const std::string& path, bool dry_run) {
+int RunScenario(const std::string& path, bool dry_run,
+                const std::string& metrics_out) {
   auto spec_or = oodb::core::LoadScenarioFile(path);
   if (!spec_or.ok()) {
     std::fprintf(stderr, "semclust_run: %s\n",
@@ -100,6 +108,9 @@ int RunScenario(const std::string& path, bool dry_run) {
   }
   if (const char* interval = std::getenv("SEMCLUST_BENCH_SERIES_S")) {
     spec.base.telemetry_interval_s = std::strtod(interval, nullptr);
+  }
+  if (const char* sp = std::getenv("SEMCLUST_SPANS")) {
+    spec.base.profile_spans = sp[0] != '\0' && sp[0] != '0';
   }
 
   const auto cells = spec.Expand();
@@ -140,6 +151,22 @@ int RunScenario(const std::string& path, bool dry_run) {
   std::ostringstream os;
   table.Print(os);
   std::fputs(os.str().c_str(), stdout);
+
+  if (!metrics_out.empty()) {
+    // The merged snapshot folds cells in submission order, so the file is
+    // bit-identical at any job count. Several scenarios on one command
+    // line each truncate-and-rewrite; the file ends up holding the last.
+    std::ofstream out(metrics_out, std::ios::trunc);
+    if (out) {
+      out << oodb::exec::ExperimentRunner::MergeMetrics(outcomes).ToJson()
+          << '\n';
+    }
+    if (!out) {
+      std::fprintf(stderr, "semclust_run: --metrics-out %s is not writable\n",
+                   metrics_out.c_str());
+      return 2;
+    }
+  }
   return 0;
 }
 
@@ -148,6 +175,7 @@ int RunScenario(const std::string& path, bool dry_run) {
 int main(int argc, char** argv) {
   std::vector<std::string> paths;
   bool dry_run = false;
+  std::string metrics_out;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--help" || arg == "-h") {
@@ -164,6 +192,14 @@ int main(int argc, char** argv) {
     }
     if (arg == "--dry-run") {
       dry_run = true;
+      continue;
+    }
+    if (arg == "--metrics-out") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "semclust_run: %s needs a value\n", arg.c_str());
+        return 2;
+      }
+      metrics_out = argv[++i];
       continue;
     }
     if (arg == "--jobs" || arg == "--json" || arg == "--seed") {
@@ -191,7 +227,7 @@ int main(int argc, char** argv) {
     return 2;
   }
   for (const auto& path : paths) {
-    const int rc = RunScenario(path, dry_run);
+    const int rc = RunScenario(path, dry_run, metrics_out);
     if (rc != 0) return rc;
   }
   return 0;

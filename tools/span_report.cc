@@ -1,0 +1,244 @@
+// Renders the per-transaction response-time breakdowns that profile_spans
+// runs embed in bench JSONL (`"breakdown"` sections, DESIGN.md §14) as
+// stacked share tables: where each policy's response time actually goes.
+//
+// Usage: span_report [--csv] [--check] [--by-cell] <bench.jsonl>...
+//
+//   (default)  one row per policy, phases as percent of total response
+//              ticks summed over that policy's cells and txn kinds — the
+//              view that answers "did CLS+SB shrink the I/O-wait share
+//              relative to PLC?"
+//   --by-cell  one row per cell instead (policy/workload resolution)
+//   --csv      raw integer ticks, one row per (cell, txn kind), for
+//              plotting or jq post-processing
+//   --check    additivity audit only: for every (cell, kind) the eight
+//              phase totals must sum to response_ticks EXACTLY (they are
+//              integer virtual-time ticks, so there is no tolerance).
+//              Exit 1 on any violation, 0 otherwise. Exit 2 when no
+//              record carries a breakdown (the run had profile_spans off)
+//              so CI cannot green-light an unprofiled file by accident.
+//
+// The exporter writes one JSON object per line, so this tool line-scans
+// with string searches like trace_summary does; the only nested structure
+// it touches is the breakdown object itself, which holds flat per-kind
+// objects of integer fields.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace {
+
+/// The eight phase keys, in the additive taxonomy's order. Kept in sync
+/// with obs::SpanPhaseName (span_test.cc pins the spelling).
+constexpr const char* kPhaseKeys[] = {
+    "cpu_service", "cpu_wait",       "io_service",       "io_wait",
+    "buffer_fix_wait", "log_force_wait", "prefetch_overlap", "dyn_recluster",
+};
+constexpr int kNumPhases = 8;
+
+/// Column headers for the share tables (percent of response time).
+constexpr const char* kPhaseHeads[] = {
+    "cpu%", "cpuq%", "io%", "ioq%", "fix%", "log%", "pref%", "dyn%",
+};
+
+struct Totals {
+  uint64_t txns = 0;
+  uint64_t response_ticks = 0;
+  uint64_t phase_ticks[kNumPhases] = {};
+};
+
+/// Value of `"key":...` in `text` as raw text (up to `,` or `}`), or empty.
+std::string RawValue(const std::string& text, const char* key) {
+  const std::string needle = std::string("\"") + key + "\":";
+  const size_t at = text.find(needle);
+  if (at == std::string::npos) return "";
+  size_t begin = at + needle.size();
+  size_t end = begin;
+  if (begin < text.size() && text[begin] == '"') {
+    ++begin;
+    end = text.find('"', begin);
+    if (end == std::string::npos) return "";
+  } else {
+    while (end < text.size() && text[end] != ',' && text[end] != '}') ++end;
+  }
+  return text.substr(begin, end - begin);
+}
+
+uint64_t UintValue(const std::string& text, const char* key) {
+  const std::string raw = RawValue(text, key);
+  return raw.empty() ? 0 : std::strtoull(raw.c_str(), nullptr, 10);
+}
+
+/// The `"breakdown":{...}` object of one JSONL record, split into
+/// (kind, flat-object-text) pairs. Empty when the record has none.
+std::vector<std::pair<std::string, std::string>> BreakdownOf(
+    const std::string& line) {
+  std::vector<std::pair<std::string, std::string>> kinds;
+  const char* needle = "\"breakdown\":{";
+  const size_t at = line.find(needle);
+  if (at == std::string::npos) return kinds;
+  size_t i = at + std::strlen(needle);
+  // The per-kind values are flat objects of integers: one brace level,
+  // no strings containing braces, so a linear scan suffices.
+  while (i < line.size() && line[i] != '}') {
+    if (line[i] == ',') {
+      ++i;
+      continue;
+    }
+    if (line[i] != '"') break;
+    const size_t kend = line.find('"', i + 1);
+    if (kend == std::string::npos) break;
+    const std::string kind = line.substr(i + 1, kend - i - 1);
+    const size_t vbegin = line.find('{', kend);
+    if (vbegin == std::string::npos) break;
+    const size_t vend = line.find('}', vbegin);
+    if (vend == std::string::npos) break;
+    kinds.emplace_back(kind, line.substr(vbegin, vend - vbegin + 1));
+    i = vend + 1;
+  }
+  return kinds;
+}
+
+void Fold(Totals& into, const Totals& t) {
+  into.txns += t.txns;
+  into.response_ticks += t.response_ticks;
+  for (int p = 0; p < kNumPhases; ++p) into.phase_ticks[p] += t.phase_ticks[p];
+}
+
+void PrintShareTable(const char* row_head,
+                     const std::map<std::string, Totals>& rows) {
+  std::printf("%-32s %8s %10s", row_head, "txns", "resp_s");
+  for (const char* head : kPhaseHeads) std::printf(" %6s", head);
+  std::printf("\n");
+  for (const auto& [label, t] : rows) {
+    std::printf("%-32s %8llu %10.3f", label.c_str(),
+                static_cast<unsigned long long>(t.txns),
+                static_cast<double>(t.response_ticks) * 1e-9);
+    for (int p = 0; p < kNumPhases; ++p) {
+      const double share =
+          t.response_ticks == 0
+              ? 0.0
+              : 100.0 * static_cast<double>(t.phase_ticks[p]) /
+                    static_cast<double>(t.response_ticks);
+      std::printf(" %6.1f", share);
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool csv = false;
+  bool check = false;
+  bool by_cell = false;
+  std::vector<const char*> paths;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--csv") == 0) {
+      csv = true;
+    } else if (std::strcmp(argv[i], "--check") == 0) {
+      check = true;
+    } else if (std::strcmp(argv[i], "--by-cell") == 0) {
+      by_cell = true;
+    } else if (argv[i][0] == '-') {
+      std::fprintf(stderr,
+                   "usage: span_report [--csv] [--check] [--by-cell] "
+                   "<bench.jsonl>...\n");
+      return 2;
+    } else {
+      paths.push_back(argv[i]);
+    }
+  }
+  if (paths.empty()) {
+    std::fprintf(stderr,
+                 "usage: span_report [--csv] [--check] [--by-cell] "
+                 "<bench.jsonl>...\n");
+    return 2;
+  }
+
+  std::map<std::string, Totals> by_policy;
+  std::map<std::string, Totals> by_cell_rows;
+  uint64_t records_with_breakdown = 0;
+  uint64_t kind_rows = 0;
+  uint64_t violations = 0;
+
+  if (csv) {
+    std::printf("cell,kind,txns,response_ticks");
+    for (const char* key : kPhaseKeys) std::printf(",%s_ticks", key);
+    std::printf("\n");
+  }
+
+  for (const char* path : paths) {
+    std::ifstream in(path);
+    if (!in) {
+      std::fprintf(stderr, "span_report: cannot open %s\n", path);
+      return 2;
+    }
+    std::string line;
+    while (std::getline(in, line)) {
+      const auto kinds = BreakdownOf(line);
+      if (kinds.empty()) continue;
+      ++records_with_breakdown;
+      const std::string cell = RawValue(line, "cell_label");
+      const std::string policy = RawValue(line, "policy");
+      for (const auto& [kind, obj] : kinds) {
+        Totals t;
+        t.txns = UintValue(obj, "txns");
+        t.response_ticks = UintValue(obj, "response_ticks");
+        uint64_t sum = 0;
+        for (int p = 0; p < kNumPhases; ++p) {
+          const std::string key = std::string(kPhaseKeys[p]) + "_ticks";
+          t.phase_ticks[p] = UintValue(obj, key.c_str());
+          sum += t.phase_ticks[p];
+        }
+        ++kind_rows;
+        if (sum != t.response_ticks) {
+          ++violations;
+          std::fprintf(stderr,
+                       "span_report: ADDITIVITY VIOLATION %s/%s: phase sum "
+                       "%llu != response_ticks %llu\n",
+                       cell.c_str(), kind.c_str(),
+                       static_cast<unsigned long long>(sum),
+                       static_cast<unsigned long long>(t.response_ticks));
+        }
+        if (csv) {
+          std::printf("%s,%s,%llu,%llu", cell.c_str(), kind.c_str(),
+                      static_cast<unsigned long long>(t.txns),
+                      static_cast<unsigned long long>(t.response_ticks));
+          for (int p = 0; p < kNumPhases; ++p) {
+            std::printf(",%llu",
+                        static_cast<unsigned long long>(t.phase_ticks[p]));
+          }
+          std::printf("\n");
+        }
+        Fold(by_policy[policy], t);
+        Fold(by_cell_rows[cell], t);
+      }
+    }
+  }
+
+  if (records_with_breakdown == 0) {
+    std::fprintf(stderr,
+                 "span_report: no \"breakdown\" sections found — was the run "
+                 "missing profile_spans / SEMCLUST_SPANS=1?\n");
+    return 2;
+  }
+  if (check) {
+    std::printf("span_report: %llu (cell, kind) rows checked, %llu "
+                "additivity violation(s)\n",
+                static_cast<unsigned long long>(kind_rows),
+                static_cast<unsigned long long>(violations));
+    return violations == 0 ? 0 : 1;
+  }
+  if (!csv) {
+    PrintShareTable(by_cell ? "cell" : "policy",
+                    by_cell ? by_cell_rows : by_policy);
+  }
+  return violations == 0 ? 0 : 1;
+}

@@ -13,6 +13,13 @@
 // with events/s per window, which makes warmup ramps and recluster storms
 // visible without opening the trace in a viewer. `--csv` emits the same
 // profile as cell,label,subsystem,window rows for plotting.
+//
+// Two event shapes are summarised: instant events (ph "i", the common
+// case) and complete events (ph "X", the span-profiler exemplar nodes,
+// bucketed by their begin timestamp). The dynamic-reclustering events
+// (dyn-trigger / dyn-reorg) are emitted under the "cluster" category but
+// are reported as their own "dyn" row here so reorganisation activity is
+// separable from static clustering at a glance.
 
 #include <cstdint>
 #include <cstdio>
@@ -135,18 +142,23 @@ int main(int argc, char** argv) {
       }
       continue;
     }
-    if (ph != "i") continue;
+    if (ph != "i" && ph != "X") continue;
     CellRollup& cell = cells[IntValue(line, "pid")];
     const double ts = DoubleValue(line, "ts");
     if (cell.events == 0 || ts < cell.first_ts_us) cell.first_ts_us = ts;
     if (ts > cell.last_ts_us) cell.last_ts_us = ts;
     ++cell.events;
     ++parsed;
-    SubsystemRollup& sub = cell.subsystems[RawValue(line, "cat")];
+    const std::string name = RawValue(line, "name");
+    // Dynamic-reclustering events ride on the "cluster" category in the
+    // trace; classify them as their own subsystem row in the table.
+    std::string cat = RawValue(line, "cat");
+    if (name == "dyn-trigger" || name == "dyn-reorg") cat = "dyn";
+    SubsystemRollup& sub = cell.subsystems[cat];
     if (sub.events == 0 || ts < sub.first_ts_us) sub.first_ts_us = ts;
     if (ts > sub.last_ts_us) sub.last_ts_us = ts;
     ++sub.events;
-    ++sub.by_name[RawValue(line, "name")];
+    ++sub.by_name[name];
     sub.ts_us.push_back(ts);
   }
 
@@ -186,6 +198,8 @@ int main(int argc, char** argv) {
   uint64_t total_reads = 0;
   uint64_t total_writes = 0;
   uint64_t total_dropped = 0;
+  uint64_t total_dyn_triggers = 0;
+  uint64_t total_dyn_reorgs = 0;
   for (const auto& [pid, cell] : cells) {
     std::printf("cell %lld (%s): %llu events retained",
                 pid, cell.label.empty() ? "?" : cell.label.c_str(),
@@ -225,12 +239,22 @@ int main(int argc, char** argv) {
         if (name == "page-write") total_writes += count;
       }
     }
+    const auto dyn = cell.subsystems.find("dyn");
+    if (dyn != cell.subsystems.end()) {
+      for (const auto& [name, count] : dyn->second.by_name) {
+        if (name == "dyn-trigger") total_dyn_triggers += count;
+        if (name == "dyn-reorg") total_dyn_reorgs += count;
+      }
+    }
   }
   std::printf("total: %zu cell(s), %llu events (%llu dropped), "
-              "io %llu page reads + %llu page writes\n",
+              "io %llu page reads + %llu page writes, "
+              "dyn %llu triggers + %llu reorgs\n",
               cells.size(), static_cast<unsigned long long>(total_events),
               static_cast<unsigned long long>(total_dropped),
               static_cast<unsigned long long>(total_reads),
-              static_cast<unsigned long long>(total_writes));
+              static_cast<unsigned long long>(total_writes),
+              static_cast<unsigned long long>(total_dyn_triggers),
+              static_cast<unsigned long long>(total_dyn_reorgs));
   return parsed == 0 ? 1 : 0;
 }
