@@ -26,6 +26,7 @@ std::string BenchReport::ToJsonLine(const BenchRecord& record) const {
       .Add("buffer_hit_ratio", record.buffer_hit_ratio)
       .Add("exam_ios_per_recluster", record.exam_ios_per_recluster)
       .Add("prefetch_accuracy", record.prefetch_accuracy)
+      .Add("remote_fetch_fraction", record.remote_fetch_fraction)
       .Add("page_splits", record.page_splits)
       .Add("response_p50_s", record.response_p50_s)
       .Add("response_p95_s", record.response_p95_s)
@@ -108,6 +109,9 @@ BenchRecord BenchReport::FromResult(const std::string& cell_label,
   r.prefetch_accuracy =
       obs::MetricsSnapshot::Ratio(r.metrics.counter("core.prefetch.hits"),
                                   r.metrics.counter("core.prefetch.issued"));
+  if (result.shard_local_fetches + result.shard_remote_fetches != 0) {
+    r.remote_fetch_fraction = result.remote_fetch_fraction;
+  }
   r.page_splits = result.cluster_stats.splits;
   if (const obs::HistogramSnapshot* rt =
           r.metrics.histogram("core.response_s");

@@ -35,6 +35,9 @@ struct BenchRecord {
   std::optional<double> buffer_hit_ratio;        ///< hits / accesses
   std::optional<double> exam_ios_per_recluster;  ///< exam reads / attempts
   std::optional<double> prefetch_accuracy;       ///< hits / issued
+  /// remote / (local + remote) object-page fetches across shards; null
+  /// when the run was not sharded (shards = 1 never routes a fetch).
+  std::optional<double> remote_fetch_fraction;
   uint64_t page_splits = 0;
 
   /// Response-time percentiles interpolated from the core.response_s

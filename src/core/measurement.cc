@@ -23,10 +23,17 @@ void MeasurementController::ApplyEpochSchedule(size_t epoch) {
 }
 
 void MeasurementController::ResetMeasurementCounters() {
-  ctx_.io->ResetCounters();
-  ctx_.buffer->ResetCounters();
-  ctx_.log->ResetCounters();
-  ctx_.cluster->ResetStats();
+  // Every shard's components carry warmup-era counts. With shards = 1
+  // the single iteration resets the server's own components — exactly
+  // the pre-sharding sequence.
+  for (int s = 0; s < ctx_.shards->num_shards(); ++s) {
+    const ShardView& v = ctx_.shards->view(s);
+    v.io->ResetCounters();
+    v.buffer->ResetCounters();
+    v.log->ResetCounters();
+    v.cluster->ResetStats();
+  }
+  ctx_.shards->ResetCounters();
   ctx_.metrics.ResetValues();
   // Warmup-era span records (totals and the exemplar reservoir) are
   // forgotten with the same semantics as the I/O counters: in-flight
@@ -118,26 +125,55 @@ void MeasurementController::SyncComponentMetrics() {
   // handle) and the values are absolute cumulative counts written with
   // set-semantics, so syncing at every telemetry sample and again at end
   // of run is safe.
-  metrics.SetCounter(metrics.Counter("buffer.hits"), ctx_.buffer->hits());
-  metrics.SetCounter(metrics.Counter("buffer.misses"),
-                     ctx_.buffer->misses());
-  metrics.SetCounter(metrics.Counter("buffer.evictions"),
-                     ctx_.buffer->evictions());
-  metrics.SetCounter(metrics.Counter("buffer.dirty_evictions"),
-                     ctx_.buffer->dirty_evictions());
+  //
+  // The unprefixed names carry system-wide totals summed over every
+  // shard; with shards = 1 the single iteration reads the server's own
+  // components, so names, registration order, and values are exactly the
+  // pre-sharding mirror's.
+  const int n = ctx_.shards->num_shards();
+  uint64_t buf_hits = 0, buf_misses = 0, buf_evict = 0, buf_dirty = 0;
+  uint64_t io_cat[io::kNumIoCategories] = {};
+  uint64_t log_records = 0, log_before = 0, log_flushes = 0;
+  cluster::ClusterStats cs;
+  double disk_util = 0, cpu_util = 0;
+  for (int s = 0; s < n; ++s) {
+    const ShardView& v = ctx_.shards->view(s);
+    buf_hits += v.buffer->hits();
+    buf_misses += v.buffer->misses();
+    buf_evict += v.buffer->evictions();
+    buf_dirty += v.buffer->dirty_evictions();
+    for (int c = 0; c < io::kNumIoCategories; ++c) {
+      io_cat[c] += v.io->physical_count(static_cast<io::IoCategory>(c));
+    }
+    log_records += v.log->records_appended();
+    log_before += v.log->before_images();
+    log_flushes += v.log->flush_count();
+    const cluster::ClusterStats& scs = v.cluster->stats();
+    cs.placements += scs.placements;
+    cs.reclusterings += scs.reclusterings;
+    cs.appends += scs.appends;
+    cs.relocations += scs.relocations;
+    cs.splits += scs.splits;
+    cs.exam_reads += scs.exam_reads;
+    cs.objects_moved_by_splits += scs.objects_moved_by_splits;
+    cs.split_search_steps += scs.split_search_steps;
+    cs.split_broken_cost += scs.split_broken_cost;
+    disk_util += v.io->MeanUtilization();
+    cpu_util += v.cpu->Utilization();
+  }
+  metrics.SetCounter(metrics.Counter("buffer.hits"), buf_hits);
+  metrics.SetCounter(metrics.Counter("buffer.misses"), buf_misses);
+  metrics.SetCounter(metrics.Counter("buffer.evictions"), buf_evict);
+  metrics.SetCounter(metrics.Counter("buffer.dirty_evictions"), buf_dirty);
   for (int c = 0; c < io::kNumIoCategories; ++c) {
     const auto cat = static_cast<io::IoCategory>(c);
     metrics.SetCounter(
         metrics.Counter(std::string("io.") + io::IoCategoryName(cat)),
-        ctx_.io->physical_count(cat));
+        io_cat[c]);
   }
-  metrics.SetCounter(metrics.Counter("log.records"),
-                     ctx_.log->records_appended());
-  metrics.SetCounter(metrics.Counter("log.before_images"),
-                     ctx_.log->before_images());
-  metrics.SetCounter(metrics.Counter("log.flushes"),
-                     ctx_.log->flush_count());
-  const cluster::ClusterStats& cs = ctx_.cluster->stats();
+  metrics.SetCounter(metrics.Counter("log.records"), log_records);
+  metrics.SetCounter(metrics.Counter("log.before_images"), log_before);
+  metrics.SetCounter(metrics.Counter("log.flushes"), log_flushes);
   metrics.SetCounter(metrics.Counter("cluster.placements"), cs.placements);
   metrics.SetCounter(metrics.Counter("cluster.reclusterings"),
                      cs.reclusterings);
@@ -156,9 +192,50 @@ void MeasurementController::SyncComponentMetrics() {
   metrics.SetCounter(metrics.Counter("sim.events_scheduled"),
                      ctx_.sim.events_scheduled());
   metrics.Set(metrics.Gauge("io.mean_disk_utilization"),
-              ctx_.io->MeanUtilization());
-  metrics.Set(metrics.Gauge("cpu.utilization"), ctx_.cpu->Utilization());
+              disk_util / static_cast<double>(n));
+  metrics.Set(metrics.Gauge("cpu.utilization"),
+              cpu_util / static_cast<double>(n));
   metrics.Set(metrics.Gauge("sim.duration_s"), ctx_.sim.now());
+  if (ctx_.shards->sharded()) {
+    // Per-shard mirrors plus the cross-shard traffic counters, registered
+    // only when sharded so every single-server snapshot layout committed
+    // before this subsystem existed is untouched.
+    for (int s = 0; s < n; ++s) {
+      const ShardView& v = ctx_.shards->view(s);
+      const std::string p = "shard" + std::to_string(s) + ".";
+      metrics.SetCounter(metrics.Counter(p + "buffer.hits"),
+                         v.buffer->hits());
+      metrics.SetCounter(metrics.Counter(p + "buffer.misses"),
+                         v.buffer->misses());
+      metrics.SetCounter(metrics.Counter(p + "io.data_read"),
+                         v.io->physical_count(io::IoCategory::kDataRead));
+      metrics.SetCounter(metrics.Counter(p + "log.records"),
+                         v.log->records_appended());
+      metrics.SetCounter(metrics.Counter(p + "cluster.placements"),
+                         v.cluster->stats().placements);
+      metrics.Set(metrics.Gauge(p + "io.mean_disk_utilization"),
+                  v.io->MeanUtilization());
+      metrics.Set(metrics.Gauge(p + "cpu.utilization"),
+                  v.cpu->Utilization());
+      if (v.nic != nullptr) {
+        metrics.Set(metrics.Gauge(p + "nic.utilization"),
+                    v.nic->Utilization());
+      }
+    }
+    const ShardedContext::Counters& sc = ctx_.shards->counters();
+    metrics.SetCounter(metrics.Counter("shard.local_fetches"),
+                       sc.local_fetches);
+    metrics.SetCounter(metrics.Counter("shard.remote_fetches"),
+                       sc.remote_fetches);
+    metrics.SetCounter(metrics.Counter("shard.remote_writes"),
+                       sc.remote_writes);
+    metrics.SetCounter(metrics.Counter("shard.hops"), sc.hops);
+    const uint64_t fetches = sc.local_fetches + sc.remote_fetches;
+    metrics.Set(metrics.Gauge("shard.remote_fetch_fraction"),
+                fetches == 0 ? 0.0
+                             : static_cast<double>(sc.remote_fetches) /
+                                   static_cast<double>(fetches));
+  }
   if (ctx_.dyn_policy) {
     // Whole-run cumulative deferral bookkeeping lives in the policy (it is
     // not reset at the measurement boundary: a deferral window straddling
@@ -186,21 +263,58 @@ RunResult MeasurementController::Run() {
   result.transactions = measured_txns_;
   result.logical_reads = pipeline_.logical_reads();
   result.logical_writes = pipeline_.logical_writes();
-  result.data_reads = ctx_.io->physical_count(io::IoCategory::kDataRead);
-  result.dirty_flushes =
-      ctx_.io->physical_count(io::IoCategory::kDirtyFlush);
-  result.log_flush_ios =
-      ctx_.io->physical_count(io::IoCategory::kLogWrite);
-  result.cluster_exam_reads =
-      ctx_.io->physical_count(io::IoCategory::kClusterRead);
-  result.prefetch_reads =
-      ctx_.io->physical_count(io::IoCategory::kPrefetchRead);
-  result.split_writes = ctx_.io->physical_count(io::IoCategory::kDataWrite);
-  result.buffer_hit_ratio = ctx_.buffer->HitRatio();
-  result.log_before_images = ctx_.log->before_images();
-  result.cluster_stats = ctx_.cluster->stats();
-  result.mean_disk_utilization = ctx_.io->MeanUtilization();
-  result.cpu_utilization = ctx_.cpu->Utilization();
+  // Physical counters are summed over every shard; with shards = 1 the
+  // single iteration reads the server's own components, value for value
+  // the pre-sharding assembly.
+  const int num_shards = ctx_.shards->num_shards();
+  uint64_t buf_hits = 0, buf_accesses = 0;
+  for (int s = 0; s < num_shards; ++s) {
+    const ShardView& v = ctx_.shards->view(s);
+    result.data_reads += v.io->physical_count(io::IoCategory::kDataRead);
+    result.dirty_flushes +=
+        v.io->physical_count(io::IoCategory::kDirtyFlush);
+    result.log_flush_ios +=
+        v.io->physical_count(io::IoCategory::kLogWrite);
+    result.cluster_exam_reads +=
+        v.io->physical_count(io::IoCategory::kClusterRead);
+    result.prefetch_reads +=
+        v.io->physical_count(io::IoCategory::kPrefetchRead);
+    result.split_writes +=
+        v.io->physical_count(io::IoCategory::kDataWrite);
+    buf_hits += v.buffer->hits();
+    buf_accesses += v.buffer->hits() + v.buffer->misses();
+    result.log_before_images += v.log->before_images();
+    const cluster::ClusterStats& scs = v.cluster->stats();
+    result.cluster_stats.placements += scs.placements;
+    result.cluster_stats.reclusterings += scs.reclusterings;
+    result.cluster_stats.appends += scs.appends;
+    result.cluster_stats.relocations += scs.relocations;
+    result.cluster_stats.splits += scs.splits;
+    result.cluster_stats.exam_reads += scs.exam_reads;
+    result.cluster_stats.objects_moved_by_splits +=
+        scs.objects_moved_by_splits;
+    result.cluster_stats.split_search_steps += scs.split_search_steps;
+    result.cluster_stats.split_broken_cost += scs.split_broken_cost;
+    result.mean_disk_utilization += v.io->MeanUtilization();
+    result.cpu_utilization += v.cpu->Utilization();
+  }
+  result.buffer_hit_ratio =
+      buf_accesses == 0 ? 0.0
+                        : static_cast<double>(buf_hits) /
+                              static_cast<double>(buf_accesses);
+  result.mean_disk_utilization /= static_cast<double>(num_shards);
+  result.cpu_utilization /= static_cast<double>(num_shards);
+  if (ctx_.shards->sharded()) {
+    const ShardedContext::Counters& sc = ctx_.shards->counters();
+    result.shard_local_fetches = sc.local_fetches;
+    result.shard_remote_fetches = sc.remote_fetches;
+    result.shard_remote_writes = sc.remote_writes;
+    const uint64_t fetches = sc.local_fetches + sc.remote_fetches;
+    result.remote_fetch_fraction =
+        fetches == 0 ? 0.0
+                     : static_cast<double>(sc.remote_fetches) /
+                           static_cast<double>(fetches);
+  }
   result.sim_duration_s = ctx_.sim.now() - start_time;
   result.achieved_rw_ratio =
       result.logical_writes == 0
@@ -211,7 +325,9 @@ RunResult MeasurementController::Run() {
   result.prefetch_hits = ctx_.metrics.value(ctx_.handles.prefetch_hits);
   result.prefetch_wasted =
       ctx_.metrics.value(ctx_.handles.prefetch_wasted);
-  result.db_pages = ctx_.storage->page_count();
+  for (int s = 0; s < num_shards; ++s) {
+    result.db_pages += ctx_.shards->view(s).storage->page_count();
+  }
   result.db_objects = ctx_.graph->live_count();
   // Close the final epoch. If the warmup quota was never reached (tiny
   // smoke configs), start measurement now so the series still carries one

@@ -73,6 +73,26 @@ Status ModelConfig::Validate() const {
                    "; the slow-transaction reservoir size must be >= 0 "
                    "(0 disables exemplar capture)");
   }
+  if (shards < 1 || shards > 64) {
+    return Invalid("shards is " + std::to_string(shards) +
+                   "; the model supports 1 (single server, the exact "
+                   "pre-sharding behaviour) up to 64 shards");
+  }
+  if (!(shard_hop_latency_s >= 0)) {
+    return Invalid("shard_hop_latency_s is " +
+                   std::to_string(shard_hop_latency_s) +
+                   "; the cross-shard hop latency must be >= 0");
+  }
+  if (shard_group_cap < 1) {
+    return Invalid("shard_group_cap is " + std::to_string(shard_group_cap) +
+                   "; Structure_Shard groups must hold at least one object");
+  }
+  if (shards > 1 && clustering.dynamic.enabled()) {
+    return Invalid(
+        "shards > 1 with a dynamic re-clustering policy; the dynamic "
+        "subsystem (src/dyn/) tracks the single server's components and "
+        "is not shard-aware yet — run it with shards = 1");
+  }
   for (size_t i = 0; i < rw_ratio_schedule.size(); ++i) {
     if (!(rw_ratio_schedule[i] > 0)) {
       return Invalid("rw_ratio_schedule[" + std::to_string(i) + "] is " +

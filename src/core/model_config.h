@@ -7,6 +7,7 @@
 
 #include "buffer/policy.h"
 #include "cluster/policy.h"
+#include "core/sharding.h"
 #include "io/io_subsystem.h"
 #include "ocb/ocb_config.h"
 #include "util/status.h"
@@ -65,6 +66,25 @@ struct ModelConfig {
   /// `workload.read_write_ratio` (G) still sets the target R/W ratio, and
   /// all other Table 4.1 axes apply unchanged.
   ocb::OcbConfig ocb;
+
+  // ---- Sharding (core/sharding.h). ----
+  /// Number of shards the simulated system is split into. 1 (the default)
+  /// is the single-server model, bit-identical to the pre-sharding core;
+  /// N > 1 builds N full component sets (buffer pool, disks, log, cluster
+  /// manager, CPU, NIC) on the shared virtual clock and partitions the
+  /// object graph across them by `shard_placement`.
+  int shards = 1;
+  /// How objects map onto shards when `shards > 1`.
+  ShardPlacement shard_placement = ShardPlacement::kHashShard;
+  /// One-way network hop latency of a cross-shard reference; a remote
+  /// page fetch pays two (request + response), metered as the span phase
+  /// `remote_fetch_wait`. Default 2 ms: a late-80s LAN round trip of
+  /// ~4 ms, comparable to one disk access of the period's cost model.
+  double shard_hop_latency_s = 0.002;
+  /// Structure_Shard group bound: a composite subgraph grows to at most
+  /// this many objects before the next seed starts a new group. Bounds
+  /// skew (a giant connected component cannot swallow one shard).
+  int shard_group_cap = 64;
 
   // ---- Cost model. ----
   io::DiskParams disk;

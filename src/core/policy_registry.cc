@@ -139,6 +139,17 @@ void RegisterDynamicPolicies(PolicyRegistry& reg) {
                static_cast<int>(PolicyKind::kOpcf));
 }
 
+void RegisterShardPlacements(PolicyRegistry& reg) {
+  for (ShardPlacement p : kAllShardPlacements) {
+    reg.Register(PolicyAxis::kShardPlacement, ShardPlacementName(p),
+                 static_cast<int>(p));
+  }
+  reg.Register(PolicyAxis::kShardPlacement, "hash",
+               static_cast<int>(ShardPlacement::kHashShard));
+  reg.Register(PolicyAxis::kShardPlacement, "structure",
+               static_cast<int>(ShardPlacement::kStructureShard));
+}
+
 }  // namespace
 
 const char* PolicyAxisName(PolicyAxis axis) {
@@ -159,6 +170,8 @@ const char* PolicyAxisName(PolicyAxis axis) {
       return "ocb locality";
     case PolicyAxis::kDynamic:
       return "dynamic clustering";
+    case PolicyAxis::kShardPlacement:
+      return "shard placement";
   }
   return "unknown";
 }
@@ -172,6 +185,7 @@ PolicyRegistry::PolicyRegistry() {
   RegisterRelKinds(*this);
   RegisterOcbLocalities(*this);
   RegisterDynamicPolicies(*this);
+  RegisterShardPlacements(*this);
 }
 
 const PolicyRegistry& PolicyRegistry::Global() {
@@ -197,6 +211,8 @@ PolicyRegistry::AxisTable& PolicyRegistry::Table(PolicyAxis axis) {
       return ocb_locality_;
     case PolicyAxis::kDynamic:
       return dynamic_;
+    case PolicyAxis::kShardPlacement:
+      return shard_placement_;
   }
   OODB_CHECK(false);
   return replacement_;  // unreachable
@@ -286,6 +302,13 @@ std::optional<dyn::PolicyKind> PolicyRegistry::Dynamic(
   const auto v = Find(PolicyAxis::kDynamic, name);
   if (!v) return std::nullopt;
   return static_cast<dyn::PolicyKind>(*v);
+}
+
+std::optional<ShardPlacement> PolicyRegistry::ShardPlacementOf(
+    std::string_view name) const {
+  const auto v = Find(PolicyAxis::kShardPlacement, name);
+  if (!v) return std::nullopt;
+  return static_cast<ShardPlacement>(*v);
 }
 
 const std::vector<std::string>& PolicyRegistry::CanonicalNames(

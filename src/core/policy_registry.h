@@ -9,6 +9,7 @@
 
 #include "buffer/policy.h"
 #include "cluster/policy.h"
+#include "core/sharding.h"
 #include "dyn/dyn_config.h"
 #include "objmodel/object_id.h"
 #include "ocb/ocb_config.h"
@@ -38,6 +39,7 @@ enum class PolicyAxis {
   kRelKind,      ///< obj::RelKind (hint axes, J)
   kOcbLocality,  ///< ocb::RefLocality (OCB reference-locality knob)
   kDynamic,      ///< dyn::PolicyKind (dynamic re-clustering: DSTC / OPCF)
+  kShardPlacement,  ///< core::ShardPlacement (N-shard object placement)
 };
 
 const char* PolicyAxisName(PolicyAxis axis);
@@ -47,7 +49,8 @@ inline constexpr PolicyAxis kAllPolicyAxes[] = {
     PolicyAxis::kReplacement, PolicyAxis::kPrefetch,
     PolicyAxis::kCandidatePool, PolicyAxis::kSplit,
     PolicyAxis::kDensity, PolicyAxis::kRelKind,
-    PolicyAxis::kOcbLocality, PolicyAxis::kDynamic};
+    PolicyAxis::kOcbLocality, PolicyAxis::kDynamic,
+    PolicyAxis::kShardPlacement};
 
 /// Immutable after construction; lookups are case-insensitive and accept
 /// '-', '_' and ' ' interchangeably, so "Cluster_within_Buffer",
@@ -68,6 +71,7 @@ class PolicyRegistry {
   std::optional<obj::RelKind> Relationship(std::string_view name) const;
   std::optional<ocb::RefLocality> OcbLocality(std::string_view name) const;
   std::optional<dyn::PolicyKind> Dynamic(std::string_view name) const;
+  std::optional<ShardPlacement> ShardPlacementOf(std::string_view name) const;
 
   /// Canonical names of one axis, in registration (= enum) order — for
   /// error messages and discoverability (`semclust_run --policies`).
@@ -114,6 +118,7 @@ class PolicyRegistry {
   AxisTable rel_kind_;
   AxisTable ocb_locality_;
   AxisTable dynamic_;
+  AxisTable shard_placement_;
 };
 
 }  // namespace oodb::core

@@ -64,6 +64,15 @@ struct RunResult {
   size_t db_pages = 0;
   size_t db_objects = 0;
 
+  // Cross-shard traffic (measured phase; all zero when shards = 1). A
+  // fetch is remote when the executing transaction's home shard is not
+  // the accessed object's owner; the fraction is remote / (local +
+  // remote) object-page fetches.
+  uint64_t shard_local_fetches = 0;
+  uint64_t shard_remote_fetches = 0;
+  uint64_t shard_remote_writes = 0;
+  double remote_fetch_fraction = 0;
+
   /// The cell's full metrics-registry state at the end of the measured
   /// phase (empty when SEMCLUST_METRICS=0).
   obs::MetricsSnapshot metrics;

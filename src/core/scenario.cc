@@ -126,6 +126,15 @@ StatusOr<dyn::PolicyKind> ResolveDynamic(const JsonValue& v,
   return *p;
 }
 
+StatusOr<ShardPlacement> ResolveShardPlacement(const JsonValue& v,
+                                               const std::string& key) {
+  auto name = AsString(v, key);
+  if (!name.ok()) return name.status();
+  const auto p = Reg().ShardPlacementOf(*name);
+  if (!p) return UnknownName(key, PolicyAxis::kShardPlacement, *name);
+  return *p;
+}
+
 /// A clustering entry: a bare pool name, or an object overriding fields of
 /// `from` (so a split policy set in "config" carries into sweep levels).
 StatusOr<cluster::ClusterConfig> ParseClusterEntry(
@@ -392,6 +401,12 @@ Status ParseConfigSection(const JsonValue& obj, ModelConfig& cfg) {
   std::string buffer_level;
   bool buffer_pages_set = false;
   bool span_exemplars_set = false;
+  // Sharding knobs only make sense with an explicit shard count; setting
+  // one without "shards" is an error (same guard as OCB knobs without
+  // "kind" and dyn knobs without "dynamic"), so a typo can't silently
+  // leave the cell on the single-server core.
+  bool shards_set = false;
+  std::string first_shard_key;
   for (const auto& [key, v] : obj.members()) {
     const std::string ctx = "config." + key;
     if (key == "database_bytes") {
@@ -477,6 +492,26 @@ Status ParseConfigSection(const JsonValue& obj, ModelConfig& cfg) {
       OODB_RETURN_IF_ERROR(n.status());
       cfg.span_exemplars = *n;
       span_exemplars_set = true;
+    } else if (key == "shards") {
+      const auto n = AsInt(v, ctx);
+      OODB_RETURN_IF_ERROR(n.status());
+      cfg.shards = *n;
+      shards_set = true;
+    } else if (key == "shard_placement") {
+      const auto p = ResolveShardPlacement(v, ctx);
+      OODB_RETURN_IF_ERROR(p.status());
+      cfg.shard_placement = *p;
+      if (first_shard_key.empty()) first_shard_key = key;
+    } else if (key == "shard_hop_latency_s") {
+      const auto n = AsNumber(v, ctx);
+      OODB_RETURN_IF_ERROR(n.status());
+      cfg.shard_hop_latency_s = *n;
+      if (first_shard_key.empty()) first_shard_key = key;
+    } else if (key == "shard_group_cap") {
+      const auto n = AsInt(v, ctx);
+      OODB_RETURN_IF_ERROR(n.status());
+      cfg.shard_group_cap = *n;
+      if (first_shard_key.empty()) first_shard_key = key;
     } else if (key == "seed") {
       const auto n = AsUint(v, ctx);
       OODB_RETURN_IF_ERROR(n.status());
@@ -516,6 +551,11 @@ Status ParseConfigSection(const JsonValue& obj, ModelConfig& cfg) {
     return Err(
         "config: \"span_exemplars\" has no effect without "
         "\"profile_spans\": true");
+  }
+  if (!first_shard_key.empty() && !shards_set) {
+    return Err("config: \"" + first_shard_key +
+               "\" is a sharding knob; add \"shards\": <N> to enable the "
+               "N-shard core");
   }
   return Status::Ok();
 }
@@ -601,10 +641,31 @@ Status ParseSweepSection(const JsonValue& obj, ScenarioSpec& spec) {
         }
         spec.buffer_pages.push_back(pages);
       }
+    } else if (key == "shards") {
+      if (!v.is_array()) return TypeErr(ctx, "an array of shard counts");
+      for (size_t i = 0; i < v.items().size(); ++i) {
+        const auto n =
+            AsInt(v.items()[i], ctx + "[" + std::to_string(i) + "]");
+        OODB_RETURN_IF_ERROR(n.status());
+        if (*n < 1 || *n > 64) {
+          return Err("\"" + ctx + "[" + std::to_string(i) + "]\" is " +
+                     std::to_string(*n) +
+                     "; the core supports 1 to 64 shards");
+        }
+        spec.shards.push_back(*n);
+      }
+    } else if (key == "shard_placement") {
+      if (!v.is_array()) return TypeErr(ctx, "an array of placement names");
+      for (size_t i = 0; i < v.items().size(); ++i) {
+        const auto p = ResolveShardPlacement(
+            v.items()[i], ctx + "[" + std::to_string(i) + "]");
+        OODB_RETURN_IF_ERROR(p.status());
+        spec.shard_placement.push_back(*p);
+      }
     } else {
       return Err("sweep: unknown key \"" + key +
                  "\" (known: clustering, workload, replacement, prefetch, "
-                 "buffer_pages)");
+                 "buffer_pages, shards, shard_placement)");
     }
   }
   return Status::Ok();
@@ -690,12 +751,20 @@ std::vector<ScenarioCell> ScenarioSpec::Expand() const {
       workloads.empty()
           ? std::vector<WorkloadEntry>{WorkloadEntry{base.workload, base.ocb}}
           : workloads;
+  const std::vector<int> shard_axis =
+      shards.empty() ? std::vector<int>{base.shards} : shards;
+  const std::vector<ShardPlacement> place_axis =
+      shard_placement.empty()
+          ? std::vector<ShardPlacement>{base.shard_placement}
+          : shard_placement;
 
   std::vector<ScenarioCell> cells;
-  cells.reserve(reps.size() * prefs.size() * bufs.size() * clus.size() *
-                works.size());
-  for (const auto rep : reps) {
-    for (const auto pref : prefs) {
+  cells.reserve(shard_axis.size() * place_axis.size() * reps.size() *
+                prefs.size() * bufs.size() * clus.size() * works.size());
+  for (const int num_shards : shard_axis) {
+   for (const auto place : place_axis) {
+    for (const auto rep : reps) {
+     for (const auto pref : prefs) {
       for (const size_t pages : bufs) {
         for (const auto& clu : clus) {
           for (const auto& work : works) {
@@ -706,12 +775,24 @@ std::vector<ScenarioCell> ScenarioSpec::Expand() const {
             cell.config.replacement = rep;
             cell.config.prefetch = pref;
             cell.config.buffer_pages = pages;
+            cell.config.shards = num_shards;
+            cell.config.shard_placement = place;
 
             // Labels: identical to bench_common's FillDefaultLabels when
-            // only clustering/workload sweep; multi-level buffering axes
-            // prefix the policy label to keep cells unique.
+            // only clustering/workload sweep; multi-level sharding and
+            // buffering axes prefix the policy label to keep cells unique.
             std::string policy;
-            if (reps.size() > 1) policy = buffer::ReplacementPolicyName(rep);
+            if (shard_axis.size() > 1) {
+              policy = std::to_string(num_shards) + "shard";
+            }
+            if (place_axis.size() > 1) {
+              if (!policy.empty()) policy += "_";
+              policy += ShardPlacementName(place);
+            }
+            if (reps.size() > 1) {
+              if (!policy.empty()) policy += "_";
+              policy += buffer::ReplacementPolicyName(rep);
+            }
             if (prefs.size() > 1) {
               if (!policy.empty()) policy += "_";
               policy += buffer::PrefetchPolicyName(pref);
@@ -723,7 +804,10 @@ std::vector<ScenarioCell> ScenarioSpec::Expand() const {
             if (policy.empty()) {
               policy = clu.Label();
             } else if (clus.size() > 1) {
-              policy += "_" + clu.Label();
+              // Append in two steps: `"_" + clu.Label()` trips GCC 12's
+              // -Werror=restrict false positive (PR105651) at -O3.
+              policy += "_";
+              policy += clu.Label();
             }
             cell.policy = std::move(policy);
             cell.workload = work.Label();  // OCT or OCB label
@@ -732,7 +816,9 @@ std::vector<ScenarioCell> ScenarioSpec::Expand() const {
           }
         }
       }
+     }
     }
+   }
   }
   return cells;
 }
@@ -769,6 +855,14 @@ std::string ScenarioSpec::ToJson() const {
   // Mirrors the parse-side gate: span_exemplars only round-trips when the
   // profiler is on.
   if (base.profile_spans) cfg.Add("span_exemplars", base.span_exemplars);
+  // Same gate for the sharding knobs: emitted only with an explicit shard
+  // count, so single-server scenarios serialize exactly as before.
+  if (base.shards != 1) {
+    cfg.Add("shards", base.shards);
+    cfg.Add("shard_placement", ShardPlacementName(base.shard_placement));
+    cfg.Add("shard_hop_latency_s", base.shard_hop_latency_s);
+    cfg.Add("shard_group_cap", base.shard_group_cap);
+  }
   cfg.Add("seed", static_cast<uint64_t>(base.seed));
   cfg.AddRaw("workload", WorkloadJson(WorkloadEntry{base.workload, base.ocb}));
   cfg.AddRaw("clustering", ClusterJson(base.clustering));
@@ -812,6 +906,20 @@ std::string ScenarioSpec::ToJson() const {
     sweep.AddRaw("buffer_pages", axis.str());
     any_axis = true;
   }
+  if (!shards.empty()) {
+    JsonArrayWriter axis;
+    for (const int n : shards) axis.Add(static_cast<uint64_t>(n));
+    sweep.AddRaw("shards", axis.str());
+    any_axis = true;
+  }
+  if (!shard_placement.empty()) {
+    JsonArrayWriter axis;
+    for (const auto p : shard_placement) {
+      axis.Add(std::string_view(ShardPlacementName(p)));
+    }
+    sweep.AddRaw("shard_placement", axis.str());
+    any_axis = true;
+  }
   if (any_axis) root.AddRaw("sweep", sweep.str());
   return root.str();
 }
@@ -851,6 +959,16 @@ StatusOr<ScenarioSpec> ParseScenario(std::string_view json_text) {
   }
   if (spec.name.empty()) return Err("\"name\" is required");
   if (spec.bench.empty()) spec.bench = spec.name;
+
+  // A placement axis with every cell at shards = 1 would sweep a knob
+  // that cannot matter — reject it like any other inert-knob typo.
+  if (!spec.shard_placement.empty() && spec.shards.empty() &&
+      spec.base.shards == 1) {
+    return Err(
+        "sweep.shard_placement: every cell has shards = 1, where placement "
+        "has no effect; add a \"shards\" sweep axis or \"shards\" to "
+        "config");
+  }
 
   const Status valid = spec.base.Validate();
   if (!valid.ok()) return Err("config: " + valid.message());

@@ -33,6 +33,10 @@
 ///       "telemetry_audit_placement": true,
 ///       "rw_ratio_schedule": [10, 100],
 ///       "static_reorganize_after_build": false, "seed": 1,
+///       // the N-shard core (core/sharding.h); the shard_* knobs are
+///       // only legal alongside an explicit "shards":
+///       "shards": 4, "shard_placement": "Structure_Shard",
+///       "shard_hop_latency_s": 0.002, "shard_group_cap": 64,
 ///       "workload": {"density": "med5", "rw_ratio": 10},
 ///       // or the generic OCB workload (src/ocb/):
 ///       // "workload": {"kind": "ocb", "rw_ratio": 10, "classes": 24,
@@ -51,7 +55,9 @@
 ///       "workload": "standard_grid",  // or [{"density": ..., "rw_ratio": ...}]
 ///       "replacement": ["LRU", "Context-sensitive"],
 ///       "prefetch": ["No_prefetch"],
-///       "buffer_pages": [94, "large"]
+///       "buffer_pages": [94, "large"],
+///       "shards": [1, 2, 4, 8],
+///       "shard_placement": ["Hash_Shard", "Structure_Shard"]
 ///     }
 ///   }
 ///
@@ -97,14 +103,18 @@ struct ScenarioSpec {
   std::vector<buffer::ReplacementPolicy> replacement;
   std::vector<buffer::PrefetchPolicy> prefetch;
   std::vector<size_t> buffer_pages;
+  std::vector<int> shards;
+  std::vector<ShardPlacement> shard_placement;
 
-  /// Expands the axes into cells, outermost to innermost: replacement,
-  /// prefetch, buffer_pages, clustering, workload. With only the
-  /// clustering and workload axes populated this is exactly the
-  /// policy-major order of bench_common's RunClusteringGrid, and the
-  /// labels match FillDefaultLabels (policy = clustering label, workload =
-  /// workload label, cell = "policy/workload"). Multi-level buffering axes
-  /// prefix the policy label so cell labels stay unique.
+  /// Expands the axes into cells, outermost to innermost: shards,
+  /// shard_placement, replacement, prefetch, buffer_pages, clustering,
+  /// workload. With only the clustering and workload axes populated this
+  /// is exactly the policy-major order of bench_common's
+  /// RunClusteringGrid, and the labels match FillDefaultLabels (policy =
+  /// clustering label, workload = workload label, cell =
+  /// "policy/workload"). Multi-level sharding and buffering axes prefix
+  /// the policy label (e.g. "2shard_Structure_Shard_...") so cell labels
+  /// stay unique.
   std::vector<ScenarioCell> Expand() const;
 
   /// Canonical JSON serialization; ParseScenario(ToJson()) round-trips.

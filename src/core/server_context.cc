@@ -149,6 +149,12 @@ ServerContext::ServerContext(ModelConfig model_config)
           graph.get(), &db, config.workload, user_seed));
     }
   }
+
+  // The shard layer comes last: placement must see the final built (and
+  // possibly statically reorganised) graph, and migration re-places
+  // objects through the per-shard cluster managers. With shards == 1 this
+  // allocates nothing beyond the alias views.
+  shards = std::make_unique<ShardedContext>(*this);
 }
 
 ServerContext::~ServerContext() = default;

@@ -8,6 +8,7 @@
 #include "buffer/prefetcher.h"
 #include "cluster/cluster_manager.h"
 #include "core/model_config.h"
+#include "core/sharding.h"
 #include "dyn/access_tracker.h"
 #include "dyn/recluster_policy.h"
 #include "dyn/reorganizer.h"
@@ -115,6 +116,13 @@ class ServerContext {
   /// `config.profile_spans`, in which case a run is bit-identical to a
   /// build without the subsystem.
   std::unique_ptr<obs::SpanProfiler> spans;
+
+  /// The shard placement layer (DESIGN.md §15). Always constructed (last,
+  /// after the database build and static reorganisation, so placement
+  /// sees the final graph); with `config.shards == 1` it is a pure alias
+  /// of the components above and the run is bit-identical to the
+  /// pre-sharding model.
+  std::unique_ptr<ShardedContext> shards;
 
   CoreMetricHandles handles;
   DynMetricHandles dyn_handles;

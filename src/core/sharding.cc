@@ -1,0 +1,247 @@
+#include "core/sharding.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "buffer/buffer_pool.h"
+#include "cluster/cluster_manager.h"
+#include "core/server_context.h"
+#include "io/io_subsystem.h"
+#include "sim/resource.h"
+#include "storage/storage_manager.h"
+#include "txlog/log_manager.h"
+#include "util/check.h"
+#include "util/random.h"
+
+namespace oodb::core {
+
+namespace {
+
+/// Stateless hash of an object id onto [0, shards): the Hash_Shard
+/// placement and the routing function for hash-placed inserts. SplitMix64
+/// is a full-avalanche mixer, so consecutive ids spread uniformly.
+int HashOwner(obj::ObjectId id, int shards) {
+  return static_cast<int>(SplitMix64(id).Next() %
+                          static_cast<uint64_t>(shards));
+}
+
+}  // namespace
+
+const char* ShardPlacementName(ShardPlacement p) {
+  switch (p) {
+    case ShardPlacement::kHashShard:
+      return "Hash_Shard";
+    case ShardPlacement::kStructureShard:
+      return "Structure_Shard";
+  }
+  return "unknown";
+}
+
+/// Components owned per shard. Shard 0 reuses the ServerContext's own
+/// component set (only the NIC lives here); shards 1..N-1 own a full set,
+/// wired exactly like the ServerContext wires shard 0's.
+struct ShardedContext::ShardState {
+  std::unique_ptr<store::StorageManager> storage;
+  std::unique_ptr<buffer::BufferPool> buffer;
+  std::unique_ptr<cluster::ClusterManager> cluster;
+  std::unique_ptr<io::IoSubsystem> io;
+  std::unique_ptr<txlog::LogManager> log;
+  std::unique_ptr<sim::Resource> cpu;
+  std::unique_ptr<sim::Resource> nic;
+};
+
+ShardedContext::ShardedContext(ServerContext& ctx)
+    : ctx_(ctx),
+      placement_(ctx.config.shard_placement),
+      hop_latency_s_(ctx.config.shard_hop_latency_s),
+      group_cap_(ctx.config.shard_group_cap) {
+  const ModelConfig& config = ctx.config;
+  const int n = config.shards;
+  OODB_CHECK_GE(n, 1);
+
+  ShardView base;
+  base.shard = 0;
+  base.storage = ctx.storage.get();
+  base.buffer = ctx.buffer.get();
+  base.cluster = ctx.cluster.get();
+  base.io = ctx.io.get();
+  base.log = ctx.log.get();
+  base.cpu = ctx.cpu.get();
+  views_.push_back(base);
+  if (n == 1) return;  // pure alias layer: nothing allocated, no NIC
+
+  states_.reserve(static_cast<size_t>(n));
+  for (int s = 0; s < n; ++s) {
+    auto state = std::make_unique<ShardState>();
+    const std::string prefix = "shard" + std::to_string(s) + ".";
+    state->nic = std::make_unique<sim::Resource>(ctx.sim, prefix + "nic", 1);
+    if (s == 0) {
+      views_[0].nic = state->nic.get();
+      states_.push_back(std::move(state));
+      continue;
+    }
+    state->storage = std::make_unique<store::StorageManager>(
+        config.page_size_bytes, config.append_fill_fraction);
+    // Each shard's pool draws from its own stream; the golden-ratio
+    // stride keeps shard seeds distinct for every base seed.
+    state->buffer = std::make_unique<buffer::BufferPool>(
+        config.buffer_pages, config.replacement,
+        (config.seed ^ 0xB0FFEB0FF) +
+            static_cast<uint64_t>(s) * 0x9E3779B97F4A7C15ull);
+    state->cluster = std::make_unique<cluster::ClusterManager>(
+        ctx.graph.get(), state->storage.get(), ctx.affinity.get(),
+        state->buffer.get(), config.clustering);
+    state->io = std::make_unique<io::IoSubsystem>(
+        ctx.sim, config.num_disks, config.page_size_bytes, config.disk);
+    state->log = std::make_unique<txlog::LogManager>(
+        config.log_buffer_bytes, config.page_size_bytes);
+    state->cpu = std::make_unique<sim::Resource>(ctx.sim, prefix + "cpu", 1);
+
+    ShardView v;
+    v.shard = s;
+    v.storage = state->storage.get();
+    v.buffer = state->buffer.get();
+    v.cluster = state->cluster.get();
+    v.io = state->io.get();
+    v.log = state->log.get();
+    v.cpu = state->cpu.get();
+    v.nic = state->nic.get();
+    views_.push_back(v);
+    states_.push_back(std::move(state));
+  }
+
+  assigned_bytes_.assign(static_cast<size_t>(n), 0);
+  ComputeOwners();
+  MigrateToOwners();
+
+  // Same after-the-build attachment rule as the ServerContext: migration
+  // is part of database construction, not the run.
+  for (int s = 1; s < n; ++s) {
+    views_[static_cast<size_t>(s)].buffer->set_trace(&ctx.trace);
+    views_[static_cast<size_t>(s)].io->set_trace(&ctx.trace);
+    views_[static_cast<size_t>(s)].log->set_trace(&ctx.trace);
+    views_[static_cast<size_t>(s)].cluster->set_trace(&ctx.trace);
+  }
+}
+
+ShardedContext::~ShardedContext() = default;
+
+int ShardedContext::LeastLoadedShard() const {
+  int best = 0;
+  for (int s = 1; s < num_shards(); ++s) {
+    if (assigned_bytes_[static_cast<size_t>(s)] <
+        assigned_bytes_[static_cast<size_t>(best)]) {
+      best = s;
+    }
+  }
+  return best;
+}
+
+void ShardedContext::ComputeOwners() {
+  const obj::ObjectGraph& graph = *ctx_.graph;
+  const int n = num_shards();
+  owner_.assign(graph.size(), 0);
+
+  if (placement_ == ShardPlacement::kHashShard) {
+    for (obj::ObjectId id = 0; id < owner_.size(); ++id) {
+      if (!graph.IsLive(id)) continue;
+      const int s = HashOwner(id, n);
+      owner_[id] = static_cast<uint8_t>(s);
+      assigned_bytes_[static_cast<size_t>(s)] +=
+          graph.object(id).size_bytes;
+    }
+    return;
+  }
+
+  // Structure_Shard: grow bounded groups over the structural edges —
+  // configuration, version-history, and instance-inheritance in both
+  // directions; correspondence crosses representation types (schematic vs
+  // layout) and is the one relationship the paper's traversals rarely
+  // follow, so it is the natural cut edge. Expansion is breadth-first
+  // from each unvisited object in id order, neighbours taken heaviest
+  // affinity first, so when the group cap binds the closest structural
+  // relatives made it in. Each finished group lands whole on the
+  // least-loaded shard. Deterministic and RNG-free throughout.
+  std::vector<uint8_t> visited(graph.size(), 0);
+  std::vector<obj::ObjectId> group;
+  struct Neighbour {
+    double weight;
+    obj::ObjectId id;
+  };
+  std::vector<Neighbour> frontier;
+  for (obj::ObjectId seed = 0; seed < graph.size(); ++seed) {
+    if (!graph.IsLive(seed) || visited[seed]) continue;
+    group.clear();
+    group.push_back(seed);
+    visited[seed] = 1;
+    for (size_t at = 0;
+         at < group.size() &&
+         group.size() < static_cast<size_t>(group_cap_);
+         ++at) {
+      const obj::ObjectId from = group[at];
+      frontier.clear();
+      for (const obj::Edge e : graph.edges(from)) {
+        if (e.kind == obj::RelKind::kCorrespondence) continue;
+        if (!graph.IsLive(e.target) || visited[e.target]) continue;
+        frontier.push_back(
+            Neighbour{ctx_.affinity->EdgeWeight(graph, from, e), e.target});
+      }
+      std::sort(frontier.begin(), frontier.end(),
+                [](const Neighbour& a, const Neighbour& b) {
+                  if (a.weight != b.weight) return a.weight > b.weight;
+                  return a.id < b.id;
+                });
+      for (const Neighbour& nb : frontier) {
+        if (group.size() >= static_cast<size_t>(group_cap_)) break;
+        if (visited[nb.id]) continue;  // reachable twice within `frontier`
+        visited[nb.id] = 1;
+        group.push_back(nb.id);
+      }
+    }
+    const int s = LeastLoadedShard();
+    for (const obj::ObjectId id : group) {
+      owner_[id] = static_cast<uint8_t>(s);
+      assigned_bytes_[static_cast<size_t>(s)] +=
+          graph.object(id).size_bytes;
+    }
+  }
+}
+
+void ShardedContext::MigrateToOwners() {
+  // Objects owned by shards 1..N-1 leave the build-time storage and are
+  // re-placed by their owner's cluster manager in id order, so the
+  // clustering policy under test shapes each shard's page layout just as
+  // it shaped the single server's. Build-phase placement carries no
+  // simulated cost (the DbBuilder's placements don't either); the reports
+  // are dropped. Shard 0 keeps its build-time pages untouched.
+  const obj::ObjectGraph& graph = *ctx_.graph;
+  for (obj::ObjectId id = 0; id < owner_.size(); ++id) {
+    if (!graph.IsLive(id) || owner_[id] == 0) continue;
+    if (!ctx_.storage->IsPlaced(id)) continue;
+    OODB_CHECK(ctx_.storage->Erase(id).ok());
+    const ShardView& v = views_[owner_[id]];
+    const cluster::PlacementReport report = v.cluster->PlaceNew(id);
+    OODB_CHECK(report.page != store::kInvalidPage);
+  }
+  for (int s = 1; s < num_shards(); ++s) {
+    views_[static_cast<size_t>(s)].cluster->ResetStats();
+  }
+}
+
+const ShardView& ShardedContext::AssignNew(obj::ObjectId id,
+                                           obj::ObjectId parent) {
+  if (!sharded()) return views_[0];
+  const int s = placement_ == ShardPlacement::kHashShard
+                    ? HashOwner(id, num_shards())
+                    : OwnerOf(parent);
+  if (id >= owner_.size()) owner_.resize(id + 1, 0);
+  owner_[id] = static_cast<uint8_t>(s);
+  if (ctx_.graph->IsLive(id)) {
+    assigned_bytes_[static_cast<size_t>(s)] +=
+        ctx_.graph->object(id).size_bytes;
+  }
+  return views_[static_cast<size_t>(s)];
+}
+
+}  // namespace oodb::core

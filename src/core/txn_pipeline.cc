@@ -22,128 +22,171 @@ constexpr double kInheritanceDerefProbability = 0.5;
 TxnPipeline::TxnPipeline(ServerContext& context)
     : ctx_(context), rng_(context.config.seed) {}
 
-sim::Task TxnPipeline::ChargeCpu(double instructions,
+sim::Task TxnPipeline::ChargeCpu(const ShardView& at, double instructions,
                                  obs::SpanRecorder* prof) {
   const double t0 = ctx_.sim.now();
-  co_await ctx_.cpu->Use(instructions / (ctx_.config.cpu_mips * 1e6));
+  co_await at.cpu->Use(instructions / (ctx_.config.cpu_mips * 1e6));
   if (prof != nullptr) {
     // The CPU resource resumed us synchronously from its Complete, so its
     // last-completed timestamps are this request's: split the interval
     // into queueing wait and service at the dispatch time.
     prof->RecordQueued(obs::SpanPhase::kCpuWait,
                        obs::SpanPhase::kCpuService, t0,
-                       ctx_.cpu->last_start_time(), ctx_.sim.now());
+                       at.cpu->last_start_time(), ctx_.sim.now());
   }
 }
 
-sim::Task TxnPipeline::ChargeLogFlushes(int flushes,
+sim::Task TxnPipeline::ChargeLogFlushes(const ShardView& home, int flushes,
                                         obs::SpanRecorder* prof) {
   for (int i = 0; i < flushes; ++i) {
     // The log stripe round-robins over the disks inside FlushLog, so the
     // caller cannot name the disk to split wait from service; the whole
     // interval is log-force wait.
     const double t0 = ctx_.sim.now();
-    co_await ctx_.io->FlushLog();
+    co_await home.io->FlushLog();
     if (prof != nullptr) {
       prof->RecordSpan(obs::SpanPhase::kLogForceWait, t0, ctx_.sim.now());
     }
-    co_await ChargeCpu(ctx_.config.physical_io_instructions, prof);
+    co_await ChargeCpu(home, ctx_.config.physical_io_instructions, prof);
   }
 }
 
 void TxnPipeline::NotePrefetchEviction(
-    const buffer::BufferPool::FixResult& fix) {
+    int shard, const buffer::BufferPool::FixResult& fix) {
   if (fix.evicted_page == store::kInvalidPage) return;
-  if (prefetched_unused_.erase(fix.evicted_page) == 0) return;
+  if (prefetched_unused_.erase(PrefetchKey(shard, fix.evicted_page)) == 0) {
+    return;
+  }
   ctx_.metrics.Add(ctx_.handles.prefetch_wasted);
   ctx_.trace.Record(obs::Subsystem::kBuffer,
                     obs::TraceEventType::kPrefetchWaste, fix.evicted_page);
 }
 
-void TxnPipeline::NotePrefetchDemand(store::PageId page) {
-  if (prefetched_unused_.erase(page) == 0) return;
+void TxnPipeline::NotePrefetchDemand(int shard, store::PageId page) {
+  if (prefetched_unused_.erase(PrefetchKey(shard, page)) == 0) return;
   ctx_.metrics.Add(ctx_.handles.prefetch_hits);
   ctx_.trace.Record(obs::Subsystem::kBuffer,
                     obs::TraceEventType::kPrefetchHit, page);
 }
 
-sim::Task TxnPipeline::FetchPage(store::PageId page,
+sim::Task TxnPipeline::FetchPage(const ShardView& at, store::PageId page,
                                  obs::SpanRecorder* prof, bool pin) {
   OODB_CHECK_NE(page, store::kInvalidPage);
-  NotePrefetchDemand(page);
-  if (inflight_.find(page) != inflight_.end()) {
+  NotePrefetchDemand(at.shard, page);
+  const uint64_t key = PrefetchKey(at.shard, page);
+  if (inflight_.find(key) != inflight_.end()) {
     // A prefetch for this page is on the disk: join it rather than issuing
     // a duplicate read.
     const double t0 = ctx_.sim.now();
-    co_await PrefetchJoin(*this, page);
+    co_await PrefetchJoin(*this, key);
     if (prof != nullptr) {
       prof->RecordSpan(obs::SpanPhase::kPrefetchOverlap, t0,
                        ctx_.sim.now());
     }
   }
-  const auto fix = ctx_.buffer->Fix(page);
-  NotePrefetchEviction(fix);
+  const auto fix = at.buffer->Fix(page);
+  NotePrefetchEviction(at.shard, fix);
   // Pin before any suspension: concurrent processes may otherwise evict
   // the frame while this one waits on the disk.
-  if (pin) ctx_.buffer->Pin(page);
+  if (pin) at.buffer->Pin(page);
   if (fix.hit) co_return;
-  co_await ChargeCpu(ctx_.config.physical_io_instructions, prof);
+  co_await ChargeCpu(at, ctx_.config.physical_io_instructions, prof);
   if (fix.evicted_dirty) {
     // Worst case (paper §4.1): flush the dirty page before the read.
     // The flush is a cost of fixing a frame, not of this page's read:
     // the whole interval is buffer-fix wait.
     const double t0 = ctx_.sim.now();
-    co_await ctx_.io->Write(fix.evicted_page, io::IoCategory::kDirtyFlush);
+    co_await at.io->Write(fix.evicted_page, io::IoCategory::kDirtyFlush);
     if (prof != nullptr) {
       prof->RecordSpan(obs::SpanPhase::kBufferFixWait, t0, ctx_.sim.now());
     }
-    co_await ChargeCpu(ctx_.config.physical_io_instructions, prof);
+    co_await ChargeCpu(at, ctx_.config.physical_io_instructions, prof);
   }
   const double t0 = ctx_.sim.now();
-  co_await ctx_.io->Read(page, io::IoCategory::kDataRead);
+  co_await at.io->Read(page, io::IoCategory::kDataRead);
   if (prof != nullptr) {
-    const sim::Resource& d = ctx_.io->disk(ctx_.io->DiskOf(page));
+    const sim::Resource& d = at.io->disk(at.io->DiskOf(page));
     prof->RecordQueued(obs::SpanPhase::kIoWait, obs::SpanPhase::kIoService,
                        t0, d.last_start_time(), ctx_.sim.now());
   }
 }
 
-void TxnPipeline::StartPrefetch(store::PageId page) {
-  if (inflight_.find(page) != inflight_.end()) return;
-  inflight_.emplace(page, std::vector<std::coroutine_handle<>>{});
-  prefetched_unused_.insert(page);
+sim::Task TxnPipeline::FetchPageRouted(const ShardView& home,
+                                       const ShardView& at,
+                                       store::PageId page,
+                                       obs::SpanRecorder* prof, bool pin) {
+  if (!ctx_.shards->sharded()) {
+    co_await FetchPage(at, page, prof, pin);
+    co_return;
+  }
+  ShardedContext::Counters& counters = ctx_.shards->counters();
+  if (at.shard == home.shard) {
+    ++counters.local_fetches;
+    co_await FetchPage(at, page, prof, pin);
+    co_return;
+  }
+  // Cross-shard reference: request hop on the home NIC, the fix and any
+  // miss I/O on the owner shard, response hop on the owner NIC. The whole
+  // interval is one remote_fetch_wait leaf — the inner fetch runs with a
+  // null recorder, so the taxonomy stays exactly additive.
+  ++counters.remote_fetches;
+  counters.hops += 2;
+  const double hop = ctx_.shards->hop_latency_s();
+  const double t0 = ctx_.sim.now();
+  co_await home.nic->Use(hop);
+  co_await FetchPage(at, page, /*prof=*/nullptr, pin);
+  co_await at.nic->Use(hop);
+  if (prof != nullptr) {
+    prof->RecordSpan(obs::SpanPhase::kRemoteFetchWait, t0, ctx_.sim.now());
+  }
+  ctx_.trace.Record(obs::Subsystem::kCore,
+                    obs::TraceEventType::kRemoteFetch, page,
+                    static_cast<uint64_t>(home.shard),
+                    static_cast<uint64_t>(at.shard),
+                    ctx_.sim.now() - t0);
+}
+
+void TxnPipeline::StartPrefetch(const ShardView& at, store::PageId page) {
+  const uint64_t key = PrefetchKey(at.shard, page);
+  if (inflight_.find(key) != inflight_.end()) return;
+  inflight_.emplace(key, std::vector<std::coroutine_handle<>>{});
+  prefetched_unused_.insert(key);
   ctx_.metrics.Add(ctx_.handles.prefetch_issued);
   ctx_.trace.Record(obs::Subsystem::kBuffer,
                     obs::TraceEventType::kPrefetchIssue, page);
-  ctx_.io->ReadAsync(page, io::IoCategory::kPrefetchRead,
-                     [this, page] { OnPrefetchComplete(page); });
+  at.io->ReadAsync(page, io::IoCategory::kPrefetchRead,
+                   [this, shard = at.shard, page] {
+                     OnPrefetchComplete(shard, page);
+                   });
 }
 
-void TxnPipeline::OnPrefetchComplete(store::PageId page) {
-  const auto fix = ctx_.buffer->Fix(page);
-  NotePrefetchEviction(fix);
+void TxnPipeline::OnPrefetchComplete(int shard, store::PageId page) {
+  const ShardView& at = ctx_.shards->view(shard);
+  const auto fix = at.buffer->Fix(page);
+  NotePrefetchEviction(shard, fix);
   if (!fix.hit && fix.evicted_dirty) {
-    ctx_.io->WriteAsync(fix.evicted_page, io::IoCategory::kDirtyFlush);
+    at.io->WriteAsync(fix.evicted_page, io::IoCategory::kDirtyFlush);
   }
-  ctx_.buffer->Boost(page, kPrefetchBoost);
-  auto it = inflight_.find(page);
+  at.buffer->Boost(page, kPrefetchBoost);
+  auto it = inflight_.find(PrefetchKey(shard, page));
   OODB_CHECK(it != inflight_.end());
   std::vector<std::coroutine_handle<>> waiters = std::move(it->second);
   inflight_.erase(it);
   for (auto h : waiters) h.resume();
 }
 
-void TxnPipeline::PostAccess(obj::ObjectId id) {
+void TxnPipeline::PostAccess(const ShardView& at, obj::ObjectId id) {
   // Context-sensitive replacement: pages holding this object's structural
-  // relatives gain priority (paper §2.2).
+  // relatives gain priority (paper §2.2). Relatives owned by another
+  // shard have no page in `at`'s storage and fall out naturally.
   if (ctx_.config.replacement ==
       buffer::ReplacementPolicy::kContextSensitive) {
     const obj::TypeId type = ctx_.graph->object(id).type;
     for (const obj::Edge e : ctx_.graph->edges(id)) {
-      const store::PageId p = ctx_.storage->PageOf(e.target);
+      const store::PageId p = at.storage->PageOf(e.target);
       if (p == store::kInvalidPage) continue;
       const double w = ctx_.affinity->Weight(type, e.kind);
-      ctx_.buffer->Boost(p, 1.0 + kContextBoostScale * w);
+      at.buffer->Boost(p, 1.0 + kContextBoostScale * w);
     }
   }
 
@@ -155,32 +198,33 @@ void TxnPipeline::PostAccess(obj::ObjectId id) {
           ? buffer::AccessHint::For(ctx_.config.clustering.hint_kind)
           : buffer::AccessHint::None();
   const auto group = buffer::ComputePrefetchGroup(
-      *ctx_.graph, *ctx_.storage, id, hint, /*config_depth=*/2,
+      *ctx_.graph, *at.storage, id, hint, /*config_depth=*/2,
       /*max_pages=*/8, &ctx_.trace);
   for (store::PageId p : group.pages) {
-    if (ctx_.buffer->Contains(p)) {
-      ctx_.buffer->Boost(p, kPrefetchBoost);
+    if (at.buffer->Contains(p)) {
+      at.buffer->Boost(p, kPrefetchBoost);
     } else if (ctx_.config.prefetch == buffer::PrefetchPolicy::kWithinDb) {
-      StartPrefetch(p);
+      StartPrefetch(at, p);
     }
   }
 }
 
-sim::Task TxnPipeline::AccessObject(obj::ObjectId id, obj::TypeId from_type,
-                                    int nav_kind,
+sim::Task TxnPipeline::AccessObject(const ShardView& home, obj::ObjectId id,
+                                    obj::TypeId from_type, int nav_kind,
                                     obs::SpanRecorder* prof) {
   ++logical_reads_;
   if (ctx_.dyn_tracker) ctx_.dyn_tracker->Observe(id);
-  co_await ChargeCpu(ctx_.config.logical_op_instructions, prof);
+  co_await ChargeCpu(home, ctx_.config.logical_op_instructions, prof);
   if (nav_kind >= 0) {
     ctx_.affinity->RecordTraversal(from_type,
                                    static_cast<obj::RelKind>(nav_kind));
   }
-  const store::PageId page = ctx_.storage->PageOf(id);
+  const ShardView& at = ctx_.shards->HomeOf(id);
+  const store::PageId page = at.storage->PageOf(id);
   if (page != store::kInvalidPage) {
-    co_await FetchPage(page, prof);
+    co_await FetchPageRouted(home, at, page, prof);
   }
-  PostAccess(id);
+  PostAccess(at, id);
 
   // Dereference by-reference inherited attributes with some probability:
   // the heir's data partially lives with its inheritance source.
@@ -193,21 +237,25 @@ sim::Task TxnPipeline::AccessObject(obj::ObjectId id, obj::TypeId from_type,
         ++logical_reads_;
         ctx_.affinity->RecordTraversal(ctx_.graph->object(id).type,
                                        obj::RelKind::kInstanceInheritance);
-        const store::PageId sp = ctx_.storage->PageOf(e.target);
-        if (sp != store::kInvalidPage) co_await FetchPage(sp, prof);
+        const ShardView& src = ctx_.shards->HomeOf(e.target);
+        const store::PageId sp = src.storage->PageOf(e.target);
+        if (sp != store::kInvalidPage) {
+          co_await FetchPageRouted(home, src, sp, prof);
+        }
         break;  // one dereference is representative
       }
     }
   }
 }
 
-sim::Task TxnPipeline::ReadQuery(const workload::TransactionSpec& spec,
+sim::Task TxnPipeline::ReadQuery(const ShardView& home,
+                                 const workload::TransactionSpec& spec,
                                  obs::SpanRecorder* prof) {
   const obj::ObjectId target = spec.target;
   if (!ctx_.graph->IsLive(target)) co_return;
   if (ctx_.dyn_tracker) ctx_.dyn_tracker->BeginTransaction(target);
   const obj::TypeId ttype = ctx_.graph->object(target).type;
-  co_await AccessObject(target, ttype, -1, prof);
+  co_await AccessObject(home, target, ttype, -1, prof);
 
   switch (spec.type) {
     case workload::QueryType::kSimpleLookup:
@@ -216,7 +264,8 @@ sim::Task TxnPipeline::ReadQuery(const workload::TransactionSpec& spec,
       for (obj::ObjectId c : ctx_.graph->Components(target)) {
         if (ctx_.graph->IsLive(c)) {
           co_await AccessObject(
-              c, ttype, static_cast<int>(obj::RelKind::kConfiguration), prof);
+              home, c, ttype,
+              static_cast<int>(obj::RelKind::kConfiguration), prof);
         }
       }
       break;
@@ -233,7 +282,8 @@ sim::Task TxnPipeline::ReadQuery(const workload::TransactionSpec& spec,
         stack.pop_back();
         if (!ctx_.graph->IsLive(o) || !visited.insert(o).second) continue;
         co_await AccessObject(
-            o, ttype, static_cast<int>(obj::RelKind::kConfiguration), prof);
+            home, o, ttype,
+            static_cast<int>(obj::RelKind::kConfiguration), prof);
         for (obj::ObjectId c : ctx_.graph->Components(o)) {
           stack.push_back(c);
         }
@@ -244,7 +294,8 @@ sim::Task TxnPipeline::ReadQuery(const workload::TransactionSpec& spec,
       for (obj::ObjectId d : ctx_.graph->Descendants(target)) {
         if (ctx_.graph->IsLive(d)) {
           co_await AccessObject(
-              d, ttype, static_cast<int>(obj::RelKind::kVersionHistory), prof);
+              home, d, ttype,
+              static_cast<int>(obj::RelKind::kVersionHistory), prof);
         }
       }
       break;
@@ -253,7 +304,8 @@ sim::Task TxnPipeline::ReadQuery(const workload::TransactionSpec& spec,
       for (obj::ObjectId a : ctx_.graph->Ancestors(target)) {
         if (ctx_.graph->IsLive(a)) {
           co_await AccessObject(
-              a, ttype, static_cast<int>(obj::RelKind::kVersionHistory), prof);
+              home, a, ttype,
+              static_cast<int>(obj::RelKind::kVersionHistory), prof);
         }
       }
       break;
@@ -262,7 +314,8 @@ sim::Task TxnPipeline::ReadQuery(const workload::TransactionSpec& spec,
       for (obj::ObjectId c : ctx_.graph->Correspondents(target)) {
         if (ctx_.graph->IsLive(c)) {
           co_await AccessObject(
-              c, ttype, static_cast<int>(obj::RelKind::kCorrespondence), prof);
+              home, c, ttype,
+              static_cast<int>(obj::RelKind::kCorrespondence), prof);
         }
       }
       break;
@@ -273,7 +326,7 @@ sim::Task TxnPipeline::ReadQuery(const workload::TransactionSpec& spec,
       // batch of same-class object fetches with no structural navigation.
       for (obj::ObjectId o : spec.targets) {
         if (o != target && ctx_.graph->IsLive(o)) {
-          co_await AccessObject(o, ttype, -1, prof);
+          co_await AccessObject(home, o, ttype, -1, prof);
         }
       }
       break;
@@ -295,7 +348,8 @@ sim::Task TxnPipeline::ReadQuery(const workload::TransactionSpec& spec,
         stack.pop_back();
         if (!ctx_.graph->IsLive(o) || !visited.insert(o).second) continue;
         co_await AccessObject(
-            o, ttype, static_cast<int>(obj::RelKind::kConfiguration), prof);
+            home, o, ttype,
+            static_cast<int>(obj::RelKind::kConfiguration), prof);
         if (d < spec.depth) {
           for (obj::ObjectId c : ctx_.graph->Components(o)) {
             stack.emplace_back(c, d + 1);
@@ -330,7 +384,7 @@ sim::Task TxnPipeline::ReadQuery(const workload::TransactionSpec& spec,
           if (!ctx_.graph->IsLive(t)) continue;
           if (!visited.insert(t).second) continue;
           co_await AccessObject(
-              t, ttype,
+              home, t, ttype,
               static_cast<int>(obj::RelKind::kInstanceInheritance), prof);
           stack.emplace_back(t, d + 1);
         }
@@ -361,7 +415,8 @@ sim::Task TxnPipeline::ReadQuery(const workload::TransactionSpec& spec,
         const obj::ObjectId chosen = next[rng_.NextBelow(next.size())];
         visited.insert(chosen);
         co_await AccessObject(
-            chosen, ttype, static_cast<int>(obj::RelKind::kConfiguration), prof);
+            home, chosen, ttype,
+            static_cast<int>(obj::RelKind::kConfiguration), prof);
         path.push_back(chosen);
         ++accessed;
       }
@@ -373,131 +428,151 @@ sim::Task TxnPipeline::ReadQuery(const workload::TransactionSpec& spec,
   }
 }
 
-sim::Task TxnPipeline::LogAndDirty(txlog::TxnId txn, store::PageId page,
-                                   uint32_t object_size,
+sim::Task TxnPipeline::LogAndDirty(const ShardView& home,
+                                   const ShardView& at, txlog::TxnId txn,
+                                   store::PageId page, uint32_t object_size,
                                    obs::SpanRecorder* prof) {
   ++logical_writes_;
-  co_await ChargeCpu(ctx_.config.logical_op_instructions, prof);
+  co_await ChargeCpu(home, ctx_.config.logical_op_instructions, prof);
   // The object may have been deleted by a concurrent transaction between
   // target selection and this write; the write then degenerates to a log
-  // record with no page touch.
+  // record with no page touch. Log records always land on the home
+  // shard's log: the transaction's session owns its recovery stream.
   if (page == store::kInvalidPage) {
-    co_await ChargeLogFlushes(ctx_.log->LogWrite(txn, page, object_size),
+    co_await ChargeLogFlushes(home,
+                              home.log->LogWrite(txn, page, object_size),
                               prof);
     co_return;
   }
-  co_await FetchPage(page, prof, /*pin=*/true);  // read-modify-write
-  ctx_.buffer->MarkDirty(page);
-  ctx_.buffer->Unpin(page);
-  co_await ChargeLogFlushes(ctx_.log->LogWrite(txn, page, object_size),
+  co_await FetchPageRouted(home, at, page, prof, /*pin=*/true);
+  at.buffer->MarkDirty(page);
+  at.buffer->Unpin(page);
+  co_await ChargeLogFlushes(home,
+                            home.log->LogWrite(txn, page, object_size),
                             prof);
 }
 
-sim::Task TxnPipeline::WriteObject(txlog::TxnId txn, obj::ObjectId id,
+sim::Task TxnPipeline::WriteObject(const ShardView& home, txlog::TxnId txn,
+                                   obj::ObjectId id,
                                    obs::SpanRecorder* prof) {
   // Object-level write that tolerates concurrent deletion: resolves the
   // page and size only if the object is still live and placed.
-  if (ctx_.graph->IsLive(id) && ctx_.storage->IsPlaced(id)) {
-    co_await LogAndDirty(txn, ctx_.storage->PageOf(id),
-                         ctx_.storage->SizeOf(id), prof);
+  const ShardView& at = ctx_.shards->HomeOf(id);
+  if (ctx_.graph->IsLive(id) && at.storage->IsPlaced(id)) {
+    if (ctx_.shards->sharded() && at.shard != home.shard) {
+      ++ctx_.shards->counters().remote_writes;
+    }
+    co_await LogAndDirty(home, at, txn, at.storage->PageOf(id),
+                         at.storage->SizeOf(id), prof);
   } else {
     ++logical_writes_;
-    co_await ChargeCpu(ctx_.config.logical_op_instructions, prof);
+    co_await ChargeCpu(home, ctx_.config.logical_op_instructions, prof);
     co_await ChargeLogFlushes(
-        ctx_.log->LogWrite(txn, store::kInvalidPage, 64), prof);
+        home, home.log->LogWrite(txn, store::kInvalidPage, 64), prof);
   }
 }
 
 sim::Task TxnPipeline::ChargeExamReads(
-    const cluster::PlacementReport& report, obs::SpanRecorder* prof) {
+    const ShardView& at, const cluster::PlacementReport& report,
+    obs::SpanRecorder* prof) {
   // Candidate pages examined on disk: demand reads charged to the writer,
-  // and the pages enter the buffer pool (they were just read).
+  // and the pages enter the examining shard's buffer pool (they were just
+  // read there).
   for (store::PageId p : report.exam_reads) {
-    const auto fix = ctx_.buffer->Fix(p);
-    NotePrefetchEviction(fix);
+    const auto fix = at.buffer->Fix(p);
+    NotePrefetchEviction(at.shard, fix);
     if (!fix.hit) {
       if (fix.evicted_dirty) {
         const double t0 = ctx_.sim.now();
-        co_await ctx_.io->Write(fix.evicted_page,
-                                io::IoCategory::kDirtyFlush);
+        co_await at.io->Write(fix.evicted_page,
+                              io::IoCategory::kDirtyFlush);
         if (prof != nullptr) {
           prof->RecordSpan(obs::SpanPhase::kBufferFixWait, t0,
                            ctx_.sim.now());
         }
       }
       const double t0 = ctx_.sim.now();
-      co_await ctx_.io->Read(p, io::IoCategory::kClusterRead);
+      co_await at.io->Read(p, io::IoCategory::kClusterRead);
       if (prof != nullptr) {
-        const sim::Resource& d = ctx_.io->disk(ctx_.io->DiskOf(p));
+        const sim::Resource& d = at.io->disk(at.io->DiskOf(p));
         prof->RecordQueued(obs::SpanPhase::kIoWait,
                            obs::SpanPhase::kIoService, t0,
                            d.last_start_time(), ctx_.sim.now());
       }
-      co_await ChargeCpu(ctx_.config.physical_io_instructions, prof);
+      co_await ChargeCpu(at, ctx_.config.physical_io_instructions, prof);
     }
   }
 }
 
-sim::Task TxnPipeline::ChargeSplit(txlog::TxnId txn,
+sim::Task TxnPipeline::ChargeSplit(const ShardView& home,
+                                   const ShardView& at, txlog::TxnId txn,
                                    const cluster::PlacementReport& report,
                                    obs::SpanRecorder* prof) {
   co_await ChargeCpu(
+      at,
       ctx_.config.clustering.split == cluster::SplitPolicy::kExhaustive
           ? ctx_.config.split_exhaustive_instructions
           : ctx_.config.split_linear_instructions,
       prof);
   // The newly allocated page is flushed and the change logged
   // (paper §5.1.2: one extra I/O plus one extra log record).
-  NotePrefetchEviction(ctx_.buffer->Fix(report.split_new_page));
-  ctx_.buffer->MarkDirty(report.split_new_page);
+  NotePrefetchEviction(at.shard, at.buffer->Fix(report.split_new_page));
+  at.buffer->MarkDirty(report.split_new_page);
   const double t0 = ctx_.sim.now();
-  co_await ctx_.io->Write(report.split_new_page, io::IoCategory::kDataWrite);
+  co_await at.io->Write(report.split_new_page, io::IoCategory::kDataWrite);
   if (prof != nullptr) {
     const sim::Resource& d =
-        ctx_.io->disk(ctx_.io->DiskOf(report.split_new_page));
+        at.io->disk(at.io->DiskOf(report.split_new_page));
     prof->RecordQueued(obs::SpanPhase::kIoWait, obs::SpanPhase::kIoService,
                        t0, d.last_start_time(), ctx_.sim.now());
   }
   co_await ChargeLogFlushes(
-      ctx_.log->LogWrite(txn, report.split_new_page,
+      home,
+      home.log->LogWrite(txn, report.split_new_page,
                          ctx_.config.page_size_bytes / 4),
       prof);
 }
 
-sim::Task TxnPipeline::ChargePlacement(txlog::TxnId txn,
+sim::Task TxnPipeline::ChargePlacement(const ShardView& home,
+                                       const ShardView& at, txlog::TxnId txn,
                                        const cluster::PlacementReport& report,
                                        obj::ObjectId placed,
                                        obs::SpanRecorder* prof) {
-  co_await ChargeExamReads(report, prof);
-  if (report.split) co_await ChargeSplit(txn, report, prof);
+  co_await ChargeExamReads(at, report, prof);
+  if (report.split) co_await ChargeSplit(home, at, txn, report, prof);
   // The write of the placed object itself.
-  co_await LogAndDirty(txn, report.page, ctx_.storage->SizeOf(placed),
-                       prof);
+  co_await LogAndDirty(home, at, txn, report.page,
+                       at.storage->SizeOf(placed), prof);
 }
 
-sim::Task TxnPipeline::ReclusterAfterStructureChange(txlog::TxnId txn,
+sim::Task TxnPipeline::ReclusterAfterStructureChange(const ShardView& home,
+                                                     txlog::TxnId txn,
                                                      obj::ObjectId id,
                                                      obs::SpanRecorder* prof) {
   if (ctx_.config.clustering.pool == cluster::CandidatePool::kNoClustering) {
     co_return;
   }
-  if (!ctx_.graph->IsLive(id) || !ctx_.storage->IsPlaced(id)) co_return;
-  co_await ChargeCpu(ctx_.config.cluster_decision_instructions, prof);
-  const auto report = ctx_.cluster->Recluster(id);
-  co_await ChargeExamReads(report, prof);
-  if (report.split) co_await ChargeSplit(txn, report, prof);
+  // Reclustering is a per-shard affair: the owner's cluster manager
+  // reconsiders the placement within the owner's own pages.
+  const ShardView& at = ctx_.shards->HomeOf(id);
+  if (!ctx_.graph->IsLive(id) || !at.storage->IsPlaced(id)) co_return;
+  co_await ChargeCpu(at, ctx_.config.cluster_decision_instructions, prof);
+  const auto report = at.cluster->Recluster(id);
+  co_await ChargeExamReads(at, report, prof);
+  if (report.split) co_await ChargeSplit(home, at, txn, report, prof);
   if (report.relocated) {
     // Moving the object modifies both its old and its new page.
-    const uint32_t size = ctx_.storage->SizeOf(id);
-    co_await LogAndDirty(txn, report.page, size, prof);
+    const uint32_t size = at.storage->SizeOf(id);
+    co_await LogAndDirty(home, at, txn, report.page, size, prof);
     if (report.old_page != store::kInvalidPage &&
         report.old_page != report.page) {
-      co_await LogAndDirty(txn, report.old_page, size, prof);
+      co_await LogAndDirty(home, at, txn, report.old_page, size, prof);
     }
   }
 }
 
-sim::Task TxnPipeline::WriteQuery(const workload::TransactionSpec& spec,
+sim::Task TxnPipeline::WriteQuery(const ShardView& home,
+                                  const workload::TransactionSpec& spec,
                                   txlog::TxnId txn,
                                   obs::SpanRecorder* prof) {
   workload::DesignDatabase::Module& module = ctx_.db.modules[spec.module];
@@ -510,12 +585,12 @@ sim::Task TxnPipeline::WriteQuery(const workload::TransactionSpec& spec,
       // are rewritten in one transaction (the paper's checkin invokes
       // several updates). Co-located components then share before-imaged
       // pages — the Fig 5.5 mechanism.
-      co_await WriteObject(txn, target, prof);
+      co_await WriteObject(home, txn, target, prof);
       int updated = 0;
       for (obj::ObjectId c : ctx_.graph->Components(target)) {
         if (updated >= 6) break;
         if (!rng_.Bernoulli(0.7)) continue;
-        co_await WriteObject(txn, c, prof);
+        co_await WriteObject(home, txn, c, prof);
         ++updated;
       }
       break;
@@ -525,7 +600,7 @@ sim::Task TxnPipeline::WriteQuery(const workload::TransactionSpec& spec,
       if (other == obj::kInvalidObject || !ctx_.graph->IsLive(other) ||
           other == target) {
         // Attachment end vanished: degrade to a simple update.
-        co_await WriteObject(txn, target, prof);
+        co_await WriteObject(home, txn, target, prof);
         break;
       }
       const obj::RelKind kind = rng_.Bernoulli(0.6)
@@ -540,11 +615,11 @@ sim::Task TxnPipeline::WriteQuery(const workload::TransactionSpec& spec,
                            target) == module.composites.end()) {
         module.composites.push_back(target);
       }
-      co_await WriteObject(txn, target, prof);
-      co_await WriteObject(txn, other, prof);
+      co_await WriteObject(home, txn, target, prof);
+      co_await WriteObject(home, txn, other, prof);
       // Both endpoints' structures changed: run-time reclustering.
-      co_await ReclusterAfterStructureChange(txn, target, prof);
-      co_await ReclusterAfterStructureChange(txn, other, prof);
+      co_await ReclusterAfterStructureChange(home, txn, target, prof);
+      co_await ReclusterAfterStructureChange(home, txn, other, prof);
       break;
     }
     case workload::WriteKind::kInsertObject: {
@@ -556,16 +631,21 @@ sim::Task TxnPipeline::WriteQuery(const workload::TransactionSpec& spec,
           parent.family, parent.version, ctx_.types.leaf,
           std::min(size, ctx_.config.page_size_bytes / 4));
       ctx_.graph->Relate(target, child, obj::RelKind::kConfiguration);
-      const auto report = ctx_.cluster->PlaceNew(child);
-      co_await ChargePlacement(txn, report, child, prof);
+      // The new object is routed by the placement policy (hash of its id,
+      // or its parent's shard under Structure_Shard), then placed by the
+      // owner's cluster manager.
+      const ShardView& at = ctx_.shards->AssignNew(child, target);
+      const auto report = at.cluster->PlaceNew(child);
+      co_await ChargePlacement(home, at, txn, report, child, prof);
       module.objects.push_back(child);
       break;
     }
     case workload::WriteKind::kDeriveVersion: {
       const auto derived =
           obj::DeriveVersion(*ctx_.graph, target, ctx_.inherit_model);
-      const auto report = ctx_.cluster->PlaceNew(derived.heir);
-      co_await ChargePlacement(txn, report, derived.heir, prof);
+      const ShardView& at = ctx_.shards->AssignNew(derived.heir, target);
+      const auto report = at.cluster->PlaceNew(derived.heir);
+      co_await ChargePlacement(home, at, txn, report, derived.heir, prof);
       module.objects.push_back(derived.heir);
       module.versioned.push_back(target);
       module.versioned.push_back(derived.heir);
@@ -578,14 +658,15 @@ sim::Task TxnPipeline::WriteQuery(const workload::TransactionSpec& spec,
                                   obj::Direction::kDown) ||
           target == module.root) {
         // Keep the catalogue navigable: only leaves are deleted.
-        co_await WriteObject(txn, target, prof);
+        co_await WriteObject(home, txn, target, prof);
         break;
       }
-      co_await WriteObject(txn, target, prof);
+      co_await WriteObject(home, txn, target, prof);
       // Re-check after the awaits: a concurrent transaction may have
       // deleted the object first.
-      if (ctx_.graph->IsLive(target) && ctx_.storage->IsPlaced(target)) {
-        OODB_CHECK(ctx_.storage->Erase(target).ok());
+      const ShardView& at = ctx_.shards->HomeOf(target);
+      if (ctx_.graph->IsLive(target) && at.storage->IsPlaced(target)) {
+        OODB_CHECK(at.storage->Erase(target).ok());
         ctx_.graph->Remove(target);
       }
       break;
@@ -596,12 +677,13 @@ sim::Task TxnPipeline::WriteQuery(const workload::TransactionSpec& spec,
       // edge, so only the module root is off limits. This is what makes
       // static placements fragment over churn epochs.
       if (target == module.root) {
-        co_await WriteObject(txn, target, prof);
+        co_await WriteObject(home, txn, target, prof);
         break;
       }
-      co_await WriteObject(txn, target, prof);
-      if (ctx_.graph->IsLive(target) && ctx_.storage->IsPlaced(target)) {
-        OODB_CHECK(ctx_.storage->Erase(target).ok());
+      co_await WriteObject(home, txn, target, prof);
+      const ShardView& at = ctx_.shards->HomeOf(target);
+      if (ctx_.graph->IsLive(target) && at.storage->IsPlaced(target)) {
+        OODB_CHECK(at.storage->Erase(target).ok());
         ctx_.graph->Remove(target);
       }
       break;
@@ -609,11 +691,12 @@ sim::Task TxnPipeline::WriteQuery(const workload::TransactionSpec& spec,
   }
 }
 
-sim::Task TxnPipeline::MaybeReorganize(txlog::TxnId txn,
+sim::Task TxnPipeline::MaybeReorganize(const ShardView& home,
+                                       txlog::TxnId txn,
                                        obs::SpanRecorder* prof) {
   dyn::AccessTracker& tracker = *ctx_.dyn_tracker;
   dyn::ReclusterPolicy& policy = *ctx_.dyn_policy;
-  const double depth = ctx_.io->MaxQueueDepth();
+  const double depth = home.io->MaxQueueDepth();
   if (depth > ctx_.metrics.value(ctx_.dyn_handles.queue_depth_peak)) {
     ctx_.metrics.Set(ctx_.dyn_handles.queue_depth_peak, depth);
   }
@@ -645,7 +728,8 @@ sim::Task TxnPipeline::MaybeReorganize(txlog::TxnId txn,
                      ctx_.sim.now());
       break;
     }
-    co_await ChargeCpu(ctx_.config.cluster_decision_instructions, prof);
+    co_await ChargeCpu(home, ctx_.config.cluster_decision_instructions,
+                       prof);
     const dyn::ReorgResult result =
         ctx_.dyn_reorganizer->Reorganize(unit, budget);
     if (result.moves.empty()) continue;
@@ -656,39 +740,41 @@ sim::Task TxnPipeline::MaybeReorganize(txlog::TxnId txn,
     // a miss, mirroring exam reads) and dirtied; the relocations reach
     // disk through the ordinary dirty-flush path.
     for (const store::PageId page : result.pages_touched) {
-      const auto fix = ctx_.buffer->Fix(page);
-      NotePrefetchEviction(fix);
-      ctx_.buffer->Pin(page);
+      const auto fix = home.buffer->Fix(page);
+      NotePrefetchEviction(home.shard, fix);
+      home.buffer->Pin(page);
       if (!fix.hit) {
-        co_await ChargeCpu(ctx_.config.physical_io_instructions, prof);
+        co_await ChargeCpu(home, ctx_.config.physical_io_instructions,
+                           prof);
         if (fix.evicted_dirty) {
           // Phases here are nominal: the recorder's dyn scope is set for
           // the whole drain, so every tick lands in kDynRecluster.
           const double tf = ctx_.sim.now();
-          co_await ctx_.io->Write(fix.evicted_page,
+          co_await home.io->Write(fix.evicted_page,
                                   io::IoCategory::kDirtyFlush);
           if (prof != nullptr) {
             prof->RecordSpan(obs::SpanPhase::kBufferFixWait, tf,
                              ctx_.sim.now());
           }
-          co_await ChargeCpu(ctx_.config.physical_io_instructions, prof);
+          co_await ChargeCpu(home, ctx_.config.physical_io_instructions,
+                             prof);
         }
         const double t0 = ctx_.sim.now();
-        co_await ctx_.io->Read(page, io::IoCategory::kClusterRead);
+        co_await home.io->Read(page, io::IoCategory::kClusterRead);
         if (prof != nullptr) {
-          const sim::Resource& d = ctx_.io->disk(ctx_.io->DiskOf(page));
+          const sim::Resource& d = home.io->disk(home.io->DiskOf(page));
           prof->RecordQueued(obs::SpanPhase::kIoWait,
                              obs::SpanPhase::kIoService, t0,
                              d.last_start_time(), ctx_.sim.now());
         }
         ctx_.metrics.Add(ctx_.dyn_handles.reorg_reads);
       }
-      ctx_.buffer->MarkDirty(page);
-      ctx_.buffer->Unpin(page);
+      home.buffer->MarkDirty(page);
+      home.buffer->Unpin(page);
     }
     for (const dyn::ReorgMove& mv : result.moves) {
       co_await ChargeLogFlushes(
-          ctx_.log->LogWrite(txn, mv.to, mv.size_bytes), prof);
+          home, home.log->LogWrite(txn, mv.to, mv.size_bytes), prof);
     }
     ctx_.trace.Record(obs::Subsystem::kCluster,
                       obs::TraceEventType::kDynReorg, unit.anchor,
@@ -701,6 +787,10 @@ sim::Task TxnPipeline::ExecuteTransaction(
     const workload::TransactionSpec& spec) {
   const txlog::TxnId txn = next_txn_++;
   const double start = ctx_.sim.now();
+  // The transaction's session lives on its target's shard: CPU for
+  // logical operations, log records, and the commit force all land there.
+  // With shards = 1 (or an invalid target) this is the single server.
+  const ShardView& home = ctx_.shards->HomeOf(spec.target);
   // The recorder lives in this coroutine's frame: transactions interleave
   // at every await, so per-transaction recording state cannot be a
   // pipeline member. Disabled (null profiler) it allocates nothing and
@@ -710,12 +800,12 @@ sim::Task TxnPipeline::ExecuteTransaction(
   obs::SpanRecorder* prof = recorder.enabled() ? &recorder : nullptr;
   ctx_.trace.Record(obs::Subsystem::kCore, obs::TraceEventType::kTxnBegin,
                     txn, static_cast<uint64_t>(spec.type));
-  ctx_.log->Begin(txn);
+  home.log->Begin(txn);
   if (prof != nullptr) prof->BeginScope(obs::SpanScope::kQuery, start);
   if (spec.type == workload::QueryType::kObjectWrite) {
-    co_await WriteQuery(spec, txn, prof);
+    co_await WriteQuery(home, spec, txn, prof);
   } else {
-    co_await ReadQuery(spec, prof);
+    co_await ReadQuery(home, spec, prof);
   }
   if (prof != nullptr) prof->EndScope(ctx_.sim.now());
   if (ctx_.dyn_policy) {
@@ -723,7 +813,7 @@ sim::Task TxnPipeline::ExecuteTransaction(
       prof->BeginScope(obs::SpanScope::kReorg, ctx_.sim.now());
       prof->set_dyn_scope(true);
     }
-    co_await MaybeReorganize(txn, prof);
+    co_await MaybeReorganize(home, txn, prof);
     if (prof != nullptr) {
       prof->set_dyn_scope(false);
       prof->EndScope(ctx_.sim.now());
@@ -733,7 +823,7 @@ sim::Task TxnPipeline::ExecuteTransaction(
     prof->BeginScope(obs::SpanScope::kCommit, ctx_.sim.now());
   }
   co_await ChargeLogFlushes(
-      ctx_.log->Commit(txn, ctx_.config.force_log_at_commit), prof);
+      home, home.log->Commit(txn, ctx_.config.force_log_at_commit), prof);
   if (prof != nullptr) prof->EndScope(ctx_.sim.now());
   recorder.Finish(ctx_.sim.now());
   ctx_.trace.Record(obs::Subsystem::kCore, obs::TraceEventType::kTxnEnd,

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "core/server_context.h"
+#include "core/sharding.h"
 #include "sim/process.h"
 #include "util/random.h"
 
@@ -20,6 +21,16 @@
 /// random stream, so the draw sequence is exactly the monolithic
 /// model's. No measurement state lives here — the controller observes
 /// transactions from the outside.
+///
+/// Sharding (DESIGN.md §15) threads through this layer as frame-local
+/// ShardView references, never pipeline state: a transaction executes on
+/// the *home* shard of its target (session CPU, log records, commit
+/// forces), and each object access resolves its owner's view and routes
+/// the page work there — through FetchPageRouted, which charges the
+/// cross-shard hop cost when owner != home. With `shards = 1` every view
+/// is the same alias of the single server's components, the routing
+/// branch never fires, and the execution is bit-identical to the
+/// pre-sharding pipeline.
 
 namespace oodb::core {
 
@@ -49,36 +60,55 @@ class TxnPipeline {
   // time of each of its awaits to one phase of the additive taxonomy
   // (DESIGN.md §14). The recorder lives in ExecuteTransaction's coroutine
   // frame — transactions interleave at every await, so it cannot be
-  // pipeline state — and is threaded down by pointer.
+  // pipeline state — and is threaded down by pointer. ShardView
+  // references ride the same way: `home` is the transaction's session
+  // shard, `at` the shard whose components execute the page work.
 
   // Read-side primitives.
-  sim::Task AccessObject(obj::ObjectId id, obj::TypeId from_type,
-                         int nav_kind, obs::SpanRecorder* prof);
-  /// Makes `page` resident, charging I/O. With `pin`, the page is pinned
-  /// before any suspension and stays pinned on return (caller unpins) —
-  /// required when the caller mutates the frame after the awaits.
-  sim::Task FetchPage(store::PageId page, obs::SpanRecorder* prof,
-                      bool pin = false);
-  sim::Task ReadQuery(const workload::TransactionSpec& spec,
+  sim::Task AccessObject(const ShardView& home, obj::ObjectId id,
+                         obj::TypeId from_type, int nav_kind,
+                         obs::SpanRecorder* prof);
+  /// Makes `page` resident in `at`'s pool, charging `at`'s I/O. With
+  /// `pin`, the page is pinned before any suspension and stays pinned on
+  /// return (caller unpins) — required when the caller mutates the frame
+  /// after the awaits.
+  sim::Task FetchPage(const ShardView& at, store::PageId page,
+                      obs::SpanRecorder* prof, bool pin = false);
+  /// FetchPage routed across shards: local when `at` is `home`'s shard,
+  /// otherwise a request hop on home's NIC, the fetch on `at`, and a
+  /// response hop back — the whole remote interval recorded as one
+  /// `remote_fetch_wait` leaf (the inner fetch runs unprofiled so the
+  /// span taxonomy stays additive).
+  sim::Task FetchPageRouted(const ShardView& home, const ShardView& at,
+                            store::PageId page, obs::SpanRecorder* prof,
+                            bool pin = false);
+  sim::Task ReadQuery(const ShardView& home,
+                      const workload::TransactionSpec& spec,
                       obs::SpanRecorder* prof);
 
   // Write-side primitives.
-  sim::Task WriteQuery(const workload::TransactionSpec& spec,
+  sim::Task WriteQuery(const ShardView& home,
+                       const workload::TransactionSpec& spec,
                        txlog::TxnId txn, obs::SpanRecorder* prof);
-  sim::Task LogAndDirty(txlog::TxnId txn, store::PageId page,
+  sim::Task LogAndDirty(const ShardView& home, const ShardView& at,
+                        txlog::TxnId txn, store::PageId page,
                         uint32_t object_size, obs::SpanRecorder* prof);
   /// Object-level write that tolerates concurrent deletion of `id`.
-  sim::Task WriteObject(txlog::TxnId txn, obj::ObjectId id,
-                        obs::SpanRecorder* prof);
-  sim::Task ChargeExamReads(const cluster::PlacementReport& report,
+  sim::Task WriteObject(const ShardView& home, txlog::TxnId txn,
+                        obj::ObjectId id, obs::SpanRecorder* prof);
+  sim::Task ChargeExamReads(const ShardView& at,
+                            const cluster::PlacementReport& report,
                             obs::SpanRecorder* prof);
-  sim::Task ChargeSplit(txlog::TxnId txn,
+  sim::Task ChargeSplit(const ShardView& home, const ShardView& at,
+                        txlog::TxnId txn,
                         const cluster::PlacementReport& report,
                         obs::SpanRecorder* prof);
-  sim::Task ChargePlacement(txlog::TxnId txn,
+  sim::Task ChargePlacement(const ShardView& home, const ShardView& at,
+                            txlog::TxnId txn,
                             const cluster::PlacementReport& report,
                             obj::ObjectId placed, obs::SpanRecorder* prof);
-  sim::Task ReclusterAfterStructureChange(txlog::TxnId txn,
+  sim::Task ReclusterAfterStructureChange(const ShardView& home,
+                                          txlog::TxnId txn,
                                           obj::ObjectId id,
                                           obs::SpanRecorder* prof);
   /// Dynamic re-clustering drain (src/dyn/), run at the end of every
@@ -86,42 +116,57 @@ class TxnPipeline {
   /// its observation period elapses, asks the DSTC/OPCF policy which
   /// clustering units may execute now, and charges every touched page and
   /// log record to this transaction on the virtual clock. Only called
-  /// when a dynamic policy is enabled.
-  sim::Task MaybeReorganize(txlog::TxnId txn, obs::SpanRecorder* prof);
+  /// when a dynamic policy is enabled (which Validate rejects for
+  /// shards > 1, so `home` is always the single server here).
+  sim::Task MaybeReorganize(const ShardView& home, txlog::TxnId txn,
+                            obs::SpanRecorder* prof);
 
-  sim::Task ChargeCpu(double instructions, obs::SpanRecorder* prof);
-  sim::Task ChargeLogFlushes(int flushes, obs::SpanRecorder* prof);
+  sim::Task ChargeCpu(const ShardView& at, double instructions,
+                      obs::SpanRecorder* prof);
+  sim::Task ChargeLogFlushes(const ShardView& home, int flushes,
+                             obs::SpanRecorder* prof);
 
-  // Buffer-semantics hooks (boosts + prefetch) after an object access.
-  void PostAccess(obj::ObjectId id);
-  void StartPrefetch(store::PageId page);
-  void OnPrefetchComplete(store::PageId page);
+  // Buffer-semantics hooks (boosts + prefetch) after an object access,
+  // against the components of the shard that holds the object.
+  void PostAccess(const ShardView& at, obj::ObjectId id);
+  void StartPrefetch(const ShardView& at, store::PageId page);
+  void OnPrefetchComplete(int shard, store::PageId page);
 
-  /// Awaits completion of an in-flight prefetch of `page`.
+  /// Prefetch bookkeeping key: pages live per shard, so the maps below
+  /// key on (shard, page). Shard 0 keys equal the bare page id, and the
+  /// maps are never iterated, so the single-server draw/metric sequence
+  /// is untouched by the wider key.
+  static uint64_t PrefetchKey(int shard, store::PageId page) {
+    return (static_cast<uint64_t>(shard) << 32) |
+           static_cast<uint64_t>(page);
+  }
+
+  /// Awaits completion of an in-flight prefetch keyed by PrefetchKey.
   class PrefetchJoin {
    public:
-    PrefetchJoin(TxnPipeline& pipeline, store::PageId page)
-        : pipeline_(pipeline), page_(page) {}
+    PrefetchJoin(TxnPipeline& pipeline, uint64_t key)
+        : pipeline_(pipeline), key_(key) {}
     bool await_ready() const {
-      return pipeline_.inflight_.find(page_) == pipeline_.inflight_.end();
+      return pipeline_.inflight_.find(key_) == pipeline_.inflight_.end();
     }
     void await_suspend(std::coroutine_handle<> h) {
-      pipeline_.inflight_[page_].push_back(h);
+      pipeline_.inflight_[key_].push_back(h);
     }
     void await_resume() {}
 
    private:
     TxnPipeline& pipeline_;
-    store::PageId page_;
+    uint64_t key_;
   };
 
   /// Prefetch-effectiveness bookkeeping around a Fix: if the eviction the
   /// fix caused threw out a prefetched-but-never-referenced page, that
   /// prefetch was wasted.
-  void NotePrefetchEviction(const buffer::BufferPool::FixResult& fix);
-  /// Records a demand access to `page`; a pending prefetch of it counts
-  /// as a prefetch hit.
-  void NotePrefetchDemand(store::PageId page);
+  void NotePrefetchEviction(int shard,
+                            const buffer::BufferPool::FixResult& fix);
+  /// Records a demand access to `page` on `shard`; a pending prefetch of
+  /// it counts as a prefetch hit.
+  void NotePrefetchDemand(int shard, store::PageId page);
 
   ServerContext& ctx_;
   Rng rng_;
@@ -130,14 +175,14 @@ class TxnPipeline {
   uint64_t logical_reads_ = 0;
   uint64_t logical_writes_ = 0;
 
-  // In-flight prefetch reads: page -> waiting processes.
-  std::unordered_map<store::PageId, std::vector<std::coroutine_handle<>>>
+  // In-flight prefetch reads: (shard, page) key -> waiting processes.
+  std::unordered_map<uint64_t, std::vector<std::coroutine_handle<>>>
       inflight_;
 
   // Pages brought in (or being brought in) by prefetch that no demand
   // access has referenced yet: a later demand access scores a hit, an
-  // eviction first scores a waste.
-  std::unordered_set<store::PageId> prefetched_unused_;
+  // eviction first scores a waste. Keyed like `inflight_`.
+  std::unordered_set<uint64_t> prefetched_unused_;
 };
 
 }  // namespace oodb::core

@@ -26,8 +26,12 @@ std::string Violation::Describe(const ObjectGraph& graph) const {
   std::string out = ViolationKindName(kind);
   out += ": ";
   auto name = [&](ObjectId id) {
-    return graph.IsLive(id) ? graph.NameOf(id).ToString()
-                            : "#" + std::to_string(id);
+    if (graph.IsLive(id)) return graph.NameOf(id).ToString();
+    // Build "#<id>" via append: `"#" + std::to_string(id)` trips GCC 12's
+    // -Werror=restrict false positive (PR105651) at -O3.
+    std::string anonymous("#");
+    anonymous += std::to_string(id);
+    return anonymous;
   };
   out += name(a);
   if (b != kInvalidObject) {

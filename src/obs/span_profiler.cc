@@ -38,6 +38,8 @@ const char* SpanPhaseName(SpanPhase p) {
       return "prefetch_overlap";
     case SpanPhase::kDynRecluster:
       return "dyn_recluster";
+    case SpanPhase::kRemoteFetchWait:
+      return "remote_fetch_wait";
   }
   return "unknown";
 }

@@ -17,7 +17,8 @@
 /// transaction's response time to one phase of an exact, additive
 /// taxonomy — CPU service, CPU queue wait, I/O service, I/O queue wait,
 /// buffer-fix wait (dirty-victim flushes inside a fix), log-force wait,
-/// prefetch overlap, and dynamic-reclustering overhead.
+/// prefetch overlap, dynamic-reclustering overhead, and remote-fetch
+/// wait (cross-shard page accesses when the model runs sharded).
 ///
 /// The additivity argument: within a transaction coroutine, simulated
 /// time only advances while the coroutine is suspended at a leaf await
@@ -66,8 +67,9 @@ enum class SpanPhase : uint8_t {
   kLogForceWait,     ///< synchronous log flush (queue + service)
   kPrefetchOverlap,  ///< joined an in-flight prefetch of a wanted page
   kDynRecluster,     ///< dynamic-reclustering drain (src/dyn/) overhead
+  kRemoteFetchWait,  ///< cross-shard page access (hops + remote service)
 };
-inline constexpr int kNumSpanPhases = 8;
+inline constexpr int kNumSpanPhases = 9;
 
 /// Snake-case phase label ("cpu_service", ...), used for metric names,
 /// the bench-JSONL "breakdown" keys, and the exported span names.

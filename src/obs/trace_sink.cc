@@ -37,6 +37,7 @@ const EventMeta& MetaOf(TraceEventType t) {
       {"dyn-trigger", "units", "tracked", "pending", "queue_depth"},
       {"dyn-reorg", "anchor", "moved", "pages", "heat"},
       {"span", "txn", "code", "query", "dur_s"},
+      {"remote-fetch", "page", "home", "owner", "wait_s"},
   };
   return kMeta[static_cast<size_t>(t)];
 }

@@ -63,6 +63,8 @@ enum class TraceEventType : uint8_t {
   kSpan,            ///< a: txn id, b: span code (obs::SpanCodeName),
                     ///< c: query type, v: duration seconds; exported as
                     ///< a Chrome "X" complete event, not an instant
+  kRemoteFetch,     ///< a: page, b: home shard, c: owner shard,
+                    ///< v: total remote wait seconds (hops + service)
 };
 const char* TraceEventTypeName(TraceEventType t);
 

@@ -215,7 +215,11 @@ DesignDatabase DbBuilder::Build(CadTypes types) {
   auto start_module = [&](StreamState& s) {
     s = StreamState{};
     s.plan = PlanModule();
-    s.family = graph_->NewFamily("M" + std::to_string(module_index++));
+    // Build "M<n>" via append: `"M" + std::to_string(n)` trips GCC 12's
+    // -Werror=restrict false positive (PR105651) at -O3.
+    std::string module_name("M");
+    module_name += std::to_string(module_index++);
+    s.family = graph_->NewFamily(module_name);
   };
   for (auto& s : streams) start_module(s);
 

@@ -273,7 +273,12 @@ bool LoadRecords(const char* path, std::vector<Record>& out) {
         (bench != r.fields.end() ? bench->second.text : "?") + "/" +
         (cell != r.fields.end() ? cell->second.text : "?");
     const int n = occurrences[id]++;
-    if (n > 0) id += "#" + std::to_string(n);
+    if (n > 0) {
+      // Append in two steps: `"#" + std::to_string(n)` trips GCC 12's
+      // -Werror=restrict false positive (PR105651) at -O3.
+      id += "#";
+      id += std::to_string(n);
+    }
     r.key = std::move(id);
     out.push_back(std::move(r));
   }

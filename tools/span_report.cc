@@ -2,7 +2,8 @@
 // runs embed in bench JSONL (`"breakdown"` sections, DESIGN.md §14) as
 // stacked share tables: where each policy's response time actually goes.
 //
-// Usage: span_report [--csv] [--check] [--by-cell] <bench.jsonl>...
+// Usage: span_report [--csv] [--check] [--by-cell] [--shards]
+//                    <bench.jsonl>...
 //
 //   (default)  one row per policy, phases as percent of total response
 //              ticks summed over that policy's cells and txn kinds — the
@@ -11,12 +12,19 @@
 //   --by-cell  one row per cell instead (policy/workload resolution)
 //   --csv      raw integer ticks, one row per (cell, txn kind), for
 //              plotting or jq post-processing
-//   --check    additivity audit only: for every (cell, kind) the eight
+//   --check    additivity audit only: for every (cell, kind) the
 //              phase totals must sum to response_ticks EXACTLY (they are
 //              integer virtual-time ticks, so there is no tolerance).
 //              Exit 1 on any violation, 0 otherwise. Exit 2 when no
 //              record carries a breakdown (the run had profile_spans off)
 //              so CI cannot green-light an unprofiled file by accident.
+//   --shards   per-shard balance view of a sharded run (core/sharding.*):
+//              one row per (cell, shard) from the "shardN."-prefixed
+//              metrics a sharded MeasurementController registers, plus
+//              each cell's cross-shard traffic (shard.* counters and the
+//              remote_fetch_fraction gauge). Works on any bench JSONL
+//              with embedded metrics; profile_spans is not required.
+//              Exit 2 when no record carries per-shard metrics.
 //
 // The exporter writes one JSON object per line, so this tool line-scans
 // with string searches like trace_summary does; the only nested structure
@@ -34,17 +42,20 @@
 
 namespace {
 
-/// The eight phase keys, in the additive taxonomy's order. Kept in sync
-/// with obs::SpanPhaseName (span_test.cc pins the spelling).
+/// The nine phase keys, in the additive taxonomy's order. Kept in sync
+/// with obs::SpanPhaseName (span_test.cc pins the spelling). Files from
+/// before the sharded model simply lack `remote_fetch_wait_ticks`, which
+/// reads as 0 and keeps the additivity audit exact.
 constexpr const char* kPhaseKeys[] = {
-    "cpu_service", "cpu_wait",       "io_service",       "io_wait",
-    "buffer_fix_wait", "log_force_wait", "prefetch_overlap", "dyn_recluster",
+    "cpu_service",      "cpu_wait",       "io_service",
+    "io_wait",          "buffer_fix_wait", "log_force_wait",
+    "prefetch_overlap", "dyn_recluster",  "remote_fetch_wait",
 };
-constexpr int kNumPhases = 8;
+constexpr int kNumPhases = 9;
 
 /// Column headers for the share tables (percent of response time).
 constexpr const char* kPhaseHeads[] = {
-    "cpu%", "cpuq%", "io%", "ioq%", "fix%", "log%", "pref%", "dyn%",
+    "cpu%", "cpuq%", "io%", "ioq%", "fix%", "log%", "pref%", "dyn%", "rmt%",
 };
 
 struct Totals {
@@ -111,6 +122,70 @@ void Fold(Totals& into, const Totals& t) {
   for (int p = 0; p < kNumPhases; ++p) into.phase_ticks[p] += t.phase_ticks[p];
 }
 
+double DoubleValue(const std::string& text, const char* key) {
+  const std::string raw = RawValue(text, key);
+  return raw.empty() ? 0.0 : std::strtod(raw.c_str(), nullptr);
+}
+
+/// Renders the per-shard balance view of every record in `paths` that
+/// carries "shardN."-prefixed metrics. Returns the number of sharded
+/// records found.
+uint64_t PrintShardTables(const std::vector<const char*>& paths) {
+  uint64_t sharded_records = 0;
+  for (const char* path : paths) {
+    std::ifstream in(path);
+    if (!in) {
+      std::fprintf(stderr, "span_report: cannot open %s\n", path);
+      continue;
+    }
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.find("\"shard0.buffer.hits\"") == std::string::npos) continue;
+      if (sharded_records == 0) {
+        std::printf("%-42s %5s %10s %10s %10s %6s %6s %6s\n", "cell",
+                    "shard", "buf_hits", "buf_miss", "data_read", "disk%",
+                    "cpu%", "nic%");
+      }
+      ++sharded_records;
+      const std::string cell = RawValue(line, "cell_label");
+      for (int s = 0;; ++s) {
+        const std::string prefix = "shard" + std::to_string(s) + ".";
+        if (line.find("\"" + prefix + "buffer.hits\"") == std::string::npos) {
+          break;
+        }
+        const auto key = [&prefix](const char* name) {
+          return prefix + name;
+        };
+        std::printf(
+            "%-42s %5d %10llu %10llu %10llu %6.2f %6.2f %6.2f\n",
+            s == 0 ? cell.c_str() : "", s,
+            static_cast<unsigned long long>(
+                UintValue(line, key("buffer.hits").c_str())),
+            static_cast<unsigned long long>(
+                UintValue(line, key("buffer.misses").c_str())),
+            static_cast<unsigned long long>(
+                UintValue(line, key("io.data_read").c_str())),
+            100.0 * DoubleValue(line, key("io.mean_disk_utilization").c_str()),
+            100.0 * DoubleValue(line, key("cpu.utilization").c_str()),
+            100.0 * DoubleValue(line, key("nic.utilization").c_str()));
+      }
+      std::printf("%-42s cross-shard: local=%llu remote=%llu hops=%llu "
+                  "remote_writes=%llu remote_fraction=%.3f\n",
+                  "",
+                  static_cast<unsigned long long>(
+                      UintValue(line, "shard.local_fetches")),
+                  static_cast<unsigned long long>(
+                      UintValue(line, "shard.remote_fetches")),
+                  static_cast<unsigned long long>(
+                      UintValue(line, "shard.hops")),
+                  static_cast<unsigned long long>(
+                      UintValue(line, "shard.remote_writes")),
+                  DoubleValue(line, "shard.remote_fetch_fraction"));
+    }
+  }
+  return sharded_records;
+}
+
 void PrintShareTable(const char* row_head,
                      const std::map<std::string, Totals>& rows) {
   std::printf("%-32s %8s %10s", row_head, "txns", "resp_s");
@@ -138,6 +213,7 @@ int main(int argc, char** argv) {
   bool csv = false;
   bool check = false;
   bool by_cell = false;
+  bool shards = false;
   std::vector<const char*> paths;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--csv") == 0) {
@@ -146,10 +222,12 @@ int main(int argc, char** argv) {
       check = true;
     } else if (std::strcmp(argv[i], "--by-cell") == 0) {
       by_cell = true;
+    } else if (std::strcmp(argv[i], "--shards") == 0) {
+      shards = true;
     } else if (argv[i][0] == '-') {
       std::fprintf(stderr,
                    "usage: span_report [--csv] [--check] [--by-cell] "
-                   "<bench.jsonl>...\n");
+                   "[--shards] <bench.jsonl>...\n");
       return 2;
     } else {
       paths.push_back(argv[i]);
@@ -158,7 +236,15 @@ int main(int argc, char** argv) {
   if (paths.empty()) {
     std::fprintf(stderr,
                  "usage: span_report [--csv] [--check] [--by-cell] "
-                 "<bench.jsonl>...\n");
+                 "[--shards] <bench.jsonl>...\n");
+    return 2;
+  }
+
+  if (shards) {
+    if (PrintShardTables(paths) != 0) return 0;
+    std::fprintf(stderr,
+                 "span_report: no \"shardN.\" metrics found — was the run "
+                 "sharded (config \"shards\" > 1) with metrics on?\n");
     return 2;
   }
 

@@ -150,10 +150,12 @@ int main(int argc, char** argv) {
     ++cell.events;
     ++parsed;
     const std::string name = RawValue(line, "name");
-    // Dynamic-reclustering events ride on the "cluster" category in the
-    // trace; classify them as their own subsystem row in the table.
+    // Dynamic-reclustering events ride on the "cluster" category and
+    // cross-shard fetches on "core"; classify each as its own subsystem
+    // row in the table.
     std::string cat = RawValue(line, "cat");
     if (name == "dyn-trigger" || name == "dyn-reorg") cat = "dyn";
+    if (name == "remote-fetch") cat = "shard";
     SubsystemRollup& sub = cell.subsystems[cat];
     if (sub.events == 0 || ts < sub.first_ts_us) sub.first_ts_us = ts;
     if (ts > sub.last_ts_us) sub.last_ts_us = ts;
@@ -200,6 +202,7 @@ int main(int argc, char** argv) {
   uint64_t total_dropped = 0;
   uint64_t total_dyn_triggers = 0;
   uint64_t total_dyn_reorgs = 0;
+  uint64_t total_remote_fetches = 0;
   for (const auto& [pid, cell] : cells) {
     std::printf("cell %lld (%s): %llu events retained",
                 pid, cell.label.empty() ? "?" : cell.label.c_str(),
@@ -246,15 +249,23 @@ int main(int argc, char** argv) {
         if (name == "dyn-reorg") total_dyn_reorgs += count;
       }
     }
+    const auto shard = cell.subsystems.find("shard");
+    if (shard != cell.subsystems.end()) {
+      for (const auto& [name, count] : shard->second.by_name) {
+        if (name == "remote-fetch") total_remote_fetches += count;
+      }
+    }
   }
   std::printf("total: %zu cell(s), %llu events (%llu dropped), "
               "io %llu page reads + %llu page writes, "
-              "dyn %llu triggers + %llu reorgs\n",
+              "dyn %llu triggers + %llu reorgs, "
+              "shard %llu remote fetches\n",
               cells.size(), static_cast<unsigned long long>(total_events),
               static_cast<unsigned long long>(total_dropped),
               static_cast<unsigned long long>(total_reads),
               static_cast<unsigned long long>(total_writes),
               static_cast<unsigned long long>(total_dyn_triggers),
-              static_cast<unsigned long long>(total_dyn_reorgs));
+              static_cast<unsigned long long>(total_dyn_reorgs),
+              static_cast<unsigned long long>(total_remote_fetches));
   return parsed == 0 ? 1 : 0;
 }
