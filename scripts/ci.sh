@@ -234,6 +234,94 @@ fi
 "${BUILD}/tools/bench_diff" "${D1}" "${D4}"
 "${BUILD}/tools/bench_diff" --baseline "${OCT_DYN_BASELINE}" --rtol 0.2 "${D1}"
 
+# Contention gate (src/cc/, DESIGN.md §16): the thousand-user strict-2PL
+# sweep must be bit-identical across job counts (lock waits, aborts, and
+# backoff all run on the virtual clock), reproduce the hand-written
+# bench_oct_contention byte-for-byte, and stay within the 20% envelope
+# against its committed baseline. The fig5.1 gates above double as the
+# cc-off neutrality proof: their baseline predates src/cc/ and is still
+# matched at rtol 0 with the lock manager compiled in but disabled.
+CC_SCENARIO="${ROOT}/bench/scenarios/oct_contention.scenario.json"
+CC_BASELINE="${ROOT}/BENCH_oct_contention.jsonl"
+CC_BENCH="${BUILD}/bench/bench_oct_contention"
+CC1="${BUILD}/cc_jobs1.json"
+CC4="${BUILD}/cc_jobs4.json"
+CCB="${BUILD}/cc_bench.json"
+rm -f "${CC1}" "${CC4}" "${CCB}"
+"${RUN}" --jobs 1 --json "${CC1}" "${CC_SCENARIO}" \
+  > "${BUILD}/cc_jobs1.out"
+"${RUN}" --jobs 4 --json "${CC4}" "${CC_SCENARIO}" \
+  > "${BUILD}/cc_jobs4.out"
+if ! diff "${BUILD}/cc_jobs1.out" "${BUILD}/cc_jobs4.out"; then
+  echo "FAIL: contention scenario tables differ between job counts" >&2
+  exit 1
+fi
+"${BUILD}/tools/bench_diff" "${CC1}" "${CC4}"
+"${BUILD}/tools/bench_diff" --baseline "${CC_BASELINE}" --rtol 0.2 "${CC1}"
+SEMCLUST_BENCH_FAST=1 SEMCLUST_BENCH_JOBS=4 SEMCLUST_BENCH_JSON="${CCB}" \
+  "${CC_BENCH}" > "${BUILD}/cc_bench.out"
+if ! diff <(strip_wall "${CCB}") <(strip_wall "${CC1}"); then
+  echo "FAIL: bench_oct_contention differs from its scenario" >&2
+  exit 1
+fi
+
+# Contention-shape check on the fresh run: the cc machinery must actually
+# engage (aborts, retries, lock waits, latch waits all nonzero over the
+# grid) and mean response time must rise with the user population under
+# every clustering policy.
+python3 - "${CC1}" <<'PY'
+import json, sys
+rows = {}
+for line in open(sys.argv[1]):
+    r = json.loads(line)
+    users = int(r["policy"].split("users", 1)[0])
+    pool = r["policy"].split("_", 1)[1]
+    rows[(pool, users)] = r
+totals = {k: sum(r["cc"][k] for r in rows.values())
+          for k in ("txn_aborts", "txn_retries", "lock_waits",
+                    "latch_waits")}
+dead = [k for k, v in totals.items() if v == 0]
+if dead:
+    sys.exit("FAIL: cc counters never engaged over the grid: %s" % dead)
+for pool in sorted({k[0] for k in rows}):
+    curve = [rows[(pool, u)]["mean_response_s"]
+             for u in sorted(u for p, u in rows if p == pool)]
+    if any(b <= a for a, b in zip(curve, curve[1:])):
+        sys.exit("FAIL: response time not rising with users under %s: %s"
+                 % (pool, curve))
+print("ci: contention grid engages cc (totals %s) and response rises "
+      "with users under every policy" % totals)
+PY
+
+# Span gate with contention: lock_wait is the tenth additive phase, so
+# the profiled contention run must pass the zero-tolerance additivity
+# audit and still match the unprofiled run exactly on every simulated
+# field (baseline mode: only the profiled run carries breakdown.*).
+CCSP="${BUILD}/cc_span.json"
+rm -f "${CCSP}"
+SEMCLUST_SPANS=1 "${RUN}" --jobs 4 --json "${CCSP}" "${CC_SCENARIO}" \
+  > "${BUILD}/cc_span.out"
+"${BUILD}/tools/span_report" --check "${CCSP}"
+"${BUILD}/tools/bench_diff" --baseline "${CC1}" --rtol 0 "${CCSP}"
+
+# bench_diff --allow-new-keys self-check: a candidate carrying an extra
+# field must pass under the flag and fail without it (and a *removed*
+# field must still fail either way) — the escape hatch for comparing
+# old-format artifacts against newer builds cannot mask a regression.
+sed '1s/}$/,"zz_ci_probe":1}/' "${CC1}" > "${BUILD}/cc_newkey.json"
+if "${BUILD}/tools/bench_diff" "${CC1}" "${BUILD}/cc_newkey.json" \
+    > /dev/null 2>&1; then
+  echo "FAIL: bench_diff ignored a new key without --allow-new-keys" >&2
+  exit 1
+fi
+"${BUILD}/tools/bench_diff" --allow-new-keys "${CC1}" \
+  "${BUILD}/cc_newkey.json"
+if "${BUILD}/tools/bench_diff" --allow-new-keys \
+    "${BUILD}/cc_newkey.json" "${CC1}" > /dev/null 2>&1; then
+  echo "FAIL: --allow-new-keys masked a removed key" >&2
+  exit 1
+fi
+
 # Ranking-transfer artifacts: how the clustering-policy ordering compares
 # between the engineering workload (fig5.1) and the generic OCB graph,
 # the churn sweep's static-vs-DSTC-vs-OPCF ordering against its committed
@@ -255,4 +343,4 @@ cmake -S "${ROOT}" -B "${RELBUILD}" -DCMAKE_BUILD_TYPE=Release
 cmake --build "${RELBUILD}" -j "$(nproc)"
 ctest --test-dir "${RELBUILD}" --output-on-failure -j "$(nproc)"
 
-echo "ci: ok (tests passed, jobs=1 == jobs=4, scenario == bench, OCT/OCB/churn/shard/dyn baselines within tolerance, structure sharding beats hash, Release build clean)"
+echo "ci: ok (tests passed, jobs=1 == jobs=4, scenario == bench, OCT/OCB/churn/shard/dyn/contention baselines within tolerance, structure sharding beats hash, cc engages under load, Release build clean)"

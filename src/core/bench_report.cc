@@ -32,6 +32,19 @@ std::string BenchReport::ToJsonLine(const BenchRecord& record) const {
       .Add("response_p95_s", record.response_p95_s)
       .Add("response_p99_s", record.response_p99_s)
       .Add("elapsed_wall_s", record.elapsed_wall_s);
+  if (record.has_cc) {
+    JsonObjectWriter cc;
+    cc.Add("txn_aborts", record.cc_txn_aborts)
+        .Add("txn_retries", record.cc_txn_retries)
+        .Add("txn_giveups", record.cc_txn_giveups)
+        .Add("abort_rate", record.cc_abort_rate)
+        .Add("lock_waits", record.cc_lock_waits)
+        .Add("deadlock_timeouts", record.cc_deadlock_timeouts)
+        .Add("latch_waits", record.cc_latch_waits)
+        .Add("rollback_pages", record.cc_rollback_pages)
+        .Add("lock_wait_time_s", record.cc_lock_wait_time_s);
+    json.AddRaw("cc", cc.str());
+  }
   if (!record.response_epochs.empty()) {
     JsonArrayWriter epochs;
     for (const auto& [count, mean_s] : record.response_epochs) {
@@ -126,6 +139,18 @@ BenchRecord BenchReport::FromResult(const std::string& cell_label,
   r.response_epochs.reserve(result.response_epochs.size());
   for (const StreamingStats& epoch : result.response_epochs) {
     r.response_epochs.emplace_back(epoch.count(), epoch.Mean());
+  }
+  if (result.cc_enabled) {
+    r.has_cc = true;
+    r.cc_txn_aborts = result.cc_txn_aborts;
+    r.cc_txn_retries = result.cc_txn_retries;
+    r.cc_txn_giveups = result.cc_txn_giveups;
+    r.cc_lock_waits = result.cc_lock_waits;
+    r.cc_deadlock_timeouts = result.cc_deadlock_timeouts;
+    r.cc_latch_waits = result.cc_latch_waits;
+    r.cc_rollback_pages = result.cc_rollback_pages;
+    r.cc_lock_wait_time_s = result.cc_lock_wait_time_s;
+    r.cc_abort_rate = result.cc_abort_rate;
   }
   r.series = result.series;
   r.breakdown = result.span_breakdown;

@@ -50,6 +50,20 @@ struct BenchRecord {
   /// seconds), one entry per configured epoch.
   std::vector<std::pair<uint64_t, double>> response_epochs;
 
+  /// Concurrency-control summary (DESIGN.md §16), emitted as a nested
+  /// "cc" object only when the run had the subsystem on — cc-off records
+  /// (every committed pre-cc baseline) carry no cc keys at all.
+  bool has_cc = false;
+  uint64_t cc_txn_aborts = 0;
+  uint64_t cc_txn_retries = 0;
+  uint64_t cc_txn_giveups = 0;
+  uint64_t cc_lock_waits = 0;
+  uint64_t cc_deadlock_timeouts = 0;
+  uint64_t cc_latch_waits = 0;
+  uint64_t cc_rollback_pages = 0;
+  double cc_lock_wait_time_s = 0;
+  double cc_abort_rate = 0;
+
   /// The cell's full metric snapshot (empty snapshots are omitted from the
   /// JSON rather than rendered as an empty object).
   obs::MetricsSnapshot metrics;

@@ -40,6 +40,10 @@ void MeasurementController::ResetMeasurementCounters() {
   // transactions straddling the boundary fold fully into the measured
   // window when they finish.
   if (ctx_.spans) ctx_.spans->Reset();
+  // Lock-manager counters reset like the component counters; locks held
+  // by in-flight transactions straddling the boundary are untouched (only
+  // the statistics mirror clears).
+  if (ctx_.locks) ctx_.locks->ResetStats();
   // Pages prefetched during warmup were counted against the warmup issue
   // counter that was just reset; forgetting them keeps the measured-window
   // invariant hits + wasted <= issued.
@@ -93,6 +97,44 @@ void MeasurementController::OnTransactionDone(double response_s,
   if (measured_txns_ >=
       static_cast<uint64_t>(ctx_.config.measured_transactions)) {
     done_ = true;
+  }
+}
+
+sim::Task MeasurementController::RunOneArrival(int user) {
+  workload::TransactionSource& gen =
+      *ctx_.generators[static_cast<size_t>(user)];
+  // Sessions keep their meaning under open arrivals: a stream's working
+  // set persists across arrivals until its session length is spent. The
+  // draws below all happen before the first await, so the generator's
+  // sequence is ordered by arrival time regardless of how long earlier
+  // transactions of the same stream stay in flight.
+  if (open_session_left_[static_cast<size_t>(user)] <= 0) {
+    open_session_left_[static_cast<size_t>(user)] = gen.BeginSession();
+  }
+  --open_session_left_[static_cast<size_t>(user)];
+  const workload::TransactionSpec spec = gen.NextTransaction();
+  const uint64_t reads_before = pipeline_.logical_reads();
+  const uint64_t writes_before = pipeline_.logical_writes();
+  const double start = ctx_.sim.now();
+  co_await pipeline_.ExecuteTransaction(spec);
+  gen.RecordOps(pipeline_.logical_reads() - reads_before,
+                pipeline_.logical_writes() - writes_before);
+  OnTransactionDone(ctx_.sim.now() - start, spec.type);
+}
+
+sim::Task MeasurementController::ArrivalLoop() {
+  // A dedicated interarrival stream, distinct from every per-user think
+  // stream (those use seed * 104729 + user with user < num_users).
+  Rng arrival_rng(ctx_.config.seed * 104729 + 0xA221AA11ull);
+  const double mean_interarrival = 1.0 / ctx_.config.arrival_rate_tps;
+  uint64_t arrivals = 0;
+  while (!done_) {
+    co_await sim::Delay(ctx_.sim,
+                        arrival_rng.Exponential(mean_interarrival));
+    if (done_) break;
+    const int user =
+        static_cast<int>(arrivals++ % ctx_.generators.size());
+    sim::Spawn(RunOneArrival(user));
   }
 }
 
@@ -245,12 +287,34 @@ void MeasurementController::SyncComponentMetrics() {
     metrics.Set(ctx_.dyn_handles.deferral_time_s,
                 ctx_.dyn_policy->deferral_time_s());
   }
+  if (ctx_.locks) {
+    // Lock-manager mirror, registered only when the cc subsystem is on so
+    // every cc-off snapshot layout is untouched. `deadlock_timeouts`
+    // mirrors the manager's timed-out waits — in a wait-timeout scheme
+    // that count *is* the presumed-deadlock count.
+    const cc::LockStats& ls = ctx_.locks->stats();
+    metrics.SetCounter(metrics.Counter("cc.lock_grants"), ls.lock_grants);
+    metrics.SetCounter(metrics.Counter("cc.lock_waits"), ls.lock_waits);
+    metrics.SetCounter(metrics.Counter("cc.deadlock_timeouts"),
+                       ls.lock_timeouts);
+    metrics.SetCounter(metrics.Counter("cc.latch_grants"),
+                       ls.latch_grants);
+    metrics.SetCounter(metrics.Counter("cc.latch_waits"), ls.latch_waits);
+    metrics.Set(metrics.Gauge("cc.lock_wait_time_s"), ls.lock_wait_time_s);
+    metrics.Set(metrics.Gauge("cc.latch_wait_time_s"),
+                ls.latch_wait_time_s);
+  }
 }
 
 RunResult MeasurementController::Run() {
   const double start_time = ctx_.sim.now();
-  for (int u = 0; u < ctx_.config.num_users; ++u) {
-    sim::Spawn(UserLoop(u));
+  if (ctx_.config.arrival == ArrivalProcess::kOpen) {
+    open_session_left_.assign(ctx_.generators.size(), 0);
+    sim::Spawn(ArrivalLoop());
+  } else {
+    for (int u = 0; u < ctx_.config.num_users; ++u) {
+      sim::Spawn(UserLoop(u));
+    }
   }
   ctx_.sim.Run();
 
@@ -314,6 +378,28 @@ RunResult MeasurementController::Run() {
         fetches == 0 ? 0.0
                      : static_cast<double>(sc.remote_fetches) /
                            static_cast<double>(fetches);
+  }
+  if (ctx_.locks) {
+    const cc::LockStats& ls = ctx_.locks->stats();
+    result.cc_enabled = true;
+    result.cc_lock_grants = ls.lock_grants;
+    result.cc_lock_waits = ls.lock_waits;
+    result.cc_deadlock_timeouts = ls.lock_timeouts;
+    result.cc_latch_waits = ls.latch_waits;
+    result.cc_lock_wait_time_s = ls.lock_wait_time_s;
+    result.cc_txn_aborts = ctx_.metrics.value(ctx_.cc_handles.txn_aborts);
+    result.cc_txn_retries =
+        ctx_.metrics.value(ctx_.cc_handles.txn_retries);
+    result.cc_txn_giveups =
+        ctx_.metrics.value(ctx_.cc_handles.txn_giveups);
+    result.cc_rollback_pages =
+        ctx_.metrics.value(ctx_.cc_handles.rollback_pages);
+    // Rate per *attempt*: committed transactions plus aborted attempts.
+    const uint64_t attempts = result.transactions + result.cc_txn_aborts;
+    result.cc_abort_rate =
+        attempts == 0 ? 0.0
+                      : static_cast<double>(result.cc_txn_aborts) /
+                            static_cast<double>(attempts);
   }
   result.sim_duration_s = ctx_.sim.now() - start_time;
   result.achieved_rw_ratio =

@@ -37,6 +37,16 @@ class MeasurementController {
 
  private:
   sim::Task UserLoop(int user);
+  /// Open-arrival variant (ModelConfig::arrival == kOpen): one Poisson
+  /// arrival process on the virtual clock spawns independent transactions
+  /// at rate `arrival_rate_tps`, round-robining the generator streams, so
+  /// concurrency is whatever the service times admit instead of being
+  /// capped by `num_users` closed loops.
+  sim::Task ArrivalLoop();
+  /// One open arrival end to end: draws the next transaction of `user`'s
+  /// stream (opening a fresh session when the previous one is spent) and
+  /// executes it.
+  sim::Task RunOneArrival(int user);
   void OnTransactionDone(double response_s, workload::QueryType type);
   void ResetMeasurementCounters();
   /// Applies config.rw_ratio_schedule at an epoch boundary.
@@ -61,6 +71,9 @@ class MeasurementController {
   std::vector<StreamingStats> response_epochs_;
   size_t current_epoch_ = 0;
   uint64_t measured_txns_ = 0;
+  // Remaining session length per generator stream under open arrivals
+  // (sessions span arrivals; empty in closed-loop runs).
+  std::vector<int> open_session_left_;
 };
 
 }  // namespace oodb::core

@@ -12,6 +12,16 @@ Status Invalid(const std::string& what) {
 
 }  // namespace
 
+const char* ArrivalProcessName(ArrivalProcess a) {
+  switch (a) {
+    case ArrivalProcess::kClosed:
+      return "Closed";
+    case ArrivalProcess::kOpen:
+      return "Open";
+  }
+  return "unknown";
+}
+
 std::string ModelConfig::WorkloadLabel() const {
   return ocb.enabled ? ocb.Label(workload.read_write_ratio)
                      : workload.Label();
@@ -92,6 +102,19 @@ Status ModelConfig::Validate() const {
         "shards > 1 with a dynamic re-clustering policy; the dynamic "
         "subsystem (src/dyn/) tracks the single server's components and "
         "is not shard-aware yet — run it with shards = 1");
+  }
+  if (const Status cc_status = cc.Validate(); !cc_status.ok()) {
+    return Invalid(cc_status.message());
+  }
+  if (cc.enabled && shards > 1) {
+    return Invalid(
+        "shards > 1 with the concurrency-control subsystem enabled; the "
+        "rollback path maps logged pages back through the single server's "
+        "components and is not shard-aware yet — run cc with shards = 1");
+  }
+  if (arrival == ArrivalProcess::kOpen && !(arrival_rate_tps > 0)) {
+    return Invalid("arrival_rate_tps is " + std::to_string(arrival_rate_tps) +
+                   "; open Poisson arrivals need a positive mean rate");
   }
   for (size_t i = 0; i < rw_ratio_schedule.size(); ++i) {
     if (!(rw_ratio_schedule[i] > 0)) {

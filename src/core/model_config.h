@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "buffer/policy.h"
+#include "cc/cc_config.h"
 #include "cluster/policy.h"
 #include "core/sharding.h"
 #include "io/io_subsystem.h"
@@ -24,6 +25,14 @@
 /// `PaperScaleConfig()` for the full-size database.
 
 namespace oodb::core {
+
+/// How transactions enter the system (ModelConfig::arrival).
+enum class ArrivalProcess : uint8_t {
+  kClosed = 0,  ///< num_users think/submit loops (the paper's model)
+  kOpen,        ///< Poisson arrivals at arrival_rate_tps, load-independent
+};
+
+const char* ArrivalProcessName(ArrivalProcess a);
 
 /// Everything one simulation run needs.
 struct ModelConfig {
@@ -85,6 +94,26 @@ struct ModelConfig {
   /// this many objects before the next seed starts a new group. Bounds
   /// skew (a giant connected component cannot swallow one shard).
   int shard_group_cap = 64;
+
+  // ---- Concurrency control (src/cc/). ----
+  /// When `cc.enabled`, a strict-2PL LockManager is built on the shared
+  /// virtual clock: every pipeline primitive acquires object locks,
+  /// deadlocks resolve by deterministic wait-timeout abort + jittered
+  /// exponential-backoff retry, and page latches serialise the buffer-fix
+  /// path. Disabled (the default) constructs nothing, registers no
+  /// metrics, draws no random numbers — bit-identical to pre-cc builds.
+  cc::CcConfig cc;
+
+  // ---- Arrival process. ----
+  /// How transactions arrive. kClosed is the paper's interactive model:
+  /// `num_users` loops of think -> submit -> wait. kOpen submits
+  /// transactions at Poisson arrivals of rate `arrival_rate_tps`
+  /// independent of completions, so response times can grow without
+  /// throttling arrivals — the regime where contention curves saturate.
+  ArrivalProcess arrival = ArrivalProcess::kClosed;
+  /// Mean open-arrival rate, transactions per simulated second. Only read
+  /// when `arrival == kOpen`.
+  double arrival_rate_tps = 10.0;
 
   // ---- Cost model. ----
   io::DiskParams disk;

@@ -150,6 +150,19 @@ void RegisterShardPlacements(PolicyRegistry& reg) {
                static_cast<int>(ShardPlacement::kStructureShard));
 }
 
+void RegisterArrivalProcesses(PolicyRegistry& reg) {
+  reg.Register(PolicyAxis::kArrival,
+               ArrivalProcessName(ArrivalProcess::kClosed),
+               static_cast<int>(ArrivalProcess::kClosed));
+  reg.Register(PolicyAxis::kArrival,
+               ArrivalProcessName(ArrivalProcess::kOpen),
+               static_cast<int>(ArrivalProcess::kOpen));
+  reg.Register(PolicyAxis::kArrival, "closed_loop",
+               static_cast<int>(ArrivalProcess::kClosed));
+  reg.Register(PolicyAxis::kArrival, "poisson",
+               static_cast<int>(ArrivalProcess::kOpen));
+}
+
 }  // namespace
 
 const char* PolicyAxisName(PolicyAxis axis) {
@@ -172,6 +185,8 @@ const char* PolicyAxisName(PolicyAxis axis) {
       return "dynamic clustering";
     case PolicyAxis::kShardPlacement:
       return "shard placement";
+    case PolicyAxis::kArrival:
+      return "arrival process";
   }
   return "unknown";
 }
@@ -186,6 +201,7 @@ PolicyRegistry::PolicyRegistry() {
   RegisterOcbLocalities(*this);
   RegisterDynamicPolicies(*this);
   RegisterShardPlacements(*this);
+  RegisterArrivalProcesses(*this);
 }
 
 const PolicyRegistry& PolicyRegistry::Global() {
@@ -213,6 +229,8 @@ PolicyRegistry::AxisTable& PolicyRegistry::Table(PolicyAxis axis) {
       return dynamic_;
     case PolicyAxis::kShardPlacement:
       return shard_placement_;
+    case PolicyAxis::kArrival:
+      return arrival_;
   }
   OODB_CHECK(false);
   return replacement_;  // unreachable
@@ -309,6 +327,13 @@ std::optional<ShardPlacement> PolicyRegistry::ShardPlacementOf(
   const auto v = Find(PolicyAxis::kShardPlacement, name);
   if (!v) return std::nullopt;
   return static_cast<ShardPlacement>(*v);
+}
+
+std::optional<ArrivalProcess> PolicyRegistry::Arrival(
+    std::string_view name) const {
+  const auto v = Find(PolicyAxis::kArrival, name);
+  if (!v) return std::nullopt;
+  return static_cast<ArrivalProcess>(*v);
 }
 
 const std::vector<std::string>& PolicyRegistry::CanonicalNames(

@@ -9,6 +9,7 @@
 
 #include "buffer/policy.h"
 #include "cluster/policy.h"
+#include "core/model_config.h"
 #include "core/sharding.h"
 #include "dyn/dyn_config.h"
 #include "objmodel/object_id.h"
@@ -40,6 +41,7 @@ enum class PolicyAxis {
   kOcbLocality,  ///< ocb::RefLocality (OCB reference-locality knob)
   kDynamic,      ///< dyn::PolicyKind (dynamic re-clustering: DSTC / OPCF)
   kShardPlacement,  ///< core::ShardPlacement (N-shard object placement)
+  kArrival,      ///< core::ArrivalProcess (closed loops / open Poisson)
 };
 
 const char* PolicyAxisName(PolicyAxis axis);
@@ -50,7 +52,7 @@ inline constexpr PolicyAxis kAllPolicyAxes[] = {
     PolicyAxis::kCandidatePool, PolicyAxis::kSplit,
     PolicyAxis::kDensity, PolicyAxis::kRelKind,
     PolicyAxis::kOcbLocality, PolicyAxis::kDynamic,
-    PolicyAxis::kShardPlacement};
+    PolicyAxis::kShardPlacement, PolicyAxis::kArrival};
 
 /// Immutable after construction; lookups are case-insensitive and accept
 /// '-', '_' and ' ' interchangeably, so "Cluster_within_Buffer",
@@ -72,6 +74,7 @@ class PolicyRegistry {
   std::optional<ocb::RefLocality> OcbLocality(std::string_view name) const;
   std::optional<dyn::PolicyKind> Dynamic(std::string_view name) const;
   std::optional<ShardPlacement> ShardPlacementOf(std::string_view name) const;
+  std::optional<ArrivalProcess> Arrival(std::string_view name) const;
 
   /// Canonical names of one axis, in registration (= enum) order — for
   /// error messages and discoverability (`semclust_run --policies`).
@@ -119,6 +122,7 @@ class PolicyRegistry {
   AxisTable ocb_locality_;
   AxisTable dynamic_;
   AxisTable shard_placement_;
+  AxisTable arrival_;
 };
 
 }  // namespace oodb::core

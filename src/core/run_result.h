@@ -73,6 +73,22 @@ struct RunResult {
   uint64_t shard_remote_writes = 0;
   double remote_fetch_fraction = 0;
 
+  // Concurrency control (measured phase; all zero when ModelConfig::cc is
+  // off). `cc_deadlock_timeouts` counts lock waits resolved by the
+  // deadlock wait-timeout; `cc_abort_rate` is aborted attempts over all
+  // attempts (committed transactions + aborted attempts).
+  bool cc_enabled = false;
+  uint64_t cc_lock_grants = 0;
+  uint64_t cc_lock_waits = 0;
+  uint64_t cc_deadlock_timeouts = 0;
+  uint64_t cc_latch_waits = 0;
+  uint64_t cc_txn_aborts = 0;
+  uint64_t cc_txn_retries = 0;
+  uint64_t cc_txn_giveups = 0;
+  uint64_t cc_rollback_pages = 0;
+  double cc_lock_wait_time_s = 0;
+  double cc_abort_rate = 0;
+
   /// The cell's full metrics-registry state at the end of the measured
   /// phase (empty when SEMCLUST_METRICS=0).
   obs::MetricsSnapshot metrics;

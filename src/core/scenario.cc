@@ -135,6 +135,67 @@ StatusOr<ShardPlacement> ResolveShardPlacement(const JsonValue& v,
   return *p;
 }
 
+StatusOr<ArrivalProcess> ResolveArrival(const JsonValue& v,
+                                        const std::string& key) {
+  auto name = AsString(v, key);
+  if (!name.ok()) return name.status();
+  const auto p = Reg().Arrival(*name);
+  if (!p) return UnknownName(key, PolicyAxis::kArrival, *name);
+  return *p;
+}
+
+/// The "concurrency" config section (DESIGN.md §16). The cc_* knobs are
+/// only legal alongside "enabled": true — the same inert-knob guard as
+/// OCB keys without "kind" and dyn keys without "dynamic" — so a typo
+/// can't silently leave the cell without the lock manager.
+Status ParseConcurrencySection(const JsonValue& obj, cc::CcConfig& cc) {
+  if (!obj.is_object()) return TypeErr("config.concurrency", "an object");
+  std::string first_cc_key;
+  for (const auto& [key, v] : obj.members()) {
+    const std::string ctx = "config.concurrency." + key;
+    if (key == "enabled") {
+      const auto b = AsBool(v, ctx);
+      OODB_RETURN_IF_ERROR(b.status());
+      cc.enabled = *b;
+    } else if (key == "cc_lock_timeout_s") {
+      const auto n = AsNumber(v, ctx);
+      OODB_RETURN_IF_ERROR(n.status());
+      cc.lock_timeout_s = *n;
+      if (first_cc_key.empty()) first_cc_key = key;
+    } else if (key == "cc_max_retries") {
+      const auto n = AsInt(v, ctx);
+      OODB_RETURN_IF_ERROR(n.status());
+      cc.max_retries = *n;
+      if (first_cc_key.empty()) first_cc_key = key;
+    } else if (key == "cc_backoff_base_s") {
+      const auto n = AsNumber(v, ctx);
+      OODB_RETURN_IF_ERROR(n.status());
+      cc.backoff_base_s = *n;
+      if (first_cc_key.empty()) first_cc_key = key;
+    } else if (key == "cc_backoff_cap_s") {
+      const auto n = AsNumber(v, ctx);
+      OODB_RETURN_IF_ERROR(n.status());
+      cc.backoff_cap_s = *n;
+      if (first_cc_key.empty()) first_cc_key = key;
+    } else if (key == "cc_page_latches") {
+      const auto b = AsBool(v, ctx);
+      OODB_RETURN_IF_ERROR(b.status());
+      cc.page_latches = *b;
+      if (first_cc_key.empty()) first_cc_key = key;
+    } else {
+      return Err("config.concurrency: unknown key \"" + key +
+                 "\" (known: enabled, cc_lock_timeout_s, cc_max_retries, "
+                 "cc_backoff_base_s, cc_backoff_cap_s, cc_page_latches)");
+    }
+  }
+  if (!first_cc_key.empty() && !cc.enabled) {
+    return Err("config.concurrency: \"" + first_cc_key +
+               "\" is a concurrency-control knob; add \"enabled\": true "
+               "to switch the lock manager on");
+  }
+  return Status::Ok();
+}
+
 /// A clustering entry: a bare pool name, or an object overriding fields of
 /// `from` (so a split policy set in "config" carries into sweep levels).
 StatusOr<cluster::ClusterConfig> ParseClusterEntry(
@@ -407,6 +468,9 @@ Status ParseConfigSection(const JsonValue& obj, ModelConfig& cfg) {
   // leave the cell on the single-server core.
   bool shards_set = false;
   std::string first_shard_key;
+  // The open-arrival rate only makes sense with "arrival": "Open" (the
+  // closed loop has no arrival rate), same gate as the knobs above.
+  bool arrival_rate_set = false;
   for (const auto& [key, v] : obj.members()) {
     const std::string ctx = "config." + key;
     if (key == "database_bytes") {
@@ -526,6 +590,17 @@ Status ParseConfigSection(const JsonValue& obj, ModelConfig& cfg) {
       auto c = ParseClusterEntry(v, cfg.clustering, ctx);
       OODB_RETURN_IF_ERROR(c.status());
       cfg.clustering = *c;
+    } else if (key == "concurrency") {
+      OODB_RETURN_IF_ERROR(ParseConcurrencySection(v, cfg.cc));
+    } else if (key == "arrival") {
+      const auto a = ResolveArrival(v, ctx);
+      OODB_RETURN_IF_ERROR(a.status());
+      cfg.arrival = *a;
+    } else if (key == "arrival_rate_tps") {
+      const auto n = AsNumber(v, ctx);
+      OODB_RETURN_IF_ERROR(n.status());
+      cfg.arrival_rate_tps = *n;
+      arrival_rate_set = true;
     } else {
       return Err("config: unknown key \"" + key + "\"");
     }
@@ -556,6 +631,11 @@ Status ParseConfigSection(const JsonValue& obj, ModelConfig& cfg) {
     return Err("config: \"" + first_shard_key +
                "\" is a sharding knob; add \"shards\": <N> to enable the "
                "N-shard core");
+  }
+  if (arrival_rate_set && cfg.arrival != ArrivalProcess::kOpen) {
+    return Err(
+        "config: \"arrival_rate_tps\" has no effect without \"arrival\": "
+        "\"Open\"");
   }
   return Status::Ok();
 }
@@ -662,10 +742,22 @@ Status ParseSweepSection(const JsonValue& obj, ScenarioSpec& spec) {
         OODB_RETURN_IF_ERROR(p.status());
         spec.shard_placement.push_back(*p);
       }
+    } else if (key == "users") {
+      if (!v.is_array()) return TypeErr(ctx, "an array of user counts");
+      for (size_t i = 0; i < v.items().size(); ++i) {
+        const auto n =
+            AsInt(v.items()[i], ctx + "[" + std::to_string(i) + "]");
+        OODB_RETURN_IF_ERROR(n.status());
+        if (*n < 1) {
+          return Err("\"" + ctx + "[" + std::to_string(i) + "]\" is " +
+                     std::to_string(*n) + "; need at least 1 user");
+        }
+        spec.users.push_back(*n);
+      }
     } else {
       return Err("sweep: unknown key \"" + key +
                  "\" (known: clustering, workload, replacement, prefetch, "
-                 "buffer_pages, shards, shard_placement)");
+                 "buffer_pages, shards, shard_placement, users)");
     }
   }
   return Status::Ok();
@@ -757,10 +849,14 @@ std::vector<ScenarioCell> ScenarioSpec::Expand() const {
       shard_placement.empty()
           ? std::vector<ShardPlacement>{base.shard_placement}
           : shard_placement;
+  const std::vector<int> user_axis =
+      users.empty() ? std::vector<int>{base.num_users} : users;
 
   std::vector<ScenarioCell> cells;
-  cells.reserve(shard_axis.size() * place_axis.size() * reps.size() *
-                prefs.size() * bufs.size() * clus.size() * works.size());
+  cells.reserve(user_axis.size() * shard_axis.size() * place_axis.size() *
+                reps.size() * prefs.size() * bufs.size() * clus.size() *
+                works.size());
+  for (const int num_users : user_axis) {
   for (const int num_shards : shard_axis) {
    for (const auto place : place_axis) {
     for (const auto rep : reps) {
@@ -777,13 +873,19 @@ std::vector<ScenarioCell> ScenarioSpec::Expand() const {
             cell.config.buffer_pages = pages;
             cell.config.shards = num_shards;
             cell.config.shard_placement = place;
+            cell.config.num_users = num_users;
 
             // Labels: identical to bench_common's FillDefaultLabels when
             // only clustering/workload sweep; multi-level sharding and
             // buffering axes prefix the policy label to keep cells unique.
             std::string policy;
+            if (user_axis.size() > 1) {
+              policy = std::to_string(num_users) + "users";
+            }
             if (shard_axis.size() > 1) {
-              policy = std::to_string(num_shards) + "shard";
+              if (!policy.empty()) policy += "_";
+              policy += std::to_string(num_shards);
+              policy += "shard";
             }
             if (place_axis.size() > 1) {
               if (!policy.empty()) policy += "_";
@@ -819,6 +921,7 @@ std::vector<ScenarioCell> ScenarioSpec::Expand() const {
      }
     }
    }
+  }
   }
   return cells;
 }
@@ -862,6 +965,22 @@ std::string ScenarioSpec::ToJson() const {
     cfg.Add("shard_placement", ShardPlacementName(base.shard_placement));
     cfg.Add("shard_hop_latency_s", base.shard_hop_latency_s);
     cfg.Add("shard_group_cap", base.shard_group_cap);
+  }
+  // Same gate for concurrency control and the open-arrival source: emitted
+  // only when switched on, so cc-off scenarios serialize exactly as before.
+  if (base.cc.enabled) {
+    JsonObjectWriter cc;
+    cc.Add("enabled", true);
+    cc.Add("cc_lock_timeout_s", base.cc.lock_timeout_s);
+    cc.Add("cc_max_retries", base.cc.max_retries);
+    cc.Add("cc_backoff_base_s", base.cc.backoff_base_s);
+    cc.Add("cc_backoff_cap_s", base.cc.backoff_cap_s);
+    cc.Add("cc_page_latches", base.cc.page_latches);
+    cfg.AddRaw("concurrency", cc.str());
+  }
+  if (base.arrival != ArrivalProcess::kClosed) {
+    cfg.Add("arrival", ArrivalProcessName(base.arrival));
+    cfg.Add("arrival_rate_tps", base.arrival_rate_tps);
   }
   cfg.Add("seed", static_cast<uint64_t>(base.seed));
   cfg.AddRaw("workload", WorkloadJson(WorkloadEntry{base.workload, base.ocb}));
@@ -918,6 +1037,12 @@ std::string ScenarioSpec::ToJson() const {
       axis.Add(std::string_view(ShardPlacementName(p)));
     }
     sweep.AddRaw("shard_placement", axis.str());
+    any_axis = true;
+  }
+  if (!users.empty()) {
+    JsonArrayWriter axis;
+    for (const int n : users) axis.Add(static_cast<uint64_t>(n));
+    sweep.AddRaw("users", axis.str());
     any_axis = true;
   }
   if (any_axis) root.AddRaw("sweep", sweep.str());

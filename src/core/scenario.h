@@ -37,6 +37,14 @@
 ///       // only legal alongside an explicit "shards":
 ///       "shards": 4, "shard_placement": "Structure_Shard",
 ///       "shard_hop_latency_s": 0.002, "shard_group_cap": 64,
+///       // the concurrency-control subsystem (src/cc/); the cc_* knobs
+///       // are only legal alongside "enabled": true:
+///       "concurrency": {"enabled": true, "cc_lock_timeout_s": 2.0,
+///                       "cc_max_retries": 6, "cc_backoff_base_s": 0.05,
+///                       "cc_backoff_cap_s": 2.0, "cc_page_latches": true},
+///       // how transactions enter the system; "arrival_rate_tps" is only
+///       // legal with "arrival": "Open":
+///       "arrival": "Open", "arrival_rate_tps": 40,
 ///       "workload": {"density": "med5", "rw_ratio": 10},
 ///       // or the generic OCB workload (src/ocb/):
 ///       // "workload": {"kind": "ocb", "rw_ratio": 10, "classes": 24,
@@ -57,7 +65,8 @@
 ///       "prefetch": ["No_prefetch"],
 ///       "buffer_pages": [94, "large"],
 ///       "shards": [1, 2, 4, 8],
-///       "shard_placement": ["Hash_Shard", "Structure_Shard"]
+///       "shard_placement": ["Hash_Shard", "Structure_Shard"],
+///       "users": [100, 1000, 2000]
 ///     }
 ///   }
 ///
@@ -105,8 +114,9 @@ struct ScenarioSpec {
   std::vector<size_t> buffer_pages;
   std::vector<int> shards;
   std::vector<ShardPlacement> shard_placement;
+  std::vector<int> users;
 
-  /// Expands the axes into cells, outermost to innermost: shards,
+  /// Expands the axes into cells, outermost to innermost: users, shards,
   /// shard_placement, replacement, prefetch, buffer_pages, clustering,
   /// workload. With only the clustering and workload axes populated this
   /// is exactly the policy-major order of bench_common's

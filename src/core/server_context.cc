@@ -137,6 +137,23 @@ ServerContext::ServerContext(ModelConfig model_config)
                                                 config.span_exemplars);
   }
 
+  // Concurrency control (src/cc/): built — and its metrics registered —
+  // only when enabled, after the span grid so every previously committed
+  // snapshot layout is untouched in cc-off runs. The manager itself draws
+  // no random numbers (neutrality) — retry jitter is derived per
+  // transaction in the pipeline.
+  if (config.cc.enabled) {
+    locks = std::make_unique<cc::LockManager>(sim, config.cc);
+    cc_handles.txn_aborts = metrics.Counter("cc.txn_aborts");
+    cc_handles.txn_retries = metrics.Counter("cc.txn_retries");
+    cc_handles.txn_giveups = metrics.Counter("cc.txn_giveups");
+    cc_handles.rollback_pages = metrics.Counter("cc.rollback_pages");
+    cc_handles.lock_wait_s = metrics.Histogram(
+        "cc.lock_wait_s", {0.001, 0.01, 0.05, 0.2, 0.5, 1.0, 2.0, 5.0});
+    cc_handles.latch_wait_s = metrics.Histogram(
+        "cc.latch_wait_s", {0.001, 0.01, 0.05, 0.2, 0.5, 1.0, 2.0, 5.0});
+  }
+
   for (int u = 0; u < config.num_users; ++u) {
     const uint64_t user_seed =
         config.seed * 7919 + static_cast<uint64_t>(u);

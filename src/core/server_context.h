@@ -6,6 +6,7 @@
 
 #include "buffer/buffer_pool.h"
 #include "buffer/prefetcher.h"
+#include "cc/lock_manager.h"
 #include "cluster/cluster_manager.h"
 #include "core/model_config.h"
 #include "core/sharding.h"
@@ -63,6 +64,18 @@ struct DynMetricHandles {
   obs::GaugeHandle queue_depth_peak;  ///< deepest disk queue seen at drains
 };
 
+/// Metric handles of the concurrency-control subsystem (src/cc/),
+/// registered only when `ModelConfig::cc.enabled` — a disabled run
+/// registers nothing, keeping every committed snapshot layout unchanged.
+struct CcMetricHandles {
+  obs::CounterHandle txn_aborts;      ///< deadlock-timeout aborts
+  obs::CounterHandle txn_retries;     ///< aborted attempts re-entered
+  obs::CounterHandle txn_giveups;     ///< transactions out of retries
+  obs::CounterHandle rollback_pages;  ///< pages undone by rollbacks
+  obs::HistogramHandle lock_wait_s;   ///< per-acquisition lock-queue wait
+  obs::HistogramHandle latch_wait_s;  ///< per-fix page-latch wait
+};
+
 /// One fully wired (but not yet running) simulated server. Members are
 /// deliberately public: this is the wiring layer the execution and
 /// measurement layers build on, not an encapsulation boundary. The
@@ -117,6 +130,12 @@ class ServerContext {
   /// build without the subsystem.
   std::unique_ptr<obs::SpanProfiler> spans;
 
+  /// Strict-2PL lock manager (src/cc/, DESIGN.md §16); null unless
+  /// `config.cc.enabled` — the pipeline's lock/latch/retry paths all key
+  /// off this pointer, so a disabled run constructs nothing, registers no
+  /// metrics, and draws no random numbers.
+  std::unique_ptr<cc::LockManager> locks;
+
   /// The shard placement layer (DESIGN.md §15). Always constructed (last,
   /// after the database build and static reorganisation, so placement
   /// sees the final graph); with `config.shards == 1` it is a pure alias
@@ -126,6 +145,7 @@ class ServerContext {
 
   CoreMetricHandles handles;
   DynMetricHandles dyn_handles;
+  CcMetricHandles cc_handles;
 };
 
 }  // namespace oodb::core

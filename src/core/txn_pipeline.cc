@@ -1,6 +1,7 @@
 #include "core/txn_pipeline.h"
 
 #include <algorithm>
+#include <cmath>
 #include <unordered_set>
 
 #include "util/check.h"
@@ -21,6 +22,51 @@ constexpr double kInheritanceDerefProbability = 0.5;
 
 TxnPipeline::TxnPipeline(ServerContext& context)
     : ctx_(context), rng_(context.config.seed) {}
+
+sim::Task TxnPipeline::LockObject(TxnCc* lk, obj::ObjectId id,
+                                  cc::LockMode mode,
+                                  obs::SpanRecorder* prof) {
+  const double t0 = ctx_.sim.now();
+  const bool granted = co_await ctx_.locks->Acquire(
+      lk->txn, static_cast<cc::LockKey>(id), mode);
+  const double now = ctx_.sim.now();
+  if (now > t0) {
+    if (prof != nullptr) {
+      prof->RecordSpan(obs::SpanPhase::kLockWait, t0, now);
+    }
+    ctx_.metrics.Observe(ctx_.cc_handles.lock_wait_s, now - t0);
+    ctx_.trace.Record(obs::Subsystem::kCore,
+                      obs::TraceEventType::kLockWait, lk->txn, id,
+                      static_cast<uint64_t>(mode), now - t0);
+  }
+  if (granted) {
+    ctx_.trace.Record(obs::Subsystem::kCore,
+                      obs::TraceEventType::kLockGrant, lk->txn, id,
+                      static_cast<uint64_t>(mode));
+  } else {
+    lk->aborted = true;
+    ctx_.trace.Record(obs::Subsystem::kCore,
+                      obs::TraceEventType::kLockTimeout, lk->txn, id,
+                      static_cast<uint64_t>(mode), now - t0);
+  }
+}
+
+sim::Task TxnPipeline::RollbackTransaction(const ShardView& home,
+                                           txlog::TxnId txn,
+                                           obs::SpanRecorder* prof) {
+  // The attempt's locks are still held (strict 2PL releases only after
+  // the rollback), so no concurrent transaction can race these undos.
+  for (const store::PageId page : home.log->TouchedPages(txn)) {
+    co_await FetchPage(home, page, prof, /*pin=*/true);
+    home.buffer->MarkDirty(page);
+    home.buffer->Unpin(page);
+    // Object-sized compensation record: the before-image for this page
+    // is already in the log, so undoing re-logs cheaply.
+    co_await ChargeLogFlushes(home, home.log->LogWrite(txn, page, 64),
+                              prof);
+    ctx_.metrics.Add(ctx_.cc_handles.rollback_pages);
+  }
+}
 
 sim::Task TxnPipeline::ChargeCpu(const ShardView& at, double instructions,
                                  obs::SpanRecorder* prof) {
@@ -84,31 +130,56 @@ sim::Task TxnPipeline::FetchPage(const ShardView& at, store::PageId page,
                        ctx_.sim.now());
     }
   }
+  // Per-page latch (src/cc/): serialise the fix-evict-read sequence so
+  // two transactions never race the same frame. Held across this fix's
+  // awaits only, never across a lock wait — latches cannot deadlock.
+  // The prefetch-completion callback path (OnPrefetchComplete) stays
+  // unlatched: it runs synchronously inside an I/O completion event.
+  const bool latched =
+      ctx_.locks != nullptr && ctx_.config.cc.page_latches;
+  if (latched) {
+    const double t0 = ctx_.sim.now();
+    co_await ctx_.locks->AcquireLatch(key);
+    const double now = ctx_.sim.now();
+    if (now > t0) {
+      if (prof != nullptr) {
+        prof->RecordSpan(obs::SpanPhase::kLockWait, t0, now);
+      }
+      ctx_.metrics.Observe(ctx_.cc_handles.latch_wait_s, now - t0);
+      ctx_.trace.Record(obs::Subsystem::kBuffer,
+                        obs::TraceEventType::kLatchWait, 0, key, 0,
+                        now - t0);
+    }
+  }
   const auto fix = at.buffer->Fix(page);
   NotePrefetchEviction(at.shard, fix);
   // Pin before any suspension: concurrent processes may otherwise evict
   // the frame while this one waits on the disk.
   if (pin) at.buffer->Pin(page);
-  if (fix.hit) co_return;
-  co_await ChargeCpu(at, ctx_.config.physical_io_instructions, prof);
-  if (fix.evicted_dirty) {
-    // Worst case (paper §4.1): flush the dirty page before the read.
-    // The flush is a cost of fixing a frame, not of this page's read:
-    // the whole interval is buffer-fix wait.
-    const double t0 = ctx_.sim.now();
-    co_await at.io->Write(fix.evicted_page, io::IoCategory::kDirtyFlush);
-    if (prof != nullptr) {
-      prof->RecordSpan(obs::SpanPhase::kBufferFixWait, t0, ctx_.sim.now());
-    }
+  if (!fix.hit) {
     co_await ChargeCpu(at, ctx_.config.physical_io_instructions, prof);
+    if (fix.evicted_dirty) {
+      // Worst case (paper §4.1): flush the dirty page before the read.
+      // The flush is a cost of fixing a frame, not of this page's read:
+      // the whole interval is buffer-fix wait.
+      const double t0 = ctx_.sim.now();
+      co_await at.io->Write(fix.evicted_page, io::IoCategory::kDirtyFlush);
+      if (prof != nullptr) {
+        prof->RecordSpan(obs::SpanPhase::kBufferFixWait, t0,
+                         ctx_.sim.now());
+      }
+      co_await ChargeCpu(at, ctx_.config.physical_io_instructions, prof);
+    }
+    const double t0 = ctx_.sim.now();
+    co_await at.io->Read(page, io::IoCategory::kDataRead);
+    if (prof != nullptr) {
+      const sim::Resource& d = at.io->disk(at.io->DiskOf(page));
+      prof->RecordQueued(obs::SpanPhase::kIoWait,
+                         obs::SpanPhase::kIoService, t0,
+                         d.last_start_time(), ctx_.sim.now());
+    }
   }
-  const double t0 = ctx_.sim.now();
-  co_await at.io->Read(page, io::IoCategory::kDataRead);
-  if (prof != nullptr) {
-    const sim::Resource& d = at.io->disk(at.io->DiskOf(page));
-    prof->RecordQueued(obs::SpanPhase::kIoWait, obs::SpanPhase::kIoService,
-                       t0, d.last_start_time(), ctx_.sim.now());
-  }
+  if (latched) ctx_.locks->ReleaseLatch(key);
 }
 
 sim::Task TxnPipeline::FetchPageRouted(const ShardView& home,
@@ -211,7 +282,12 @@ void TxnPipeline::PostAccess(const ShardView& at, obj::ObjectId id) {
 
 sim::Task TxnPipeline::AccessObject(const ShardView& home, obj::ObjectId id,
                                     obj::TypeId from_type, int nav_kind,
-                                    obs::SpanRecorder* prof) {
+                                    TxnCc* lk, obs::SpanRecorder* prof) {
+  if (Aborted(lk)) co_return;
+  if (lk != nullptr) {
+    co_await LockObject(lk, id, cc::LockMode::kShared, prof);
+    if (lk->aborted) co_return;
+  }
   ++logical_reads_;
   if (ctx_.dyn_tracker) ctx_.dyn_tracker->Observe(id);
   co_await ChargeCpu(home, ctx_.config.logical_op_instructions, prof);
@@ -229,20 +305,29 @@ sim::Task TxnPipeline::AccessObject(const ShardView& home, obj::ObjectId id,
   // Dereference by-reference inherited attributes with some probability:
   // the heir's data partially lives with its inheritance source.
   if (rng_.Bernoulli(kInheritanceDerefProbability)) {
-    // The loop ends at the first await (break after FetchPage), so the
-    // edge view is never touched after a suspension point.
+    // Resolve the dereference target before any await: the edge view is
+    // never touched after a suspension point (a lock wait may now
+    // precede the fetch, so the id is copied out of the loop).
+    obj::ObjectId source = obj::kInvalidObject;
     for (const obj::Edge e : ctx_.graph->edges(id)) {
       if (e.kind == obj::RelKind::kInstanceInheritance &&
           e.dir == obj::Direction::kUp && ctx_.graph->IsLive(e.target)) {
-        ++logical_reads_;
-        ctx_.affinity->RecordTraversal(ctx_.graph->object(id).type,
-                                       obj::RelKind::kInstanceInheritance);
-        const ShardView& src = ctx_.shards->HomeOf(e.target);
-        const store::PageId sp = src.storage->PageOf(e.target);
-        if (sp != store::kInvalidPage) {
-          co_await FetchPageRouted(home, src, sp, prof);
-        }
+        source = e.target;
         break;  // one dereference is representative
+      }
+    }
+    if (source != obj::kInvalidObject) {
+      ++logical_reads_;
+      ctx_.affinity->RecordTraversal(ctx_.graph->object(id).type,
+                                     obj::RelKind::kInstanceInheritance);
+      if (lk != nullptr) {
+        co_await LockObject(lk, source, cc::LockMode::kShared, prof);
+        if (lk->aborted) co_return;
+      }
+      const ShardView& src = ctx_.shards->HomeOf(source);
+      const store::PageId sp = src.storage->PageOf(source);
+      if (sp != store::kInvalidPage) {
+        co_await FetchPageRouted(home, src, sp, prof);
       }
     }
   }
@@ -250,12 +335,12 @@ sim::Task TxnPipeline::AccessObject(const ShardView& home, obj::ObjectId id,
 
 sim::Task TxnPipeline::ReadQuery(const ShardView& home,
                                  const workload::TransactionSpec& spec,
-                                 obs::SpanRecorder* prof) {
+                                 TxnCc* lk, obs::SpanRecorder* prof) {
   const obj::ObjectId target = spec.target;
   if (!ctx_.graph->IsLive(target)) co_return;
   if (ctx_.dyn_tracker) ctx_.dyn_tracker->BeginTransaction(target);
   const obj::TypeId ttype = ctx_.graph->object(target).type;
-  co_await AccessObject(home, target, ttype, -1, prof);
+  co_await AccessObject(home, target, ttype, -1, lk, prof);
 
   switch (spec.type) {
     case workload::QueryType::kSimpleLookup:
@@ -265,7 +350,7 @@ sim::Task TxnPipeline::ReadQuery(const ShardView& home,
         if (ctx_.graph->IsLive(c)) {
           co_await AccessObject(
               home, c, ttype,
-              static_cast<int>(obj::RelKind::kConfiguration), prof);
+              static_cast<int>(obj::RelKind::kConfiguration), lk, prof);
         }
       }
       break;
@@ -283,7 +368,7 @@ sim::Task TxnPipeline::ReadQuery(const ShardView& home,
         if (!ctx_.graph->IsLive(o) || !visited.insert(o).second) continue;
         co_await AccessObject(
             home, o, ttype,
-            static_cast<int>(obj::RelKind::kConfiguration), prof);
+            static_cast<int>(obj::RelKind::kConfiguration), lk, prof);
         for (obj::ObjectId c : ctx_.graph->Components(o)) {
           stack.push_back(c);
         }
@@ -295,7 +380,7 @@ sim::Task TxnPipeline::ReadQuery(const ShardView& home,
         if (ctx_.graph->IsLive(d)) {
           co_await AccessObject(
               home, d, ttype,
-              static_cast<int>(obj::RelKind::kVersionHistory), prof);
+              static_cast<int>(obj::RelKind::kVersionHistory), lk, prof);
         }
       }
       break;
@@ -305,7 +390,7 @@ sim::Task TxnPipeline::ReadQuery(const ShardView& home,
         if (ctx_.graph->IsLive(a)) {
           co_await AccessObject(
               home, a, ttype,
-              static_cast<int>(obj::RelKind::kVersionHistory), prof);
+              static_cast<int>(obj::RelKind::kVersionHistory), lk, prof);
         }
       }
       break;
@@ -315,7 +400,7 @@ sim::Task TxnPipeline::ReadQuery(const ShardView& home,
         if (ctx_.graph->IsLive(c)) {
           co_await AccessObject(
               home, c, ttype,
-              static_cast<int>(obj::RelKind::kCorrespondence), prof);
+              static_cast<int>(obj::RelKind::kCorrespondence), lk, prof);
         }
       }
       break;
@@ -326,7 +411,7 @@ sim::Task TxnPipeline::ReadQuery(const ShardView& home,
       // batch of same-class object fetches with no structural navigation.
       for (obj::ObjectId o : spec.targets) {
         if (o != target && ctx_.graph->IsLive(o)) {
-          co_await AccessObject(home, o, ttype, -1, prof);
+          co_await AccessObject(home, o, ttype, -1, lk, prof);
         }
       }
       break;
@@ -349,7 +434,7 @@ sim::Task TxnPipeline::ReadQuery(const ShardView& home,
         if (!ctx_.graph->IsLive(o) || !visited.insert(o).second) continue;
         co_await AccessObject(
             home, o, ttype,
-            static_cast<int>(obj::RelKind::kConfiguration), prof);
+            static_cast<int>(obj::RelKind::kConfiguration), lk, prof);
         if (d < spec.depth) {
           for (obj::ObjectId c : ctx_.graph->Components(o)) {
             stack.emplace_back(c, d + 1);
@@ -385,7 +470,8 @@ sim::Task TxnPipeline::ReadQuery(const ShardView& home,
           if (!visited.insert(t).second) continue;
           co_await AccessObject(
               home, t, ttype,
-              static_cast<int>(obj::RelKind::kInstanceInheritance), prof);
+              static_cast<int>(obj::RelKind::kInstanceInheritance), lk,
+              prof);
           stack.emplace_back(t, d + 1);
         }
       }
@@ -416,7 +502,7 @@ sim::Task TxnPipeline::ReadQuery(const ShardView& home,
         visited.insert(chosen);
         co_await AccessObject(
             home, chosen, ttype,
-            static_cast<int>(obj::RelKind::kConfiguration), prof);
+            static_cast<int>(obj::RelKind::kConfiguration), lk, prof);
         path.push_back(chosen);
         ++accessed;
       }
@@ -453,8 +539,13 @@ sim::Task TxnPipeline::LogAndDirty(const ShardView& home,
 }
 
 sim::Task TxnPipeline::WriteObject(const ShardView& home, txlog::TxnId txn,
-                                   obj::ObjectId id,
+                                   obj::ObjectId id, TxnCc* lk,
                                    obs::SpanRecorder* prof) {
+  if (Aborted(lk)) co_return;
+  if (lk != nullptr) {
+    co_await LockObject(lk, id, cc::LockMode::kExclusive, prof);
+    if (lk->aborted) co_return;
+  }
   // Object-level write that tolerates concurrent deletion: resolves the
   // page and size only if the object is still live and placed.
   const ShardView& at = ctx_.shards->HomeOf(id);
@@ -548,9 +639,18 @@ sim::Task TxnPipeline::ChargePlacement(const ShardView& home,
 sim::Task TxnPipeline::ReclusterAfterStructureChange(const ShardView& home,
                                                      txlog::TxnId txn,
                                                      obj::ObjectId id,
+                                                     TxnCc* lk,
                                                      obs::SpanRecorder* prof) {
+  if (Aborted(lk)) co_return;
   if (ctx_.config.clustering.pool == cluster::CandidatePool::kNoClustering) {
     co_return;
+  }
+  if (lk != nullptr) {
+    // The structure-write path only reclusters endpoints it already
+    // X-locked, so this is a free re-grant; it is a real acquisition
+    // only for future callers.
+    co_await LockObject(lk, id, cc::LockMode::kExclusive, prof);
+    if (lk->aborted) co_return;
   }
   // Reclustering is a per-shard affair: the owner's cluster manager
   // reconsiders the placement within the owner's own pages.
@@ -573,7 +673,7 @@ sim::Task TxnPipeline::ReclusterAfterStructureChange(const ShardView& home,
 
 sim::Task TxnPipeline::WriteQuery(const ShardView& home,
                                   const workload::TransactionSpec& spec,
-                                  txlog::TxnId txn,
+                                  txlog::TxnId txn, TxnCc* lk,
                                   obs::SpanRecorder* prof) {
   workload::DesignDatabase::Module& module = ctx_.db.modules[spec.module];
   obj::ObjectId target = spec.target;
@@ -585,12 +685,14 @@ sim::Task TxnPipeline::WriteQuery(const ShardView& home,
       // are rewritten in one transaction (the paper's checkin invokes
       // several updates). Co-located components then share before-imaged
       // pages — the Fig 5.5 mechanism.
-      co_await WriteObject(home, txn, target, prof);
+      co_await WriteObject(home, txn, target, lk, prof);
+      if (Aborted(lk)) co_return;
       int updated = 0;
       for (obj::ObjectId c : ctx_.graph->Components(target)) {
         if (updated >= 6) break;
         if (!rng_.Bernoulli(0.7)) continue;
-        co_await WriteObject(home, txn, c, prof);
+        co_await WriteObject(home, txn, c, lk, prof);
+        if (Aborted(lk)) co_return;
         ++updated;
       }
       break;
@@ -600,8 +702,23 @@ sim::Task TxnPipeline::WriteQuery(const ShardView& home,
       if (other == obj::kInvalidObject || !ctx_.graph->IsLive(other) ||
           other == target) {
         // Attachment end vanished: degrade to a simple update.
-        co_await WriteObject(home, txn, target, prof);
+        co_await WriteObject(home, txn, target, lk, prof);
         break;
+      }
+      if (lk != nullptr) {
+        // Both endpoints are X-locked *before* the graph mutation, so a
+        // deadlock timeout here aborts with nothing structural to undo.
+        co_await LockObject(lk, target, cc::LockMode::kExclusive, prof);
+        if (lk->aborted) co_return;
+        co_await LockObject(lk, other, cc::LockMode::kExclusive, prof);
+        if (lk->aborted) co_return;
+        // Either endpoint may have been deleted while this transaction
+        // queued for its lock: degrade to a simple update (WriteObject
+        // tolerates dead objects; Relate does not).
+        if (!ctx_.graph->IsLive(target) || !ctx_.graph->IsLive(other)) {
+          co_await WriteObject(home, txn, target, lk, prof);
+          break;
+        }
       }
       const obj::RelKind kind = rng_.Bernoulli(0.6)
                                     ? obj::RelKind::kConfiguration
@@ -615,14 +732,24 @@ sim::Task TxnPipeline::WriteQuery(const ShardView& home,
                            target) == module.composites.end()) {
         module.composites.push_back(target);
       }
-      co_await WriteObject(home, txn, target, prof);
-      co_await WriteObject(home, txn, other, prof);
+      co_await WriteObject(home, txn, target, lk, prof);
+      co_await WriteObject(home, txn, other, lk, prof);
       // Both endpoints' structures changed: run-time reclustering.
-      co_await ReclusterAfterStructureChange(home, txn, target, prof);
-      co_await ReclusterAfterStructureChange(home, txn, other, prof);
+      co_await ReclusterAfterStructureChange(home, txn, target, lk, prof);
+      co_await ReclusterAfterStructureChange(home, txn, other, lk, prof);
       break;
     }
     case workload::WriteKind::kInsertObject: {
+      if (lk != nullptr) {
+        // Lock the parent before creating the child: an abort here
+        // leaves no orphan in the graph.
+        co_await LockObject(lk, target, cc::LockMode::kExclusive, prof);
+        if (lk->aborted) co_return;
+        if (!ctx_.graph->IsLive(target)) {
+          co_await WriteObject(home, txn, target, lk, prof);
+          break;
+        }
+      }
       const obj::DesignObject& parent = ctx_.graph->object(target);
       const uint32_t size = std::max<uint32_t>(
           32, static_cast<uint32_t>(
@@ -641,6 +768,14 @@ sim::Task TxnPipeline::WriteQuery(const ShardView& home,
       break;
     }
     case workload::WriteKind::kDeriveVersion: {
+      if (lk != nullptr) {
+        co_await LockObject(lk, target, cc::LockMode::kExclusive, prof);
+        if (lk->aborted) co_return;
+        if (!ctx_.graph->IsLive(target)) {
+          co_await WriteObject(home, txn, target, lk, prof);
+          break;
+        }
+      }
       const auto derived =
           obj::DeriveVersion(*ctx_.graph, target, ctx_.inherit_model);
       const ShardView& at = ctx_.shards->AssignNew(derived.heir, target);
@@ -658,10 +793,11 @@ sim::Task TxnPipeline::WriteQuery(const ShardView& home,
                                   obj::Direction::kDown) ||
           target == module.root) {
         // Keep the catalogue navigable: only leaves are deleted.
-        co_await WriteObject(home, txn, target, prof);
+        co_await WriteObject(home, txn, target, lk, prof);
         break;
       }
-      co_await WriteObject(home, txn, target, prof);
+      co_await WriteObject(home, txn, target, lk, prof);
+      if (Aborted(lk)) co_return;
       // Re-check after the awaits: a concurrent transaction may have
       // deleted the object first.
       const ShardView& at = ctx_.shards->HomeOf(target);
@@ -677,10 +813,11 @@ sim::Task TxnPipeline::WriteQuery(const ShardView& home,
       // edge, so only the module root is off limits. This is what makes
       // static placements fragment over churn epochs.
       if (target == module.root) {
-        co_await WriteObject(home, txn, target, prof);
+        co_await WriteObject(home, txn, target, lk, prof);
         break;
       }
-      co_await WriteObject(home, txn, target, prof);
+      co_await WriteObject(home, txn, target, lk, prof);
+      if (Aborted(lk)) co_return;
       const ShardView& at = ctx_.shards->HomeOf(target);
       if (ctx_.graph->IsLive(target) && at.storage->IsPlaced(target)) {
         OODB_CHECK(at.storage->Erase(target).ok());
@@ -692,7 +829,7 @@ sim::Task TxnPipeline::WriteQuery(const ShardView& home,
 }
 
 sim::Task TxnPipeline::MaybeReorganize(const ShardView& home,
-                                       txlog::TxnId txn,
+                                       txlog::TxnId txn, TxnCc* lk,
                                        obs::SpanRecorder* prof) {
   dyn::AccessTracker& tracker = *ctx_.dyn_tracker;
   dyn::ReclusterPolicy& policy = *ctx_.dyn_policy;
@@ -727,6 +864,24 @@ sim::Task TxnPipeline::MaybeReorganize(const ShardView& home,
                       std::make_move_iterator(batch.end())},
                      ctx_.sim.now());
       break;
+    }
+    if (lk != nullptr) {
+      // X-lock the unit's anchor before relocating it. Reorganisation is
+      // maintenance, not transaction semantics: a timed-out wait drops
+      // the unit (the tracker will re-surface a still-hot anchor) rather
+      // than aborting the host transaction.
+      const double t0 = ctx_.sim.now();
+      const bool granted = co_await ctx_.locks->Acquire(
+          lk->txn, static_cast<cc::LockKey>(unit.anchor),
+          cc::LockMode::kExclusive);
+      const double now = ctx_.sim.now();
+      if (now > t0) {
+        if (prof != nullptr) {
+          prof->RecordSpan(obs::SpanPhase::kLockWait, t0, now);
+        }
+        ctx_.metrics.Observe(ctx_.cc_handles.lock_wait_s, now - t0);
+      }
+      if (!granted) continue;
     }
     co_await ChargeCpu(home, ctx_.config.cluster_decision_instructions,
                        prof);
@@ -785,7 +940,7 @@ sim::Task TxnPipeline::MaybeReorganize(const ShardView& home,
 
 sim::Task TxnPipeline::ExecuteTransaction(
     const workload::TransactionSpec& spec) {
-  const txlog::TxnId txn = next_txn_++;
+  txlog::TxnId txn = next_txn_++;
   const double start = ctx_.sim.now();
   // The transaction's session lives on its target's shard: CPU for
   // logical operations, log records, and the commit force all land there.
@@ -794,37 +949,85 @@ sim::Task TxnPipeline::ExecuteTransaction(
   // The recorder lives in this coroutine's frame: transactions interleave
   // at every await, so per-transaction recording state cannot be a
   // pipeline member. Disabled (null profiler) it allocates nothing and
-  // every call through `prof` is skipped.
+  // every call through `prof` is skipped. One recorder spans every
+  // retry attempt, so the 10-phase additivity invariant covers the whole
+  // user-visible response time, aborted work and backoff included.
   obs::SpanRecorder recorder(ctx_.spans.get(), txn,
                              static_cast<int>(spec.type), start);
   obs::SpanRecorder* prof = recorder.enabled() ? &recorder : nullptr;
   ctx_.trace.Record(obs::Subsystem::kCore, obs::TraceEventType::kTxnBegin,
                     txn, static_cast<uint64_t>(spec.type));
-  home.log->Begin(txn);
-  if (prof != nullptr) prof->BeginScope(obs::SpanScope::kQuery, start);
-  if (spec.type == workload::QueryType::kObjectWrite) {
-    co_await WriteQuery(home, spec, txn, prof);
-  } else {
-    co_await ReadQuery(home, spec, prof);
-  }
-  if (prof != nullptr) prof->EndScope(ctx_.sim.now());
-  if (ctx_.dyn_policy) {
+  cc::LockManager* locks = ctx_.locks.get();
+  // Retry-backoff jitter: a splitmix64 stream keyed on the run seed and
+  // the first attempt's id — per-transaction, drawn only on aborts, so
+  // it is deterministic at any job count and the cc-off path never
+  // touches it.
+  SplitMix64 jitter(ctx_.config.seed ^ (txn * 0x9E3779B97F4A7C15ull));
+  for (int attempt = 0;; ++attempt) {
+    TxnCc cc_state{txn, false};
+    TxnCc* lk = locks != nullptr ? &cc_state : nullptr;
+    home.log->Begin(txn);
     if (prof != nullptr) {
-      prof->BeginScope(obs::SpanScope::kReorg, ctx_.sim.now());
-      prof->set_dyn_scope(true);
+      prof->BeginScope(obs::SpanScope::kQuery, ctx_.sim.now());
     }
-    co_await MaybeReorganize(home, txn, prof);
+    if (spec.type == workload::QueryType::kObjectWrite) {
+      co_await WriteQuery(home, spec, txn, lk, prof);
+    } else {
+      co_await ReadQuery(home, spec, lk, prof);
+    }
+    if (prof != nullptr) prof->EndScope(ctx_.sim.now());
+    if (!Aborted(lk)) {
+      if (ctx_.dyn_policy) {
+        if (prof != nullptr) {
+          prof->BeginScope(obs::SpanScope::kReorg, ctx_.sim.now());
+          prof->set_dyn_scope(true);
+        }
+        co_await MaybeReorganize(home, txn, lk, prof);
+        if (prof != nullptr) {
+          prof->set_dyn_scope(false);
+          prof->EndScope(ctx_.sim.now());
+        }
+      }
+      if (prof != nullptr) {
+        prof->BeginScope(obs::SpanScope::kCommit, ctx_.sim.now());
+      }
+      co_await ChargeLogFlushes(
+          home, home.log->Commit(txn, ctx_.config.force_log_at_commit),
+          prof);
+      if (prof != nullptr) prof->EndScope(ctx_.sim.now());
+      // Strict 2PL: every lock is held through the end of commit.
+      if (locks != nullptr) locks->ReleaseAll(txn);
+      break;
+    }
+    // Deadlock-timeout abort: undo the attempt's dirty work, release
+    // everything, and either re-enter with a fresh transaction id after
+    // a jittered exponential backoff or give up (work stays undone).
+    co_await RollbackTransaction(home, txn, prof);
+    home.log->Abort(txn);
+    locks->ReleaseAll(txn);
+    ctx_.metrics.Add(ctx_.cc_handles.txn_aborts);
+    const bool gave_up = attempt >= ctx_.config.cc.max_retries;
+    ctx_.trace.Record(obs::Subsystem::kCore,
+                      obs::TraceEventType::kTxnAbort, txn,
+                      static_cast<uint64_t>(attempt), gave_up ? 1 : 0);
+    if (gave_up) {
+      ctx_.metrics.Add(ctx_.cc_handles.txn_giveups);
+      break;
+    }
+    ctx_.metrics.Add(ctx_.cc_handles.txn_retries);
+    // ldexp scales by an exact power of two; the jitter factor is
+    // uniform in [0.5, 1.5), desynchronising repeat offenders.
+    const double backoff =
+        std::min(std::ldexp(ctx_.config.cc.backoff_base_s, attempt),
+                 ctx_.config.cc.backoff_cap_s) *
+        (0.5 + jitter.NextDouble());
+    const double t0 = ctx_.sim.now();
+    co_await sim::Delay(ctx_.sim, backoff);
     if (prof != nullptr) {
-      prof->set_dyn_scope(false);
-      prof->EndScope(ctx_.sim.now());
+      prof->RecordSpan(obs::SpanPhase::kLockWait, t0, ctx_.sim.now());
     }
+    txn = next_txn_++;
   }
-  if (prof != nullptr) {
-    prof->BeginScope(obs::SpanScope::kCommit, ctx_.sim.now());
-  }
-  co_await ChargeLogFlushes(
-      home, home.log->Commit(txn, ctx_.config.force_log_at_commit), prof);
-  if (prof != nullptr) prof->EndScope(ctx_.sim.now());
   recorder.Finish(ctx_.sim.now());
   ctx_.trace.Record(obs::Subsystem::kCore, obs::TraceEventType::kTxnEnd,
                     txn, static_cast<uint64_t>(spec.type), 0,

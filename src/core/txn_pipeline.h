@@ -7,6 +7,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "cc/lock_manager.h"
 #include "core/server_context.h"
 #include "core/sharding.h"
 #include "sim/process.h"
@@ -31,6 +32,15 @@
 /// is the same alias of the single server's components, the routing
 /// branch never fires, and the execution is bit-identical to the
 /// pre-sharding pipeline.
+///
+/// Concurrency control (DESIGN.md §16) threads the same way: a
+/// frame-local TxnCc pointer (`lk`, null when `ModelConfig::cc` is off)
+/// carries the attempt's transaction id and abort flag through the
+/// primitives, which acquire strict-2PL object locks before touching
+/// data and unwind on a deadlock-timeout abort; ExecuteTransaction then
+/// rolls the attempt back through the log manager and retries with
+/// jittered exponential backoff. Page latches ride the buffer-fix path
+/// directly off `ctx_.locks` and need no per-transaction state.
 
 namespace oodb::core {
 
@@ -64,9 +74,40 @@ class TxnPipeline {
   // references ride the same way: `home` is the transaction's session
   // shard, `at` the shard whose components execute the page work.
 
+  /// Frame-local concurrency state of one transaction *attempt*,
+  /// threaded by pointer (`lk`) exactly like the span recorder — null
+  /// when the cc subsystem is off, so the disabled pipeline takes no
+  /// lock branch anywhere. Primitives that acquire locks set `aborted`
+  /// on a deadlock timeout; callers check it after every awaited
+  /// sub-primitive and unwind without further mutation.
+  struct TxnCc {
+    txlog::TxnId txn = 0;
+    bool aborted = false;
+  };
+  static bool Aborted(const TxnCc* lk) {
+    return lk != nullptr && lk->aborted;
+  }
+
+  /// Acquires `id` in `mode` for `lk->txn` through the lock manager:
+  /// records any queueing delay as a `lock_wait` span leaf and in the
+  /// cc wait histogram, emits grant/wait/timeout trace events, and sets
+  /// `lk->aborted` when the wait timed out. Only called with a live
+  /// lock manager.
+  sim::Task LockObject(TxnCc* lk, obj::ObjectId id, cc::LockMode mode,
+                       obs::SpanRecorder* prof);
+
+  /// Undoes an aborted attempt's dirty work: walks the pages the log
+  /// manager saw the transaction touch (sorted — deterministic), fetches
+  /// each, re-dirties it, and appends an object-sized compensation log
+  /// record. Physical re-organisation (splits, reclustering moves) is
+  /// not undone — like real schema-modification operations, placement
+  /// changes are orthogonal to logical atomicity.
+  sim::Task RollbackTransaction(const ShardView& home, txlog::TxnId txn,
+                                obs::SpanRecorder* prof);
+
   // Read-side primitives.
   sim::Task AccessObject(const ShardView& home, obj::ObjectId id,
-                         obj::TypeId from_type, int nav_kind,
+                         obj::TypeId from_type, int nav_kind, TxnCc* lk,
                          obs::SpanRecorder* prof);
   /// Makes `page` resident in `at`'s pool, charging `at`'s I/O. With
   /// `pin`, the page is pinned before any suspension and stays pinned on
@@ -83,19 +124,21 @@ class TxnPipeline {
                             store::PageId page, obs::SpanRecorder* prof,
                             bool pin = false);
   sim::Task ReadQuery(const ShardView& home,
-                      const workload::TransactionSpec& spec,
+                      const workload::TransactionSpec& spec, TxnCc* lk,
                       obs::SpanRecorder* prof);
 
   // Write-side primitives.
   sim::Task WriteQuery(const ShardView& home,
                        const workload::TransactionSpec& spec,
-                       txlog::TxnId txn, obs::SpanRecorder* prof);
+                       txlog::TxnId txn, TxnCc* lk,
+                       obs::SpanRecorder* prof);
   sim::Task LogAndDirty(const ShardView& home, const ShardView& at,
                         txlog::TxnId txn, store::PageId page,
                         uint32_t object_size, obs::SpanRecorder* prof);
   /// Object-level write that tolerates concurrent deletion of `id`.
   sim::Task WriteObject(const ShardView& home, txlog::TxnId txn,
-                        obj::ObjectId id, obs::SpanRecorder* prof);
+                        obj::ObjectId id, TxnCc* lk,
+                        obs::SpanRecorder* prof);
   sim::Task ChargeExamReads(const ShardView& at,
                             const cluster::PlacementReport& report,
                             obs::SpanRecorder* prof);
@@ -109,7 +152,7 @@ class TxnPipeline {
                             obj::ObjectId placed, obs::SpanRecorder* prof);
   sim::Task ReclusterAfterStructureChange(const ShardView& home,
                                           txlog::TxnId txn,
-                                          obj::ObjectId id,
+                                          obj::ObjectId id, TxnCc* lk,
                                           obs::SpanRecorder* prof);
   /// Dynamic re-clustering drain (src/dyn/), run at the end of every
   /// transaction before its commit: consolidates the access tracker when
@@ -119,7 +162,7 @@ class TxnPipeline {
   /// when a dynamic policy is enabled (which Validate rejects for
   /// shards > 1, so `home` is always the single server here).
   sim::Task MaybeReorganize(const ShardView& home, txlog::TxnId txn,
-                            obs::SpanRecorder* prof);
+                            TxnCc* lk, obs::SpanRecorder* prof);
 
   sim::Task ChargeCpu(const ShardView& at, double instructions,
                       obs::SpanRecorder* prof);

@@ -40,6 +40,8 @@ const char* SpanPhaseName(SpanPhase p) {
       return "dyn_recluster";
     case SpanPhase::kRemoteFetchWait:
       return "remote_fetch_wait";
+    case SpanPhase::kLockWait:
+      return "lock_wait";
   }
   return "unknown";
 }

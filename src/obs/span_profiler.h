@@ -17,8 +17,10 @@
 /// transaction's response time to one phase of an exact, additive
 /// taxonomy — CPU service, CPU queue wait, I/O service, I/O queue wait,
 /// buffer-fix wait (dirty-victim flushes inside a fix), log-force wait,
-/// prefetch overlap, dynamic-reclustering overhead, and remote-fetch
-/// wait (cross-shard page accesses when the model runs sharded).
+/// prefetch overlap, dynamic-reclustering overhead, remote-fetch wait
+/// (cross-shard page accesses when the model runs sharded), and lock
+/// wait (2PL lock/latch queueing and abort-retry backoff when the
+/// concurrency-control subsystem is enabled).
 ///
 /// The additivity argument: within a transaction coroutine, simulated
 /// time only advances while the coroutine is suspended at a leaf await
@@ -68,8 +70,9 @@ enum class SpanPhase : uint8_t {
   kPrefetchOverlap,  ///< joined an in-flight prefetch of a wanted page
   kDynRecluster,     ///< dynamic-reclustering drain (src/dyn/) overhead
   kRemoteFetchWait,  ///< cross-shard page access (hops + remote service)
+  kLockWait,         ///< 2PL lock/latch waits and abort-retry backoff
 };
-inline constexpr int kNumSpanPhases = 9;
+inline constexpr int kNumSpanPhases = 10;
 
 /// Snake-case phase label ("cpu_service", ...), used for metric names,
 /// the bench-JSONL "breakdown" keys, and the exported span names.

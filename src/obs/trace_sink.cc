@@ -38,6 +38,11 @@ const EventMeta& MetaOf(TraceEventType t) {
       {"dyn-reorg", "anchor", "moved", "pages", "heat"},
       {"span", "txn", "code", "query", "dur_s"},
       {"remote-fetch", "page", "home", "owner", "wait_s"},
+      {"lock-grant", "txn", "object", "mode", nullptr},
+      {"lock-wait", "txn", "object", "mode", "wait_s"},
+      {"lock-timeout", "txn", "object", "mode", "wait_s"},
+      {"latch-wait", "txn", "page", nullptr, "wait_s"},
+      {"txn-abort", "txn", "attempt", "gave_up", nullptr},
   };
   return kMeta[static_cast<size_t>(t)];
 }

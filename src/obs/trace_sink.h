@@ -65,6 +65,11 @@ enum class TraceEventType : uint8_t {
                     ///< a Chrome "X" complete event, not an instant
   kRemoteFetch,     ///< a: page, b: home shard, c: owner shard,
                     ///< v: total remote wait seconds (hops + service)
+  kLockGrant,       ///< a: txn, b: object, c: mode (0 S, 1 X)
+  kLockWait,        ///< a: txn, b: object, c: mode, v: wait seconds
+  kLockTimeout,     ///< a: txn, b: object, c: mode, v: wait seconds
+  kLatchWait,       ///< a: txn, b: page key, v: wait seconds
+  kTxnAbort,        ///< a: txn, b: attempt number, c: gave up (0/1)
 };
 const char* TraceEventTypeName(TraceEventType t);
 

@@ -1,5 +1,7 @@
 #include "txlog/log_manager.h"
 
+#include <algorithm>
+
 namespace oodb::txlog {
 
 LogManager::LogManager(uint32_t buffer_bytes, uint32_t page_size_bytes,
@@ -92,6 +94,14 @@ int LogManager::Commit(TxnId txn, bool force) {
     any_flush_ = true;
   }
   return flushes;
+}
+
+std::vector<store::PageId> LogManager::TouchedPages(TxnId txn) const {
+  auto it = touched_.find(txn);
+  OODB_CHECK(it != touched_.end());
+  std::vector<store::PageId> pages(it->second.begin(), it->second.end());
+  std::sort(pages.begin(), pages.end());
+  return pages;
 }
 
 void LogManager::Abort(TxnId txn) {

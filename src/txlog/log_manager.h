@@ -74,6 +74,12 @@ class LogManager {
   /// Abandons a transaction without a commit record.
   void Abort(TxnId txn);
 
+  /// The pages an active transaction has logged writes against, sorted by
+  /// page id. The rollback path (src/cc/) walks this to undo dirty work;
+  /// sorting keeps the iteration order independent of the hash layout of
+  /// the internal page set.
+  std::vector<store::PageId> TouchedPages(TxnId txn) const;
+
   uint64_t records_appended() const { return records_; }
   uint64_t before_images() const { return before_images_; }
   uint64_t bytes_appended() const { return bytes_appended_; }

@@ -14,6 +14,10 @@
 //                    matches k (suffix '*' = prefix match; x may be
 //                    "ignore"). Most-specific (longest) pattern wins.
 //   --max-report <n> mismatch lines printed before eliding (default 20)
+//   --allow-new-keys fields present only in the second (candidate) file
+//                    are reported as notes instead of failing — the gate
+//                    for comparing a pre-telemetry baseline against a
+//                    build that emits new keys
 //
 // Records are JSON objects, one per line, matched across files by
 // (bench, cell_label, occurrence). Every record is flattened to
@@ -21,7 +25,8 @@
 // compared pairwise. In --baseline mode, fields present only in the
 // current file are allowed (new telemetry never breaks the gate);
 // fields present only in the baseline fail. Outside --baseline mode any
-// asymmetry fails. Wall-clock fields (*wall_s*) are always ignored.
+// asymmetry fails unless --allow-new-keys downgrades candidate-only
+// fields to notes. Wall-clock fields (*wall_s*) are always ignored.
 //
 // Exit status: 0 = within tolerance, 1 = differences, 2 = usage/IO/parse
 // error.
@@ -291,12 +296,26 @@ bool LoadRecords(const char* path, std::vector<Record>& out) {
 
 struct Reporter {
   uint64_t mismatches = 0;
+  uint64_t new_keys = 0;  // candidate-only fields noted under --allow-new-keys
   uint64_t reported = 0;
   uint64_t limit = 20;
 
   void Report(const std::string& cell, const std::string& path,
               const std::string& a, const std::string& b) {
     ++mismatches;
+    Print(cell, path, a, b);
+  }
+
+  /// A candidate-only field under --allow-new-keys: visible in the output
+  /// but not counted against the exit status.
+  void Note(const std::string& cell, const std::string& path,
+            const std::string& b) {
+    ++new_keys;
+    Print(cell, path, "<missing> (new key, allowed)", b);
+  }
+
+  void Print(const std::string& cell, const std::string& path,
+             const std::string& a, const std::string& b) {
     if (reported < limit) {
       std::fprintf(stderr, "  %s: %s: %s != %s\n", cell.c_str(),
                    path.c_str(), a.c_str(), b.c_str());
@@ -309,7 +328,8 @@ struct Reporter {
 };
 
 void CompareRecords(const Record& a, const Record& b, const Tolerances& tol,
-                    bool baseline_mode, Reporter& report) {
+                    bool baseline_mode, bool allow_new_keys,
+                    Reporter& report) {
   for (const auto& [path, va] : a.fields) {
     const double rtol = tol.For(path);
     if (rtol == kIgnore) continue;
@@ -332,7 +352,11 @@ void CompareRecords(const Record& a, const Record& b, const Tolerances& tol,
   for (const auto& [path, vb] : b.fields) {
     if (tol.For(path) == kIgnore) continue;
     if (a.fields.find(path) == a.fields.end()) {
-      report.Report(b.key, path, "<missing>", vb.text);
+      if (allow_new_keys) {
+        report.Note(b.key, path, vb.text);
+      } else {
+        report.Report(b.key, path, "<missing>", vb.text);
+      }
     }
   }
 }
@@ -345,7 +369,9 @@ int Usage(const char* argv0) {
                "  --rtol <x>        default relative tolerance (default 0)\n"
                "  --tol <key=x>     per-field tolerance ('*' suffix = "
                "prefix; x may be 'ignore')\n"
-               "  --max-report <n>  mismatch lines printed (default 20)\n",
+               "  --max-report <n>  mismatch lines printed (default 20)\n"
+               "  --allow-new-keys  fields only in the second file are "
+               "notes, not failures\n",
                argv0, argv0);
   return 2;
 }
@@ -359,6 +385,7 @@ int main(int argc, char** argv) {
   tol.rules.push_back({"wall_s", kIgnore});
 
   const char* baseline_path = nullptr;
+  bool allow_new_keys = false;
   Reporter report;
   std::vector<const char*> files;
   for (int i = 1; i < argc; ++i) {
@@ -387,6 +414,8 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return Usage(argv[0]);
       report.limit = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--allow-new-keys") {
+      allow_new_keys = true;
     } else if (arg.rfind("--", 0) == 0) {
       return Usage(argv[0]);
     } else {
@@ -421,7 +450,8 @@ int main(int argc, char** argv) {
       report.Report(ra.key, "<record>", "present", "<missing>");
       continue;
     }
-    CompareRecords(ra, *it->second, tol, baseline_mode, report);
+    CompareRecords(ra, *it->second, tol, baseline_mode, allow_new_keys,
+                   report);
   }
   for (const Record& rb : b) {
     if (a_by_key.find(rb.key) == a_by_key.end()) {
@@ -439,6 +469,13 @@ int main(int argc, char** argv) {
                  b_path, tol.default_rtol);
     return 1;
   }
-  std::printf("bench_diff: %zu record(s) match within tolerance\n", a.size());
+  if (report.new_keys > 0) {
+    std::printf("bench_diff: %zu record(s) match within tolerance "
+                "(%llu new key(s) allowed)\n",
+                a.size(), static_cast<unsigned long long>(report.new_keys));
+  } else {
+    std::printf("bench_diff: %zu record(s) match within tolerance\n",
+                a.size());
+  }
   return 0;
 }

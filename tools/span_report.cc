@@ -42,20 +42,23 @@
 
 namespace {
 
-/// The nine phase keys, in the additive taxonomy's order. Kept in sync
+/// The ten phase keys, in the additive taxonomy's order. Kept in sync
 /// with obs::SpanPhaseName (span_test.cc pins the spelling). Files from
-/// before the sharded model simply lack `remote_fetch_wait_ticks`, which
-/// reads as 0 and keeps the additivity audit exact.
+/// before the sharded model simply lack `remote_fetch_wait_ticks`, and
+/// pre-cc files lack `lock_wait_ticks`; both read as 0 and keep the
+/// additivity audit exact.
 constexpr const char* kPhaseKeys[] = {
     "cpu_service",      "cpu_wait",       "io_service",
     "io_wait",          "buffer_fix_wait", "log_force_wait",
     "prefetch_overlap", "dyn_recluster",  "remote_fetch_wait",
+    "lock_wait",
 };
-constexpr int kNumPhases = 9;
+constexpr int kNumPhases = 10;
 
 /// Column headers for the share tables (percent of response time).
 constexpr const char* kPhaseHeads[] = {
     "cpu%", "cpuq%", "io%", "ioq%", "fix%", "log%", "pref%", "dyn%", "rmt%",
+    "lck%",
 };
 
 struct Totals {

@@ -19,7 +19,10 @@
 // bucketed by their begin timestamp). The dynamic-reclustering events
 // (dyn-trigger / dyn-reorg) are emitted under the "cluster" category but
 // are reported as their own "dyn" row here so reorganisation activity is
-// separable from static clustering at a glance.
+// separable from static clustering at a glance. The concurrency-control
+// events (lock-grant / lock-wait / lock-timeout / latch-wait / txn-abort,
+// emitted under "core"/"buffer") likewise report as their own "cc" row,
+// with grant/wait/abort totals in the summary line.
 
 #include <cstdint>
 #include <cstdio>
@@ -150,12 +153,18 @@ int main(int argc, char** argv) {
     ++cell.events;
     ++parsed;
     const std::string name = RawValue(line, "name");
-    // Dynamic-reclustering events ride on the "cluster" category and
-    // cross-shard fetches on "core"; classify each as its own subsystem
-    // row in the table.
+    // Dynamic-reclustering events ride on the "cluster" category,
+    // cross-shard fetches on "core", and the concurrency-control events
+    // on "core"/"buffer"; classify each as its own subsystem row in the
+    // table.
     std::string cat = RawValue(line, "cat");
     if (name == "dyn-trigger" || name == "dyn-reorg") cat = "dyn";
     if (name == "remote-fetch") cat = "shard";
+    if (name == "lock-grant" || name == "lock-wait" ||
+        name == "lock-timeout" || name == "latch-wait" ||
+        name == "txn-abort") {
+      cat = "cc";
+    }
     SubsystemRollup& sub = cell.subsystems[cat];
     if (sub.events == 0 || ts < sub.first_ts_us) sub.first_ts_us = ts;
     if (ts > sub.last_ts_us) sub.last_ts_us = ts;
@@ -203,6 +212,9 @@ int main(int argc, char** argv) {
   uint64_t total_dyn_triggers = 0;
   uint64_t total_dyn_reorgs = 0;
   uint64_t total_remote_fetches = 0;
+  uint64_t total_lock_grants = 0;
+  uint64_t total_lock_waits = 0;
+  uint64_t total_txn_aborts = 0;
   for (const auto& [pid, cell] : cells) {
     std::printf("cell %lld (%s): %llu events retained",
                 pid, cell.label.empty() ? "?" : cell.label.c_str(),
@@ -255,17 +267,31 @@ int main(int argc, char** argv) {
         if (name == "remote-fetch") total_remote_fetches += count;
       }
     }
+    const auto cc = cell.subsystems.find("cc");
+    if (cc != cell.subsystems.end()) {
+      for (const auto& [name, count] : cc->second.by_name) {
+        if (name == "lock-grant") total_lock_grants += count;
+        if (name == "lock-wait" || name == "latch-wait") {
+          total_lock_waits += count;
+        }
+        if (name == "txn-abort") total_txn_aborts += count;
+      }
+    }
   }
   std::printf("total: %zu cell(s), %llu events (%llu dropped), "
               "io %llu page reads + %llu page writes, "
               "dyn %llu triggers + %llu reorgs, "
-              "shard %llu remote fetches\n",
+              "shard %llu remote fetches, "
+              "cc %llu grants + %llu waits + %llu aborts\n",
               cells.size(), static_cast<unsigned long long>(total_events),
               static_cast<unsigned long long>(total_dropped),
               static_cast<unsigned long long>(total_reads),
               static_cast<unsigned long long>(total_writes),
               static_cast<unsigned long long>(total_dyn_triggers),
               static_cast<unsigned long long>(total_dyn_reorgs),
-              static_cast<unsigned long long>(total_remote_fetches));
+              static_cast<unsigned long long>(total_remote_fetches),
+              static_cast<unsigned long long>(total_lock_grants),
+              static_cast<unsigned long long>(total_lock_waits),
+              static_cast<unsigned long long>(total_txn_aborts));
   return parsed == 0 ? 1 : 0;
 }
